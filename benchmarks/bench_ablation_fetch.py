@@ -1,0 +1,56 @@
+"""Ablation — fetch batch size and RTT drive the scaling-curve shape.
+
+The sublinear curve comes from fetch round-trips amortized over fewer
+records as partitions-per-container shrink; larger fetch batches (or lower
+RTT) flatten the penalty, smaller batches steepen it.
+"""
+
+from repro.cluster.scaling import ClusterParameters, ScalingModel
+
+from benchmarks.conftest import write_result
+
+CPU_MS = 0.02
+
+
+def _efficiency(fetch_max: int, rtt_ms: float = 2.0) -> float:
+    """Aggregate throughput at 8 containers / (8x single-container)."""
+    model = ScalingModel(ClusterParameters(
+        partitions=32, fetch_max_records=fetch_max, fetch_rtt_ms=rtt_ms))
+    one = model.closed_form_throughput(1, CPU_MS)
+    eight = model.closed_form_throughput(8, CPU_MS)
+    return eight / (8 * one)
+
+
+def test_sweep_fetch_sizes(benchmark):
+    benchmark.pedantic(
+        lambda: [_efficiency(size) for size in (10, 50, 100, 500)],
+        rounds=3, iterations=1)
+
+
+def test_ablation_fetch_batch_size(benchmark, results_dir):
+    def run():
+        return {size: _efficiency(size) for size in (10, 50, 100, 500, 2000)}
+
+    efficiencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Fetch-batch ablation — scaling efficiency at 8 containers "
+             "(1.0 = perfectly linear):"]
+    for size, eff in efficiencies.items():
+        lines.append(f"  fetch.max.records={size:>5}: {eff:.2f}")
+    write_result(results_dir, "ablation_fetch", "\n".join(lines))
+
+    ordered = [efficiencies[k] for k in sorted(efficiencies)]
+    assert ordered == sorted(ordered)  # bigger batches -> better efficiency
+    assert efficiencies[10] < 0.9      # small batches clearly sublinear
+
+
+def test_ablation_rtt(benchmark, results_dir):
+    def run():
+        return {rtt: _efficiency(100, rtt_ms=rtt) for rtt in (0.5, 2.0, 8.0)}
+
+    efficiencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        results_dir, "ablation_rtt",
+        "Fetch-RTT ablation — scaling efficiency at 8 containers:\n" + "\n".join(
+            f"  rtt={rtt}ms: {eff:.2f}" for rtt, eff in efficiencies.items()))
+    values = [efficiencies[k] for k in sorted(efficiencies)]
+    assert values == sorted(values, reverse=True)  # higher RTT -> worse

@@ -1,0 +1,63 @@
+"""Claim S3 — sublinear scaling from fixed partition count.
+
+Paper: "Results show sublinear scalability because the number of Kafka
+stream partitions assigned to a single task decrease with the increasing
+number of tasks (we keep partition count constant across tests) and lower
+number of partitions means lower read throughput at the streaming task."
+"""
+
+import pytest
+
+from repro.cluster.scaling import ClusterParameters, ScalingModel
+
+from benchmarks.conftest import write_result
+
+CPU_MS = 0.02  # representative stateless per-message cost
+
+
+def test_simulate_8_containers(benchmark):
+    model = ScalingModel()
+    benchmark.pedantic(
+        lambda: model.simulate(8, CPU_MS, messages_per_partition=500),
+        rounds=3, iterations=1)
+
+
+def test_claim_sublinear_with_fixed_partitions(benchmark, results_dir):
+    model = ScalingModel(ClusterParameters(partitions=32))
+
+    def sweep():
+        return model.sweep([1, 2, 4, 8, 16, 32], CPU_MS,
+                           messages_per_partition=1000)
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Claim S3 — throughput vs containers (32 fixed partitions):"]
+    base = series[0][1]
+    for count, throughput in series:
+        speedup = throughput / base
+        lines.append(f"  {count:>3} containers: {throughput:>10.0f} msg/s "
+                     f"({speedup:.2f}x vs 1 container, linear would be {count}x)")
+    write_result(results_dir, "claim_scaling", "\n".join(lines))
+
+    # monotone growth but strictly sublinear
+    throughputs = [t for _, t in series]
+    assert all(b >= a * 0.98 for a, b in zip(throughputs, throughputs[1:]))
+    assert throughputs[-1] / throughputs[0] < 32
+
+
+def test_claim_more_partitions_restore_scaling(benchmark, results_dir):
+    """Control: if partitions scale with containers, speedup is ~linear —
+    confirming the fixed-partition count is what bends the curve."""
+    def run():
+        out = []
+        for containers in (1, 2, 4, 8):
+            model = ScalingModel(ClusterParameters(partitions=32 * containers))
+            out.append((containers, model.closed_form_throughput(containers, CPU_MS)))
+        return out
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = series[0][1]
+    write_result(
+        results_dir, "claim_scaling_control",
+        "\n".join([f"Control — partitions grow with containers:"]
+                  + [f"  {c} containers: {t / base:.2f}x" for c, t in series]))
+    assert series[-1][1] / base > 6.5  # near-linear 8x

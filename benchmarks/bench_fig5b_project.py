@@ -1,0 +1,41 @@
+"""Figure 5b — Project query throughput, SamzaSQL vs native Samza.
+
+Paper claim: like filter, projection in SamzaSQL runs 30-40% below native
+because of the Avro↔array transformations (Figure 4).
+"""
+
+import pytest
+
+from repro.bench.harness import run_figure
+from repro.bench.micro import native_pipeline, samzasql_pipeline
+
+from benchmarks.conftest import write_result
+
+QUERY = "project"
+
+
+@pytest.fixture(scope="module")
+def native():
+    return native_pipeline(QUERY)
+
+
+@pytest.fixture(scope="module")
+def samzasql():
+    return samzasql_pipeline(QUERY)
+
+
+def test_native_project_per_message(benchmark, native):
+    benchmark(native.step)
+
+
+def test_samzasql_project_per_message(benchmark, samzasql):
+    benchmark(samzasql.step)
+
+
+def test_fig5b_series(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure("5b", messages=3000), rounds=1, iterations=1)
+    write_result(results_dir, "fig5b_project", result.format_table())
+    assert result.native_over_sql_factor > 1.02
+    assert result.native_over_sql_factor < 3.0
+    assert result.scaling_factor(result.samzasql_series) > 1.2

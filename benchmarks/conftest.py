@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every figure/claim benchmark writes its regenerated series to
+``benchmarks/results/<name>.txt`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from one run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")

@@ -1,0 +1,81 @@
+"""A Kappa-architecture pipeline: chained queries, replay, fault injection.
+
+The paper's motivation (§1) is Kappa-style processing — "everything is a
+stream": instead of a separate batch system, you keep the input log and
+reprocess it by replaying.  This example shows the three pieces on the
+reproduction stack:
+
+1. a two-stage streaming pipeline chained through an intermediate Kafka
+   stream (``INSERT INTO`` + ``register_derived_stream``),
+2. *reprocessing*: a second, later query replays the same retained input
+   from offset 0 and reaches the same answer,
+3. *fault tolerance*: a container is killed mid-flight; its replacement
+   restores state from the changelog and the pipeline's output is intact.
+
+Run:  python examples/kappa_pipeline.py
+"""
+
+from repro.common import VirtualClock
+from repro.kafka import KafkaCluster
+from repro.samza import JobRunner
+from repro.samzasql import SamzaSQLShell
+from repro.workloads import OrdersGenerator, padded_orders_schema
+from repro.yarn import NodeManager, Resource, ResourceManager
+
+
+def main() -> None:
+    clock = VirtualClock(0)
+    cluster = KafkaCluster(broker_count=3, clock=clock)
+    rm = ResourceManager()
+    for i in range(3):
+        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
+    runner = JobRunner(cluster, rm, clock)
+    shell = SamzaSQLShell(cluster, runner)
+
+    shell.register_stream("Orders", padded_orders_schema(), partitions=8)
+    OrdersGenerator(product_count=50, interarrival_ms=500).produce(
+        cluster, "Orders", count=1000, partitions=8)
+
+    # -- stage 1: filter big orders into an intermediate stream --------------
+    stage1 = shell.execute(
+        "INSERT INTO BigOrders SELECT STREAM * FROM Orders WHERE units > 50",
+        containers=2)
+    shell.register_derived_stream("BigOrdersStream", stage1)
+
+    # -- stage 2: consume the intermediate stream ----------------------------
+    stage2 = shell.execute(
+        "SELECT STREAM orderId, productId, units FROM BigOrdersStream "
+        "WHERE units > 90", containers=2)
+
+    # -- fault injection: kill one of stage 1's containers mid-flight --------
+    for _ in range(3):
+        runner.run_iteration()
+    victim = runner.kill_container(stage1.master, index=0)
+    print(f"killed container {victim}; YARN restarts it, state restores "
+          f"from the changelog, input resumes from the checkpoint")
+    runner.run_until_quiescent()
+
+    big = stage1.results()
+    distinct_big = {r["orderId"] for r in big}
+    very_big = {r["orderId"] for r in stage2.results()}
+    print(f"\nstage 1 (units > 50): {len(distinct_big)} distinct orders "
+          f"({len(big)} records — the surplus is at-least-once replay after "
+          f"the container failure)")
+    print(f"stage 2 (units > 90): {len(very_big)} orders")
+    assert very_big == {r["orderId"] for r in big if r["units"] > 90}
+
+    # -- reprocessing: a brand-new query replays the retained log ------------
+    # The Orders topic still holds everything (Kafka retention); a new job
+    # starts at the earliest offset and recomputes from scratch.
+    replay = shell.execute(
+        "SELECT STREAM orderId FROM Orders WHERE units > 90")
+    runner.run_until_quiescent()
+    replayed = {r["orderId"] for r in replay.results()}
+    assert replayed == very_big, "replay must reproduce the pipeline's answer"
+    print(f"\nreplay over the retained log reproduced all "
+          f"{len(replayed)} stage-2 results — the Kappa claim: no separate "
+          f"batch system needed, just replay the stream")
+
+
+if __name__ == "__main__":
+    main()

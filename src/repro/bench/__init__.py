@@ -1,0 +1,37 @@
+"""Benchmark support: native baselines, measurement harness, usability data.
+
+The paper's §5 compares SamzaSQL against the same four queries implemented
+directly in Samza's Java API; :mod:`repro.bench.native_jobs` carries those
+hand-written implementations (in Python, against this repo's Samza model),
+including the tricks the paper describes — raw pass-through in the filter
+job, direct Avro-record construction in the project job, Avro (not
+generic/Kryo) state serdes in the join job.
+"""
+
+from repro.bench.native_jobs import (
+    NativeFilterTask,
+    NativeJoinTask,
+    NativeProjectTask,
+    NativeSlidingWindowTask,
+    native_job_config,
+)
+from repro.bench.harness import (
+    BenchResult,
+    measure_query,
+    run_figure,
+    FIGURES,
+)
+from repro.bench.loc import usability_table
+
+__all__ = [
+    "NativeFilterTask",
+    "NativeProjectTask",
+    "NativeJoinTask",
+    "NativeSlidingWindowTask",
+    "native_job_config",
+    "BenchResult",
+    "measure_query",
+    "run_figure",
+    "FIGURES",
+    "usability_table",
+]

@@ -1,0 +1,145 @@
+"""Measure real per-message costs of each query pipeline.
+
+The scaling figures need a per-message CPU cost for the simulator; rather
+than guessing, we run each variant (native Samza task vs SamzaSQL-compiled
+query) through the *real* in-process runtime over a bounded workload and
+time it.  This is the "shape comes from measurement" half of the
+substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.common import Config, VirtualClock
+from repro.kafka import KafkaCluster
+from repro.samza import JobRunner, SamzaJob
+from repro.samzasql import SamzaSQLShell
+from repro.bench.native_jobs import native_job_config
+from repro.workloads.orders import OrdersGenerator, padded_orders_schema
+from repro.workloads.products import PRODUCTS_SCHEMA, ProductsGenerator
+from repro.yarn import NodeManager, Resource, ResourceManager
+
+# The four §5.1 benchmark queries, in SamzaSQL.
+SQL_QUERIES = {
+    "filter": "SELECT STREAM * FROM Orders WHERE units > 50",
+    "project": "SELECT STREAM rowtime, productId, units FROM Orders",
+    "window": ("SELECT STREAM rowtime, productId, units, SUM(units) OVER "
+               "(PARTITION BY productId ORDER BY rowtime RANGE INTERVAL '5' "
+               "MINUTE PRECEDING) unitsLastFiveMinutes FROM Orders"),
+    "join": ("SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId, "
+             "Orders.units, Products.supplierId FROM Orders JOIN Products "
+             "ON Orders.productId = Products.productId"),
+}
+
+QUERIES = tuple(SQL_QUERIES)
+VARIANTS = ("native", "samzasql")
+
+
+@dataclass
+class CalibrationResult:
+    query: str
+    variant: str
+    messages: int
+    elapsed_s: float
+
+    @property
+    def per_message_ms(self) -> float:
+        return self.elapsed_s * 1000.0 / self.messages
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        return self.messages / self.elapsed_s
+
+
+def _build_runtime(partitions: int) -> tuple[KafkaCluster, JobRunner, VirtualClock]:
+    clock = VirtualClock(0)
+    cluster = KafkaCluster(broker_count=3, clock=clock)
+    rm = ResourceManager()
+    for i in range(3):
+        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
+    return cluster, JobRunner(cluster, rm, clock), clock
+
+
+def _feed_workload(cluster: KafkaCluster, query: str, messages: int,
+                   partitions: int, product_count: int = 100) -> None:
+    orders = OrdersGenerator(product_count=product_count,
+                             interarrival_ms=1000)
+    orders.produce(cluster, "Orders", messages, partitions=partitions)
+    if query == "join":
+        ProductsGenerator(product_count=product_count).produce(
+            cluster, "Products-changelog", partitions=partitions)
+
+
+def _measure_once(query: str, variant: str, messages: int,
+                  partitions: int, containers: int, warmup: int) -> float:
+    cluster, runner, clock = _build_runtime(partitions)
+    _feed_workload(cluster, query, messages, partitions)
+
+    if variant == "native":
+        config, serdes, factory = native_job_config(
+            query, f"native-{query}", containers=containers)
+        job = SamzaJob(config=config, task_factory=factory, serdes=serdes)
+        runner.submit(job)
+    else:
+        shell = SamzaSQLShell(cluster, runner)
+        shell.register_stream("Orders", padded_orders_schema(),
+                              partitions=partitions)
+        if query == "join":
+            shell.register_table("Products", PRODUCTS_SCHEMA,
+                                 key_field="productId", partitions=partitions)
+        shell.execute(SQL_QUERIES[query], containers=containers)
+
+    # Warm the pipeline (codegen, store setup) before timing.
+    for _ in range(max(warmup // 200, 1)):
+        runner.run_iteration()
+    import gc
+
+    gc.collect()
+    started = time.perf_counter()
+    runner.run_until_quiescent(max_iterations=1_000_000)
+    return time.perf_counter() - started
+
+
+def measure(query: str, variant: str, messages: int = 5000,
+            partitions: int = 32, containers: int = 1,
+            warmup: int = 200, repeats: int = 2) -> CalibrationResult:
+    """Run one (query, variant) to completion; best-of-``repeats`` timing.
+
+    The minimum over repeats is the standard noise-robust estimator for
+    CPU-bound work (GC pauses and scheduler noise only ever add time).
+    """
+    if query not in SQL_QUERIES:
+        raise ValueError(f"unknown query {query!r}; known: {sorted(SQL_QUERIES)}")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    elapsed = min(
+        _measure_once(query, variant, messages, partitions, containers, warmup)
+        for _ in range(max(repeats, 1)))
+    return CalibrationResult(query=query, variant=variant,
+                             messages=messages, elapsed_s=max(elapsed, 1e-9))
+
+
+def calibrate_pair(query: str, messages: int = 5000,
+                   partitions: int = 32,
+                   repeats: int = 3) -> dict[str, CalibrationResult]:
+    """Both variants of one query: {'native': ..., 'samzasql': ...}.
+
+    Measurement rounds are *interleaved* (native, sql, native, sql, ...)
+    and the per-variant minimum is kept, so slow drifts in machine load
+    bias both variants equally instead of whichever ran last.
+    """
+    best: dict[str, float] = {}
+    for _ in range(max(repeats, 1)):
+        for variant in VARIANTS:
+            elapsed = _measure_once(query, variant, messages, partitions,
+                                    containers=1, warmup=200)
+            if variant not in best or elapsed < best[variant]:
+                best[variant] = elapsed
+    return {
+        variant: CalibrationResult(query=query, variant=variant,
+                                   messages=messages,
+                                   elapsed_s=max(best[variant], 1e-9))
+        for variant in VARIANTS
+    }

@@ -1,0 +1,223 @@
+"""Per-message micro pipelines for pytest-benchmark.
+
+Builds the *real* operator pipelines (same classes the runtime uses) with
+a discard sink and in-memory serialized stores, plus the equivalent
+hand-written native paths, so ``benchmarks/`` can measure the per-message
+cost of each variant in isolation — no Kafka/YARN loop around it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.samza.storage import InMemoryKeyValueStore, SerializedKeyValueStore
+from repro.samzasql.operators.base import OperatorContext
+from repro.samzasql.operators.router import MessageRouter, build_router
+from repro.samzasql.plan_builder import PhysicalPlanBuilder
+from repro.serde.avro import AvroSerde
+from repro.serde.object_serde import ObjectSerde
+from repro.bench.calibration import SQL_QUERIES
+from repro.sql.catalog import Catalog
+from repro.sql.planner import QueryPlanner
+from repro.workloads.orders import OrdersGenerator, padded_orders_schema
+from repro.workloads.products import PRODUCTS_SCHEMA, ProductsGenerator
+
+_STORE_NAMES = (
+    "sql-window-messages", "sql-window-state", "sql-group-windows",
+    "sql-join-left", "sql-join-right", "sql-relation-products",
+)
+
+
+def _make_stores() -> dict:
+    return {
+        name: SerializedKeyValueStore(InMemoryKeyValueStore(),
+                                      ObjectSerde(), ObjectSerde())
+        for name in _STORE_NAMES
+    }
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream_from_avro("Orders", padded_orders_schema())
+    catalog.register_table_from_avro("Products", PRODUCTS_SCHEMA,
+                                     key_field="productId",
+                                     changelog_topic="Products-changelog")
+    return catalog
+
+
+class MicroPipeline:
+    """A feedable pipeline: ``step()`` processes the next encoded message."""
+
+    def __init__(self, process: Callable[[bytes, int], None],
+                 messages: list[tuple[bytes, bytes, int]],
+                 reset: Callable[[], None] | None = None):
+        self._process = process
+        self._messages = messages
+        self._index = 0
+        self._reset = reset
+        self.outputs = 0
+
+    def step(self) -> None:
+        value_bytes, _key, ts = self._messages[self._index]
+        self._index += 1
+        if self._index >= len(self._messages):
+            self._index = 0
+            if self._reset is not None:
+                self._reset()
+        self._process(value_bytes, ts)
+
+    def run_batch(self, count: int) -> None:
+        for _ in range(count):
+            self.step()
+
+
+def _encoded_orders(count: int) -> list[tuple[bytes, bytes, int]]:
+    generator = OrdersGenerator(interarrival_ms=1000)
+    return [(value, key, ts) for key, value, ts in generator.encoded(count)]
+
+
+def samzasql_pipeline(query: str, messages: int = 8192,
+                      fuse_scans: bool = False) -> MicroPipeline:
+    """The SamzaSQL-compiled pipeline: deserialize → operators → serialize."""
+    catalog = _catalog()
+    planner = QueryPlanner(catalog)
+    logical = planner.plan_query(SQL_QUERIES[query])
+    builder = PhysicalPlanBuilder(catalog, fuse_scans=fuse_scans)
+    plan = builder.build(logical, "bench-output")
+
+    from repro.samzasql.shell import sql_row_type_to_avro
+
+    output_schema = sql_row_type_to_avro("BenchOut", logical.row_type)
+    output_serde = AvroSerde(output_schema)
+    sink_count = [0]
+
+    def send(message: dict, _ts: int, _key=None) -> None:
+        output_serde.to_bytes(message)  # ArrayToAvro + wire encoding
+        sink_count[0] += 1
+
+    stores = _make_stores()
+    router_box: list[MessageRouter] = []
+
+    def rebuild() -> None:
+        fresh = _make_stores()
+        stores.clear()
+        stores.update(fresh)
+        router_box[0] = build_router(plan, OperatorContext(stores, send))
+        _load_relation(router_box[0], query)
+
+    def _load_relation(router: MessageRouter, q: str) -> None:
+        if q != "join":
+            return
+        serde = AvroSerde(PRODUCTS_SCHEMA)
+        for record in ProductsGenerator().records():
+            router.route("Products-changelog", record, 0)
+
+    router_box.append(build_router(plan, OperatorContext(stores, send)))
+    _load_relation(router_box[0], query)
+    input_serde = AvroSerde(padded_orders_schema())
+    stream = plan.input_streams[0]
+
+    def process(value_bytes: bytes, ts: int) -> None:
+        record = input_serde.from_bytes(value_bytes)
+        router_box[0].route(stream, record, ts)
+
+    pipeline = MicroPipeline(process, _encoded_orders(messages), reset=rebuild)
+    pipeline.sink_count = sink_count  # type: ignore[attr-defined]
+    return pipeline
+
+
+def native_pipeline(query: str, messages: int = 8192) -> MicroPipeline:
+    """The hand-written per-message path for each benchmark query."""
+    input_serde = AvroSerde(padded_orders_schema())
+
+    if query == "filter":
+        def process(value_bytes: bytes, ts: int) -> None:
+            record = input_serde.from_bytes(value_bytes)
+            if record["units"] > 50:
+                _ = value_bytes  # raw pass-through write
+
+        return MicroPipeline(process, _encoded_orders(messages))
+
+    if query == "project":
+        from repro.bench.native_jobs import NativeProjectTask
+
+        out_serde = NativeProjectTask.PROJECTED_SCHEMA
+
+        def process(value_bytes: bytes, ts: int) -> None:
+            record = input_serde.from_bytes(value_bytes)
+            out_serde.to_bytes({"rowtime": record["rowtime"],
+                                "productId": record["productId"],
+                                "units": record["units"]})
+
+        return MicroPipeline(process, _encoded_orders(messages))
+
+    if query == "join":
+        # Avro-serde state store: the native join's measured advantage.
+        store = SerializedKeyValueStore(
+            InMemoryKeyValueStore(), ObjectSerde(), AvroSerde(PRODUCTS_SCHEMA))
+        for record in ProductsGenerator().records():
+            store.put(str(record["productId"]), record)
+        out_schema = AvroSerde(
+            {"type": "record", "name": "JoinedOut", "fields": [
+                {"name": "rowtime", "type": "long"},
+                {"name": "orderId", "type": "long"},
+                {"name": "productId", "type": "int"},
+                {"name": "units", "type": "int"},
+                {"name": "supplierId", "type": "int"}]})
+
+        def process(value_bytes: bytes, ts: int) -> None:
+            order = input_serde.from_bytes(value_bytes)
+            product = store.get(str(order["productId"]))
+            if product is None:
+                return
+            out_schema.to_bytes({
+                "rowtime": order["rowtime"], "orderId": order["orderId"],
+                "productId": order["productId"], "units": order["units"],
+                "supplierId": product["supplierId"]})
+
+        return MicroPipeline(process, _encoded_orders(messages))
+
+    if query == "window":
+        from repro.bench.native_jobs import NativeSlidingWindowTask
+
+        state_box = {}
+
+        def make_stores():
+            return (SerializedKeyValueStore(InMemoryKeyValueStore(),
+                                            ObjectSerde(), ObjectSerde()),
+                    SerializedKeyValueStore(InMemoryKeyValueStore(),
+                                            ObjectSerde(), ObjectSerde()))
+
+        state_box["messages"], state_box["state"] = make_stores()
+        window_ms = NativeSlidingWindowTask.WINDOW_MS
+
+        def reset() -> None:
+            state_box["messages"], state_box["state"] = make_stores()
+
+        def process(value_bytes: bytes, ts_in: int) -> None:
+            order = input_serde.from_bytes(value_bytes)
+            key = str(order["productId"])
+            ts = order["rowtime"]
+            state = state_box["state"].get(key) or {"rows": [], "sum": 0, "seq": 0}
+            seq = state["seq"]
+            state["seq"] = seq + 1
+            state_box["messages"].put((key, ts, seq), order["units"])
+            cutoff = ts - window_ms
+            rows = state["rows"]
+            keep = 0
+            for keep, entry in enumerate(rows):
+                if entry[0] >= cutoff:
+                    break
+            else:
+                keep = len(rows)
+            for old_ts, old_seq, old_units in rows[:keep]:
+                state["sum"] -= old_units
+                state_box["messages"].delete((key, old_ts, old_seq))
+            del rows[:keep]
+            rows.append((ts, seq, order["units"]))
+            state["sum"] += order["units"]
+            state_box["state"].put(key, state)
+
+        return MicroPipeline(process, _encoded_orders(messages), reset=reset)
+
+    raise ValueError(f"unknown query {query!r}")

@@ -1,0 +1,23 @@
+"""Virtual-time cluster simulation for the scalability experiments.
+
+The paper's Figures 5/6 plot job throughput against container count on a
+3-broker Kafka + 3-node YARN EC2 deployment we cannot rent; this package
+replaces the testbed with a discrete-event model whose inputs are
+*measured* per-message costs from the real operator implementations in
+this repository (see :mod:`repro.bench.calibration`).
+
+The mechanism behind the paper's sublinear scaling is modelled directly:
+the benchmark keeps 32 partitions fixed, so with more containers each
+consumer holds fewer partitions, each fetch round-trip returns fewer
+records, and per-container read throughput drops ("lower number of
+partitions means lower read throughput at the streaming task").
+"""
+
+from repro.cluster.simulation import EventQueue
+from repro.cluster.scaling import (
+    ClusterParameters,
+    ScalingModel,
+    SimulationResult,
+)
+
+__all__ = ["EventQueue", "ClusterParameters", "ScalingModel", "SimulationResult"]

@@ -1,0 +1,157 @@
+"""The container-scaling model for the Figure 5/6 sweeps.
+
+Two implementations of the same model, used to cross-check each other:
+
+* :meth:`ScalingModel.closed_form_throughput` — the steady-state formula:
+  a container holding *P* of the job's partitions fetches up to *F*
+  records per partition per round, paying one fetch round-trip ``rtt`` per
+  round and ``cpu`` per record, so its rate is ``P·F / (rtt + P·F·cpu)``;
+  aggregate throughput over *C* containers with 32 fixed partitions is
+  ``32·F / (rtt + (32/C)·F·cpu)`` — concave and saturating, the paper's
+  sublinear curve.
+
+* :meth:`ScalingModel.simulate` — a discrete-event run with explicit
+  brokers (FIFO servers with per-request overhead + per-record service,
+  3 of them like the paper's Kafka cluster), which adds broker queueing
+  effects the closed form ignores.
+
+The per-message CPU cost input is *measured* from the real pipelines by
+:mod:`repro.bench.calibration` — native vs SamzaSQL costs differ, which is
+what separates the two curves in each figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.simulation import EventQueue
+
+
+@dataclass(frozen=True)
+class ClusterParameters:
+    """Testbed shape (defaults follow §5.1: 32 partitions, 3 brokers)."""
+
+    partitions: int = 32
+    brokers: int = 3
+    fetch_rtt_ms: float = 2.0
+    fetch_max_records: int = 100
+    broker_request_overhead_ms: float = 0.2
+    broker_per_record_ms: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1 or self.brokers < 1:
+            raise ValueError("partitions and brokers must be positive")
+        if self.fetch_max_records < 1:
+            raise ValueError("fetch_max_records must be positive")
+
+
+@dataclass
+class SimulationResult:
+    containers: int
+    total_messages: int
+    elapsed_ms: float
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        return self.total_messages / (self.elapsed_ms / 1000.0)
+
+
+class ScalingModel:
+    def __init__(self, params: ClusterParameters | None = None):
+        self.params = params or ClusterParameters()
+
+    # -- partition assignment (mirrors the Samza grouper) ------------------------
+
+    def partitions_per_container(self, containers: int) -> list[int]:
+        base, extra = divmod(self.params.partitions, containers)
+        return [base + (1 if i < extra else 0) for i in range(containers)]
+
+    # -- closed form ---------------------------------------------------------------
+
+    def closed_form_throughput(self, containers: int,
+                               cpu_ms_per_msg: float) -> float:
+        """Aggregate steady-state messages/second."""
+        p = self.params
+        total = 0.0
+        for held in self.partitions_per_container(containers):
+            if held == 0:
+                continue
+            batch = held * p.fetch_max_records
+            total += batch / (p.fetch_rtt_ms + batch * cpu_ms_per_msg)
+        return total * 1000.0
+
+    # -- discrete-event simulation ----------------------------------------------------
+
+    def simulate(self, containers: int, cpu_ms_per_msg: float,
+                 messages_per_partition: int = 2000) -> SimulationResult:
+        """Drain a bounded backlog through C containers and 3 brokers."""
+        p = self.params
+        queue = EventQueue()
+        broker_free = [0.0] * p.brokers
+        # partition i lives on broker i % brokers (round-robin leaders)
+        assignment = self._assign_partitions(containers)
+        backlog = {i: messages_per_partition for i in range(p.partitions)}
+        finish_times = [0.0] * containers
+        total = p.partitions * messages_per_partition
+
+        def make_round(container: int):
+            def fetch_round() -> None:
+                held = assignment[container]
+                pending = [i for i in held if backlog[i] > 0]
+                if not pending:
+                    finish_times[container] = queue.now
+                    return
+                # group this round's fetches by broker (one request each)
+                per_broker: dict[int, list[int]] = {}
+                for partition in pending:
+                    per_broker.setdefault(partition % p.brokers, []).append(partition)
+                time_cursor = queue.now
+                fetched = 0
+                for broker, parts in sorted(per_broker.items()):
+                    count = 0
+                    for partition in parts:
+                        take = min(p.fetch_max_records, backlog[partition])
+                        backlog[partition] -= take
+                        count += take
+                    service = (p.broker_request_overhead_ms
+                               + count * p.broker_per_record_ms)
+                    start = max(time_cursor, broker_free[broker])
+                    done = start + service + p.fetch_rtt_ms
+                    broker_free[broker] = start + service
+                    time_cursor = done
+                    fetched += count
+                # process the batch
+                time_cursor += fetched * cpu_ms_per_msg
+                queue.schedule_at(time_cursor, fetch_round)
+
+            return fetch_round
+
+        for container in range(containers):
+            queue.schedule(0.0, make_round(container))
+        queue.run()
+        return SimulationResult(
+            containers=containers, total_messages=total,
+            elapsed_ms=max(finish_times) if finish_times else 0.0)
+
+    def _assign_partitions(self, containers: int) -> list[list[int]]:
+        held: list[list[int]] = [[] for _ in range(containers)]
+        for partition in range(self.params.partitions):
+            held[partition % containers].append(partition)
+        return held
+
+    # -- sweeps -------------------------------------------------------------------------
+
+    def sweep(self, container_counts: list[int], cpu_ms_per_msg: float,
+              use_simulation: bool = True,
+              messages_per_partition: int = 2000) -> list[tuple[int, float]]:
+        """[(containers, msgs/s)] series for one pipeline cost."""
+        series = []
+        for count in container_counts:
+            if use_simulation:
+                result = self.simulate(count, cpu_ms_per_msg,
+                                       messages_per_partition)
+                series.append((count, result.throughput_msgs_per_s))
+            else:
+                series.append((count, self.closed_form_throughput(
+                    count, cpu_ms_per_msg)))
+        return series

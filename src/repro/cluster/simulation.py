@@ -1,0 +1,54 @@
+"""A minimal discrete-event engine (heap-ordered event queue)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class EventQueue:
+    """Time-ordered callback queue with a stable tiebreaker."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = start_ms
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], Any]) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"cannot schedule in the past: {delay_ms}")
+        heapq.heappush(self._heap, (self._now + delay_ms, next(self._counter), callback))
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], Any]) -> None:
+        if time_ms < self._now:
+            raise ValueError(f"cannot schedule in the past: {time_ms} < {self._now}")
+        heapq.heappush(self._heap, (time_ms, next(self._counter), callback))
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time_ms, _seq, callback = heapq.heappop(self._heap)
+        self._now = time_ms
+        callback()
+        return True
+
+    def run(self, until_ms: float | None = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally up to a time bound); returns now."""
+        events = 0
+        while self._heap:
+            if until_ms is not None and self._heap[0][0] > until_ms:
+                break
+            if events >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            self.step()
+            events += 1
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,60 @@
+"""Clock abstraction: wall-clock for real runs, virtual time for simulation.
+
+The stream framework and the discrete-event cluster simulator share the
+same code paths; injecting a :class:`Clock` keeps timers, window
+boundaries, and retention deterministic under simulation.
+Times are milliseconds since epoch (matching Kafka/Samza conventions).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Milliseconds-since-epoch time source."""
+
+    @abstractmethod
+    def now_ms(self) -> int:
+        """Current time in milliseconds."""
+
+    @abstractmethod
+    def sleep_ms(self, duration_ms: float) -> None:
+        """Block (or advance virtual time) for ``duration_ms``."""
+
+
+class SystemClock(Clock):
+    """Real wall-clock time."""
+
+    def now_ms(self) -> int:
+        return int(time.time() * 1000)
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        if duration_ms > 0:
+            time.sleep(duration_ms / 1000.0)
+
+
+class VirtualClock(Clock):
+    """Manually advanced clock for deterministic tests and simulation."""
+
+    def __init__(self, start_ms: int = 0):
+        self._now_ms = int(start_ms)
+
+    def now_ms(self) -> int:
+        return self._now_ms
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        self.advance(duration_ms)
+
+    def advance(self, delta_ms: float) -> None:
+        if delta_ms < 0:
+            raise ValueError(f"cannot move virtual time backwards: {delta_ms}")
+        self._now_ms += int(delta_ms)
+
+    def set_time(self, now_ms: int) -> None:
+        if now_ms < self._now_ms:
+            raise ValueError(
+                f"cannot move virtual time backwards: {now_ms} < {self._now_ms}"
+            )
+        self._now_ms = int(now_ms)

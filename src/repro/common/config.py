@@ -1,0 +1,127 @@
+"""Typed, immutable-ish configuration maps.
+
+Samza jobs are configured through flat ``key=value`` property files; we model
+that with :class:`Config`, a thin wrapper over a ``dict[str, str]`` with
+typed accessors, sub-scoping (``config.subset("systems.kafka.")``) and a
+defensive copy on construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+
+class Config(Mapping[str, str]):
+    """Flat string-to-string configuration with typed accessors.
+
+    Values are stored as strings, like Java properties.  Non-string values
+    passed to the constructor are converted with ``str()`` (booleans become
+    ``"true"``/``"false"`` to match Samza conventions).
+    """
+
+    def __init__(self, entries: Mapping[str, Any] | None = None, **kwargs: Any):
+        merged: dict[str, Any] = dict(entries or {})
+        merged.update(kwargs)
+        self._entries: dict[str, str] = {k: self._stringify(v) for k, v in merged.items()}
+
+    @staticmethod
+    def _stringify(value: Any) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: str) -> str:
+        return self._entries[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Config({self._entries!r})"
+
+    # -- typed accessors ---------------------------------------------------
+
+    def get_str(self, key: str, default: str | None = None) -> str:
+        value = self._entries.get(key, default)
+        if value is None:
+            raise ConfigError(f"missing required config key: {key!r}")
+        return value
+
+    def get_int(self, key: str, default: int | None = None) -> int:
+        raw = self._entries.get(key)
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required config key: {key!r}")
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ConfigError(f"config key {key!r} is not an integer: {raw!r}") from exc
+
+    def get_float(self, key: str, default: float | None = None) -> float:
+        raw = self._entries.get(key)
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required config key: {key!r}")
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ConfigError(f"config key {key!r} is not a float: {raw!r}") from exc
+
+    def get_bool(self, key: str, default: bool | None = None) -> bool:
+        raw = self._entries.get(key)
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required config key: {key!r}")
+            return default
+        lowered = raw.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise ConfigError(f"config key {key!r} is not a boolean: {raw!r}")
+
+    def get_list(self, key: str, default: list[str] | None = None) -> list[str]:
+        """Comma-separated list accessor; empty string yields an empty list."""
+        raw = self._entries.get(key)
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required config key: {key!r}")
+            return list(default)
+        raw = raw.strip()
+        if not raw:
+            return []
+        return [part.strip() for part in raw.split(",")]
+
+    # -- structural helpers --------------------------------------------------
+
+    def subset(self, prefix: str, strip_prefix: bool = True) -> "Config":
+        """Return the entries whose key starts with ``prefix``.
+
+        With ``strip_prefix`` (default) the prefix is removed from the
+        resulting keys, matching Samza's ``Config.subset`` semantics.
+        """
+        out: dict[str, str] = {}
+        for key, value in self._entries.items():
+            if key.startswith(prefix):
+                out_key = key[len(prefix):] if strip_prefix else key
+                out[out_key] = value
+        return Config(out)
+
+    def merge(self, other: Mapping[str, Any]) -> "Config":
+        """Return a new Config with ``other`` layered on top of this one."""
+        merged = dict(self._entries)
+        merged.update({k: self._stringify(v) for k, v in other.items()})
+        return Config(merged)
+
+    def to_dict(self) -> dict[str, str]:
+        return dict(self._entries)

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+broad or narrow as appropriate.  The hierarchy mirrors the subsystem split:
+serde, kafka, zookeeper, yarn, samza state/checkpointing, and the SQL
+front-end.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration map is missing a key or holds an invalid value."""
+
+
+# --------------------------------------------------------------------------
+# serde
+# --------------------------------------------------------------------------
+
+
+class SerdeError(ReproError):
+    """Serialization or deserialization failed."""
+
+
+class SchemaError(SerdeError):
+    """A schema definition is malformed, or a datum does not match it."""
+
+
+# --------------------------------------------------------------------------
+# kafka
+# --------------------------------------------------------------------------
+
+
+class KafkaError(ReproError):
+    """Base class for broker-side errors."""
+
+
+class TopicExistsError(KafkaError):
+    """Attempted to create a topic that already exists."""
+
+
+class UnknownTopicError(KafkaError):
+    """Referenced a topic (or partition) that does not exist."""
+
+
+class OffsetOutOfRangeError(KafkaError):
+    """A fetch requested an offset below the log start or above the end."""
+
+
+# --------------------------------------------------------------------------
+# coordination / resource management
+# --------------------------------------------------------------------------
+
+
+class ZkError(ReproError):
+    """ZooKeeper-model error (missing node, bad version, node exists...)."""
+
+
+class YarnError(ReproError):
+    """Resource-manager error (no capacity, unknown application...)."""
+
+
+# --------------------------------------------------------------------------
+# samza
+# --------------------------------------------------------------------------
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be written or restored."""
+
+
+class StateStoreError(ReproError):
+    """Local key-value store failure (closed store, bad range bounds...)."""
+
+
+# --------------------------------------------------------------------------
+# SQL front-end
+# --------------------------------------------------------------------------
+
+
+class SqlParseError(ReproError):
+    """The query text could not be tokenized or parsed.
+
+    Carries the 1-based line/column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SqlValidationError(ReproError):
+    """The query parsed but references unknown objects or mis-typed exprs."""
+
+
+class PlannerError(ReproError):
+    """Logical-to-physical planning failed (unsupported shape, no rowtime...)."""

@@ -1,0 +1,128 @@
+"""Minimal metrics registry modelled after Samza's MetricsRegistryMap.
+
+Containers and operators record counters (messages processed), gauges
+(lag, store size) and timers (per-message latency).  The benchmark harness
+reads these to compute throughput series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "_count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self._count += delta
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+class Gauge:
+    """Last-value-wins gauge."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, initial: float = 0.0):
+        self.name = name
+        self._value = initial
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Timer:
+    """Accumulates durations; reports count / total / mean / max / stdev."""
+
+    __slots__ = ("name", "_count", "_total", "_total_sq", "_max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._total_sq = 0.0
+        self._max = 0.0
+
+    def update(self, duration: float) -> None:
+        self._count += 1
+        self._total += duration
+        self._total_sq += duration * duration
+        if duration > self._max:
+            self._max = duration
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def stdev(self) -> float:
+        if self._count < 2:
+            return 0.0
+        mean = self.mean
+        var = max(self._total_sq / self._count - mean * mean, 0.0)
+        return math.sqrt(var)
+
+
+@dataclass
+class MetricsRegistry:
+    """Group-scoped registry: ``registry.counter("container", "processed")``."""
+
+    _counters: dict[tuple[str, str], Counter] = field(default_factory=dict)
+    _gauges: dict[tuple[str, str], Gauge] = field(default_factory=dict)
+    _timers: dict[tuple[str, str], Timer] = field(default_factory=dict)
+
+    def counter(self, group: str, name: str) -> Counter:
+        key = (group, name)
+        if key not in self._counters:
+            self._counters[key] = Counter(name)
+        return self._counters[key]
+
+    def gauge(self, group: str, name: str, initial: float = 0.0) -> Gauge:
+        key = (group, name)
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name, initial)
+        return self._gauges[key]
+
+    def timer(self, group: str, name: str) -> Timer:
+        key = (group, name)
+        if key not in self._timers:
+            self._timers[key] = Timer(name)
+        return self._timers[key]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Flatten all metrics into ``{group: {name: value}}`` for reporting."""
+        out: dict[str, dict[str, float]] = {}
+        for (group, name), counter in self._counters.items():
+            out.setdefault(group, {})[name] = counter.count
+        for (group, name), gauge in self._gauges.items():
+            out.setdefault(group, {})[name] = gauge.value
+        for (group, name), timer in self._timers.items():
+            out.setdefault(group, {})[f"{name}.mean"] = timer.mean
+            out.setdefault(group, {})[f"{name}.count"] = timer.count
+        return out

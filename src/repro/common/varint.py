@@ -1,0 +1,68 @@
+"""Variable-length integer codecs (Avro / protobuf style).
+
+Avro's binary encoding stores ``int`` and ``long`` as zigzag-encoded
+varints; the mini-Avro codec in :mod:`repro.serde.avro` is built on these
+primitives.  ``read_*`` variants consume from a buffer at an offset and
+return ``(value, new_offset)`` so decoders can avoid slicing.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SerdeError
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise SerdeError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``buf`` at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise SerdeError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise SerdeError("varint too long (corrupt input)")
+
+
+def decode_varint(buf: bytes) -> int:
+    value, pos = read_varint(buf, 0)
+    if pos != len(buf):
+        raise SerdeError(f"trailing bytes after varint: {len(buf) - pos}")
+    return value
+
+
+def encode_zigzag(value: int) -> bytes:
+    """Zigzag-then-varint encode a signed integer (Avro int/long encoding)."""
+    return encode_varint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+def read_zigzag(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    raw, pos = read_varint(buf, offset)
+    return (raw >> 1) ^ -(raw & 1), pos
+
+
+def decode_zigzag(buf: bytes) -> int:
+    value, pos = read_zigzag(buf, 0)
+    if pos != len(buf):
+        raise SerdeError(f"trailing bytes after zigzag varint: {len(buf) - pos}")
+    return value

@@ -1,0 +1,40 @@
+"""Kafka model: ordered, partitioned, replayable commit logs.
+
+SamzaSQL's data model (§3.1 of the paper) is derived from Kafka's
+topic/partition model: a *stream* is a set of ordered partitions, an
+*element* is identified by a per-partition sequential offset, and streams
+are immutable and append-only.  This package provides exactly those
+guarantees in-process:
+
+* :class:`~repro.kafka.partition.PartitionLog` — the per-partition
+  append-only commit log with offset-addressed reads, time-based
+  retention and key-based compaction;
+* :class:`~repro.kafka.broker.Broker` / :class:`~repro.kafka.cluster.KafkaCluster`
+  — topic management and leader placement across brokers;
+* :class:`~repro.kafka.producer.Producer` — keyed writes with the default
+  hash partitioner (how a stream "is partitioned ... by the publisher");
+* :class:`~repro.kafka.consumer.Consumer` — fetch-based reads with
+  per-partition positions, plus committed offsets for consumer groups.
+"""
+
+from repro.kafka.message import Message, TopicPartition
+from repro.kafka.partition import PartitionLog
+from repro.kafka.topic import Topic, TopicConfig
+from repro.kafka.broker import Broker
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.producer import Producer, hash_partitioner
+from repro.kafka.consumer import Consumer, ConsumerRecord
+
+__all__ = [
+    "Message",
+    "TopicPartition",
+    "PartitionLog",
+    "Topic",
+    "TopicConfig",
+    "Broker",
+    "KafkaCluster",
+    "Producer",
+    "hash_partitioner",
+    "Consumer",
+    "ConsumerRecord",
+]

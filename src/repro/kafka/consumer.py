@@ -1,0 +1,157 @@
+"""Fetch-based consumer with explicit partition assignment.
+
+Samza assigns partitions to tasks itself (through its job-coordinator
+grouper), so this consumer exposes the ``assign``/``seek``/``poll`` API
+rather than broker-side group rebalancing.  ``poll`` round-robins fetch
+requests across assigned partitions, pulling at most
+``max_poll_records`` per call — the batch economics that drive the
+sublinear scaling shape in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import KafkaError, OffsetOutOfRangeError
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.message import TopicPartition
+
+
+@dataclass(frozen=True, slots=True)
+class ConsumerRecord:
+    """A fetched record tagged with its coordinates."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: bytes | None
+    value: bytes | None
+    timestamp_ms: int
+
+
+class Consumer:
+    """Single-threaded partition consumer with manual assignment."""
+
+    def __init__(self, cluster: KafkaCluster, group_id: str | None = None,
+                 max_poll_records: int = 500, fetch_max_records_per_partition: int = 100):
+        if max_poll_records < 1 or fetch_max_records_per_partition < 1:
+            raise KafkaError("poll/fetch sizes must be positive")
+        self._cluster = cluster
+        self.group_id = group_id
+        self._max_poll_records = max_poll_records
+        self._fetch_size = fetch_max_records_per_partition
+        self._positions: dict[TopicPartition, int] = {}
+        self._paused: set[TopicPartition] = set()
+        self._rr_cursor = 0
+        self.poll_count = 0
+
+    # -- assignment ---------------------------------------------------------------
+
+    def assign(self, partitions: list[TopicPartition]) -> None:
+        """Assign partitions; positions default to the committed offset for
+        this group, falling back to the earliest available offset."""
+        self._positions = {}
+        for tp in partitions:
+            committed = (
+                self._cluster.committed_offset(self.group_id, tp)
+                if self.group_id is not None else None
+            )
+            start = committed if committed is not None else self._cluster.earliest_offset(tp)
+            self._positions[tp] = start
+        self._paused.clear()
+        self._rr_cursor = 0
+
+    def assignment(self) -> list[TopicPartition]:
+        return sorted(self._positions, key=lambda tp: (tp.topic, tp.partition))
+
+    def _check_assigned(self, tp: TopicPartition) -> None:
+        if tp not in self._positions:
+            raise KafkaError(f"partition {tp} is not assigned to this consumer")
+
+    # -- positions ---------------------------------------------------------------------
+
+    def seek(self, tp: TopicPartition, offset: int) -> None:
+        self._check_assigned(tp)
+        self._positions[tp] = offset
+
+    def seek_to_beginning(self, tp: TopicPartition) -> None:
+        self.seek(tp, self._cluster.earliest_offset(tp))
+
+    def seek_to_end(self, tp: TopicPartition) -> None:
+        self.seek(tp, self._cluster.latest_offset(tp))
+
+    def position(self, tp: TopicPartition) -> int:
+        self._check_assigned(tp)
+        return self._positions[tp]
+
+    def lag(self, tp: TopicPartition) -> int:
+        """Records between the current position and the high watermark."""
+        self._check_assigned(tp)
+        return max(self._cluster.latest_offset(tp) - self._positions[tp], 0)
+
+    def total_lag(self) -> int:
+        return sum(self.lag(tp) for tp in self._positions)
+
+    # -- flow control --------------------------------------------------------------------
+
+    def pause(self, tp: TopicPartition) -> None:
+        self._check_assigned(tp)
+        self._paused.add(tp)
+
+    def resume(self, tp: TopicPartition) -> None:
+        self._paused.discard(tp)
+
+    def paused(self) -> set[TopicPartition]:
+        return set(self._paused)
+
+    # -- the poll loop ----------------------------------------------------------------------
+
+    def poll(self, max_records: int | None = None) -> list[ConsumerRecord]:
+        """Fetch up to ``max_records`` across assigned, unpaused partitions.
+
+        Partitions are visited round-robin starting after the last partition
+        served, so a hot partition cannot starve the others.
+        """
+        self.poll_count += 1
+        budget = max_records if max_records is not None else self._max_poll_records
+        order = self.assignment()
+        if not order:
+            return []
+        out: list[ConsumerRecord] = []
+        n = len(order)
+        for i in range(n):
+            if budget <= 0:
+                break
+            tp = order[(self._rr_cursor + i) % n]
+            if tp in self._paused:
+                continue
+            try:
+                messages = self._cluster.fetch(
+                    tp, self._positions[tp], min(self._fetch_size, budget)
+                )
+            except OffsetOutOfRangeError:
+                # Auto-reset to earliest, like auto.offset.reset=earliest.
+                self._positions[tp] = self._cluster.earliest_offset(tp)
+                messages = self._cluster.fetch(
+                    tp, self._positions[tp], min(self._fetch_size, budget)
+                )
+            if not messages:
+                continue
+            for msg in messages:
+                out.append(ConsumerRecord(
+                    topic=tp.topic, partition=tp.partition, offset=msg.offset,
+                    key=msg.key, value=msg.value, timestamp_ms=msg.timestamp_ms,
+                ))
+            self._positions[tp] = messages[-1].offset + 1
+            budget -= len(messages)
+        self._rr_cursor = (self._rr_cursor + 1) % n
+        return out
+
+    # -- commit -------------------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit current positions for the consumer group."""
+        if self.group_id is None:
+            raise KafkaError("cannot commit offsets without a group id")
+        for tp, offset in self._positions.items():
+            self._cluster.commit_offset(self.group_id, tp, offset)

@@ -1,0 +1,41 @@
+"""Log records and partition coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TopicPartition:
+    """Coordinate of one partition of one topic (Kafka's TopicPartition)."""
+
+    topic: str
+    partition: int
+
+    def __str__(self) -> str:
+        return f"{self.topic}-{self.partition}"
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One record in a partition log.
+
+    ``offset`` is the per-partition sequential id (§3.1: "an element is
+    uniquely identified by a sequential ID number ... unique only within
+    the context of a partition").  ``key``/``value`` are opaque bytes —
+    serialization is entirely the concern of the serde layer, exactly as
+    in Kafka ("messages ... can be in any format as long as it is wrapped
+    in a Kafka binary format").
+    """
+
+    offset: int
+    key: bytes | None
+    value: bytes | None
+    timestamp_ms: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate on-the-wire size (key + value + fixed header)."""
+        key_len = len(self.key) if self.key is not None else 0
+        value_len = len(self.value) if self.value is not None else 0
+        return key_len + value_len + 24

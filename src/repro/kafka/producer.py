@@ -1,0 +1,66 @@
+"""Producer with the default hash partitioner.
+
+§3.1: "How a stream is partitioned is defined by the publisher at
+publishing time."  The default partitioner hashes the key (FNV-1a over the
+key bytes — stable across processes, unlike Python's randomized ``hash``)
+so that all records with the same key land in the same partition; unkeyed
+records are sprayed round-robin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import KafkaError
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.message import TopicPartition
+
+Partitioner = Callable[[bytes | None, int], int]
+
+
+def _fnv1a(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def hash_partitioner(key: bytes | None, partition_count: int) -> int:
+    """Stable keyed partitioner; requires a key."""
+    if key is None:
+        raise KafkaError("hash partitioner requires a message key")
+    return _fnv1a(key) % partition_count
+
+
+class Producer:
+    """Client-side writer: partition selection + produce-request routing."""
+
+    def __init__(self, cluster: KafkaCluster, partitioner: Partitioner = hash_partitioner):
+        self._cluster = cluster
+        self._partitioner = partitioner
+        self._round_robin: dict[str, int] = {}
+
+    def send(self, topic: str, value: bytes | None, key: bytes | None = None,
+             partition: int | None = None, timestamp_ms: int | None = None) -> tuple[int, int]:
+        """Send one record; returns ``(partition, offset)``.
+
+        Partition selection order: explicit ``partition`` argument, then the
+        partitioner for keyed records, then round-robin for unkeyed ones.
+        """
+        count = self._cluster.topic(topic).partition_count
+        if partition is None:
+            if key is not None:
+                partition = self._partitioner(key, count)
+            else:
+                cursor = self._round_robin.get(topic, 0)
+                partition = cursor % count
+                self._round_robin[topic] = cursor + 1
+        elif not 0 <= partition < count:
+            raise KafkaError(
+                f"partition {partition} out of range for topic {topic!r} ({count} partitions)"
+            )
+        offset = self._cluster.produce(
+            TopicPartition(topic, partition), key, value, timestamp_ms
+        )
+        return partition, offset

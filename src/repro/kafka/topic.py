@@ -1,0 +1,59 @@
+"""Topics: named groups of partitions with a cleanup policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import KafkaError
+from repro.kafka.partition import PartitionLog
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """Per-topic knobs (subset of Kafka's topic configs).
+
+    ``cleanup_policy`` is ``"delete"`` (time retention) or ``"compact"``
+    (key-based compaction — used by Samza changelog and checkpoint topics).
+    """
+
+    partitions: int = 1
+    cleanup_policy: str = "delete"
+    retention_ms: int | None = None
+    replication_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise KafkaError(f"topic must have >= 1 partition, got {self.partitions}")
+        if self.cleanup_policy not in ("delete", "compact"):
+            raise KafkaError(f"unknown cleanup.policy {self.cleanup_policy!r}")
+        if self.replication_factor < 1:
+            raise KafkaError("replication factor must be >= 1")
+
+
+class Topic:
+    """A named stream: an ordered set of :class:`PartitionLog`."""
+
+    def __init__(self, name: str, config: TopicConfig):
+        if not name or "/" in name:
+            raise KafkaError(f"invalid topic name {name!r}")
+        self.name = name
+        self.config = config
+        self.partitions: list[PartitionLog] = [
+            PartitionLog(name, i) for i in range(config.partitions)
+        ]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    def partition(self, index: int) -> PartitionLog:
+        try:
+            return self.partitions[index]
+        except IndexError:
+            raise KafkaError(
+                f"topic {self.name!r} has {len(self.partitions)} partitions, "
+                f"no partition {index}"
+            ) from None
+
+    def total_messages(self) -> int:
+        return sum(len(p) for p in self.partitions)

@@ -1,0 +1,377 @@
+"""SamzaContainer: the per-container run loop.
+
+A container hosts a set of task instances, one consumer over all their
+input partitions, and one producer for outputs and changelogs.  The run
+loop is cooperative — ``run_iteration`` polls a batch, dispatches each
+record to the owning task, fires the window timer, and commits on the
+configured interval — so a whole multi-container job can be driven
+deterministically from a single thread (tests) or from the discrete-event
+cluster simulator (benchmarks).
+
+Bootstrap streams (§2): when any input stream is configured with
+``systems.<sys>.streams.<stream>.samza.bootstrap = true``, all
+non-bootstrap inputs are paused until every bootstrap partition has been
+read up to its high watermark.  This is the substrate for SamzaSQL's
+stream-to-relation join (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.config import Config
+from repro.common.errors import ConfigError
+from repro.common.metrics import MetricsRegistry
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.consumer import Consumer
+from repro.kafka.message import TopicPartition
+from repro.kafka.producer import Producer, hash_partitioner
+from repro.samza.checkpoint import CheckpointManager
+from repro.samza.serdes import SerdeRegistry
+from repro.samza.storage import (
+    CachedKeyValueStore,
+    InMemoryKeyValueStore,
+    KeyValueStore,
+    LoggedKeyValueStore,
+    SerializedKeyValueStore,
+)
+from repro.samza.system import (
+    IncomingMessageEnvelope,
+    OutgoingMessageEnvelope,
+    SystemStreamPartition,
+)
+from repro.samza.task import MessageCollector, StreamTask, TaskCoordinator
+from repro.samza.task_instance import TaskInstance
+from repro.serde.object_serde import ObjectSerde
+
+_PARTITION_KEY_SERDE = ObjectSerde()
+
+
+@dataclass(frozen=True)
+class TaskModel:
+    """Assignment of one task: its name, id, and input partitions."""
+
+    task_name: str
+    partition_id: int
+    ssps: frozenset[SystemStreamPartition]
+
+
+@dataclass
+class _StoreSpec:
+    name: str
+    changelog_stream: str | None
+    key_serde: str
+    msg_serde: str
+    cached: bool
+    cache_size: int
+
+
+class _Coordinator(TaskCoordinator):
+    def __init__(self):
+        self.commit_requested = False
+        self.shutdown_requested = False
+
+    def commit(self) -> None:
+        self.commit_requested = True
+
+    def shutdown(self) -> None:
+        self.shutdown_requested = True
+
+
+class _Collector(MessageCollector):
+    """Serializes outgoing envelopes and produces them to Kafka."""
+
+    def __init__(self, container: "SamzaContainer"):
+        self._container = container
+
+    def send(self, envelope: OutgoingMessageEnvelope) -> None:
+        self._container._send(envelope)
+
+
+class SamzaContainer:
+    """Hosts task instances and drives their processing loop."""
+
+    def __init__(self, container_id: str, config: Config, cluster: KafkaCluster,
+                 serdes: SerdeRegistry, task_models: list[TaskModel],
+                 task_factory, checkpoint_manager: CheckpointManager | None = None,
+                 clock: Clock | None = None, metrics: MetricsRegistry | None = None):
+        self.container_id = container_id
+        self.config = config
+        self.cluster = cluster
+        self.serdes = serdes
+        self.clock = clock or SystemClock()
+        self.metrics = metrics or MetricsRegistry()
+        self._task_factory = task_factory
+        self._task_models = task_models
+        self._checkpoints = checkpoint_manager
+
+        self._consumer = Consumer(
+            cluster,
+            fetch_max_records_per_partition=config.get_int(
+                "systems.kafka.consumer.fetch.max.records", 100),
+        )
+        self._producer = Producer(cluster)
+        self._collector = _Collector(self)
+        self._coordinator = _Coordinator()
+
+        self.tasks: dict[str, TaskInstance] = {}
+        self._task_by_ssp: dict[SystemStreamPartition, TaskInstance] = {}
+        self._input_serdes: dict[str, tuple] = {}  # stream -> (key_serde, msg_serde)
+        self._output_serdes: dict[str, tuple] = {}
+        self._store_specs = self._parse_store_specs(config)
+
+        self._window_ms = config.get_int("task.window.ms", -1)
+        self._commit_interval = config.get_int("task.checkpoint.interval.messages", 500)
+        self._batch_size = config.get_int("task.poll.batch.size", 200)
+        self._messages_since_commit = 0
+        self._last_window_ms = 0
+        self._started = False
+        self.shutdown_requested = False
+
+        self._bootstrap_ssps: set[SystemStreamPartition] = set()
+        self._bootstrap_active = False
+
+        self._processed = self.metrics.counter(f"container-{container_id}", "processed")
+        self._sent = self.metrics.counter(f"container-{container_id}", "sent")
+        self._commits = self.metrics.counter(f"container-{container_id}", "commits")
+
+    # -- configuration parsing ---------------------------------------------------
+
+    @staticmethod
+    def _parse_store_specs(config: Config) -> list[_StoreSpec]:
+        specs: list[_StoreSpec] = []
+        names = {
+            key.split(".")[1]
+            for key in config
+            if key.startswith("stores.") and len(key.split(".")) >= 3
+        }
+        for name in sorted(names):
+            prefix = f"stores.{name}."
+            changelog = config.get(prefix + "changelog")
+            if changelog is not None and "." in changelog:
+                changelog = changelog.split(".", 1)[1]  # strip system name
+            specs.append(_StoreSpec(
+                name=name,
+                changelog_stream=changelog,
+                key_serde=config.get(prefix + "key.serde", "object"),
+                msg_serde=config.get(prefix + "msg.serde", "object"),
+                cached=config.get_bool(prefix + "cache.enabled", False),
+                cache_size=config.get_int(prefix + "cache.size", 1024),
+            ))
+        return specs
+
+    def _is_bootstrap(self, ssp: SystemStreamPartition) -> bool:
+        key = f"systems.{ssp.system}.streams.{ssp.stream}.samza.bootstrap"
+        return self.config.get_bool(key, False)
+
+    # -- startup ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Build tasks, restore state and offsets, begin consuming."""
+        if self._started:
+            raise ConfigError(f"container {self.container_id} already started")
+        all_ssps: set[SystemStreamPartition] = set()
+        for model in self._task_models:
+            stores = self._build_stores(model)
+            task: StreamTask = self._task_factory()
+            instance = TaskInstance(
+                model.task_name, model.partition_id, task, set(model.ssps),
+                stores, self._checkpoints,
+            )
+            self.tasks[model.task_name] = instance
+            for ssp in model.ssps:
+                self._task_by_ssp[ssp] = instance
+                all_ssps.add(ssp)
+
+        self._consumer.assign([ssp.topic_partition for ssp in sorted(
+            all_ssps, key=lambda s: (s.stream, s.partition))])
+
+        # Restore offsets (checkpoint wins, else earliest) and seek.
+        tp_to_ssp = {ssp.topic_partition: ssp for ssp in all_ssps}
+        for instance in self.tasks.values():
+            earliest = {
+                ssp: self.cluster.earliest_offset(ssp.topic_partition)
+                for ssp in instance.ssps
+            }
+            instance.restore_offsets(earliest)
+            for ssp, offset in instance.offsets.items():
+                self._consumer.seek(ssp.topic_partition, offset)
+
+        # Resolve input serdes per stream.
+        for ssp in all_ssps:
+            if ssp.stream not in self._input_serdes:
+                self._input_serdes[ssp.stream] = self.serdes.resolve_stream_serdes(
+                    self.config, ssp.system, ssp.stream)
+
+        # Bootstrap handling: pause everything that is not a bootstrap input.
+        self._bootstrap_ssps = {ssp for ssp in all_ssps if self._is_bootstrap(ssp)}
+        if self._bootstrap_ssps:
+            self._bootstrap_active = True
+            for ssp in all_ssps - self._bootstrap_ssps:
+                self._consumer.pause(ssp.topic_partition)
+
+        for instance in self.tasks.values():
+            instance.init(self.config)
+
+        self._last_window_ms = self.clock.now_ms()
+        self._started = True
+        del tp_to_ssp  # documentation of intent only
+
+    def _build_stores(self, model: TaskModel) -> dict[str, KeyValueStore]:
+        stores: dict[str, KeyValueStore] = {}
+        for spec in self._store_specs:
+            memory = InMemoryKeyValueStore()
+            bytes_store: KeyValueStore = memory
+            if spec.changelog_stream is not None:
+                topic = spec.changelog_stream
+                self._restore_store(memory, topic, model.partition_id)
+                tp = TopicPartition(topic, model.partition_id)
+
+                def log_fn(key: bytes, value: bytes | None, _tp=tp) -> None:
+                    self.cluster.produce(_tp, key, value, self.clock.now_ms())
+
+                bytes_store = LoggedKeyValueStore(memory, log_fn)
+            store: KeyValueStore = SerializedKeyValueStore(
+                bytes_store, self.serdes.get(spec.key_serde), self.serdes.get(spec.msg_serde))
+            if spec.cached:
+                store = CachedKeyValueStore(store, spec.cache_size)
+            stores[spec.name] = store
+        return stores
+
+    def _restore_store(self, memory: InMemoryKeyValueStore, topic: str,
+                       partition: int) -> None:
+        """Replay the changelog partition into the store (state restore)."""
+        if not self.cluster.has_topic(topic):
+            return
+        tp = TopicPartition(topic, partition)
+        start = self.cluster.earliest_offset(tp)
+        for message in self.cluster.fetch(tp, start):
+            if message.key is None:
+                continue
+            if message.value is None:
+                memory.delete(message.key)
+            else:
+                memory.put(message.key, message.value)
+
+    # -- output path ------------------------------------------------------------------
+
+    def _send(self, envelope: OutgoingMessageEnvelope) -> None:
+        stream = envelope.system_stream.stream
+        if not self.cluster.has_topic(stream):
+            # Auto-create intermediate/output topics, co-partitioned with inputs.
+            partitions = max(
+                (self.cluster.topic(ssp.stream).partition_count
+                 for ssp in self._task_by_ssp), default=1)
+            self.cluster.create_topic(stream, partitions=partitions, if_not_exists=True)
+        if envelope.pre_serialized:
+            key_bytes = envelope.key
+            value_bytes = envelope.message
+        else:
+            if stream not in self._output_serdes:
+                self._output_serdes[stream] = self.serdes.resolve_stream_serdes(
+                    self.config, envelope.system_stream.system, stream)
+            key_serde, msg_serde = self._output_serdes[stream]
+            key_bytes = None if envelope.key is None else key_serde.to_bytes(envelope.key)
+            value_bytes = (
+                None if envelope.message is None else msg_serde.to_bytes(envelope.message))
+        partition = None
+        if envelope.partition_key is not None:
+            count = self.cluster.topic(stream).partition_count
+            partition = hash_partitioner(
+                _PARTITION_KEY_SERDE.to_bytes(envelope.partition_key), count)
+        timestamp = (envelope.timestamp_ms if envelope.timestamp_ms is not None
+                     else self.clock.now_ms())
+        self._producer.send(stream, value_bytes, key=key_bytes,
+                            partition=partition, timestamp_ms=timestamp)
+        self._sent.inc()
+
+    # -- the run loop --------------------------------------------------------------------
+
+    def run_iteration(self) -> int:
+        """Process one poll batch; returns the number of records handled."""
+        if not self._started:
+            raise ConfigError(f"container {self.container_id} not started")
+        if self.shutdown_requested:
+            return 0
+
+        if self._bootstrap_active:
+            self._maybe_finish_bootstrap()
+
+        records = self._consumer.poll(max_records=self._batch_size)
+        for record in records:
+            ssp = SystemStreamPartition("kafka", record.topic, record.partition)
+            instance = self._task_by_ssp[ssp]
+            key_serde, msg_serde = self._input_serdes[record.topic]
+            key = None if record.key is None else key_serde.from_bytes(record.key)
+            message = None if record.value is None else msg_serde.from_bytes(record.value)
+            envelope = IncomingMessageEnvelope(
+                system_stream_partition=ssp, offset=record.offset,
+                key=key, message=message, timestamp_ms=record.timestamp_ms,
+                raw_key=record.key, raw_message=record.value,
+            )
+            instance.process(envelope, self._collector, self._coordinator)
+            self._processed.inc()
+            self._messages_since_commit += 1
+            if self._coordinator.shutdown_requested:
+                break
+
+        self._maybe_fire_window()
+
+        if (self._coordinator.commit_requested
+                or self._messages_since_commit >= self._commit_interval):
+            self.commit()
+
+        if self._coordinator.shutdown_requested:
+            self.stop()
+        return len(records)
+
+    def _maybe_finish_bootstrap(self) -> None:
+        caught_up = all(
+            self._consumer.lag(ssp.topic_partition) == 0
+            for ssp in self._bootstrap_ssps
+        )
+        if caught_up:
+            self._bootstrap_active = False
+            for tp in list(self._consumer.paused()):
+                self._consumer.resume(tp)
+
+    def _maybe_fire_window(self) -> None:
+        if self._window_ms < 0:
+            return
+        now = self.clock.now_ms()
+        if now - self._last_window_ms >= self._window_ms:
+            for instance in self.tasks.values():
+                instance.window(self._collector, self._coordinator)
+            self._last_window_ms = now
+
+    # -- durability / lifecycle --------------------------------------------------------------
+
+    def commit(self) -> None:
+        for instance in self.tasks.values():
+            instance.commit()
+        self._messages_since_commit = 0
+        self._coordinator.commit_requested = False
+        self._commits.inc()
+
+    def stop(self) -> None:
+        if not self._started or self.shutdown_requested:
+            self.shutdown_requested = True
+            return
+        self.commit()
+        for instance in self.tasks.values():
+            instance.close()
+        self.shutdown_requested = True
+
+    # -- introspection ---------------------------------------------------------------------------
+
+    @property
+    def processed_count(self) -> int:
+        return self._processed.count
+
+    @property
+    def is_bootstrapping(self) -> bool:
+        return self._bootstrap_active
+
+    def total_lag(self) -> int:
+        return self._consumer.total_lag()

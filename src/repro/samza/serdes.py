@@ -1,0 +1,57 @@
+"""Serde registry and per-stream serde resolution.
+
+Samza instantiates serdes from ``serializers.registry.<name>.class``
+config; in-process we register :class:`~repro.serde.base.Serde` instances
+under names and let stream/store config reference them:
+
+* ``systems.<system>.streams.<stream>.samza.key.serde`` / ``.msg.serde``
+* ``stores.<store>.key.serde`` / ``stores.<store>.msg.serde``
+
+Built-in names ``string``, ``bytes``, ``long``, ``integer``, ``json`` and
+``object`` are always available; Avro serdes are registered per schema by
+the job author (or by the SamzaSQL planner).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import Config
+from repro.common.errors import ConfigError
+from repro.serde.base import BytesSerde, IntegerSerde, LongSerde, Serde, StringSerde
+from repro.serde.json_serde import JsonSerde
+from repro.serde.object_serde import ObjectSerde
+
+
+class SerdeRegistry:
+    """Name → Serde instance mapping with the standard serdes built in."""
+
+    def __init__(self):
+        self._serdes: dict[str, Serde] = {
+            "string": StringSerde(),
+            "bytes": BytesSerde(),
+            "integer": IntegerSerde(),
+            "long": LongSerde(),
+            "json": JsonSerde(),
+            "object": ObjectSerde(),
+        }
+
+    def register(self, name: str, serde: Serde) -> None:
+        self._serdes[name] = serde
+
+    def get(self, name: str) -> Serde:
+        try:
+            return self._serdes[name]
+        except KeyError:
+            raise ConfigError(
+                f"no serde registered under {name!r}; known: {sorted(self._serdes)}"
+            ) from None
+
+    def resolve_stream_serdes(self, config: Config, system: str,
+                              stream: str) -> tuple[Serde, Serde]:
+        """(key_serde, msg_serde) for a stream, falling back to system defaults."""
+        prefix = f"systems.{system}.streams.{stream}.samza."
+        system_prefix = f"systems.{system}.samza."
+        key_name = config.get(prefix + "key.serde") or config.get(
+            system_prefix + "key.serde", "string")
+        msg_name = config.get(prefix + "msg.serde") or config.get(
+            system_prefix + "msg.serde", "json")
+        return self.get(key_name), self.get(msg_name)

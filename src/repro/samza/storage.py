@@ -1,0 +1,242 @@
+"""Fault-tolerant local state: the layered key-value store stack.
+
+§2 of the paper: "Each streaming task in a Samza job has managed local
+storage ... The state is modeled as a stream and Samza manages the
+snapshotting and restoration by replaying the state stream in case of a
+task failure."
+
+The stack, bottom to top:
+
+* :class:`InMemoryKeyValueStore` — bytes→bytes sorted store (the RocksDB
+  role). Range scans are needed by the sliding-window operator, which keys
+  messages by big-endian timestamps so byte order equals time order.
+* :class:`LoggedKeyValueStore` — mirrors every write to a compacted
+  changelog topic partition; restoration replays that partition.
+* :class:`SerializedKeyValueStore` — object API on top of a bytes store;
+  every access pays the serde cost.  The paper's Figure 6 finding — sliding
+  window throughput "is dominated by access to the key-value store" — falls
+  out of this layer, and the Kryo-vs-Avro join gap comes from which serde
+  is plugged in here.
+* :class:`CachedKeyValueStore` — optional object cache that absorbs
+  repeated reads (Samza's cached store layer); the kv-cache ablation bench
+  toggles it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import StateStoreError
+from repro.serde.base import Serde
+
+
+class KeyValueStore:
+    """Interface: get/put/delete/range/all/flush over ordered keys."""
+
+    def get(self, key: Any) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: Any) -> None:
+        raise NotImplementedError
+
+    def range(self, from_key: Any, to_key: Any) -> Iterator[tuple[Any, Any]]:
+        """Entries with ``from_key <= key < to_key`` in key order."""
+        raise NotImplementedError
+
+    def all(self) -> Iterator[tuple[Any, Any]]:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered writes down the stack (cache -> log -> memory)."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryKeyValueStore(KeyValueStore):
+    """Sorted bytes→bytes store (dict + sorted key list)."""
+
+    def __init__(self):
+        self._data: dict[bytes, bytes] = {}
+        self._sorted_keys: list[bytes] = []
+
+    @staticmethod
+    def _check_key(key: Any) -> bytes:
+        if not isinstance(key, (bytes, bytearray)):
+            raise StateStoreError(f"store keys must be bytes, got {type(key).__name__}")
+        return bytes(key)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._data.get(self._check_key(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key = self._check_key(key)
+        if not isinstance(value, (bytes, bytearray)):
+            raise StateStoreError(f"store values must be bytes, got {type(value).__name__}")
+        if key not in self._data:
+            insort(self._sorted_keys, key)
+        self._data[key] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        key = self._check_key(key)
+        if key in self._data:
+            del self._data[key]
+            index = bisect_left(self._sorted_keys, key)
+            del self._sorted_keys[index]
+
+    def range(self, from_key: bytes, to_key: bytes) -> Iterator[tuple[bytes, bytes]]:
+        from_key = self._check_key(from_key)
+        to_key = self._check_key(to_key)
+        if from_key > to_key:
+            raise StateStoreError("range requires from_key <= to_key")
+        start = bisect_left(self._sorted_keys, from_key)
+        for index in range(start, len(self._sorted_keys)):
+            key = self._sorted_keys[index]
+            if key >= to_key:
+                return
+            yield key, self._data[key]
+
+    def all(self) -> Iterator[tuple[bytes, bytes]]:
+        for key in self._sorted_keys:
+            yield key, self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LoggedKeyValueStore(KeyValueStore):
+    """Write-ahead mirror to a changelog sink.
+
+    ``log_fn(key, value_or_None)`` is called for every mutation; the
+    container wires it to a producer on the store's compacted changelog
+    topic partition.
+    """
+
+    def __init__(self, backing: KeyValueStore, log_fn: Callable[[bytes, bytes | None], None]):
+        self._backing = backing
+        self._log = log_fn
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._backing.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._backing.put(key, value)
+        self._log(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._backing.delete(key)
+        self._log(key, None)  # changelog tombstone
+
+    def range(self, from_key: bytes, to_key: bytes) -> Iterator[tuple[bytes, bytes]]:
+        return self._backing.range(from_key, to_key)
+
+    def all(self) -> Iterator[tuple[bytes, bytes]]:
+        return self._backing.all()
+
+    def flush(self) -> None:
+        self._backing.flush()
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+
+class SerializedKeyValueStore(KeyValueStore):
+    """Object-level API over a bytes store; serdes run on every access."""
+
+    def __init__(self, backing: KeyValueStore, key_serde: Serde, value_serde: Serde):
+        self._backing = backing
+        self._key_serde = key_serde
+        self._value_serde = value_serde
+
+    def get(self, key: Any) -> Any:
+        raw = self._backing.get(self._key_serde.to_bytes(key))
+        return None if raw is None else self._value_serde.from_bytes(raw)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._backing.put(self._key_serde.to_bytes(key), self._value_serde.to_bytes(value))
+
+    def delete(self, key: Any) -> None:
+        self._backing.delete(self._key_serde.to_bytes(key))
+
+    def range(self, from_key: Any, to_key: Any) -> Iterator[tuple[Any, Any]]:
+        raw_from = self._key_serde.to_bytes(from_key)
+        raw_to = self._key_serde.to_bytes(to_key)
+        for raw_key, raw_value in self._backing.range(raw_from, raw_to):
+            yield self._key_serde.from_bytes(raw_key), self._value_serde.from_bytes(raw_value)
+
+    def all(self) -> Iterator[tuple[Any, Any]]:
+        for raw_key, raw_value in self._backing.all():
+            yield self._key_serde.from_bytes(raw_key), self._value_serde.from_bytes(raw_value)
+
+    def flush(self) -> None:
+        self._backing.flush()
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+
+class CachedKeyValueStore(KeyValueStore):
+    """Read/write-through object cache over a (typically serialized) store.
+
+    A bounded dict cache absorbs repeated get()s of hot keys without paying
+    the serde round-trip.  Writes go through immediately (no dirty
+    buffering) so the changelog below stays consistent; the cache only
+    short-circuits reads.
+    """
+
+    def __init__(self, backing: KeyValueStore, capacity: int = 1024):
+        if capacity < 1:
+            raise StateStoreError("cache capacity must be positive")
+        self._backing = backing
+        self._capacity = capacity
+        self._cache: dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _remember(self, key: Any, value: Any) -> None:
+        if len(self._cache) >= self._capacity and key not in self._cache:
+            self._cache.pop(next(iter(self._cache)))  # FIFO eviction
+        self._cache[key] = value
+
+    def get(self, key: Any) -> Any:
+        hashable = bytes(key) if isinstance(key, bytearray) else key
+        try:
+            value = self._cache[hashable]
+            self.hits += 1
+            return value
+        except (KeyError, TypeError):
+            pass
+        self.misses += 1
+        value = self._backing.get(key)
+        try:
+            self._remember(hashable, value)
+        except TypeError:
+            pass  # unhashable keys are simply not cached
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._backing.put(key, value)
+        try:
+            self._remember(key, value)
+        except TypeError:
+            pass
+
+    def delete(self, key: Any) -> None:
+        self._backing.delete(key)
+        self._cache.pop(key, None)
+
+    def range(self, from_key: Any, to_key: Any) -> Iterator[tuple[Any, Any]]:
+        return self._backing.range(from_key, to_key)
+
+    def all(self) -> Iterator[tuple[Any, Any]]:
+        return self._backing.all()
+
+    def flush(self) -> None:
+        self._backing.flush()
+
+    def __len__(self) -> int:
+        return len(self._backing)

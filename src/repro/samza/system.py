@@ -1,0 +1,93 @@
+"""System streams and message envelopes (Samza's system layer).
+
+A *system* is a messaging backend (here always the in-process Kafka
+model, but the indirection is kept for fidelity — the paper notes Samza
+"provides a separate Java API to plug in different input and output
+systems").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.kafka.message import TopicPartition
+
+
+@dataclass(frozen=True, slots=True)
+class SystemStream:
+    """(system, stream) pair, e.g. ``kafka.Orders``."""
+
+    system: str
+    stream: str
+
+    def __str__(self) -> str:
+        return f"{self.system}.{self.stream}"
+
+    @staticmethod
+    def parse(text: str) -> "SystemStream":
+        system, _, stream = text.partition(".")
+        if not system or not stream:
+            raise ValueError(f"expected '<system>.<stream>', got {text!r}")
+        return SystemStream(system, stream)
+
+
+@dataclass(frozen=True, slots=True)
+class SystemStreamPartition:
+    """(system, stream, partition) — the unit of task input assignment."""
+
+    system: str
+    stream: str
+    partition: int
+
+    @property
+    def system_stream(self) -> SystemStream:
+        return SystemStream(self.system, self.stream)
+
+    @property
+    def topic_partition(self) -> TopicPartition:
+        return TopicPartition(self.stream, self.partition)
+
+    def __str__(self) -> str:
+        return f"{self.system}.{self.stream}-{self.partition}"
+
+
+@dataclass(frozen=True, slots=True)
+class IncomingMessageEnvelope:
+    """A deserialized input record handed to ``StreamTask.process``.
+
+    ``raw_key``/``raw_message`` expose the wire bytes so native tasks can
+    forward messages without re-serializing — the pass-through trick the
+    paper's hand-written filter job uses ("directly reads from incoming
+    Avro message and writes back the message into the output stream
+    without any modification").
+    """
+
+    system_stream_partition: SystemStreamPartition
+    offset: int
+    key: Any
+    message: Any
+    timestamp_ms: int = 0
+    raw_key: bytes | None = None
+    raw_message: bytes | None = None
+
+    @property
+    def stream(self) -> str:
+        return self.system_stream_partition.stream
+
+
+@dataclass(frozen=True, slots=True)
+class OutgoingMessageEnvelope:
+    """A record a task emits through the :class:`MessageCollector`.
+
+    ``partition_key`` (when set) drives the partitioner; otherwise ``key``
+    is used; unkeyed messages go round-robin.  With ``pre_serialized`` the
+    message (and key) are already bytes and bypass the output serde.
+    """
+
+    system_stream: SystemStream
+    message: Any
+    key: Any = None
+    partition_key: Any = None
+    timestamp_ms: int | None = None
+    pre_serialized: bool = False

@@ -1,0 +1,91 @@
+"""TaskInstance: one task's runtime wrapper inside a container.
+
+Owns the task object, its input SSP offsets, its stores, and the commit
+path (flush stores, write checkpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import Config
+from repro.samza.checkpoint import Checkpoint, CheckpointManager
+from repro.samza.storage import KeyValueStore
+from repro.samza.system import IncomingMessageEnvelope, SystemStreamPartition
+from repro.samza.task import (
+    ClosableTask,
+    InitableTask,
+    MessageCollector,
+    StreamTask,
+    TaskContext,
+    TaskCoordinator,
+    WindowableTask,
+)
+
+
+class TaskInstance:
+    """Runtime state for one task (one partition group)."""
+
+    def __init__(self, task_name: str, partition_id: int, task: StreamTask,
+                 ssps: set[SystemStreamPartition],
+                 stores: dict[str, KeyValueStore],
+                 checkpoint_manager: CheckpointManager | None):
+        self.task_name = task_name
+        self.partition_id = partition_id
+        self.task = task
+        self.ssps = set(ssps)
+        self.stores = stores
+        self._checkpoints = checkpoint_manager
+        # next offset to process per SSP; filled by the container at startup
+        self.offsets: dict[SystemStreamPartition, int] = {}
+        self.messages_processed = 0
+        self.context = TaskContext(task_name, partition_id, stores)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def init(self, config: Config) -> None:
+        if isinstance(self.task, InitableTask):
+            self.task.init(config, self.context)
+
+    def close(self) -> None:
+        if isinstance(self.task, ClosableTask):
+            self.task.close()
+
+    # -- processing ------------------------------------------------------------
+
+    def process(self, envelope: IncomingMessageEnvelope, collector: MessageCollector,
+                coordinator: TaskCoordinator) -> None:
+        self.task.process(envelope, collector, coordinator)
+        self.offsets[envelope.system_stream_partition] = envelope.offset + 1
+        self.messages_processed += 1
+
+    def window(self, collector: MessageCollector, coordinator: TaskCoordinator) -> None:
+        if isinstance(self.task, WindowableTask):
+            self.task.window(collector, coordinator)
+
+    # -- durability ----------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Flush state then checkpoint offsets (state-first, like Samza:
+        replay after a crash between the two steps reprocesses messages
+        rather than losing them)."""
+        for store in self.stores.values():
+            store.flush()
+        if self._checkpoints is not None:
+            self._checkpoints.write_checkpoint(self.task_name, Checkpoint(dict(self.offsets)))
+
+    def restore_offsets(self, default_offsets: dict[SystemStreamPartition, int]) -> None:
+        """Initialise offsets from the last checkpoint, else the defaults."""
+        checkpoint = (
+            self._checkpoints.read_last_checkpoint(self.task_name)
+            if self._checkpoints is not None else None
+        )
+        for ssp in self.ssps:
+            if checkpoint is not None and ssp in checkpoint.offsets:
+                self.offsets[ssp] = checkpoint.offsets[ssp]
+            else:
+                self.offsets[ssp] = default_offsets.get(ssp, 0)
+
+    def store_snapshot(self) -> dict[str, dict[Any, Any]]:
+        """Debug/test helper: materialize store contents."""
+        return {name: dict(store.all()) for name, store in self.stores.items()}

@@ -1,0 +1,5 @@
+"""``python -m repro.samzasql`` launches the interactive shell."""
+
+from repro.samzasql.cli import main
+
+main()

@@ -1,0 +1,206 @@
+"""Interactive SamzaSQL shell (the SqlLine role of §4.1).
+
+"Users interact with SamzaSQL through a special SQL shell build using
+SqlLine library and a custom SamzaSQL specific JDBC driver implementation.
+SamzaSQL shell is a command line application that runs on users' desktop."
+
+This REPL runs against the in-process reproduction stack.  Statements end
+with ``;``.  Bang-commands:
+
+* ``!tables`` — list catalog objects
+* ``!explain <query>`` — logical plan
+* ``!queries`` — running streaming queries
+* ``!results <n>`` — sample output of query *n*
+* ``!run`` — drive the cluster until idle
+* ``!demo`` — load the paper's Orders/Products demo data
+* ``!quit``
+
+Run:  python -m repro.samzasql.cli
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.common import ReproError, VirtualClock
+from repro.kafka import KafkaCluster
+from repro.samza import JobRunner
+from repro.samzasql.shell import QueryHandle, SamzaSQLShell
+from repro.workloads import (
+    OrdersGenerator,
+    ProductsGenerator,
+    PRODUCTS_SCHEMA,
+    padded_orders_schema,
+)
+from repro.yarn import NodeManager, Resource, ResourceManager
+
+
+def build_default_shell() -> tuple[SamzaSQLShell, JobRunner]:
+    clock = VirtualClock(0)
+    cluster = KafkaCluster(broker_count=3, clock=clock)
+    rm = ResourceManager()
+    for i in range(3):
+        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
+    runner = JobRunner(cluster, rm, clock)
+    return SamzaSQLShell(cluster, runner), runner
+
+
+class SamzaSQLCli:
+    """Line-oriented REPL over a :class:`SamzaSQLShell`."""
+
+    PROMPT = "samzasql> "
+    CONTINUATION = "      ..> "
+
+    def __init__(self, shell: SamzaSQLShell | None = None,
+                 runner: JobRunner | None = None,
+                 out: IO[str] = sys.stdout):
+        if shell is None:
+            shell, runner = build_default_shell()
+        self.shell = shell
+        self.runner = runner if runner is not None else shell.runner
+        self.out = out
+        self.handles: list[QueryHandle] = []
+        self._buffer: list[str] = []
+        self.done = False
+
+    # -- output ------------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- the REPL ----------------------------------------------------------------------
+
+    def process_line(self, line: str) -> None:
+        """Feed one input line; executes when a statement completes."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("!"):
+            self._command(stripped)
+            return
+        if not stripped and not self._buffer:
+            return
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            self._execute(statement)
+
+    @property
+    def prompt(self) -> str:
+        return self.CONTINUATION if self._buffer else self.PROMPT
+
+    def run(self, stdin: IO[str] = sys.stdin) -> None:  # pragma: no cover - interactive
+        self._print("SamzaSQL shell — statements end with ';', !help for commands")
+        while not self.done:
+            try:
+                self.out.write(self.prompt)
+                self.out.flush()
+                line = stdin.readline()
+            except KeyboardInterrupt:
+                break
+            if not line:
+                break
+            self.process_line(line)
+
+    # -- statement execution --------------------------------------------------------------
+
+    def _execute(self, statement: str) -> None:
+        try:
+            result = self.shell.execute(statement)
+        except ReproError as exc:
+            self._print(f"ERROR: {exc}")
+            return
+        if result is None:
+            self._print("view created.")
+            return
+        if isinstance(result, list):
+            self._print_rows(result)
+            return
+        self.handles.append(result)
+        self._print(f"started streaming query #{len(self.handles)} "
+                    f"({result.query_id}) -> stream '{result.output_stream}'")
+        for warning in result.warnings:
+            self._print(f"WARNING: {warning}")
+        self._print("use !run to advance the cluster, "
+                    f"!results {len(self.handles)} to sample output")
+
+    def _print_rows(self, rows: list[dict], limit: int = 20) -> None:
+        if not rows:
+            self._print("(no rows)")
+            return
+        columns = list(rows[0])
+        widths = {
+            c: max(len(c), *(len(str(r.get(c))) for r in rows[:limit]))
+            for c in columns
+        }
+        header = " | ".join(c.ljust(widths[c]) for c in columns)
+        self._print(header)
+        self._print("-+-".join("-" * widths[c] for c in columns))
+        for row in rows[:limit]:
+            self._print(" | ".join(str(row.get(c)).ljust(widths[c])
+                                   for c in columns))
+        if len(rows) > limit:
+            self._print(f"... {len(rows) - limit} more rows")
+        self._print(f"{len(rows)} row(s)")
+
+    # -- bang commands ------------------------------------------------------------------------
+
+    def _command(self, text: str) -> None:
+        parts = text.split()
+        command, args = parts[0].lower(), parts[1:]
+        if command in ("!quit", "!exit", "!q"):
+            self.done = True
+            self._print("bye.")
+        elif command == "!help":
+            self._print(__doc__.split("Bang-commands:")[1])
+        elif command == "!tables":
+            names = self.shell.catalog.object_names()
+            self._print("\n".join(names) if names else "(empty catalog)")
+        elif command == "!explain":
+            try:
+                self._print(self.shell.explain(" ".join(args).rstrip(";")))
+            except ReproError as exc:
+                self._print(f"ERROR: {exc}")
+        elif command == "!queries":
+            if not self.handles:
+                self._print("(no streaming queries)")
+            for index, handle in enumerate(self.handles, 1):
+                self._print(f"#{index} {handle.query_id}: {handle.sql.strip()[:70]}")
+        elif command == "!results":
+            try:
+                handle = self.handles[int(args[0]) - 1]
+            except (IndexError, ValueError):
+                self._print("usage: !results <query number>")
+                return
+            self._print_rows(handle.results())
+        elif command == "!run":
+            processed = self.runner.run_until_quiescent()
+            self._print(f"processed {processed} messages; cluster idle.")
+        elif command == "!demo":
+            self._load_demo()
+        else:
+            self._print(f"unknown command {command}; try !help")
+
+    def _load_demo(self) -> None:
+        if self.shell.catalog.stream("Orders") is not None:
+            self._print("demo data already loaded.")
+            return
+        self.shell.register_stream("Orders", padded_orders_schema(), partitions=8)
+        self.shell.register_table("Products", PRODUCTS_SCHEMA,
+                                  key_field="productId", partitions=8)
+        OrdersGenerator(product_count=20).produce(
+            self.shell.cluster, "Orders", 500, partitions=8)
+        ProductsGenerator(product_count=20).produce(
+            self.shell.cluster, "Products-changelog", partitions=8)
+        self._print("loaded: Orders stream (500 records), Products relation "
+                    "(20 rows). Try:\n"
+                    "  SELECT STREAM * FROM Orders WHERE units > 50;\n"
+                    "  SELECT productId, COUNT(*) AS c FROM Orders GROUP BY productId;")
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    SamzaSQLCli().run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,59 @@
+"""Operator base class and shared context."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.samza.storage import KeyValueStore
+
+
+class OperatorContext:
+    """What operators get at setup: stores, an output sink, metrics."""
+
+    def __init__(self, stores: dict[str, KeyValueStore],
+                 send: Callable[..., None], partition_id: int = 0):
+        self._stores = stores
+        # send(message_dict, timestamp_ms, key=None); key set for
+        # relation-stream outputs (compacted/upserting output topics)
+        self.send = send
+        self.partition_id = partition_id
+
+    def get_store(self, name: str) -> KeyValueStore:
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise KeyError(
+                f"operator needs store {name!r}; configured: "
+                f"{sorted(self._stores)}") from None
+
+
+class Operator:
+    """One node of the router DAG.
+
+    ``process(port, row, timestamp)`` receives an array-tuple on an input
+    port (port 0 for single-input operators; joins use 0/1 plus a relation
+    port) and forwards zero or more tuples downstream via ``emit``.
+    """
+
+    def __init__(self):
+        self.downstream: Operator | None = None
+        self.processed = 0
+        self.emitted = 0
+
+    def setup(self, context: OperatorContext) -> None:
+        """Bind stores / compile state; called once at task init."""
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        raise NotImplementedError
+
+    def emit(self, row: list, timestamp_ms: int) -> None:
+        self.emitted += 1
+        if self.downstream is not None:
+            self.downstream.process(0, row, timestamp_ms)
+
+    def on_timer(self, now_ms: int) -> None:
+        """Wall-clock hook (Samza window() tick); default no-op."""
+
+    # debugging helper used by the shell's EXPLAIN and by tests
+    def describe(self) -> str:
+        return type(self).__name__

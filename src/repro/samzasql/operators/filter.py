@@ -1,0 +1,21 @@
+"""Filter operator: generated predicate over the array-tuple."""
+
+from __future__ import annotations
+
+from repro.samzasql.operators.base import Operator
+from repro.sql.codegen import compile_lambda
+
+
+class FilterOperator(Operator):
+    def __init__(self, predicate_source: str):
+        super().__init__()
+        self.predicate_source = predicate_source
+        self._predicate = compile_lambda(predicate_source)
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self.processed += 1
+        if self._predicate(row):
+            self.emit(row, timestamp_ms)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate_source})"

@@ -1,0 +1,55 @@
+"""Fused scan: filter + project evaluated directly on the record dict.
+
+Implements the paper's future-work item 5: "generating expressions that
+directly work on SamzaSQL specific message abstraction ... merging
+operators such as filter and project with scan operator".  Rows that fail
+the predicate never get an array-tuple materialized, and surviving rows
+are built in one projection step — removing the AvroToArray overhead the
+evaluation measured.  ``benchmarks/bench_ablation_fusion.py`` quantifies
+the gain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.samzasql.operators.base import Operator
+from repro.sql.codegen import compile_lambda
+
+
+class FusedScanOperator(Operator):
+    def __init__(self, stream: str, field_names: list[str],
+                 rowtime_index: int | None,
+                 predicate_source: str | None,
+                 projection_source: str | None,
+                 output_field_names: list[str]):
+        super().__init__()
+        self.stream = stream
+        self.field_names = list(field_names)
+        self.rowtime_field = (None if rowtime_index is None
+                              else field_names[rowtime_index])
+        self._predicate = (None if predicate_source is None
+                           else compile_lambda(predicate_source))
+        self._project = (None if projection_source is None
+                         else compile_lambda(projection_source))
+        self.output_field_names = list(output_field_names)
+
+    def process(self, port: int, message: Any, timestamp_ms: int) -> None:
+        self.processed += 1
+        if self._predicate is not None and not self._predicate(message):
+            return
+        if self.rowtime_field is not None:
+            timestamp_ms = message[self.rowtime_field]
+        if self._project is not None:
+            row = self._project(message)
+        else:
+            row = [message[name] for name in self.field_names]
+        self.emit(row, timestamp_ms)
+
+    def describe(self) -> str:
+        parts = ["scan"]
+        if self._predicate is not None:
+            parts.append("filter")
+        if self._project is not None:
+            parts.append("project")
+        return f"FusedScan({self.stream}: {'+'.join(parts)})"

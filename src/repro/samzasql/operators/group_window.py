@@ -1,0 +1,191 @@
+"""Hopping/tumbling windowed aggregation (§3.6).
+
+A tumbling window is the special case of a hopping window with
+``emit == retain``.  Window assignment is event-time based; windows are
+*emitted when the event-time watermark (max rowtime seen by this task)
+passes their end* — the paper's early-results policy: "multiple outputs
+for the same window due to early results policy that send out partial
+results as soon as a window boundary condition is met without waiting for
+delayed arrivals".  Tuples arriving after their window was emitted are
+discarded ("some tuples may get discarded due to the expiration of
+timeouts"), counted in ``late_dropped``.
+
+State (accumulators per open ``(window_start, group_key)``) lives in a
+changelog-backed store, so failure + replay reconstructs the same windows.
+
+This operator was only partially implemented in the paper's prototype
+(future work item 4); it is implemented in full here.
+"""
+
+from __future__ import annotations
+
+from repro.samzasql.operators.base import Operator, OperatorContext
+from repro.samzasql.physical import AggSpec
+from repro.sql.codegen import compile_lambda
+
+STORE = "sql-group-windows"
+_META_KEY = "__meta__"
+
+
+class GroupWindowAggOperator(Operator):
+    def __init__(self, window_kind: str, time_source: str, emit_ms: int,
+                 retain_ms: int, align_ms: int, group_key_source: str,
+                 aggs: list[AggSpec], field_names: list[str]):
+        super().__init__()
+        if emit_ms <= 0 or retain_ms <= 0:
+            raise ValueError("window emit/retain must be positive")
+        self.window_kind = window_kind
+        self.time_source = time_source
+        self.emit_ms = emit_ms
+        self.retain_ms = retain_ms
+        self.align_ms = align_ms
+        self.group_key_source = group_key_source
+        self.aggs = list(aggs)
+        self.field_names = list(field_names)
+        self._time_fn = compile_lambda(time_source)
+        self._key_fn = compile_lambda(group_key_source)
+        self._arg_fns = [
+            None if spec.arg_source is None else compile_lambda(spec.arg_source)
+            for spec in self.aggs
+        ]
+        self._udafs = [self._resolve_udaf(spec.func) for spec in self.aggs]
+        self._store = None
+        self.late_dropped = 0
+
+    @staticmethod
+    def _resolve_udaf(func: str):
+        if func in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            return None
+        from repro.sql.udf import UDF_REGISTRY
+
+        udaf = UDF_REGISTRY.udaf(func)
+        if udaf is None:
+            raise ValueError(f"unsupported aggregate {func}")
+        return udaf
+
+    def setup(self, context: OperatorContext) -> None:
+        self._store = context.get_store(STORE)
+
+    # -- window assignment ----------------------------------------------------
+
+    def windows_for(self, ts: int) -> list[int]:
+        """Start times of every window containing ``ts``.
+
+        Windows start at ``align + k*emit`` and span ``retain`` ms; retain
+        need not be a multiple of emit (§3.6).
+        """
+        shifted = ts - self.align_ms
+        last_start = (shifted // self.emit_ms) * self.emit_ms
+        starts = []
+        start = last_start
+        while start > shifted - self.retain_ms:
+            starts.append(start + self.align_ms)
+            start -= self.emit_ms
+        return [s for s in starts]
+
+    # -- processing -----------------------------------------------------------------
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self.processed += 1
+        ts = self._time_fn(row)
+        key = repr(self._key_fn(row))
+        key_values = self._key_fn(row)
+
+        meta = self._store.get(_META_KEY) or {"watermark": None, "open": {}}
+        watermark = meta["watermark"]
+
+        arg_values = [None if fn is None else fn(row) for fn in self._arg_fns]
+        for wstart in self.windows_for(ts):
+            wend = wstart + self.retain_ms
+            if watermark is not None and wend <= watermark:
+                self.late_dropped += 1  # window already emitted; tuple expired
+                continue
+            store_key = f"{wstart}|{key}"
+            state = self._store.get(store_key)
+            if state is None:
+                state = {"wstart": wstart, "keys": key_values,
+                         "accs": [([None, 0, None, None] if udaf is None
+                                   else [udaf.create()])
+                                  for udaf in self._udafs]}
+                meta["open"][store_key] = wend
+            for udaf, acc, value in zip(self._udafs, state["accs"], arg_values):
+                if udaf is not None:
+                    acc[0] = udaf.add(acc[0], value)
+                    continue
+                # acc = [sum, count, min, max]
+                acc[1] += 1
+                if value is not None:
+                    acc[0] = value if acc[0] is None else acc[0] + value
+                    acc[2] = value if acc[2] is None else min(acc[2], value)
+                    acc[3] = value if acc[3] is None else max(acc[3], value)
+            self._store.put(store_key, state)
+
+        # advance the watermark and emit windows whose end has passed
+        if watermark is None or ts > watermark:
+            meta["watermark"] = ts
+        self._emit_closed(meta)
+        self._store.put(_META_KEY, meta)
+
+    def _emit_closed(self, meta: dict) -> None:
+        watermark = meta["watermark"]
+        if watermark is None:
+            return
+        for store_key, wend in sorted(meta["open"].items(), key=lambda kv: kv[1]):
+            if wend > watermark:
+                continue
+            state = self._store.get(store_key)
+            meta["open"].pop(store_key)
+            if state is None:
+                continue
+            self._store.delete(store_key)
+            self._emit_window(state, wend)
+
+    def emit_partials(self) -> None:
+        """Early-results policy: emit current partial aggregates for every
+        open window *without* closing it — late tuples keep updating the
+        window and trigger re-emission when it finally closes."""
+        meta = self._store.get(_META_KEY)
+        if meta is None:
+            return
+        for store_key, wend in sorted(meta["open"].items(), key=lambda kv: kv[1]):
+            state = self._store.get(store_key)
+            if state is not None:
+                self._emit_window(state, wend)
+
+    def flush(self) -> None:
+        """Force-emit every open window (end of bounded input / shutdown)."""
+        meta = self._store.get(_META_KEY)
+        if meta is None:
+            return
+        for store_key, wend in sorted(meta["open"].items(), key=lambda kv: kv[1]):
+            state = self._store.get(store_key)
+            if state is not None:
+                self._store.delete(store_key)
+                self._emit_window(state, wend)
+        meta["open"] = {}
+        self._store.put(_META_KEY, meta)
+
+    def _emit_window(self, state: dict, wend: int) -> None:
+        results = []
+        for spec, udaf, acc in zip(self.aggs, self._udafs, state["accs"]):
+            func = spec.func
+            if udaf is not None:
+                results.append(udaf.result(acc[0]))
+            elif func == "COUNT":
+                results.append(acc[1])
+            elif func == "SUM":
+                results.append(acc[0])
+            elif func == "AVG":
+                results.append(None if acc[0] is None else acc[0] / acc[1])
+            elif func == "MIN":
+                results.append(acc[2])
+            elif func == "MAX":
+                results.append(acc[3])
+            else:
+                raise ValueError(f"unsupported aggregate {func}")
+        out = [state["wstart"], wend, *state["keys"], *results]
+        self.emit(out, wend)
+
+    def describe(self) -> str:
+        return (f"GroupWindowAgg({self.window_kind}, emit={self.emit_ms}ms, "
+                f"retain={self.retain_ms}ms)")

@@ -1,0 +1,37 @@
+"""Stream-insert operator: array-tuple → record (the *ArrayToAvro* step)."""
+
+from __future__ import annotations
+
+from repro.samzasql.operators.base import Operator, OperatorContext
+
+
+class InsertOperator(Operator):
+    def __init__(self, output_stream: str, field_names: list[str],
+                 rowtime_index: int | None,
+                 key_field_indexes: list[int] | None = None):
+        super().__init__()
+        self.output_stream = output_stream
+        self.field_names = list(field_names)
+        self.rowtime_index = rowtime_index
+        self.key_field_indexes = key_field_indexes
+        self._send = None
+
+    def setup(self, context: OperatorContext) -> None:
+        self._send = context.send
+
+    def _key_of(self, row: list) -> str | None:
+        if self.key_field_indexes is None:
+            return None
+        return "|".join(repr(row[i]) for i in self.key_field_indexes)
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self.processed += 1
+        # ArrayToAvro: positional array -> record dict
+        message = dict(zip(self.field_names, row))
+        if self.rowtime_index is not None and row[self.rowtime_index] is not None:
+            timestamp_ms = row[self.rowtime_index]
+        self.emitted += 1
+        self._send(message, timestamp_ms, self._key_of(row))
+
+    def describe(self) -> str:
+        return f"Insert({self.output_stream})"

@@ -1,0 +1,21 @@
+"""Project operator: generated projection producing a new array-tuple."""
+
+from __future__ import annotations
+
+from repro.samzasql.operators.base import Operator
+from repro.sql.codegen import compile_lambda
+
+
+class ProjectOperator(Operator):
+    def __init__(self, projection_source: str, field_names: list[str]):
+        super().__init__()
+        self.projection_source = projection_source
+        self.field_names = list(field_names)
+        self._project = compile_lambda(projection_source)
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self.processed += 1
+        self.emit(self._project(row), timestamp_ms)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.field_names)})"

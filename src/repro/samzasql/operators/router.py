@@ -1,0 +1,190 @@
+"""The message router: builds the operator DAG from a physical plan and
+routes each deserialized input message into the right scan (or join
+relation port).
+
+This is the task-side half of the paper's two-step planning: the plan
+arrives as JSON (from ZooKeeper), expressions are re-compiled from their
+rendered sources, operators are instantiated and chained, and incoming
+envelopes flow ``stream → entry operator → ... → insert``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import PlannerError
+from repro.samzasql.operators.base import Operator, OperatorContext
+from repro.samzasql.operators.filter import FilterOperator
+from repro.samzasql.operators.group_window import GroupWindowAggOperator
+from repro.samzasql.operators.insert import InsertOperator
+from repro.samzasql.operators.project import ProjectOperator
+from repro.samzasql.operators.scan import ScanOperator
+from repro.samzasql.operators.sliding_window import SlidingWindowOperator
+from repro.samzasql.operators.stream_relation_join import (
+    RELATION_PORT,
+    STREAM_PORT,
+    StreamRelationJoinOperator,
+)
+from repro.samzasql.operators.stream_stream_join import (
+    LEFT_PORT,
+    RIGHT_PORT,
+    StreamStreamJoinOperator,
+)
+from repro.samzasql.operators.fused_scan import FusedScanOperator
+from repro.samzasql.physical import (
+    FilterNode,
+    FusedScanNode,
+    GroupWindowAggNode,
+    InsertNode,
+    PhysicalNode,
+    PhysicalPlan,
+    ProjectNode,
+    ScanNode,
+    SlidingWindowNode,
+    StreamRelationJoinNode,
+    StreamStreamJoinNode,
+)
+
+
+class _Port:
+    """An entry point: deliver messages of one stream into (operator, port)."""
+
+    __slots__ = ("operator", "port", "field_names", "rowtime_index")
+
+    def __init__(self, operator: Operator, port: int,
+                 field_names: list[str] | None = None,
+                 rowtime_index: int | None = None):
+        self.operator = operator
+        self.port = port
+        self.field_names = field_names
+        self.rowtime_index = rowtime_index
+
+    def deliver(self, message: Any, timestamp_ms: int) -> None:
+        if self.field_names is not None:
+            # relation changelog records arrive as dicts: convert to arrays
+            row = [message[name] for name in self.field_names]
+            if self.rowtime_index is not None:
+                timestamp_ms = row[self.rowtime_index]
+            self.operator.process(self.port, row, timestamp_ms)
+        else:
+            self.operator.process(self.port, message, timestamp_ms)
+
+
+class MessageRouter:
+    """stream name → entry ports, plus timer fan-out over all operators."""
+
+    def __init__(self, entries: dict[str, list[_Port]], operators: list[Operator]):
+        self._entries = entries
+        self.operators = operators
+
+    def route(self, stream: str, message: Any, timestamp_ms: int) -> None:
+        try:
+            ports = self._entries[stream]
+        except KeyError:
+            raise PlannerError(
+                f"router has no entry for stream {stream!r}; known: "
+                f"{sorted(self._entries)}") from None
+        for port in ports:
+            port.deliver(message, timestamp_ms)
+
+    def on_timer(self, now_ms: int) -> None:
+        for operator in self.operators:
+            operator.on_timer(now_ms)
+
+    def flush_windows(self) -> None:
+        """Force-emit open group windows (bounded-input runs, shutdown)."""
+        for operator in self.operators:
+            if isinstance(operator, GroupWindowAggOperator):
+                operator.flush()
+
+    def operator_chain(self) -> str:
+        return " -> ".join(op.describe() for op in self.operators)
+
+
+def build_router(plan: PhysicalPlan, context: OperatorContext) -> MessageRouter:
+    """Instantiate operators from the plan and wire the DAG."""
+    entries: dict[str, list[_Port]] = {}
+    operators: list[Operator] = []
+
+    def build(node: PhysicalNode) -> Operator:
+        operator = _instantiate(node)
+        operators.append(operator)
+        if isinstance(node, (ScanNode, FusedScanNode)):
+            entries.setdefault(node.stream, []).append(_Port(operator, 0))
+            return operator
+        if isinstance(node, StreamStreamJoinNode):
+            left = build(node.inputs[0])
+            right = build(node.inputs[1])
+            left.downstream = _PortAdapter(operator, LEFT_PORT)
+            right.downstream = _PortAdapter(operator, RIGHT_PORT)
+            return operator
+        if isinstance(node, StreamRelationJoinNode):
+            stream_side = build(node.inputs[0])
+            stream_side.downstream = _PortAdapter(operator, STREAM_PORT)
+            entries.setdefault(node.relation_stream, []).append(_Port(
+                operator, RELATION_PORT,
+                field_names=node.relation_field_names))
+            return operator
+        # single-input operators
+        child = build(node.inputs[0])
+        child.downstream = operator
+        return operator
+
+    root = build(plan.root)
+    for operator in operators:
+        operator.setup(context)
+    # The router's operator list is leaf-to-root; reverse for display.
+    return MessageRouter(entries, list(reversed(operators)))
+
+
+class _PortAdapter(Operator):
+    """Adapts the single-output ``emit`` protocol onto a join input port."""
+
+    def __init__(self, target: Operator, port: int):
+        super().__init__()
+        self._target = target
+        self._port = port
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self._target.process(self._port, row, timestamp_ms)
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        return f"port{self._port}->{self._target.describe()}"
+
+
+def _instantiate(node: PhysicalNode) -> Operator:
+    if isinstance(node, ScanNode):
+        return ScanOperator(node.stream, node.field_names, node.rowtime_index)
+    if isinstance(node, FusedScanNode):
+        return FusedScanOperator(
+            node.stream, node.field_names, node.rowtime_index,
+            node.predicate_source, node.projection_source,
+            node.output_field_names)
+    if isinstance(node, FilterNode):
+        return FilterOperator(node.predicate_source)
+    if isinstance(node, ProjectNode):
+        return ProjectOperator(node.projection_source, node.field_names)
+    if isinstance(node, SlidingWindowNode):
+        return SlidingWindowOperator(
+            node.partition_key_source, node.order_source, node.frame_mode,
+            node.preceding_ms, node.preceding_rows, node.aggs, node.field_names)
+    if isinstance(node, GroupWindowAggNode):
+        return GroupWindowAggOperator(
+            node.window_kind, node.time_source, node.emit_ms, node.retain_ms,
+            node.align_ms, node.group_key_source, node.aggs, node.field_names)
+    if isinstance(node, StreamStreamJoinNode):
+        return StreamStreamJoinOperator(
+            node.left_width, node.right_width, node.condition_source,
+            node.left_time_index, node.right_time_index,
+            node.lower_bound_ms, node.upper_bound_ms,
+            node.left_key_source, node.right_key_source, node.field_names)
+    if isinstance(node, StreamRelationJoinNode):
+        return StreamRelationJoinOperator(
+            node.relation, node.relation_field_names, node.relation_key_index,
+            node.stream_is_left, node.stream_width, node.relation_width,
+            node.condition_source, node.stream_key_source,
+            node.relation_key_source, node.join_kind, node.field_names)
+    if isinstance(node, InsertNode):
+        return InsertOperator(node.output_stream, node.field_names,
+                              node.rowtime_index, node.key_field_indexes)
+    raise PlannerError(f"cannot instantiate operator for {node.kind!r}")

@@ -1,0 +1,107 @@
+"""Windowed stream-to-stream join (§3.8.1).
+
+"Sliding window join queries uses additional join condition on the tuple's
+timestamp (rowtime) to specify the window over the stream.  SamzaSQL
+assumes that the tuple's timestamp monotonically increases."
+
+Both sides buffer their recent tuples in task-local stores, bucketed by
+the equi-join key.  On an arrival from one side, the other side's bucket
+is scanned for rows whose timestamp satisfies the window bounds
+(``left.rowtime - right.rowtime ∈ [-lower, upper]``), the full generated
+join condition is applied as a residual predicate, and matches are
+emitted.  Buffered rows older than the window (relative to the joint
+watermark) are purged — monotonic timestamps make this safe.
+"""
+
+from __future__ import annotations
+
+from repro.samzasql.operators.base import Operator, OperatorContext
+from repro.sql.codegen import compile_lambda
+
+LEFT_PORT = 0
+RIGHT_PORT = 1
+
+LEFT_STORE = "sql-join-left"
+RIGHT_STORE = "sql-join-right"
+
+
+class StreamStreamJoinOperator(Operator):
+    def __init__(self, left_width: int, right_width: int, condition_source: str,
+                 left_time_index: int, right_time_index: int,
+                 lower_bound_ms: int, upper_bound_ms: int,
+                 left_key_source: str | None, right_key_source: str | None,
+                 field_names: list[str]):
+        super().__init__()
+        self.left_width = left_width
+        self.right_width = right_width
+        self.condition_source = condition_source
+        self.left_time_index = left_time_index
+        self.right_time_index = right_time_index
+        self.lower_bound_ms = lower_bound_ms
+        self.upper_bound_ms = upper_bound_ms
+        self.field_names = list(field_names)
+        self._condition = compile_lambda(condition_source, params="l, r")
+        self._left_key = (None if left_key_source is None
+                          else compile_lambda(left_key_source))
+        self._right_key = (None if right_key_source is None
+                           else compile_lambda(right_key_source))
+        self._stores = [None, None]
+        self._seq = 0
+
+    def setup(self, context: OperatorContext) -> None:
+        self._stores = [context.get_store(LEFT_STORE),
+                        context.get_store(RIGHT_STORE)]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _key_of(self, port: int, row: list) -> str:
+        key_fn = self._left_key if port == LEFT_PORT else self._right_key
+        return repr(key_fn(row)) if key_fn is not None else ""
+
+    def _time_of(self, port: int, row: list) -> int:
+        index = self.left_time_index if port == LEFT_PORT else self.right_time_index
+        return row[index]
+
+    def _retention_ms(self) -> int:
+        return max(self.lower_bound_ms, self.upper_bound_ms)
+
+    # -- processing -----------------------------------------------------------------
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self.processed += 1
+        ts = self._time_of(port, row)
+        key = self._key_of(port, row)
+        other_port = RIGHT_PORT if port == LEFT_PORT else LEFT_PORT
+
+        # probe the other side's buffer for rows inside the window
+        other_bucket = self._stores[other_port].get(key) or {"rows": []}
+        if port == LEFT_PORT:
+            # need: ts - other_ts in [-lower, upper]
+            low, high = ts - self.upper_bound_ms, ts + self.lower_bound_ms
+        else:
+            # other row is the left side: other_ts - ts in [-lower, upper]
+            low, high = ts - self.lower_bound_ms, ts + self.upper_bound_ms
+        for other_ts, _other_seq, other_row in other_bucket["rows"]:
+            if not low <= other_ts <= high:
+                continue
+            if port == LEFT_PORT:
+                left, right = row, other_row
+            else:
+                left, right = other_row, row
+            if self._condition(left, right):
+                self.emit(list(left) + list(right),
+                          max(self._time_of(LEFT_PORT, left),
+                              self._time_of(RIGHT_PORT, right)))
+
+        # buffer this row on its own side
+        bucket = self._stores[port].get(key) or {"rows": []}
+        self._seq += 1
+        bucket["rows"].append((ts, self._seq, row))
+        # purge rows that can no longer match (monotonic timestamps)
+        horizon = ts - self._retention_ms()
+        bucket["rows"] = [entry for entry in bucket["rows"] if entry[0] >= horizon]
+        self._stores[port].put(key, bucket)
+
+    def describe(self) -> str:
+        return (f"StreamStreamJoin(window=[-{self.lower_bound_ms}ms, "
+                f"+{self.upper_bound_ms}ms])")

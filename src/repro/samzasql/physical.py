@@ -1,0 +1,279 @@
+"""The physical plan: a serializable tree of SamzaSQL operators.
+
+"The physical plan is a tree of relational algebra operators such as scan,
+filter, project and join where scan operators are at the leaf nodes" (§4.2).
+
+Every node is a plain dataclass convertible to/from JSON dictionaries, so
+the whole plan can be written to ZooKeeper by the shell and re-read by the
+SamzaSQL tasks at init time, which then re-run code generation over the
+embedded expression sources — the paper's two-phase planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import PlannerError
+
+
+@dataclass
+class AggSpec:
+    """One aggregate: function name + optional rendered argument source."""
+
+    func: str  # COUNT / SUM / MIN / MAX / AVG
+    arg_source: Optional[str]  # None for COUNT(*)
+
+
+@dataclass
+class PhysicalNode:
+    kind: str = field(init=False, default="")
+    inputs: list["PhysicalNode"] = field(init=False, default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["kind"] = self.kind
+        payload["inputs"] = [child.to_dict() for child in self.inputs]
+        return payload
+
+
+@dataclass
+class ScanNode(PhysicalNode):
+    """Leaf: consume one stream; AvroToArray happens here (Figure 4)."""
+
+    stream: str
+    field_names: list[str]
+    rowtime_index: Optional[int]
+
+    def __post_init__(self) -> None:
+        self.kind = "scan"
+        self.inputs = []
+
+
+@dataclass
+class FilterNode(PhysicalNode):
+    predicate_source: str
+
+    def __post_init__(self) -> None:
+        self.kind = "filter"
+
+
+@dataclass
+class ProjectNode(PhysicalNode):
+    projection_source: str  # renders to a full output array
+    field_names: list[str]
+
+    def __post_init__(self) -> None:
+        self.kind = "project"
+
+
+@dataclass
+class SlidingWindowNode(PhysicalNode):
+    """Algorithm 1: per-tuple advance + emit over changelog-backed state."""
+
+    partition_key_source: str       # renders to a list (the PARTITION BY values)
+    order_source: str               # renders the ORDER BY timestamp
+    frame_mode: str                 # RANGE or ROWS
+    preceding_ms: Optional[int]
+    preceding_rows: Optional[int]
+    aggs: list[AggSpec]
+    field_names: list[str]          # input fields ++ agg output names
+
+    def __post_init__(self) -> None:
+        self.kind = "sliding_window"
+
+
+@dataclass
+class GroupWindowAggNode(PhysicalNode):
+    """Hopping/tumbling windowed GROUP BY aggregation (§3.6)."""
+
+    window_kind: str                # TUMBLE or HOP
+    time_source: str
+    emit_ms: int
+    retain_ms: int
+    align_ms: int
+    group_key_source: str           # renders to a list of key values
+    aggs: list[AggSpec]
+    field_names: list[str]          # wstart, wend, keys..., aggs...
+
+    def __post_init__(self) -> None:
+        self.kind = "group_window_agg"
+
+
+@dataclass
+class StreamStreamJoinNode(PhysicalNode):
+    """Windowed stream-to-stream join (§3.8.1).
+
+    ``inputs[0]``/``inputs[1]`` are the left/right subplans.  Time bounds
+    come from the rowtime conjuncts of the join condition:
+    ``left.rowtime`` within ``[right.rowtime - lower, right.rowtime +
+    upper]``.  The full condition is retained as the residual predicate.
+    """
+
+    left_width: int
+    right_width: int
+    condition_source: str           # over (l, r)
+    left_time_index: int
+    right_time_index: int
+    lower_bound_ms: int
+    upper_bound_ms: int
+    left_key_source: Optional[str]  # equi-key of the left row, or None
+    right_key_source: Optional[str]
+    field_names: list[str]
+
+    def __post_init__(self) -> None:
+        self.kind = "stream_stream_join"
+
+
+@dataclass
+class StreamRelationJoinNode(PhysicalNode):
+    """Stream-to-relation join through a bootstrap changelog (§4.4).
+
+    ``inputs[0]`` is the stream subplan.  The relation side is loaded from
+    its changelog stream into a local store before any stream message is
+    processed (Samza bootstrap semantics).
+    """
+
+    relation: str
+    relation_stream: str            # the changelog topic consumed as bootstrap
+    relation_field_names: list[str]
+    relation_key_index: int         # primary-key field of the relation
+    stream_is_left: bool
+    stream_width: int
+    relation_width: int
+    condition_source: str           # over (l, r) in output order
+    stream_key_source: Optional[str]   # equi-key of the stream row
+    relation_key_source: Optional[str]
+    join_kind: str
+    field_names: list[str]
+
+    def __post_init__(self) -> None:
+        self.kind = "stream_relation_join"
+
+
+@dataclass
+class FusedScanNode(PhysicalNode):
+    """Scan with filter/project fused in (paper future-work item 5).
+
+    "implementing SamzaSQL specific code generation framework which avoids
+    AvroToArray and ArrayToAvro steps ... by generating expressions that
+    directly work on SamzaSQL specific message abstraction and ...
+    merging operators such as filter and project with scan operator."
+
+    The generated sources here index the record dict by field name (``r``
+    is the message), so no array-tuple is materialized for dropped rows,
+    and the projection builds the output array in one step.
+    """
+
+    stream: str
+    field_names: list[str]          # input fields (for reference)
+    rowtime_index: Optional[int]
+    predicate_source: Optional[str]  # over the record dict, or None
+    projection_source: Optional[str] # over the record dict; None = all fields
+    output_field_names: list[str]
+
+    def __post_init__(self) -> None:
+        self.kind = "fused_scan"
+        self.inputs = []
+
+
+@dataclass
+class InsertNode(PhysicalNode):
+    """Root: ArrayToAvro + write to the output stream (Figure 4).
+
+    With ``key_field_indexes`` set, the output is a *relation stream*
+    (paper future-work item 3, CQL Rstream): records are written keyed so
+    the output topic, configured compacted, is the changelog of a relation
+    — re-emissions (early results, replays) upsert rather than append.
+    """
+
+    output_stream: str
+    field_names: list[str]
+    field_types: list[str]          # SqlType names, for output schema synthesis
+    rowtime_index: Optional[int]
+    partition_key_index: Optional[int]
+    key_field_indexes: Optional[list[int]] = None
+
+    def __post_init__(self) -> None:
+        self.kind = "insert"
+
+
+_NODE_TYPES = {
+    "scan": ScanNode,
+    "fused_scan": FusedScanNode,
+    "filter": FilterNode,
+    "project": ProjectNode,
+    "sliding_window": SlidingWindowNode,
+    "group_window_agg": GroupWindowAggNode,
+    "stream_stream_join": StreamStreamJoinNode,
+    "stream_relation_join": StreamRelationJoinNode,
+    "insert": InsertNode,
+}
+
+
+def node_from_dict(payload: dict[str, Any]) -> PhysicalNode:
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    inputs = data.pop("inputs", [])
+    try:
+        node_type = _NODE_TYPES[kind]
+    except KeyError:
+        raise PlannerError(f"unknown physical node kind {kind!r}") from None
+    if "aggs" in data:
+        data["aggs"] = [AggSpec(**a) for a in data["aggs"]]
+    node = node_type(**data)
+    node.inputs = [node_from_dict(child) for child in inputs]
+    return node
+
+
+@dataclass
+class PhysicalPlan:
+    """Root node + the job-level requirements derived from the tree."""
+
+    root: PhysicalNode
+    input_streams: list[str]
+    bootstrap_streams: list[str]
+    store_names: list[str]
+    output_stream: str
+    relation_output: bool = False  # output topic is a compacted changelog
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root.to_dict(),
+            "input_streams": self.input_streams,
+            "bootstrap_streams": self.bootstrap_streams,
+            "store_names": self.store_names,
+            "output_stream": self.output_stream,
+            "relation_output": self.relation_output,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "PhysicalPlan":
+        return PhysicalPlan(
+            root=node_from_dict(payload["root"]),
+            input_streams=list(payload["input_streams"]),
+            bootstrap_streams=list(payload["bootstrap_streams"]),
+            store_names=list(payload["store_names"]),
+            output_stream=payload["output_stream"],
+            relation_output=bool(payload.get("relation_output", False)),
+        )
+
+    def explain(self) -> str:
+        lines: list[str] = []
+
+        def walk(node: PhysicalNode, depth: int) -> None:
+            description = node.kind
+            if isinstance(node, ScanNode):
+                description += f"({node.stream})"
+            elif isinstance(node, FilterNode):
+                description += f"({node.predicate_source})"
+            elif isinstance(node, InsertNode):
+                description += f"({node.output_stream})"
+            elif isinstance(node, StreamRelationJoinNode):
+                description += f"(relation={node.relation})"
+            lines.append("  " * depth + description)
+            for child in node.inputs:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,442 @@
+"""Logical plan → SamzaSQL physical plan.
+
+This is the SamzaSQL-specific physical planning step of Figure 3: map each
+logical operator onto the operator layer, render every expression to code
+(via :mod:`repro.sql.codegen`), classify joins as stream-to-stream (window
+bounds extracted from the rowtime conjuncts of the join condition, §3.8.1)
+or stream-to-relation (relation side becomes a bootstrap changelog store,
+§4.4), and reject shapes the streaming runtime cannot execute (unwindowed
+aggregates over unbounded streams, streaming a pure table...).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PlannerError
+from repro.samzasql.physical import (
+    AggSpec,
+    FilterNode,
+    FusedScanNode,
+    GroupWindowAggNode,
+    InsertNode,
+    PhysicalNode,
+    PhysicalPlan,
+    ProjectNode,
+    ScanNode,
+    SlidingWindowNode,
+    StreamRelationJoinNode,
+    StreamStreamJoinNode,
+)
+from repro.sql.catalog import Catalog, StreamDefinition, TableDefinition
+from repro.sql.codegen import render, render_projection
+from repro.sql.rel.nodes import (
+    LogicalAggregate,
+    LogicalDelta,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalWindowAgg,
+    RelNode,
+)
+from repro.sql.rex import (
+    AggCall,
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    split_conjunction,
+)
+from repro.sql.types import SqlType
+
+
+def _contains_stream(node: RelNode) -> bool:
+    if isinstance(node, LogicalScan):
+        return node.is_stream
+    return any(_contains_stream(child) for child in node.inputs)
+
+
+def _agg_spec(call: AggCall) -> AggSpec:
+    return AggSpec(func=call.func,
+                   arg_source=None if call.arg is None else render(call.arg))
+
+
+def _render_list(exprs) -> str:
+    return "[" + ", ".join(render(e) for e in exprs) + "]"
+
+
+class PhysicalPlanBuilder:
+    """One-shot builder: collects job requirements while lowering.
+
+    With ``fuse_scans`` enabled, Filter/Project chains directly over a
+    stream scan are merged into a single :class:`FusedScanNode` whose
+    generated expressions read the record dict by field name, skipping the
+    AvroToArray materialization for dropped rows — the optimization the
+    paper proposes as future work item 5.
+    """
+
+    def __init__(self, catalog: Catalog, fuse_scans: bool = False):
+        self.catalog = catalog
+        self.fuse_scans = fuse_scans
+        self.input_streams: list[str] = []
+        self.bootstrap_streams: list[str] = []
+        self.store_names: list[str] = []
+
+    def build(self, logical: RelNode, output_stream: str,
+              relation_key: list[str] | None = None) -> PhysicalPlan:
+        """Lower the plan.  With ``relation_key``, the output is a relation
+        stream (future-work item 3): records are keyed by the named output
+        fields and the output topic becomes a compacted changelog."""
+        root = self._lower(logical)
+        row_type = logical.row_type
+        rowtime_index = None
+        for i, f in enumerate(row_type.fields):
+            if f.name.lower() == "rowtime" and f.type in (SqlType.TIMESTAMP, SqlType.ANY):
+                rowtime_index = i
+                break
+        key_indexes = None
+        if relation_key is not None:
+            try:
+                key_indexes = [row_type.index_of(name) for name in relation_key]
+            except Exception as exc:
+                raise PlannerError(
+                    f"relation key {relation_key} must name output columns "
+                    f"{row_type.field_names}: {exc}") from exc
+            if not key_indexes:
+                raise PlannerError("relation output needs at least one key column")
+        insert = InsertNode(
+            output_stream=output_stream,
+            field_names=list(row_type.field_names),
+            field_types=[t.value for t in row_type.field_types],
+            rowtime_index=rowtime_index,
+            partition_key_index=None,
+            key_field_indexes=key_indexes,
+        )
+        insert.inputs = [root]
+        if not self.input_streams:
+            raise PlannerError(
+                "plan has no stream inputs; use the batch executor for "
+                "table-only queries")
+        return PhysicalPlan(
+            root=insert,
+            input_streams=list(dict.fromkeys(self.input_streams)),
+            bootstrap_streams=list(dict.fromkeys(self.bootstrap_streams)),
+            store_names=list(dict.fromkeys(self.store_names)),
+            output_stream=output_stream,
+            relation_output=key_indexes is not None,
+        )
+
+    # -- lowering ----------------------------------------------------------------
+
+    def _lower(self, node: RelNode) -> PhysicalNode:
+        if self.fuse_scans:
+            fused = self._try_fuse(node)
+            if fused is not None:
+                return fused
+        if isinstance(node, LogicalDelta):
+            # Leftover Delta over a stream scan is a no-op at this layer.
+            if _contains_stream(node.input):
+                return self._lower(node.input)
+            raise PlannerError("cannot stream a table-only subplan")
+        if isinstance(node, LogicalScan):
+            return self._lower_scan(node)
+        if isinstance(node, LogicalFilter):
+            physical = FilterNode(predicate_source=render(node.condition))
+            physical.inputs = [self._lower(node.input)]
+            return physical
+        if isinstance(node, LogicalProject):
+            physical = ProjectNode(
+                projection_source=render_projection(list(node.exprs)),
+                field_names=list(node.names))
+            physical.inputs = [self._lower(node.input)]
+            return physical
+        if isinstance(node, LogicalWindowAgg):
+            return self._lower_sliding_window(node)
+        if isinstance(node, LogicalAggregate):
+            return self._lower_aggregate(node)
+        if isinstance(node, LogicalJoin):
+            return self._lower_join(node)
+        if isinstance(node, LogicalSort):
+            raise PlannerError(
+                "ORDER BY / LIMIT is not defined over an unbounded stream; "
+                "drop the STREAM keyword to run it over the stream's history")
+        raise PlannerError(f"no physical lowering for {type(node).__name__}")
+
+    def _try_fuse(self, node: RelNode) -> PhysicalNode | None:
+        """Match Project?(Filter?(Scan)) over a stream and fuse it."""
+        project: LogicalProject | None = None
+        current = node
+        if isinstance(current, LogicalProject):
+            project, current = current, current.input
+        filter_node: LogicalFilter | None = None
+        if isinstance(current, LogicalFilter):
+            filter_node, current = current, current.input
+        if not isinstance(current, LogicalScan) or not current.is_stream:
+            return None
+        if project is None and filter_node is None:
+            return None
+        definition = self.catalog.stream(current.source)
+        topic = definition.topic if definition is not None else current.source
+        self.input_streams.append(topic)
+        names = list(current.row_type.field_names)
+        predicate_source = (
+            None if filter_node is None
+            else render(filter_node.condition, ref_names=names))
+        if project is not None:
+            projection_source = "[" + ", ".join(
+                render(e, ref_names=names) for e in project.exprs) + "]"
+            output_names = list(project.names)
+        else:
+            projection_source = None
+            output_names = names
+        return FusedScanNode(
+            stream=topic, field_names=names,
+            rowtime_index=current.rowtime_index,
+            predicate_source=predicate_source,
+            projection_source=projection_source,
+            output_field_names=output_names)
+
+    def _lower_scan(self, node: LogicalScan) -> PhysicalNode:
+        if not node.is_stream:
+            raise PlannerError(
+                f"table {node.source!r} can only appear as the relation side "
+                f"of a stream-to-relation join in a streaming query")
+        definition = self.catalog.stream(node.source)
+        topic = definition.topic if definition is not None else node.source
+        self.input_streams.append(topic)
+        return ScanNode(
+            stream=topic,
+            field_names=list(node.row_type.field_names),
+            rowtime_index=node.rowtime_index,
+        )
+
+    def _lower_sliding_window(self, node: LogicalWindowAgg) -> PhysicalNode:
+        physical = SlidingWindowNode(
+            partition_key_source=_render_list(node.partition_exprs),
+            order_source=render(node.order_expr),
+            frame_mode=node.frame_mode,
+            preceding_ms=node.preceding_ms,
+            preceding_rows=node.preceding_rows,
+            aggs=[_agg_spec(c) for c in node.agg_calls],
+            field_names=list(node.row_type.field_names),
+        )
+        physical.inputs = [self._lower(node.input)]
+        self.store_names.extend(["sql-window-messages", "sql-window-state"])
+        return physical
+
+    def _lower_aggregate(self, node: LogicalAggregate) -> PhysicalNode:
+        if node.window is None:
+            if _contains_stream(node.input):
+                raise PlannerError(
+                    "aggregation over an unbounded stream requires a window "
+                    "(TUMBLE/HOP in GROUP BY, or FLOOR(rowtime TO ...))")
+            raise PlannerError(
+                "table-only aggregation belongs to the batch executor")
+        for call in node.agg_calls:
+            if call.distinct:
+                raise PlannerError("DISTINCT aggregates are not supported in "
+                                   "streaming windows")
+        window = node.window
+        physical = GroupWindowAggNode(
+            window_kind=window.kind,
+            time_source=render(window.time_expr),
+            emit_ms=window.emit_ms,
+            retain_ms=window.retain_ms,
+            align_ms=window.align_ms,
+            group_key_source=_render_list(node.group_exprs),
+            aggs=[_agg_spec(c) for c in node.agg_calls],
+            field_names=list(node.row_type.field_names),
+        )
+        physical.inputs = [self._lower(node.input)]
+        self.store_names.append("sql-group-windows")
+        return physical
+
+    # -- joins ---------------------------------------------------------------------------
+
+    def _lower_join(self, node: LogicalJoin) -> PhysicalNode:
+        left_stream = _contains_stream(node.left)
+        right_stream = _contains_stream(node.right)
+        if left_stream and right_stream:
+            return self._lower_stream_stream(node)
+        if left_stream or right_stream:
+            return self._lower_stream_relation(node, stream_is_left=left_stream)
+        raise PlannerError("table-to-table joins belong to the batch executor")
+
+    def _lower_stream_stream(self, node: LogicalJoin) -> PhysicalNode:
+        if node.kind != "INNER":
+            raise PlannerError("stream-to-stream joins must be INNER joins")
+        left_width = len(node.left.row_type)
+        right_width = len(node.right.row_type)
+        left_time = self._rowtime_index(node.left, "left join input")
+        right_time = self._rowtime_index(node.right, "right join input")
+
+        lower, upper = self._extract_time_bounds(
+            node.condition, left_time, left_width + right_time, left_width)
+        left_key, right_key = self._extract_equi_keys(node.condition, left_width)
+
+        physical = StreamStreamJoinNode(
+            left_width=left_width,
+            right_width=right_width,
+            condition_source=render(node.condition, left_width=left_width),
+            left_time_index=left_time,
+            right_time_index=right_time,
+            lower_bound_ms=lower,
+            upper_bound_ms=upper,
+            left_key_source=left_key,
+            right_key_source=right_key,
+            field_names=list(node.row_type.field_names),
+        )
+        physical.inputs = [self._lower(node.left), self._lower(node.right)]
+        self.store_names.extend(["sql-join-left", "sql-join-right"])
+        return physical
+
+    def _lower_stream_relation(self, node: LogicalJoin,
+                               stream_is_left: bool) -> PhysicalNode:
+        stream_side = node.left if stream_is_left else node.right
+        relation_side = node.right if stream_is_left else node.left
+        if not isinstance(relation_side, LogicalScan):
+            raise PlannerError(
+                "the relation side of a stream-to-relation join must be a "
+                "plain table (push filters into the stream side or "
+                "pre-materialize a view of the relation)")
+        definition = self.catalog.table(relation_side.source)
+        if definition is None:
+            raise PlannerError(f"unknown table {relation_side.source!r}")
+        if node.kind not in ("INNER", "LEFT"):
+            raise PlannerError(
+                "stream-to-relation joins support INNER and LEFT (stream side) only")
+        if node.kind == "LEFT" and not stream_is_left:
+            raise PlannerError("LEFT stream-to-relation join requires the "
+                               "stream on the left")
+
+        left_width = len(node.left.row_type)
+        key_index = (definition.row_type.index_of(definition.key_field)
+                     if definition.key_field else 0)
+
+        left_key, right_key = self._extract_equi_keys(node.condition, left_width)
+        stream_key = left_key if stream_is_left else right_key
+        relation_key = right_key if stream_is_left else left_key
+
+        physical = StreamRelationJoinNode(
+            relation=definition.name,
+            relation_stream=definition.changelog_topic,
+            relation_field_names=list(definition.row_type.field_names),
+            relation_key_index=key_index,
+            stream_is_left=stream_is_left,
+            stream_width=len(stream_side.row_type),
+            relation_width=len(relation_side.row_type),
+            condition_source=render(node.condition, left_width=left_width),
+            stream_key_source=stream_key,
+            relation_key_source=relation_key,
+            join_kind=node.kind,
+            field_names=list(node.row_type.field_names),
+        )
+        physical.inputs = [self._lower(stream_side)]
+        self.input_streams.append(definition.changelog_topic)
+        self.bootstrap_streams.append(definition.changelog_topic)
+        self.store_names.append(f"sql-relation-{definition.name.lower()}")
+        return physical
+
+    # -- condition analysis -------------------------------------------------------------------
+
+    @staticmethod
+    def _rowtime_index(node: RelNode, what: str) -> int:
+        row_type = node.row_type
+        for i, f in enumerate(row_type.fields):
+            if f.name.lower() == "rowtime":
+                return i
+        raise PlannerError(
+            f"{what} has no rowtime field; stream-to-stream joins need "
+            f"event timestamps on both sides")
+
+    @staticmethod
+    def _extract_time_bounds(condition: RexNode, left_time: int,
+                             right_time_global: int,
+                             left_width: int) -> tuple[int, int]:
+        """Derive d = left.rowtime - right.rowtime ∈ [-lower, upper].
+
+        Recognizes conjuncts like ``L >= R - c``, ``L <= R + c``, ``L >= R``,
+        and their mirrored forms.  Raises when no finite window results —
+        unbounded stream joins would require infinite state.
+        """
+
+        lower: int | None = None   # d >= -lower
+        upper: int | None = None   # d <= upper
+
+        def time_ref_side(rex: RexNode) -> str | None:
+            if isinstance(rex, RexInputRef):
+                if rex.index == left_time:
+                    return "L"
+                if rex.index == right_time_global:
+                    return "R"
+            return None
+
+        def shifted_time(rex: RexNode) -> tuple[str, int] | None:
+            """Match t, t + c, t - c where t is one side's rowtime."""
+            side = time_ref_side(rex)
+            if side is not None:
+                return side, 0
+            if (isinstance(rex, RexCall) and rex.op in ("+", "-")
+                    and len(rex.operands) == 2):
+                base, delta = rex.operands
+                side = time_ref_side(base)
+                if side is not None and isinstance(delta, RexLiteral) \
+                        and isinstance(delta.value, (int, float)):
+                    sign = 1 if rex.op == "+" else -1
+                    return side, sign * int(delta.value)
+            return None
+
+        def note(op: str, a: tuple[str, int], b: tuple[str, int]) -> None:
+            nonlocal lower, upper
+            (sa, ca), (sb, cb) = a, b
+            if sa == sb:
+                return
+            # normalize to L-side on the left of the comparison
+            if sa == "R":
+                a, b = b, a
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+                (sa, ca), (sb, cb) = a, b
+            # L + ca  (op)  R + cb   =>   d = L - R  (op)  cb - ca
+            bound = cb - ca
+            if op in ("<=", "<"):
+                upper = bound if upper is None else min(upper, bound)
+            elif op in (">=", ">"):
+                low = -bound
+                lower = low if lower is None else min(lower, low)
+
+        for conjunct in split_conjunction(condition):
+            if not (isinstance(conjunct, RexCall)
+                    and conjunct.op in ("<", "<=", ">", ">=")):
+                continue
+            a = shifted_time(conjunct.operands[0])
+            b = shifted_time(conjunct.operands[1])
+            if a is not None and b is not None:
+                note(conjunct.op, a, b)
+
+        if lower is None or upper is None:
+            raise PlannerError(
+                "stream-to-stream join requires a finite time window in the "
+                "join condition, e.g. `a.rowtime BETWEEN b.rowtime - INTERVAL "
+                "'2' SECOND AND b.rowtime + INTERVAL '2' SECOND`")
+        return lower, upper
+
+    @staticmethod
+    def _extract_equi_keys(condition: RexNode,
+                           left_width: int) -> tuple[str | None, str | None]:
+        """First ``left_field = right_field`` conjunct as rendered key sources."""
+        for conjunct in split_conjunction(condition):
+            if not (isinstance(conjunct, RexCall) and conjunct.op == "="):
+                continue
+            a, b = conjunct.operands
+            if not (isinstance(a, RexInputRef) and isinstance(b, RexInputRef)):
+                continue
+            if a.index < left_width <= b.index:
+                left_ref, right_ref = a, b
+            elif b.index < left_width <= a.index:
+                left_ref, right_ref = b, a
+            else:
+                continue
+            left_source = f"r[{left_ref.index}]"
+            right_source = f"r[{right_ref.index - left_width}]"
+            return left_source, right_source
+        return None, None

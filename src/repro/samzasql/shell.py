@@ -1,0 +1,362 @@
+"""The SamzaSQL shell, JDBC-style driver and query executor (§4.1–4.2).
+
+The shell is the user-facing entry point (the paper builds it on SqlLine +
+a custom JDBC driver).  ``execute`` takes one statement and:
+
+* ``CREATE VIEW`` — registers the view in the catalog;
+* non-STREAM ``SELECT`` — runs the batch executor over the retained
+  history of the referenced streams/tables and returns rows;
+* ``SELECT STREAM`` / ``INSERT INTO ... SELECT STREAM`` — performs the
+  *first* planning phase: logical planning + optimization, lowering to the
+  physical plan, writing the plan JSON to ZooKeeper, generating the Samza
+  job configuration (input streams, bootstrap flags, serdes, stores with
+  changelogs), and submitting the job through the YARN client.  Returns a
+  :class:`QueryHandle`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.config import Config
+from repro.common.errors import PlannerError
+from repro.kafka.cluster import KafkaCluster
+from repro.samza.job import JobRunner, SamzaApplicationMaster, SamzaJob
+from repro.samza.serdes import SerdeRegistry
+from repro.samzasql.batch import BatchExecutor
+from repro.samzasql.physical import PhysicalPlan
+from repro.samzasql.plan_builder import PhysicalPlanBuilder
+from repro.samzasql.task import SamzaSqlTask
+from repro.serde.avro import AvroSchema, AvroSerde
+from repro.serde.json_serde import JsonSerde
+from repro.sql.catalog import Catalog, StreamDefinition, TableDefinition
+from repro.sql.planner import QueryPlanner
+from repro.sql.types import RowType, SqlType
+from repro.zk.client import ZkClient
+from repro.zk.server import ZkServer
+
+_SQL_TO_AVRO = {
+    SqlType.BOOLEAN: "boolean",
+    SqlType.INTEGER: "int",
+    SqlType.BIGINT: "long",
+    SqlType.DOUBLE: "double",
+    SqlType.VARCHAR: "string",
+    SqlType.TIMESTAMP: "long",
+    SqlType.INTERVAL: "long",
+}
+
+
+def _nullable_row_type(schema: AvroSchema) -> RowType:
+    """RowType for a synthesized nullable-field output schema."""
+    from repro.sql.types import row_type_from_avro
+
+    return row_type_from_avro(schema)
+
+
+def sql_row_type_to_avro(name: str, row_type: RowType) -> AvroSchema | None:
+    """Synthesize a nullable-field Avro schema for a query output row type.
+
+    Returns None when a field type has no Avro mapping (falls back to JSON).
+    """
+    fields = []
+    for f in row_type.fields:
+        avro_type = _SQL_TO_AVRO.get(f.type)
+        if avro_type is None:
+            return None
+        fields.append((f.name, ["null", avro_type]))
+    return AvroSchema.record(name, fields)
+
+
+@dataclass
+class QueryHandle:
+    """A running streaming query."""
+
+    query_id: str
+    sql: str
+    output_stream: str
+    plan: PhysicalPlan
+    master: SamzaApplicationMaster
+    output_serde: Any
+    warnings: list[str] = field(default_factory=list)
+    _shell: "SamzaSQLShell" = field(repr=False, default=None)
+
+    def results(self) -> list[dict]:
+        """All records currently in the output stream (deserialized)."""
+        cluster = self._shell.cluster
+        out = []
+        for tp in cluster.partitions_for(self.output_stream):
+            for message in cluster.fetch(tp, cluster.earliest_offset(tp)):
+                if message.value is not None:
+                    out.append(self.output_serde.from_bytes(message.value))
+        return out
+
+    def relation(self) -> dict[str, dict]:
+        """Latest record per key — the relation a relation-stream output
+        represents (latest-wins over the compacted changelog)."""
+        cluster = self._shell.cluster
+        latest: dict[str, dict] = {}
+        for tp in cluster.partitions_for(self.output_stream):
+            for message in cluster.fetch(tp, cluster.earliest_offset(tp)):
+                if message.key is None:
+                    continue
+                key = message.key.decode("utf-8")
+                if message.value is None:
+                    latest.pop(key, None)
+                else:
+                    latest[key] = self.output_serde.from_bytes(message.value)
+        return latest
+
+    def metrics(self) -> dict[str, dict[str, float]]:
+        """Per-container runtime counters (processed, sent, commits, lag)."""
+        out: dict[str, dict[str, float]] = {}
+        for samza_container in self.master.samza_containers.values():
+            out[samza_container.container_id] = {
+                "processed": samza_container.processed_count,
+                "lag": samza_container.total_lag(),
+                "bootstrapping": float(samza_container.is_bootstrapping),
+            }
+        return out
+
+    def stop(self) -> None:
+        self.master.finish()
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+class SamzaSQLShell:
+    """The end-to-end SamzaSQL entry point over the in-process substrates."""
+
+    def __init__(self, cluster: KafkaCluster, runner: JobRunner,
+                 zk: ZkServer | None = None, catalog: Catalog | None = None):
+        self.cluster = cluster
+        self.runner = runner
+        self.zk = zk or ZkServer()
+        self.catalog = catalog or Catalog()
+        self.planner = QueryPlanner(self.catalog)
+        self._query_counter = 0
+
+    # -- catalog management ----------------------------------------------------
+
+    def register_stream(self, name: str, schema: AvroSchema,
+                        partitions: int = 4,
+                        rowtime_field: str = "rowtime") -> StreamDefinition:
+        """Register a stream and ensure its topic exists."""
+        definition = self.catalog.register_stream_from_avro(
+            name, schema, rowtime_field=rowtime_field)
+        self.cluster.create_topic(definition.topic, partitions=partitions,
+                                  if_not_exists=True)
+        return definition
+
+    def register_table(self, name: str, schema: AvroSchema, key_field: str,
+                       partitions: int = 4,
+                       changelog_topic: str = "") -> TableDefinition:
+        """Register a relation backed by a compacted changelog topic (§4.4)."""
+        definition = self.catalog.register_table_from_avro(
+            name, schema, key_field=key_field, changelog_topic=changelog_topic)
+        self.cluster.create_topic(definition.changelog_topic,
+                                  partitions=partitions,
+                                  cleanup_policy="compact", if_not_exists=True)
+        return definition
+
+    def register_derived_stream(self, name: str, handle: "QueryHandle",
+                                rowtime_field: str = "rowtime") -> StreamDefinition:
+        """Register a running query's output stream as a queryable stream.
+
+        This is how Kappa-style pipelines chain: query 2 consumes query 1's
+        output topic ("formation of DAGs through connecting multiple Samza
+        jobs via intermediate Kafka streams", §2).
+        """
+        serde = handle.output_serde
+        schema = serde.schema if isinstance(serde, AvroSerde) else None
+        if schema is not None:
+            definition = StreamDefinition(
+                name=name, row_type=_nullable_row_type(schema),
+                topic=handle.output_stream, rowtime_field=rowtime_field,
+                avro_schema=schema)
+        else:
+            raise PlannerError(
+                f"output of {handle.query_id} has no Avro schema; register the "
+                f"derived stream manually with an explicit row type")
+        return self.catalog.register_stream(definition)
+
+    # -- statement execution ---------------------------------------------------------
+
+    def execute(self, sql: str, containers: int = 1,
+                window_ms: int = -1, config_overrides: dict | None = None,
+                fuse_scans: bool = False,
+                relation_key: list[str] | None = None):
+        """Execute one statement.
+
+        Returns a :class:`QueryHandle` for streaming queries, a list of row
+        dicts for batch SELECTs, and None for CREATE VIEW.  ``fuse_scans``
+        enables the scan-fusion optimization (paper future-work item 5);
+        ``relation_key`` turns the output into a relation stream keyed by
+        the named output columns (future-work item 3).
+        """
+        planned = self.planner.plan_statement(sql)
+        if planned.kind == "view":
+            return None
+        if not planned.is_streaming:
+            return self._execute_batch(planned)
+        return self._submit_streaming(sql, planned, containers, window_ms,
+                                      config_overrides or {}, fuse_scans,
+                                      relation_key)
+
+    # -- batch path ---------------------------------------------------------------------
+
+    def _execute_batch(self, planned) -> list[dict]:
+        executor = BatchExecutor(self._history_rows)
+        rows = executor.execute(planned.plan)
+        names = planned.plan.row_type.field_names
+        return [dict(zip(names, row)) for row in rows]
+
+    def _history_rows(self, source: str) -> list[list]:
+        """Materialize a stream's retained history or a table's latest state."""
+        stream = self.catalog.stream(source)
+        if stream is not None:
+            serde = self._serde_for_schema(stream.avro_schema)
+            rows = []
+            for tp in self.cluster.partitions_for(stream.topic):
+                for message in self.cluster.fetch(tp, self.cluster.earliest_offset(tp)):
+                    if message.value is None:
+                        continue
+                    record = serde.from_bytes(message.value)
+                    rows.append([record[f] for f in stream.row_type.field_names])
+            return rows
+        table = self.catalog.table(source)
+        if table is not None:
+            serde = self._serde_for_schema(table.avro_schema)
+            latest: dict[bytes, list] = {}
+            for tp in self.cluster.partitions_for(table.changelog_topic):
+                for message in self.cluster.fetch(tp, self.cluster.earliest_offset(tp)):
+                    key = message.key or b""
+                    if message.value is None:
+                        latest.pop(key, None)
+                        continue
+                    record = serde.from_bytes(message.value)
+                    latest[key] = [record[f] for f in table.row_type.field_names]
+            return list(latest.values())
+        raise PlannerError(f"no data source for {source!r}")
+
+    @staticmethod
+    def _serde_for_schema(schema: AvroSchema | None):
+        return AvroSerde(schema) if schema is not None else JsonSerde()
+
+    # -- streaming path -------------------------------------------------------------------
+
+    def _submit_streaming(self, sql: str, planned, containers: int,
+                          window_ms: int, overrides: dict,
+                          fuse_scans: bool = False,
+                          relation_key: list[str] | None = None) -> QueryHandle:
+        self._query_counter += 1
+        query_id = f"samzasql-query-{self._query_counter}"
+        output_stream = planned.output_stream or f"{query_id}-output"
+
+        builder = PhysicalPlanBuilder(self.catalog, fuse_scans=fuse_scans)
+        plan = builder.build(planned.plan, output_stream,
+                             relation_key=relation_key)
+
+        # Output topic, co-partitioned with the widest input; relation
+        # streams are compacted (the topic IS the relation's changelog).
+        partitions = max(
+            self.cluster.topic(s).partition_count for s in plan.input_streams)
+        self.cluster.create_topic(
+            output_stream, partitions=partitions,
+            cleanup_policy="compact" if plan.relation_output else "delete",
+            if_not_exists=True)
+
+        # Phase 1 -> ZooKeeper: share the plan with the task-side planner.
+        zk_path = f"/samza-sql/queries/{query_id}/plan"
+        shell_zk = ZkClient(self.zk)
+        shell_zk.write_json(zk_path, plan.to_dict())
+
+        serdes, config = self._build_job_config(
+            query_id, plan, planned.plan.row_type, containers, window_ms)
+        config = Config(config).merge(overrides)
+
+        job = SamzaJob(
+            config=config,
+            task_factory=lambda: SamzaSqlTask(ZkClient(self.zk), zk_path),
+            serdes=serdes,
+        )
+        master = self.runner.submit(job)
+
+        output_schema = sql_row_type_to_avro(
+            f"{query_id}_output", planned.plan.row_type)
+        output_serde = AvroSerde(output_schema) if output_schema else JsonSerde()
+        return QueryHandle(
+            query_id=query_id, sql=sql, output_stream=output_stream,
+            plan=plan, master=master, output_serde=output_serde,
+            warnings=list(planned.warnings), _shell=self)
+
+    def _build_job_config(self, query_id: str, plan: PhysicalPlan,
+                          output_row_type: RowType, containers: int,
+                          window_ms: int) -> tuple[SerdeRegistry, dict]:
+        serdes = SerdeRegistry()
+        config: dict[str, Any] = {
+            "job.name": query_id,
+            "job.container.count": containers,
+            "task.inputs": ",".join(f"kafka.{s}" for s in plan.input_streams),
+            "task.window.ms": window_ms,
+            "samzasql.plan.path": f"/samza-sql/queries/{query_id}/plan",
+        }
+
+        # Input stream serdes (Avro when the catalog has a schema).
+        for stream_name in plan.input_streams:
+            serde_name = self._register_stream_serde(serdes, stream_name)
+            prefix = f"systems.kafka.streams.{stream_name}.samza."
+            config[prefix + "msg.serde"] = serde_name
+            config[prefix + "key.serde"] = "string"
+
+        for stream_name in plan.bootstrap_streams:
+            config[f"systems.kafka.streams.{stream_name}.samza.bootstrap"] = "true"
+
+        # Output stream serde.
+        output_schema = sql_row_type_to_avro(f"{query_id}_output", output_row_type)
+        if output_schema is not None:
+            serdes.register(f"avro-{plan.output_stream}", AvroSerde(output_schema))
+            output_serde_name = f"avro-{plan.output_stream}"
+        else:
+            output_serde_name = "json"
+        prefix = f"systems.kafka.streams.{plan.output_stream}.samza."
+        config[prefix + "msg.serde"] = output_serde_name
+        config[prefix + "key.serde"] = "string"
+
+        # Stores: changelog-backed, generic-object ("Kryo") serdes — the
+        # deserialization cost the paper measures in the join benchmark.
+        for store in plan.store_names:
+            config[f"stores.{store}.changelog"] = f"kafka.{query_id}-{store}-changelog"
+            config[f"stores.{store}.key.serde"] = "object"
+            config[f"stores.{store}.msg.serde"] = "object"
+        return serdes, config
+
+    def _register_stream_serde(self, serdes: SerdeRegistry, topic: str) -> str:
+        """Find the Avro schema for a topic (stream or table changelog).
+
+        Lookups go by *topic* (plan input streams are topics), matching both
+        catalog streams (whose topic may differ from their name — derived
+        streams) and table changelogs.
+        """
+        for name in self.catalog.object_names():
+            stream = self.catalog.stream(name)
+            if stream is not None and stream.topic == topic:
+                if stream.avro_schema is not None:
+                    serdes.register(f"avro-{topic}", AvroSerde(stream.avro_schema))
+                    return f"avro-{topic}"
+                return "json"
+            table = self.catalog.table(name)
+            if table is not None and table.changelog_topic == topic:
+                if table.avro_schema is not None:
+                    serdes.register(f"avro-{topic}", AvroSerde(table.avro_schema))
+                    return f"avro-{topic}"
+                return "json"
+        return "json"
+
+    # -- maintenance -----------------------------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """Logical plan text for a query (EXPLAIN flavour)."""
+        return self.planner.explain(sql)

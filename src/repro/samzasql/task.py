@@ -1,0 +1,93 @@
+"""The SamzaSQL stream task.
+
+"A SamzaSQL query is a Samza job with SamzaSQL specific stream task
+implementation that performs the computation described in the query" (§2).
+
+At ``init`` the task performs the second phase of the two-step planning
+(§4.2): it loads the physical plan JSON that the shell wrote to ZooKeeper,
+re-runs code generation over the plan's expression sources, and builds the
+message router.  ``process`` then routes each deserialized message into
+the operator DAG; operator output leaves through the task's collector.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import Config
+from repro.samza.system import OutgoingMessageEnvelope, SystemStream
+from repro.samza.task import (
+    InitableTask,
+    MessageCollector,
+    StreamTask,
+    TaskContext,
+    TaskCoordinator,
+    WindowableTask,
+)
+from repro.samzasql.operators.base import OperatorContext
+from repro.samzasql.operators.group_window import GroupWindowAggOperator
+from repro.samzasql.operators.router import build_router
+from repro.samzasql.physical import PhysicalPlan
+from repro.zk.client import ZkClient
+
+
+class _CollectorSink:
+    """Bridges operator output onto the collector of the current callback."""
+
+    def __init__(self, output_stream: str):
+        self.output_stream = SystemStream("kafka", output_stream)
+        self.collector: MessageCollector | None = None
+
+    def send(self, message: dict, timestamp_ms: int, key: str | None = None) -> None:
+        self.collector.send(OutgoingMessageEnvelope(
+            system_stream=self.output_stream,
+            message=message,
+            key=key,
+            partition_key=key,
+            timestamp_ms=timestamp_ms,
+        ))
+
+
+class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
+    """Executes one streaming SQL query's operator DAG."""
+
+    def __init__(self, zk: ZkClient, plan_path: str):
+        self._zk = zk
+        self._plan_path = plan_path
+        self._router = None
+        self._sink = None
+        self._early_emit = False
+
+    def init(self, config: Config, context: TaskContext) -> None:
+        payload = self._zk.read_json(self._plan_path)
+        plan = PhysicalPlan.from_dict(payload)
+        self._sink = _CollectorSink(plan.output_stream)
+        stores = {name: context.get_store(name) for name in plan.store_names}
+        op_context = OperatorContext(
+            stores=stores, send=self._sink.send,
+            partition_id=context.partition_id)
+        self._router = build_router(plan, op_context)
+        self._early_emit = config.get_bool("samzasql.window.early.emit", False)
+
+    def process(self, envelope, collector: MessageCollector,
+                coordinator: TaskCoordinator) -> None:
+        self._sink.collector = collector
+        self._router.route(envelope.stream, envelope.message, envelope.timestamp_ms)
+
+    def window(self, collector: MessageCollector,
+               coordinator: TaskCoordinator) -> None:
+        """Wall-clock tick: optionally emit partial (early) window results.
+
+        §3: "There will be multiple outputs for the same window due to
+        early results policy that send out partial results as soon as a
+        window boundary condition is met without waiting for delayed
+        arrivals."
+        """
+        self._sink.collector = collector
+        if self._early_emit:
+            for operator in self._router.operators:
+                if isinstance(operator, GroupWindowAggOperator):
+                    operator.emit_partials()
+        self._router.on_timer(0)
+
+    @property
+    def router(self):
+        return self._router

@@ -1,0 +1,32 @@
+"""JSON serde — SamzaSQL's alternative wire format to Avro."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import SerdeError
+from repro.serde.base import Serde
+
+
+class JsonSerde(Serde[Any]):
+    """UTF-8 JSON codec.
+
+    ``sort_keys`` makes output deterministic, which checkpoint topics and
+    the test suite rely on.
+    """
+
+    def __init__(self, sort_keys: bool = True):
+        self._sort_keys = sort_keys
+
+    def to_bytes(self, obj: Any) -> bytes:
+        try:
+            return json.dumps(obj, sort_keys=self._sort_keys, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise SerdeError(f"object is not JSON-serializable: {exc}") from exc
+
+    def from_bytes(self, data: bytes) -> Any:
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerdeError(f"invalid JSON payload: {exc}") from exc

@@ -1,0 +1,142 @@
+"""Generic reflective object serde — the "Kryo" stand-in.
+
+Kryo serializes arbitrary Java objects by writing a class tag before every
+value and dispatching on it at read time.  This codec does the same for
+Python values (None, bool, int, float, str, bytes, list, tuple, dict).
+
+Because every element pays a tag byte plus a type dispatch — instead of the
+schema-compiled straight-line code of :class:`~repro.serde.avro.AvroSerde`
+— deserialisation is substantially slower, which is exactly the overhead
+the paper measured in SamzaSQL's stream-to-relation join ("Kryo based Java
+object deserialization ... more than two times slower than Avro based
+deserialization").  ``benchmarks/bench_claim_serde.py`` regenerates that
+comparison.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.common.errors import SerdeError
+from repro.common.varint import encode_zigzag, read_zigzag
+from repro.serde.base import Serde
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+_TAG_LIST = 7
+_TAG_DICT = 8
+_TAG_TUPLE = 9
+
+_DOUBLE = struct.Struct("<d")
+
+
+class ObjectSerde(Serde[Any]):
+    """Tag-prefixed recursive codec for plain Python object graphs."""
+
+    def to_bytes(self, obj: Any) -> bytes:
+        out = bytearray()
+        self._write(obj, out)
+        return bytes(out)
+
+    def from_bytes(self, data: bytes) -> Any:
+        value, pos = self._read(data, 0)
+        if pos != len(data):
+            raise SerdeError(f"trailing bytes after object: {len(data) - pos}")
+        return value
+
+    # -- encoding ------------------------------------------------------------
+
+    def _write(self, obj: Any, out: bytearray) -> None:
+        if obj is None:
+            out.append(_TAG_NONE)
+        elif obj is False:
+            out.append(_TAG_FALSE)
+        elif obj is True:
+            out.append(_TAG_TRUE)
+        elif isinstance(obj, int):
+            out.append(_TAG_INT)
+            out += encode_zigzag(obj)
+        elif isinstance(obj, float):
+            out.append(_TAG_FLOAT)
+            out += _DOUBLE.pack(obj)
+        elif isinstance(obj, str):
+            raw = obj.encode("utf-8")
+            out.append(_TAG_STR)
+            out += encode_zigzag(len(raw))
+            out += raw
+        elif isinstance(obj, (bytes, bytearray)):
+            out.append(_TAG_BYTES)
+            out += encode_zigzag(len(obj))
+            out += obj
+        elif isinstance(obj, list):
+            out.append(_TAG_LIST)
+            out += encode_zigzag(len(obj))
+            for item in obj:
+                self._write(item, out)
+        elif isinstance(obj, tuple):
+            out.append(_TAG_TUPLE)
+            out += encode_zigzag(len(obj))
+            for item in obj:
+                self._write(item, out)
+        elif isinstance(obj, dict):
+            out.append(_TAG_DICT)
+            out += encode_zigzag(len(obj))
+            for key, value in obj.items():
+                self._write(key, out)
+                self._write(value, out)
+        else:
+            raise SerdeError(f"ObjectSerde cannot serialize {type(obj).__name__}")
+
+    # -- decoding ------------------------------------------------------------
+
+    def _read(self, buf: bytes, pos: int) -> tuple[Any, int]:
+        if pos >= len(buf):
+            raise SerdeError("truncated object payload")
+        tag = buf[pos]
+        pos += 1
+        if tag == _TAG_NONE:
+            return None, pos
+        if tag == _TAG_FALSE:
+            return False, pos
+        if tag == _TAG_TRUE:
+            return True, pos
+        if tag == _TAG_INT:
+            return read_zigzag(buf, pos)
+        if tag == _TAG_FLOAT:
+            end = pos + 8
+            if end > len(buf):
+                raise SerdeError("truncated float")
+            return _DOUBLE.unpack_from(buf, pos)[0], end
+        if tag == _TAG_STR:
+            length, pos = read_zigzag(buf, pos)
+            end = pos + length
+            if length < 0 or end > len(buf):
+                raise SerdeError("truncated string")
+            return buf[pos:end].decode("utf-8"), end
+        if tag == _TAG_BYTES:
+            length, pos = read_zigzag(buf, pos)
+            end = pos + length
+            if length < 0 or end > len(buf):
+                raise SerdeError("truncated bytes")
+            return bytes(buf[pos:end]), end
+        if tag in (_TAG_LIST, _TAG_TUPLE):
+            length, pos = read_zigzag(buf, pos)
+            items = []
+            for _ in range(length):
+                item, pos = self._read(buf, pos)
+                items.append(item)
+            return (tuple(items) if tag == _TAG_TUPLE else items), pos
+        if tag == _TAG_DICT:
+            length, pos = read_zigzag(buf, pos)
+            out: dict[Any, Any] = {}
+            for _ in range(length):
+                key, pos = self._read(buf, pos)
+                out[key], pos = self._read(buf, pos)
+            return out, pos
+        raise SerdeError(f"unknown object tag {tag}")

@@ -1,0 +1,102 @@
+"""Schema registry — the Confluent-registry role in Figure 2.
+
+SamzaSQL retrieves message schemas for query planning from the Kafka
+schema registry.  This in-process registry keeps versioned schemas per
+*subject* (conventionally ``<topic>-value``), assigns global ids, and
+enforces a simple backward-compatibility rule (new versions may add
+fields but may not remove or re-type existing ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SchemaError
+from repro.serde.avro import AvroSchema
+
+
+@dataclass(frozen=True)
+class RegisteredSchema:
+    subject: str
+    version: int
+    schema_id: int
+    schema: AvroSchema
+
+
+class SchemaRegistry:
+    """Versioned, id-addressed schema store with backward-compat checks."""
+
+    def __init__(self, compatibility: str = "BACKWARD"):
+        if compatibility not in ("NONE", "BACKWARD"):
+            raise SchemaError(f"unsupported compatibility mode {compatibility!r}")
+        self.compatibility = compatibility
+        self._by_subject: dict[str, list[RegisteredSchema]] = {}
+        self._by_id: dict[int, RegisteredSchema] = {}
+        self._next_id = 1
+
+    def register(self, subject: str, schema: AvroSchema | str | dict) -> RegisteredSchema:
+        """Register a schema version; idempotent for identical schemas."""
+        if not isinstance(schema, AvroSchema):
+            schema = AvroSchema(schema)
+        versions = self._by_subject.setdefault(subject, [])
+        for existing in versions:
+            if existing.schema == schema:
+                return existing
+        if versions and self.compatibility == "BACKWARD":
+            self._check_backward(versions[-1].schema, schema, subject)
+        registered = RegisteredSchema(
+            subject=subject,
+            version=len(versions) + 1,
+            schema_id=self._next_id,
+            schema=schema,
+        )
+        self._next_id += 1
+        versions.append(registered)
+        self._by_id[registered.schema_id] = registered
+        return registered
+
+    def latest(self, subject: str) -> RegisteredSchema:
+        versions = self._by_subject.get(subject)
+        if not versions:
+            raise SchemaError(f"no schema registered for subject {subject!r}")
+        return versions[-1]
+
+    def get_version(self, subject: str, version: int) -> RegisteredSchema:
+        versions = self._by_subject.get(subject)
+        if not versions or not 1 <= version <= len(versions):
+            raise SchemaError(f"subject {subject!r} has no version {version}")
+        return versions[version - 1]
+
+    def get_by_id(self, schema_id: int) -> RegisteredSchema:
+        try:
+            return self._by_id[schema_id]
+        except KeyError:
+            raise SchemaError(f"no schema with id {schema_id}") from None
+
+    def subjects(self) -> list[str]:
+        return sorted(self._by_subject)
+
+    @staticmethod
+    def _check_backward(old: AvroSchema, new: AvroSchema, subject: str) -> None:
+        """New record versions must keep every old field with the same type."""
+        old_def, new_def = old.definition, new.definition
+        if not (isinstance(old_def, dict) and old_def.get("type") == "record"):
+            if old_def != new_def:
+                raise SchemaError(
+                    f"subject {subject!r}: non-record schemas must be identical"
+                )
+            return
+        if not (isinstance(new_def, dict) and new_def.get("type") == "record"):
+            raise SchemaError(f"subject {subject!r}: cannot replace record with non-record")
+        new_fields = {f["name"]: f["type"] for f in new_def.get("fields", [])}
+        for field in old_def.get("fields", []):
+            name = field["name"]
+            if name not in new_fields:
+                raise SchemaError(
+                    f"subject {subject!r}: field {name!r} removed (breaks backward compat)"
+                )
+            if new_fields[name] != field["type"]:
+                raise SchemaError(
+                    f"subject {subject!r}: field {name!r} re-typed "
+                    f"{field['type']!r} -> {new_fields[name]!r}"
+                )

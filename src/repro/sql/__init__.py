@@ -1,0 +1,39 @@
+"""The SQL front-end — the Apache Calcite role in SamzaSQL.
+
+Pipeline (paper Figure 3):
+
+1. :mod:`repro.sql.lexer` / :mod:`repro.sql.parser` — streaming SQL text to
+   AST, including the paper's extensions: the ``STREAM`` keyword,
+   ``HOP``/``TUMBLE`` grouped windows, analytic functions with
+   ``OVER (... RANGE INTERVAL ... PRECEDING)`` sliding windows, and
+   interval-bounded join conditions.
+2. :mod:`repro.sql.catalog` — stream/table schemas (fed from the schema
+   registry and "Calcite model" style descriptions).
+3. :mod:`repro.sql.converter` — validation + conversion to the logical
+   relational algebra in :mod:`repro.sql.rel`.
+4. :mod:`repro.sql.optimizer` — rule-based logical optimization
+   (filter pushdown, projection pruning, constant folding, delta/stream
+   conversion).
+5. :mod:`repro.sql.codegen` — expression "code generation": row
+   expressions are compiled to Python closures over array-tuples, the
+   Janino/Linq4j role.
+
+The physical layer (operators on Samza) lives in :mod:`repro.samzasql`.
+"""
+
+from repro.sql.types import SqlType, RelField, RowType
+from repro.sql.catalog import Catalog, StreamDefinition, TableDefinition
+from repro.sql.parser import parse_statement, parse_query
+from repro.sql.planner import QueryPlanner
+
+__all__ = [
+    "SqlType",
+    "RelField",
+    "RowType",
+    "Catalog",
+    "StreamDefinition",
+    "TableDefinition",
+    "parse_statement",
+    "parse_query",
+    "QueryPlanner",
+]

@@ -1,0 +1,210 @@
+"""Abstract syntax tree for streaming SQL.
+
+Plain dataclasses, produced by :mod:`repro.sql.parser` and consumed by the
+validator/converter.  Expression nodes are untyped here; typing happens
+during conversion to the relational algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class IntervalLit:
+    """Interval literal, normalized to milliseconds."""
+
+    millis: int
+
+
+@dataclass(frozen=True)
+class TimeLit:
+    """TIME literal (milliseconds past midnight) — HOP alignment."""
+
+    millis: int
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Possibly-qualified column reference: ``units`` or ``Orders.units``."""
+
+    parts: tuple[str, ...]
+
+    @property
+    def qualifier(self) -> str | None:
+        return self.parts[-2] if len(self.parts) > 1 else None
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*``."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # upper-cased
+    args: tuple["Expr", ...]
+    distinct: bool = False
+    is_star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class FloorTo:
+    """``FLOOR(expr TO unit)`` — the implicit-tumble idiom of Listing 3."""
+
+    arg: "Expr"
+    unit: str  # SECOND / MINUTE / HOUR / DAY
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # = <> < <= > >= + - * / % AND OR LIKE ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # NOT, -
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Between:
+    expr: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    expr: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: "Expr"
+    items: tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case:
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    else_result: Optional["Expr"]
+
+
+@dataclass(frozen=True)
+class Cast:
+    expr: "Expr"
+    type_name: str
+
+
+@dataclass(frozen=True)
+class WindowFrame:
+    """``RANGE INTERVAL '5' MINUTE PRECEDING``-style frames."""
+
+    mode: str  # RANGE or ROWS
+    preceding: Union["Expr", str]  # expression or "UNBOUNDED" / "CURRENT"
+
+
+@dataclass(frozen=True)
+class OverCall:
+    """Analytic function: ``agg(...) OVER (PARTITION BY ... ORDER BY ... frame)``."""
+
+    func: FuncCall
+    partition_by: tuple["Expr", ...]
+    order_by: tuple[tuple["Expr", bool], ...]  # (expr, ascending)
+    frame: WindowFrame | None
+
+
+Expr = Union[Literal, IntervalLit, TimeLit, ColumnRef, Star, FuncCall, FloorTo,
+             BinaryOp, UnaryOp, Between, IsNull, InList, Case, Cast, OverCall]
+
+
+# --------------------------------------------------------------------------
+# relations / statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class NamedTable:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    query: "SelectStmt"
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class JoinRef:
+    left: "TableRef"
+    right: "TableRef"
+    kind: str  # INNER / LEFT / RIGHT / FULL
+    condition: Expr
+
+
+TableRef = Union[NamedTable, DerivedTable, JoinRef]
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    stream: bool
+    items: tuple[SelectItem, ...]
+    from_clause: TableRef
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = field(default=())
+    having: Expr | None = None
+    distinct: bool = False
+    order_by: tuple[tuple[Expr, bool], ...] = field(default=())  # (expr, asc)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class CreateView:
+    name: str
+    columns: tuple[str, ...] | None
+    query: SelectStmt
+
+
+@dataclass(frozen=True)
+class InsertInto:
+    target: str
+    query: SelectStmt
+
+
+Statement = Union[SelectStmt, CreateView, InsertInto]

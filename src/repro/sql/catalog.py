@@ -1,0 +1,148 @@
+"""The catalog: stream/table/view metadata for validation and planning.
+
+SamzaSQL "depends on both the Kafka schema registry and Calcite's built-in
+JSON based schema descriptions to provide the query planner with the
+metadata necessary for query planning" (§3.2).  The catalog here can be
+populated directly, from mini-Avro schemas, or from a
+:class:`~repro.serde.registry.SchemaRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import SqlValidationError
+from repro.serde.avro import AvroSchema
+from repro.sql.types import RowType, SqlType, row_type_from_avro
+
+
+@dataclass
+class StreamDefinition:
+    """A stream: ordered partitions of timestamped tuples (§3.1)."""
+
+    name: str
+    row_type: RowType
+    topic: str = ""
+    rowtime_field: str = "rowtime"
+    avro_schema: Optional[AvroSchema] = None
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            self.topic = self.name
+        if not self.row_type.contains(self.rowtime_field):
+            raise SqlValidationError(
+                f"stream {self.name!r} lacks its timestamp field "
+                f"{self.rowtime_field!r} (SamzaSQL requires an event timestamp)")
+
+    @property
+    def rowtime_index(self) -> int:
+        return self.row_type.index_of(self.rowtime_field)
+
+
+@dataclass
+class TableDefinition:
+    """A relation at rest; may be backed by a changelog stream (§4.4)."""
+
+    name: str
+    row_type: RowType
+    changelog_topic: str = ""
+    key_field: str = ""
+    avro_schema: Optional[AvroSchema] = None
+
+    def __post_init__(self) -> None:
+        if not self.changelog_topic:
+            self.changelog_topic = f"{self.name}-changelog"
+        if self.key_field and not self.row_type.contains(self.key_field):
+            raise SqlValidationError(
+                f"table {self.name!r}: key field {self.key_field!r} not in schema")
+
+
+@dataclass
+class ViewDefinition:
+    """A named query (§3.5); inlined during conversion.
+
+    Holds either the raw query text or a pre-parsed SELECT AST (or both —
+    the AST wins).
+    """
+
+    name: str
+    query_text: str = ""
+    columns: tuple[str, ...] | None = None
+    query_ast: object | None = None
+
+    def __post_init__(self) -> None:
+        if not self.query_text and self.query_ast is None:
+            raise SqlValidationError(f"view {self.name!r} has no body")
+
+
+class Catalog:
+    """Case-insensitive registry of streams, tables and views."""
+
+    def __init__(self):
+        self._streams: dict[str, StreamDefinition] = {}
+        self._tables: dict[str, TableDefinition] = {}
+        self._views: dict[str, ViewDefinition] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def _check_free(self, name: str) -> None:
+        key = name.lower()
+        if key in self._streams or key in self._tables or key in self._views:
+            raise SqlValidationError(f"object {name!r} already defined in catalog")
+
+    def register_stream(self, definition: StreamDefinition) -> StreamDefinition:
+        self._check_free(definition.name)
+        self._streams[definition.name.lower()] = definition
+        return definition
+
+    def register_table(self, definition: TableDefinition) -> TableDefinition:
+        self._check_free(definition.name)
+        self._tables[definition.name.lower()] = definition
+        return definition
+
+    def register_view(self, name: str, query_text: str = "",
+                      columns: tuple[str, ...] | None = None,
+                      query_ast: object | None = None) -> ViewDefinition:
+        self._check_free(name)
+        view = ViewDefinition(name=name, query_text=query_text, columns=columns,
+                              query_ast=query_ast)
+        self._views[name.lower()] = view
+        return view
+
+    def register_stream_from_avro(self, name: str, schema: AvroSchema,
+                                  rowtime_field: str = "rowtime") -> StreamDefinition:
+        return self.register_stream(StreamDefinition(
+            name=name, row_type=row_type_from_avro(schema),
+            rowtime_field=rowtime_field, avro_schema=schema))
+
+    def register_table_from_avro(self, name: str, schema: AvroSchema,
+                                 key_field: str = "",
+                                 changelog_topic: str = "") -> TableDefinition:
+        return self.register_table(TableDefinition(
+            name=name, row_type=row_type_from_avro(schema),
+            key_field=key_field, changelog_topic=changelog_topic,
+            avro_schema=schema))
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def stream(self, name: str) -> StreamDefinition | None:
+        return self._streams.get(name.lower())
+
+    def table(self, name: str) -> TableDefinition | None:
+        return self._tables.get(name.lower())
+
+    def view(self, name: str) -> ViewDefinition | None:
+        return self._views.get(name.lower())
+
+    def resolve(self, name: str):
+        """Stream, table or view by name; raises if unknown."""
+        for registry in (self._streams, self._tables, self._views):
+            found = registry.get(name.lower())
+            if found is not None:
+                return found
+        known = sorted([*self._streams, *self._tables, *self._views])
+        raise SqlValidationError(f"unknown stream/table/view {name!r}; known: {known}")
+
+    def object_names(self) -> list[str]:
+        return sorted([*self._streams, *self._tables, *self._views])

@@ -1,0 +1,752 @@
+"""Validation and AST → logical plan conversion (Calcite's SqlToRelConverter).
+
+Name resolution, type checking, view inlining, star expansion, aggregate
+classification, and the streaming-specific pieces: GROUP BY windows
+(TUMBLE/HOP/FLOOR-TO), analytic-function sliding windows, and the Delta
+node for the STREAM keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SqlValidationError
+from repro.sql import ast
+from repro.sql.catalog import Catalog, StreamDefinition, TableDefinition, ViewDefinition
+from repro.sql.functions import (
+    AGGREGATE_FUNCTIONS,
+    GROUP_WINDOW_FUNCTIONS,
+    WINDOW_MARKER_FUNCTIONS,
+    aggregate_result_type,
+    is_aggregate_name,
+    lookup_scalar,
+)
+from repro.sql.interval import unit_to_ms
+from repro.sql.rel.nodes import (
+    GroupWindow,
+    LogicalAggregate,
+    LogicalDelta,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalWindowAgg,
+    RelNode,
+)
+from repro.sql.rex import AggCall, RexCall, RexInputRef, RexLiteral, RexNode
+from repro.sql.types import RowType, SqlType, common_numeric_type
+
+_CAST_TYPES = {
+    "INTEGER": SqlType.INTEGER, "INT": SqlType.INTEGER,
+    "BIGINT": SqlType.BIGINT, "DOUBLE": SqlType.DOUBLE,
+    "FLOAT": SqlType.DOUBLE, "VARCHAR": SqlType.VARCHAR,
+    "CHAR": SqlType.VARCHAR, "BOOLEAN": SqlType.BOOLEAN,
+    "TIMESTAMP": SqlType.TIMESTAMP,
+}
+
+_INT32_MAX = 2**31 - 1
+
+
+@dataclass
+class _Binding:
+    name: str | None  # alias/table name, None for anonymous derived tables
+    row_type: RowType
+    offset: int
+
+
+class Scope:
+    """Column-name resolution over one or more input bindings."""
+
+    def __init__(self, bindings: list[_Binding]):
+        self.bindings = bindings
+
+    @staticmethod
+    def single(name: str | None, row_type: RowType) -> "Scope":
+        return Scope([_Binding(name, row_type, 0)])
+
+    def join(self, other: "Scope") -> "Scope":
+        width = sum(len(b.row_type) for b in self.bindings)
+        shifted = [
+            _Binding(b.name, b.row_type, b.offset + width) for b in other.bindings
+        ]
+        return Scope(self.bindings + shifted)
+
+    @property
+    def row_type(self) -> RowType:
+        fields = []
+        for binding in self.bindings:
+            fields.extend(binding.row_type.fields)
+        return RowType(fields)
+
+    def resolve(self, ref: ast.ColumnRef) -> tuple[int, SqlType]:
+        if ref.qualifier is not None:
+            for binding in self.bindings:
+                if binding.name is not None and binding.name.lower() == ref.qualifier.lower():
+                    index = binding.row_type.index_of(ref.name)
+                    return binding.offset + index, binding.row_type.field(index).type
+            raise SqlValidationError(
+                f"unknown table alias {ref.qualifier!r} in {ref}")
+        matches: list[tuple[int, SqlType]] = []
+        for binding in self.bindings:
+            if binding.row_type.contains(ref.name):
+                index = binding.row_type.index_of(ref.name)
+                matches.append((binding.offset + index, binding.row_type.field(index).type))
+        if not matches:
+            available = [f.name for b in self.bindings for f in b.row_type.fields]
+            raise SqlValidationError(
+                f"unknown column {ref.name!r}; available: {available}")
+        if len(matches) > 1:
+            raise SqlValidationError(f"ambiguous column {ref.name!r}")
+        return matches[0]
+
+    def fields_of(self, qualifier: str) -> tuple[int, RowType]:
+        for binding in self.bindings:
+            if binding.name is not None and binding.name.lower() == qualifier.lower():
+                return binding.offset, binding.row_type
+        raise SqlValidationError(f"unknown table alias {qualifier!r}")
+
+
+class Converter:
+    """One-shot converter; create per statement."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- entry points --------------------------------------------------------------
+
+    def convert_query(self, select: ast.SelectStmt) -> RelNode:
+        plan, _scope = self._convert_select(select, top_level=True)
+        if select.stream:
+            plan = LogicalDelta(plan)
+        return plan
+
+    # -- FROM clause ------------------------------------------------------------------
+
+    def _convert_from(self, ref: ast.TableRef) -> tuple[RelNode, Scope]:
+        if isinstance(ref, ast.NamedTable):
+            return self._convert_named(ref)
+        if isinstance(ref, ast.DerivedTable):
+            plan, scope = self._convert_select(ref.query, top_level=False)
+            return plan, Scope.single(ref.alias, plan.row_type)
+        if isinstance(ref, ast.JoinRef):
+            left_plan, left_scope = self._convert_from(ref.left)
+            right_plan, right_scope = self._convert_from(ref.right)
+            scope = left_scope.join(right_scope)
+            condition = self._to_rex(ref.condition, scope)
+            if condition.type not in (SqlType.BOOLEAN, SqlType.ANY):
+                raise SqlValidationError(
+                    f"join condition must be boolean, got {condition.type}")
+            return LogicalJoin(left_plan, right_plan, ref.kind, condition), scope
+        raise SqlValidationError(f"unsupported FROM clause element {ref!r}")
+
+    def _convert_named(self, ref: ast.NamedTable) -> tuple[RelNode, Scope]:
+        definition = self.catalog.resolve(ref.name)
+        binding = ref.alias or ref.name
+        if isinstance(definition, StreamDefinition):
+            scan = LogicalScan(
+                source=definition.name, row_type=definition.row_type,
+                is_stream=True, rowtime_index=definition.rowtime_index)
+            return scan, Scope.single(binding, scan.row_type)
+        if isinstance(definition, TableDefinition):
+            scan = LogicalScan(
+                source=definition.name, row_type=definition.row_type,
+                is_stream=False)
+            return scan, Scope.single(binding, scan.row_type)
+        if isinstance(definition, ViewDefinition):
+            from repro.sql.parser import parse_query  # local import: no cycle at module load
+            if definition.query_ast is not None:
+                query = definition.query_ast
+            else:
+                query = parse_query(definition.query_text)
+            # §3.3: "STREAM keyword in sub-queries or views has no effect".
+            plan, _ = self._convert_select(query, top_level=False)
+            if definition.columns is not None:
+                if len(definition.columns) != len(plan.row_type):
+                    raise SqlValidationError(
+                        f"view {definition.name!r} declares {len(definition.columns)} "
+                        f"columns but its query produces {len(plan.row_type)}")
+                exprs = tuple(
+                    RexInputRef(i, f.type) for i, f in enumerate(plan.row_type.fields))
+                plan = LogicalProject(plan, exprs, tuple(definition.columns))
+            return plan, Scope.single(binding, plan.row_type)
+        raise SqlValidationError(f"cannot query object {ref.name!r}")
+
+    # -- SELECT body --------------------------------------------------------------------
+
+    def _convert_select(self, select: ast.SelectStmt,
+                        top_level: bool) -> tuple[RelNode, Scope]:
+        plan, scope = self._convert_from(select.from_clause)
+
+        if select.where is not None:
+            condition = self._to_rex(select.where, scope)
+            if condition.type not in (SqlType.BOOLEAN, SqlType.ANY):
+                raise SqlValidationError(
+                    f"WHERE condition must be boolean, got {condition.type}")
+            plan = LogicalFilter(plan, condition)
+
+        is_aggregate = bool(select.group_by) or any(
+            self._contains_aggregate(item.expr) for item in select.items
+        ) or (select.having is not None)
+        has_over = any(self._contains_over(item.expr) for item in select.items)
+        if is_aggregate and has_over:
+            raise SqlValidationError(
+                "mixing GROUP BY aggregation and OVER windows in one SELECT "
+                "is not supported")
+
+        if is_aggregate:
+            plan = self._convert_aggregate(select, plan, scope)
+        elif has_over:
+            plan = self._convert_window_agg(select, plan, scope)
+        else:
+            plan = self._convert_plain_project(select, plan, scope)
+
+        if select.distinct:
+            keys = tuple(RexInputRef(i, f.type)
+                         for i, f in enumerate(plan.row_type.fields))
+            plan = LogicalAggregate(
+                plan, group_exprs=keys,
+                group_names=tuple(plan.row_type.field_names),
+                agg_calls=(), window=None)
+
+        if select.order_by or select.limit is not None:
+            plan = self._apply_sort(select, plan, scope)
+        return plan, Scope.single(None, plan.row_type)
+
+    def _apply_sort(self, select: ast.SelectStmt, plan: RelNode,
+                    from_scope: Scope) -> RelNode:
+        """ORDER BY resolves against output aliases first, then (for plain
+        projections) against input columns via a hidden sort column that is
+        projected away again after the sort."""
+        output_scope = Scope.single(None, plan.row_type)
+        resolved: list[tuple[RexNode | None, ast.Expr, bool]] = []
+        needs_hidden = False
+        for expr, ascending in select.order_by:
+            try:
+                resolved.append((self._to_rex(expr, output_scope), expr, ascending))
+            except SqlValidationError:
+                resolved.append((None, expr, ascending))
+                needs_hidden = True
+        if not needs_hidden:
+            keys = tuple((rex, asc) for rex, _, asc in resolved)
+            return LogicalSort(plan, keys, select.limit)
+        if not isinstance(plan, LogicalProject):
+            # aggregate/window outputs: input columns are out of scope anyway
+            for rex, expr, _ in resolved:
+                if rex is None:
+                    self._to_rex(expr, output_scope)  # re-raise with context
+        project = plan
+        visible = len(project.exprs)
+        hidden_exprs: list[RexNode] = []
+        keys: list[tuple[RexNode, bool]] = []
+        for rex, expr, ascending in resolved:
+            if rex is None:
+                input_rex = self._to_rex(expr, from_scope)
+                keys.append((RexInputRef(visible + len(hidden_exprs),
+                                         input_rex.type), ascending))
+                hidden_exprs.append(input_rex)
+            else:
+                keys.append((rex, ascending))
+        extended = LogicalProject(
+            project.input,
+            project.exprs + tuple(hidden_exprs),
+            project.names + tuple(f"$sort{i}" for i in range(len(hidden_exprs))))
+        sort = LogicalSort(extended, tuple(keys), select.limit)
+        visible_refs = tuple(
+            RexInputRef(i, f.type)
+            for i, f in enumerate(project.row_type.fields))
+        return LogicalProject(sort, visible_refs, project.names)
+
+    # -- plain projection -------------------------------------------------------------------
+
+    def _expand_items(self, items, scope: Scope) -> list[tuple[ast.Expr, str | None]]:
+        expanded: list[tuple[ast.Expr, str | None]] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                if item.expr.qualifier is None:
+                    for binding in scope.bindings:
+                        for f in binding.row_type.fields:
+                            parts = ((binding.name, f.name) if binding.name
+                                     else (f.name,))
+                            expanded.append((ast.ColumnRef(tuple(p for p in parts if p)),
+                                             f.name))
+                else:
+                    _, row_type = scope.fields_of(item.expr.qualifier)
+                    for f in row_type.fields:
+                        expanded.append(
+                            (ast.ColumnRef((item.expr.qualifier, f.name)), f.name))
+            else:
+                expanded.append((item.expr, item.alias))
+        return expanded
+
+    @staticmethod
+    def _default_name(expr: ast.Expr, index: int) -> str:
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        return f"EXPR${index}"
+
+    def _convert_plain_project(self, select: ast.SelectStmt, plan: RelNode,
+                               scope: Scope) -> RelNode:
+        items = self._expand_items(select.items, scope)
+        # SELECT * with nothing else: skip the identity projection.
+        if (len(select.items) == 1 and isinstance(select.items[0].expr, ast.Star)
+                and select.items[0].expr.qualifier is None):
+            return plan
+        exprs: list[RexNode] = []
+        names: list[str] = []
+        for index, (expr, alias) in enumerate(items):
+            rex = self._to_rex(expr, scope)
+            exprs.append(rex)
+            names.append(alias or self._default_name(expr, index))
+        return LogicalProject(plan, tuple(exprs), tuple(names))
+
+    # -- aggregates ----------------------------------------------------------------------------
+
+    def _convert_aggregate(self, select: ast.SelectStmt, plan: RelNode,
+                           scope: Scope) -> RelNode:
+        window: GroupWindow | None = None
+        window_ast: ast.Expr | None = None
+        group_asts: list[ast.Expr] = []
+        group_exprs: list[RexNode] = []
+        group_names: list[str] = []
+
+        for key in select.group_by:
+            maybe_window = self._try_group_window(key, scope)
+            if maybe_window is not None:
+                if window is not None:
+                    raise SqlValidationError("only one window per GROUP BY")
+                window, window_ast = maybe_window
+                continue
+            rex = self._to_rex(key, scope)
+            group_asts.append(key)
+            group_exprs.append(rex)
+            group_names.append(self._default_name(key, len(group_names)))
+
+        # Collect aggregate calls from select items and HAVING.
+        agg_calls: list[AggCall] = []
+        agg_asts: list[ast.FuncCall] = []
+
+        def ensure_agg(call: ast.FuncCall) -> int:
+            for i, seen in enumerate(agg_asts):
+                if seen == call:
+                    return i
+            arg_rex = None
+            if not call.is_star:
+                if len(call.args) != 1:
+                    raise SqlValidationError(
+                        f"{call.name} takes exactly one argument")
+                arg_rex = self._to_rex(call.args[0], scope)
+            result_type = aggregate_result_type(
+                call.name, None if arg_rex is None else arg_rex.type)
+            agg_asts.append(call)
+            agg_calls.append(AggCall(
+                func=call.name.upper(), arg=arg_rex, type=result_type,
+                name=f"{call.name.lower()}${len(agg_calls)}",
+                distinct=call.distinct))
+            return len(agg_asts) - 1
+
+        def collect(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.FuncCall) and is_aggregate_name(expr.name):
+                ensure_agg(expr)
+                return
+            for child in self._ast_children(expr):
+                collect(child)
+
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                raise SqlValidationError("SELECT * is not allowed with GROUP BY")
+            collect(item.expr)
+        if select.having is not None:
+            collect(select.having)
+
+        aggregate = LogicalAggregate(
+            plan, group_exprs=tuple(group_exprs), group_names=tuple(group_names),
+            agg_calls=tuple(agg_calls), window=window)
+
+        # Translation of post-aggregate expressions into refs over the
+        # aggregate's output row.
+        windowed = window is not None
+        key_base = 2 if windowed else 0
+        agg_base = key_base + len(group_exprs)
+        out_type = aggregate.row_type
+
+        def translate(expr: ast.Expr) -> RexNode:
+            if windowed and window_ast is not None and expr == window_ast:
+                return RexInputRef(0, SqlType.TIMESTAMP)  # wstart
+            for i, key_ast in enumerate(group_asts):
+                if expr == key_ast:
+                    return RexInputRef(key_base + i, out_type.field(key_base + i).type)
+            if isinstance(expr, ast.FuncCall):
+                upper = expr.name.upper()
+                if upper in WINDOW_MARKER_FUNCTIONS:
+                    if not windowed:
+                        raise SqlValidationError(
+                            f"{upper}() requires a TUMBLE/HOP/FLOOR window in GROUP BY")
+                    return RexInputRef(0 if upper == "START" else 1, SqlType.TIMESTAMP)
+                if is_aggregate_name(expr.name):
+                    index = ensure_agg(expr)
+                    return RexInputRef(agg_base + index,
+                                       out_type.field(agg_base + index).type)
+            if isinstance(expr, ast.ColumnRef):
+                raise SqlValidationError(
+                    f"column {expr} must appear in GROUP BY or inside an aggregate")
+            return self._rebuild_rex(expr, translate)
+
+        exprs: list[RexNode] = []
+        names: list[str] = []
+        for index, item in enumerate(select.items):
+            exprs.append(translate(item.expr))
+            names.append(item.alias or self._default_name(item.expr, index))
+
+        result: RelNode = aggregate
+        if select.having is not None:
+            having = translate(select.having)
+            if having.type not in (SqlType.BOOLEAN, SqlType.ANY):
+                raise SqlValidationError("HAVING condition must be boolean")
+            result = LogicalFilter(result, having)
+        return LogicalProject(result, tuple(exprs), tuple(names))
+
+    def _try_group_window(self, key: ast.Expr,
+                          scope: Scope) -> tuple[GroupWindow, ast.Expr] | None:
+        """Recognize TUMBLE/HOP/FLOOR-TO group keys as window specs."""
+        if isinstance(key, ast.FloorTo):
+            time_rex = self._to_rex(key.arg, scope)
+            if time_rex.type is not SqlType.TIMESTAMP:
+                return None  # plain numeric FLOOR, treated as a regular key
+            size = unit_to_ms(key.unit)
+            return GroupWindow("TUMBLE", time_rex, size, size), key
+        if isinstance(key, ast.FuncCall) and key.name.upper() in GROUP_WINDOW_FUNCTIONS:
+            name = key.name.upper()
+            args = key.args
+            if name == "TUMBLE":
+                if len(args) != 2 or not isinstance(args[1], ast.IntervalLit):
+                    raise SqlValidationError(
+                        "TUMBLE(time, INTERVAL ...) expects a time column and an interval")
+                time_rex = self._require_timestamp(args[0], scope, "TUMBLE")
+                size = args[1].millis
+                return GroupWindow("TUMBLE", time_rex, size, size), key
+            # HOP(t, emit, retain[, align])
+            if not 3 <= len(args) <= 4:
+                raise SqlValidationError(
+                    "HOP(time, emit, retain[, align]) expects 3 or 4 arguments")
+            time_rex = self._require_timestamp(args[0], scope, "HOP")
+            if not isinstance(args[1], ast.IntervalLit) or not isinstance(
+                    args[2], ast.IntervalLit):
+                raise SqlValidationError("HOP emit/retain must be INTERVAL literals")
+            align = 0
+            if len(args) == 4:
+                if not isinstance(args[3], (ast.TimeLit, ast.IntervalLit)):
+                    raise SqlValidationError("HOP align must be a TIME literal")
+                align = args[3].millis
+            return GroupWindow("HOP", time_rex, args[1].millis, args[2].millis,
+                               align), key
+        return None
+
+    def _require_timestamp(self, expr: ast.Expr, scope: Scope, where: str) -> RexNode:
+        rex = self._to_rex(expr, scope)
+        if rex.type not in (SqlType.TIMESTAMP, SqlType.ANY):
+            raise SqlValidationError(
+                f"{where} requires a TIMESTAMP expression, got {rex.type} "
+                f"(did the query drop the rowtime field?)")
+        return rex
+
+    # -- analytic (OVER) windows -------------------------------------------------------------
+
+    def _convert_window_agg(self, select: ast.SelectStmt, plan: RelNode,
+                            scope: Scope) -> RelNode:
+        over_calls: list[ast.OverCall] = []
+
+        def find_overs(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.OverCall):
+                over_calls.append(expr)
+                return
+            for child in self._ast_children(expr):
+                find_overs(child)
+
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star):
+                find_overs(item.expr)
+        if not over_calls:
+            raise SqlValidationError("internal: no OVER calls found")
+
+        first = over_calls[0]
+        for other in over_calls[1:]:
+            if (other.partition_by, other.order_by, other.frame) != (
+                    first.partition_by, first.order_by, first.frame):
+                raise SqlValidationError(
+                    "all analytic functions in one SELECT must share the same "
+                    "window specification")
+
+        partition_exprs = tuple(self._to_rex(e, scope) for e in first.partition_by)
+        if len(first.order_by) != 1:
+            raise SqlValidationError("OVER requires exactly one ORDER BY expression")
+        order_ast, ascending = first.order_by[0]
+        if not ascending:
+            raise SqlValidationError("OVER ... ORDER BY must be ascending (time order)")
+        order_expr = self._to_rex(order_ast, scope)
+
+        frame_mode = "RANGE"
+        preceding_ms: int | None = None
+        preceding_rows: int | None = None
+        if first.frame is not None:
+            frame_mode = first.frame.mode
+            bound = first.frame.preceding
+            if bound == "UNBOUNDED":
+                pass
+            elif bound == "CURRENT":
+                preceding_ms, preceding_rows = 0, 0
+            elif frame_mode == "RANGE":
+                if not isinstance(bound, ast.IntervalLit):
+                    raise SqlValidationError(
+                        "RANGE frames need an INTERVAL bound over rowtime")
+                preceding_ms = bound.millis
+                if order_expr.type not in (SqlType.TIMESTAMP, SqlType.ANY):
+                    raise SqlValidationError(
+                        "RANGE INTERVAL frames require ORDER BY on a timestamp")
+            else:  # ROWS
+                if not isinstance(bound, ast.Literal) or not isinstance(bound.value, int):
+                    raise SqlValidationError("ROWS frames need an integer bound")
+                preceding_rows = bound.value
+
+        agg_calls: list[AggCall] = []
+        over_index: dict[ast.OverCall, int] = {}
+        for call in over_calls:
+            if call in over_index:
+                continue
+            func = call.func
+            if not is_aggregate_name(func.name):
+                raise SqlValidationError(
+                    f"{func.name} is not a supported analytic aggregate")
+            arg_rex = None
+            if not func.is_star:
+                if len(func.args) != 1:
+                    raise SqlValidationError(f"{func.name} takes exactly one argument")
+                arg_rex = self._to_rex(func.args[0], scope)
+            result_type = aggregate_result_type(
+                func.name, None if arg_rex is None else arg_rex.type)
+            over_index[call] = len(agg_calls)
+            agg_calls.append(AggCall(
+                func=func.name.upper(), arg=arg_rex, type=result_type,
+                name=f"w{func.name.lower()}${len(agg_calls)}"))
+
+        window_node = LogicalWindowAgg(
+            plan, partition_exprs=partition_exprs, order_expr=order_expr,
+            agg_calls=tuple(agg_calls), frame_mode=frame_mode,
+            preceding_ms=preceding_ms, preceding_rows=preceding_rows)
+
+        input_width = len(plan.row_type)
+        out_type = window_node.row_type
+
+        def translate(expr: ast.Expr) -> RexNode:
+            if isinstance(expr, ast.OverCall):
+                index = input_width + over_index[expr]
+                return RexInputRef(index, out_type.field(index).type)
+            if isinstance(expr, ast.ColumnRef):
+                index, sql_type = scope.resolve(expr)
+                return RexInputRef(index, sql_type)
+            return self._rebuild_rex(expr, translate)
+
+        items = self._expand_items(select.items, scope)
+        exprs: list[RexNode] = []
+        names: list[str] = []
+        for index, (expr, alias) in enumerate(items):
+            exprs.append(translate(expr))
+            names.append(alias or self._default_name(expr, index))
+        return LogicalProject(window_node, tuple(exprs), tuple(names))
+
+    # -- expression conversion -----------------------------------------------------------------
+
+    def _to_rex(self, expr: ast.Expr, scope: Scope) -> RexNode:
+        def convert(node: ast.Expr) -> RexNode:
+            if isinstance(node, ast.ColumnRef):
+                index, sql_type = scope.resolve(node)
+                return RexInputRef(index, sql_type)
+            if isinstance(node, ast.FuncCall) and is_aggregate_name(node.name):
+                raise SqlValidationError(
+                    f"aggregate {node.name} is not allowed here (only in SELECT "
+                    f"items or HAVING of a GROUP BY query)")
+            if isinstance(node, ast.OverCall):
+                raise SqlValidationError(
+                    "OVER windows are only allowed in SELECT items")
+            if isinstance(node, ast.Star):
+                raise SqlValidationError("'*' is not a valid expression here")
+            return self._rebuild_rex(node, convert)
+
+        return convert(expr)
+
+    def _rebuild_rex(self, node: ast.Expr, convert) -> RexNode:
+        """Convert non-reference AST nodes given a recursion callback."""
+        if isinstance(node, ast.Literal):
+            return self._literal_rex(node.value)
+        if isinstance(node, (ast.IntervalLit, ast.TimeLit)):
+            return RexLiteral(node.millis, SqlType.INTERVAL)
+        if isinstance(node, ast.FloorTo):
+            arg = convert(node.arg)
+            if arg.type not in (SqlType.TIMESTAMP, SqlType.ANY):
+                raise SqlValidationError(
+                    f"FLOOR(... TO {node.unit}) requires a TIMESTAMP argument")
+            return RexCall("FLOOR_TIME",
+                           (arg, RexLiteral(unit_to_ms(node.unit), SqlType.INTERVAL)),
+                           SqlType.TIMESTAMP)
+        if isinstance(node, ast.FuncCall):
+            function = lookup_scalar(node.name)
+            function.check_arity(len(node.args))
+            operands = tuple(convert(a) for a in node.args)
+            return RexCall(function.name, operands,
+                           function.result_type([o.type for o in operands]))
+        if isinstance(node, ast.BinaryOp):
+            return self._binary_rex(node, convert)
+        if isinstance(node, ast.UnaryOp):
+            operand = convert(node.operand)
+            if node.op == "NOT":
+                self._check_boolean(operand, "NOT")
+                return RexCall("NOT", (operand,), SqlType.BOOLEAN)
+            if node.op == "-":
+                if not (operand.type.is_numeric or operand.type is SqlType.ANY):
+                    raise SqlValidationError("unary minus requires a numeric operand")
+                return RexCall("NEG", (operand,), operand.type)
+            raise SqlValidationError(f"unknown unary operator {node.op!r}")
+        if isinstance(node, ast.Between):
+            low = RexCall(">=", (convert(node.expr), convert(node.low)), SqlType.BOOLEAN)
+            high = RexCall("<=", (convert(node.expr), convert(node.high)), SqlType.BOOLEAN)
+            combined: RexNode = RexCall("AND", (low, high), SqlType.BOOLEAN)
+            if node.negated:
+                combined = RexCall("NOT", (combined,), SqlType.BOOLEAN)
+            return combined
+        if isinstance(node, ast.IsNull):
+            op = "IS_NOT_NULL" if node.negated else "IS_NULL"
+            return RexCall(op, (convert(node.expr),), SqlType.BOOLEAN)
+        if isinstance(node, ast.InList):
+            target = convert(node.expr)
+            comparisons = tuple(
+                RexCall("=", (target, convert(item)), SqlType.BOOLEAN)
+                for item in node.items)
+            combined = (comparisons[0] if len(comparisons) == 1
+                        else RexCall("OR", comparisons, SqlType.BOOLEAN))
+            if node.negated:
+                combined = RexCall("NOT", (combined,), SqlType.BOOLEAN)
+            return combined
+        if isinstance(node, ast.Case):
+            operands: list[RexNode] = []
+            result_type: SqlType | None = None
+            for condition, result in node.whens:
+                cond_rex = convert(condition)
+                self._check_boolean(cond_rex, "CASE WHEN")
+                result_rex = convert(result)
+                result_type = (result_rex.type if result_type is None
+                               else self._merge_types(result_type, result_rex.type))
+                operands.extend((cond_rex, result_rex))
+            else_rex = (convert(node.else_result) if node.else_result is not None
+                        else RexLiteral(None, SqlType.ANY))
+            operands.append(else_rex)
+            return RexCall("CASE", tuple(operands), result_type or SqlType.ANY)
+        if isinstance(node, ast.Cast):
+            try:
+                target = _CAST_TYPES[node.type_name]
+            except KeyError:
+                raise SqlValidationError(
+                    f"unsupported CAST target {node.type_name!r}") from None
+            return RexCall("CAST", (convert(node.expr),), target)
+        raise SqlValidationError(f"unsupported expression {node!r}")
+
+    def _binary_rex(self, node: ast.BinaryOp, convert) -> RexNode:
+        left = convert(node.left)
+        right = convert(node.right)
+        op = node.op
+        if op in ("AND", "OR"):
+            self._check_boolean(left, op)
+            self._check_boolean(right, op)
+            return RexCall(op, (left, right), SqlType.BOOLEAN)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            self._check_comparable(left, right, op)
+            return RexCall(op, (left, right), SqlType.BOOLEAN)
+        if op in ("+", "-", "*", "/", "%"):
+            return RexCall(op, (left, right), common_numeric_type(left.type, right.type))
+        if op == "||":
+            return RexCall("||", (left, right), SqlType.VARCHAR)
+        if op == "LIKE":
+            return RexCall("LIKE", (left, right), SqlType.BOOLEAN)
+        raise SqlValidationError(f"unknown binary operator {op!r}")
+
+    @staticmethod
+    def _literal_rex(value: object) -> RexLiteral:
+        if value is None:
+            return RexLiteral(None, SqlType.ANY)
+        if isinstance(value, bool):
+            return RexLiteral(value, SqlType.BOOLEAN)
+        if isinstance(value, int):
+            return RexLiteral(value,
+                              SqlType.INTEGER if abs(value) <= _INT32_MAX
+                              else SqlType.BIGINT)
+        if isinstance(value, float):
+            return RexLiteral(value, SqlType.DOUBLE)
+        if isinstance(value, str):
+            return RexLiteral(value, SqlType.VARCHAR)
+        raise SqlValidationError(f"unsupported literal {value!r}")
+
+    @staticmethod
+    def _check_boolean(rex: RexNode, where: str) -> None:
+        if rex.type not in (SqlType.BOOLEAN, SqlType.ANY):
+            raise SqlValidationError(f"{where} requires boolean operands, got {rex.type}")
+
+    @staticmethod
+    def _check_comparable(left: RexNode, right: RexNode, op: str) -> None:
+        a, b = left.type, right.type
+        if SqlType.ANY in (a, b) or a == b:
+            return
+        if a.is_numeric and b.is_numeric:
+            return
+        raise SqlValidationError(f"cannot compare {a} {op} {b}")
+
+    @staticmethod
+    def _merge_types(a: SqlType, b: SqlType) -> SqlType:
+        if a == b:
+            return a
+        if SqlType.ANY in (a, b):
+            return SqlType.ANY
+        if a.is_numeric and b.is_numeric:
+            return common_numeric_type(a, b)
+        raise SqlValidationError(f"CASE branches have incompatible types {a} and {b}")
+
+    # -- AST utilities --------------------------------------------------------------------------
+
+    @staticmethod
+    def _ast_children(expr: ast.Expr) -> list[ast.Expr]:
+        if isinstance(expr, ast.BinaryOp):
+            return [expr.left, expr.right]
+        if isinstance(expr, ast.UnaryOp):
+            return [expr.operand]
+        if isinstance(expr, ast.FuncCall):
+            return list(expr.args)
+        if isinstance(expr, ast.FloorTo):
+            return [expr.arg]
+        if isinstance(expr, ast.Between):
+            return [expr.expr, expr.low, expr.high]
+        if isinstance(expr, ast.IsNull):
+            return [expr.expr]
+        if isinstance(expr, ast.InList):
+            return [expr.expr, *expr.items]
+        if isinstance(expr, ast.Case):
+            out = []
+            for condition, result in expr.whens:
+                out.extend((condition, result))
+            if expr.else_result is not None:
+                out.append(expr.else_result)
+            return out
+        if isinstance(expr, ast.Cast):
+            return [expr.expr]
+        if isinstance(expr, ast.OverCall):
+            return [expr.func, *expr.partition_by, *(e for e, _ in expr.order_by)]
+        return []
+
+    def _contains_aggregate(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.OverCall):
+            return False  # analytic, not grouped
+        if isinstance(expr, ast.FuncCall) and is_aggregate_name(expr.name):
+            return True
+        return any(self._contains_aggregate(c) for c in self._ast_children(expr))
+
+    def _contains_over(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.OverCall):
+            return True
+        return any(self._contains_over(c) for c in self._ast_children(expr))

@@ -1,0 +1,128 @@
+"""Built-in scalar and aggregate function catalogue.
+
+Scalar functions are described by their name, arity, and a result-type
+rule; their runtime implementations live in :mod:`repro.sql.codegen`
+(compiled inline) — the same division Calcite makes between the operator
+table and generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import SqlValidationError
+from repro.sql.types import SqlType, common_numeric_type
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    name: str
+    min_args: int
+    max_args: int  # -1 = varargs
+    result_type: Callable[[list[SqlType]], SqlType]
+
+    def check_arity(self, count: int) -> None:
+        if count < self.min_args or (self.max_args != -1 and count > self.max_args):
+            expected = (f"{self.min_args}" if self.min_args == self.max_args
+                        else f"{self.min_args}..{'n' if self.max_args == -1 else self.max_args}")
+            raise SqlValidationError(
+                f"{self.name} expects {expected} arguments, got {count}")
+
+
+def _same_as_first(arg_types: list[SqlType]) -> SqlType:
+    return arg_types[0] if arg_types else SqlType.ANY
+
+
+def _numeric_common(arg_types: list[SqlType]) -> SqlType:
+    result = arg_types[0]
+    for t in arg_types[1:]:
+        result = common_numeric_type(result, t)
+    return result
+
+
+def _varchar(_: list[SqlType]) -> SqlType:
+    return SqlType.VARCHAR
+
+def _integer(_: list[SqlType]) -> SqlType:
+    return SqlType.INTEGER
+
+def _double(_: list[SqlType]) -> SqlType:
+    return SqlType.DOUBLE
+
+
+SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
+    fn.name: fn
+    for fn in [
+        ScalarFunction("FLOOR", 1, 1, _same_as_first),
+        ScalarFunction("CEIL", 1, 1, _same_as_first),
+        ScalarFunction("GREATEST", 1, -1, _numeric_common),
+        ScalarFunction("LEAST", 1, -1, _numeric_common),
+        ScalarFunction("ABS", 1, 1, _same_as_first),
+        ScalarFunction("MOD", 2, 2, _numeric_common),
+        ScalarFunction("POWER", 2, 2, _double),
+        ScalarFunction("SQRT", 1, 1, _double),
+        ScalarFunction("UPPER", 1, 1, _varchar),
+        ScalarFunction("LOWER", 1, 1, _varchar),
+        ScalarFunction("TRIM", 1, 1, _varchar),
+        ScalarFunction("CHAR_LENGTH", 1, 1, _integer),
+        ScalarFunction("SUBSTRING", 2, 3, _varchar),
+        ScalarFunction("COALESCE", 1, -1, _same_as_first),
+        ScalarFunction("NULLIF", 2, 2, _same_as_first),
+    ]
+}
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+# Window bookkeeping pseudo-aggregates (§3.6: "aggregate functions START
+# and END was introduced to capture start and end time of a window").
+WINDOW_MARKER_FUNCTIONS = {"START", "END"}
+
+# GROUP BY window functions (§3.6).
+GROUP_WINDOW_FUNCTIONS = {"TUMBLE", "HOP"}
+
+
+def is_aggregate_name(name: str) -> bool:
+    if name.upper() in AGGREGATE_FUNCTIONS:
+        return True
+    from repro.sql.udf import UDF_REGISTRY
+
+    return UDF_REGISTRY.udaf(name) is not None
+
+
+def aggregate_result_type(func: str, arg_type: SqlType | None) -> SqlType:
+    func = func.upper()
+    from repro.sql.udf import UDF_REGISTRY
+
+    udaf = UDF_REGISTRY.udaf(func)
+    if udaf is not None:
+        return udaf.result_type
+    if func == "COUNT":
+        return SqlType.BIGINT
+    if arg_type is None:
+        raise SqlValidationError(f"{func} requires an argument")
+    if func in ("MIN", "MAX"):
+        return arg_type
+    if func == "AVG":
+        return SqlType.DOUBLE
+    if func == "SUM":
+        if not (arg_type.is_numeric or arg_type is SqlType.ANY):
+            raise SqlValidationError(f"SUM requires a numeric argument, got {arg_type}")
+        return SqlType.BIGINT if arg_type is SqlType.INTEGER else arg_type
+    raise SqlValidationError(f"unknown aggregate function {func!r}")
+
+
+def lookup_scalar(name: str) -> ScalarFunction:
+    upper = name.upper()
+    builtin = SCALAR_FUNCTIONS.get(upper)
+    if builtin is not None:
+        return builtin
+    from repro.sql.udf import UDF_REGISTRY
+
+    udf = UDF_REGISTRY.scalar(upper)
+    if udf is not None:
+        return ScalarFunction(f"UDF:{udf.name}", udf.min_args, udf.max_args,
+                              lambda _types, t=udf.result_type: t)
+    raise SqlValidationError(
+        f"unknown function {name!r}; known scalar functions: "
+        f"{sorted(SCALAR_FUNCTIONS)} (plus registered UDFs)")

@@ -1,0 +1,92 @@
+"""INTERVAL and TIME literal parsing.
+
+The grammar of §3.6–3.8 uses SQL interval literals to express window
+widths and join bounds::
+
+    INTERVAL '2' SECOND
+    INTERVAL '1' HOUR
+    INTERVAL '1:30' HOUR TO MINUTE
+    TIME '0:30'
+
+All intervals normalize to milliseconds (the unit of rowtime).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SqlParseError
+
+MS = 1
+SECOND_MS = 1000
+MINUTE_MS = 60 * SECOND_MS
+HOUR_MS = 60 * MINUTE_MS
+DAY_MS = 24 * HOUR_MS
+
+_UNIT_MS = {
+    "MILLISECOND": MS,
+    "SECOND": SECOND_MS,
+    "MINUTE": MINUTE_MS,
+    "HOUR": HOUR_MS,
+    "DAY": DAY_MS,
+}
+
+# For compound intervals like HOUR TO MINUTE: the ':'-separated literal
+# fields, most significant first.
+_COMPOUND_FIELDS = ["DAY", "HOUR", "MINUTE", "SECOND"]
+
+
+def unit_to_ms(unit: str) -> int:
+    try:
+        return _UNIT_MS[unit.upper()]
+    except KeyError:
+        raise SqlParseError(f"unknown interval unit {unit!r}") from None
+
+
+def parse_interval(value: str, start_unit: str, end_unit: str | None = None) -> int:
+    """Milliseconds for ``INTERVAL '<value>' <start> [TO <end>]``."""
+    start_unit = start_unit.upper()
+    if end_unit is None:
+        try:
+            magnitude = float(value) if "." in value else int(value)
+        except ValueError:
+            raise SqlParseError(
+                f"single-unit interval needs a number, got {value!r}") from None
+        return int(magnitude * unit_to_ms(start_unit))
+    end_unit = end_unit.upper()
+    for unit in (start_unit, end_unit):
+        if unit not in _COMPOUND_FIELDS:
+            raise SqlParseError(f"unsupported compound interval unit {unit!r}")
+    start_index = _COMPOUND_FIELDS.index(start_unit)
+    end_index = _COMPOUND_FIELDS.index(end_unit)
+    if end_index <= start_index:
+        raise SqlParseError(
+            f"invalid interval qualifier {start_unit} TO {end_unit}")
+    parts = value.split(":")
+    expected = end_index - start_index + 1
+    if len(parts) != expected:
+        raise SqlParseError(
+            f"interval literal {value!r} needs {expected} fields for "
+            f"{start_unit} TO {end_unit}")
+    total = 0
+    for unit, part in zip(_COMPOUND_FIELDS[start_index:end_index + 1], parts):
+        try:
+            magnitude = int(part)
+        except ValueError:
+            raise SqlParseError(f"bad interval field {part!r} in {value!r}") from None
+        total += magnitude * unit_to_ms(unit)
+    return total
+
+
+def parse_time_literal(value: str) -> int:
+    """Milliseconds past midnight for ``TIME 'H:MM[:SS]'`` (HOP alignment)."""
+    parts = value.split(":")
+    if not 2 <= len(parts) <= 3:
+        raise SqlParseError(f"TIME literal must be 'H:MM[:SS]', got {value!r}")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise SqlParseError(f"bad TIME literal {value!r}") from None
+    hours, minutes = numbers[0], numbers[1]
+    seconds = numbers[2] if len(numbers) == 3 else 0
+    if not (0 <= minutes < 60 and 0 <= seconds < 60 and hours >= 0):
+        raise SqlParseError(f"TIME literal out of range: {value!r}")
+    return hours * HOUR_MS + minutes * MINUTE_MS + seconds * SECOND_MS

@@ -1,0 +1,163 @@
+"""SQL tokenizer.
+
+Produces a flat token list with line/column positions for error messages.
+Handles: keywords/identifiers (case-insensitive keywords, double-quoted
+identifiers preserve case), string literals with ``''`` escaping, numeric
+literals, multi-char operators, and both comment styles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import SqlParseError
+
+KEYWORDS = {
+    "SELECT", "STREAM", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS",
+    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "ON", "AND", "OR",
+    "NOT", "BETWEEN", "IN", "IS", "NULL", "TRUE", "FALSE", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "CAST", "INTERVAL", "TIME", "TO", "OVER",
+    "PARTITION", "ORDER", "RANGE", "ROWS", "PRECEDING", "FOLLOWING",
+    "CURRENT", "ROW", "UNBOUNDED", "CREATE", "VIEW", "INSERT", "INTO",
+    "VALUES", "DISTINCT", "ALL", "LIKE", "ASC", "DESC", "LIMIT", "UNION",
+    "EXISTS", "SECOND", "MINUTE", "HOUR", "DAY", "MILLISECOND",
+}
+
+MULTI_CHAR_OPS = ("<>", "<=", ">=", "!=", "||")
+SINGLE_CHAR_OPS = "+-*/%(),.<>=;"
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def matches_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OPERATOR and self.value in ops
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < n:
+        ch = text[pos]
+        # whitespace
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        # line comment
+        if text.startswith("--", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        # block comment
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end == -1:
+                raise SqlParseError("unterminated block comment", line, column())
+            line += text.count("\n", pos, end)
+            pos = end + 2
+            continue
+        # string literal
+        if ch == "'":
+            start_line, start_col = line, column()
+            pos += 1
+            out = []
+            while True:
+                if pos >= n:
+                    raise SqlParseError("unterminated string literal", start_line, start_col)
+                if text[pos] == "'":
+                    if pos + 1 < n and text[pos + 1] == "'":  # escaped quote
+                        out.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                if text[pos] == "\n":
+                    line += 1
+                    line_start = pos + 1
+                out.append(text[pos])
+                pos += 1
+            tokens.append(Token(TokenType.STRING, "".join(out), start_line, start_col))
+            continue
+        # quoted identifier
+        if ch == '"':
+            start_col = column()
+            end = text.find('"', pos + 1)
+            if end == -1:
+                raise SqlParseError("unterminated quoted identifier", line, start_col)
+            tokens.append(Token(TokenType.IDENTIFIER, text[pos + 1:end], line, start_col))
+            pos = end + 1
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and pos + 1 < n and text[pos + 1].isdigit()):
+            start = pos
+            start_col = column()
+            seen_dot = False
+            while pos < n and (text[pos].isdigit() or (text[pos] == "." and not seen_dot)):
+                if text[pos] == ".":
+                    # don't treat 'a.1' style; only consume dot followed by digit
+                    if pos + 1 >= n or not text[pos + 1].isdigit():
+                        break
+                    seen_dot = True
+                pos += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:pos], line, start_col))
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            start = pos
+            start_col = column()
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, line, start_col))
+            continue
+        # operators
+        matched = False
+        for op in MULTI_CHAR_OPS:
+            if text.startswith(op, pos):
+                tokens.append(Token(TokenType.OPERATOR, op, line, column()))
+                pos += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, ch, line, column()))
+            pos += 1
+            continue
+        raise SqlParseError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,464 @@
+"""Recursive-descent parser for streaming SQL.
+
+Covers standard SQL SELECT (filter/project/aggregate/having/join,
+sub-queries in FROM, views) plus the paper's streaming extensions:
+
+* ``SELECT STREAM ...`` (§3.3)
+* ``GROUP BY TUMBLE(rowtime, INTERVAL ...)`` / ``HOP(rowtime, emit,
+  retain[, align])`` (§3.6) — parsed as ordinary function calls and
+  recognized during planning
+* analytic functions with ``OVER (PARTITION BY ... ORDER BY ... RANGE
+  INTERVAL ... PRECEDING)`` (§3.7)
+* interval-bounded join conditions (§3.8) — ordinary BETWEEN expressions
+  over rowtime, recognized during planning
+* ``CREATE VIEW`` and ``INSERT INTO <stream> SELECT ...``
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SqlParseError
+from repro.sql import ast
+from repro.sql.interval import parse_interval, parse_time_literal
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+_TIME_UNITS = ("MILLISECOND", "SECOND", "MINUTE", "HOUR", "DAY")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlParseError:
+        token = self.current
+        found = token.value or "<end of input>"
+        return SqlParseError(f"{message} (found {found!r})", token.line, token.column)
+
+    def accept_keyword(self, *keywords: str) -> Token | None:
+        if self.current.matches_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *keywords: str) -> Token:
+        token = self.accept_keyword(*keywords)
+        if token is None:
+            raise self.error(f"expected {' or '.join(keywords)}")
+        return token
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.current.matches_op(*ops):
+            return self.advance()
+        return None
+
+    def expect_op(self, *ops: str) -> Token:
+        token = self.accept_op(*ops)
+        if token is None:
+            raise self.error(f"expected {' or '.join(repr(o) for o in ops)}")
+        return token
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        if self.current.type is TokenType.IDENTIFIER:
+            return self.advance().value
+        raise self.error(f"expected {what}")
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self.current.matches_keyword("CREATE"):
+            stmt: ast.Statement = self.parse_create_view()
+        elif self.current.matches_keyword("INSERT"):
+            stmt = self.parse_insert()
+        else:
+            stmt = self.parse_select()
+        self.accept_op(";")
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return stmt
+
+    def parse_create_view(self) -> ast.CreateView:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("VIEW")
+        name = self.expect_identifier("view name")
+        columns: tuple[str, ...] | None = None
+        if self.accept_op("("):
+            cols = [self.expect_identifier("column name")]
+            while self.accept_op(","):
+                cols.append(self.expect_identifier("column name"))
+            self.expect_op(")")
+            columns = tuple(cols)
+        self.expect_keyword("AS")
+        return ast.CreateView(name=name, columns=columns, query=self.parse_select())
+
+    def parse_insert(self) -> ast.InsertInto:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        target = self.expect_identifier("target stream")
+        return ast.InsertInto(target=target, query=self.parse_select())
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def parse_select(self) -> ast.SelectStmt:
+        self.expect_keyword("SELECT")
+        stream = self.accept_keyword("STREAM") is not None
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+        items = [self.parse_select_item()]
+        while self.accept_op(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        from_clause = self.parse_table_ref()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: tuple[ast.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            keys = [self.parse_expr()]
+            while self.accept_op(","):
+                keys.append(self.parse_expr())
+            group_by = tuple(keys)
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+        order_by: list[tuple[ast.Expr, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expr()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append((expr, ascending))
+                if not self.accept_op(","):
+                    break
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise self.error("LIMIT expects an integer")
+            self.advance()
+            limit = int(token.value)
+        return ast.SelectStmt(
+            stream=stream, items=tuple(items), from_clause=from_clause,
+            where=where, group_by=group_by, having=having, distinct=distinct,
+            order_by=tuple(order_by), limit=limit,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.accept_op("*"):
+            return ast.SelectItem(expr=ast.Star())
+        # qualified star: ident.*
+        if (self.current.type is TokenType.IDENTIFIER
+                and self.tokens[self.pos + 1].matches_op(".")
+                and self.tokens[self.pos + 2].matches_op("*")):
+            qualifier = self.advance().value
+            self.advance()  # .
+            self.advance()  # *
+            return ast.SelectItem(expr=ast.Star(qualifier=qualifier))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    # -- FROM -----------------------------------------------------------------------
+
+    def parse_table_ref(self) -> ast.TableRef:
+        left = self.parse_table_primary()
+        while True:
+            kind = None
+            if self.accept_keyword("JOIN"):
+                kind = "INNER"
+            elif self.current.matches_keyword("INNER", "LEFT", "RIGHT", "FULL"):
+                kind = self.advance().value
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+            else:
+                break
+            right = self.parse_table_primary()
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+            left = ast.JoinRef(left=left, right=right, kind=kind, condition=condition)
+        return left
+
+    def parse_table_primary(self) -> ast.TableRef:
+        if self.accept_op("("):
+            inner = self.parse_select()
+            self.expect_op(")")
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.expect_identifier("alias")
+            elif self.current.type is TokenType.IDENTIFIER:
+                alias = self.advance().value
+            return ast.DerivedTable(query=inner, alias=alias)
+        name = self.expect_identifier("table or stream name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return ast.NamedTable(name=name, alias=alias)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.Expr:
+        left = self.parse_additive()
+        negated = self.accept_keyword("NOT") is not None
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.Between(expr=left, low=low, high=high, negated=negated)
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            items = [self.parse_expr()]
+            while self.accept_op(","):
+                items.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.InList(expr=left, items=tuple(items), negated=negated)
+        if self.accept_keyword("LIKE"):
+            node: ast.Expr = ast.BinaryOp("LIKE", left, self.parse_additive())
+            return ast.UnaryOp("NOT", node) if negated else node
+        if negated:
+            raise self.error("expected BETWEEN, IN or LIKE after NOT")
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return ast.IsNull(expr=left, negated=is_negated)
+        op_token = self.accept_op(*_COMPARISONS)
+        if op_token is not None:
+            op = "<>" if op_token.value == "!=" else op_token.value
+            return ast.BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.accept_op("+", "-", "||")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.accept_op("*", "/", "%")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self.parse_unary())
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept_op("-"):
+            return ast.UnaryOp("-", self.parse_unary())
+        if self.accept_op("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    # -- primaries ------------------------------------------------------------------------
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches_keyword("INTERVAL"):
+            return self.parse_interval_literal()
+        if token.matches_keyword("TIME"):
+            self.advance()
+            if self.current.type is not TokenType.STRING:
+                raise self.error("expected string after TIME")
+            return ast.TimeLit(parse_time_literal(self.advance().value))
+        if token.matches_keyword("CASE"):
+            return self.parse_case()
+        if token.matches_keyword("CAST"):
+            return self.parse_cast()
+        if self.accept_op("("):
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        # END(rowtime): END is a keyword (CASE) but also the paper's window-end
+        # aggregate (§3.6); allow keyword-named function calls when followed
+        # by '('.
+        if (token.type is TokenType.KEYWORD and token.value == "END"
+                and self.tokens[self.pos + 1].matches_op("(")):
+            self.advance()
+            return self.parse_function_call("END")
+        if token.type is TokenType.IDENTIFIER:
+            return self.parse_column_or_function()
+        raise self.error("expected expression")
+
+    def parse_interval_literal(self) -> ast.IntervalLit:
+        self.expect_keyword("INTERVAL")
+        if self.current.type is not TokenType.STRING:
+            raise self.error("expected string after INTERVAL")
+        value = self.advance().value
+        start_unit = self.expect_keyword(*_TIME_UNITS).value
+        end_unit = None
+        if self.accept_keyword("TO"):
+            end_unit = self.expect_keyword(*_TIME_UNITS).value
+        return ast.IntervalLit(parse_interval(value, start_unit, end_unit))
+
+    def parse_case(self) -> ast.Case:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        else_result = None
+        if self.accept_keyword("ELSE"):
+            else_result = self.parse_expr()
+        self.expect_keyword("END")
+        return ast.Case(whens=tuple(whens), else_result=else_result)
+
+    def parse_cast(self) -> ast.Cast:
+        self.expect_keyword("CAST")
+        self.expect_op("(")
+        expr = self.parse_expr()
+        self.expect_keyword("AS")
+        type_name = self.expect_identifier("type name")
+        self.expect_op(")")
+        return ast.Cast(expr=expr, type_name=type_name.upper())
+
+    def parse_column_or_function(self) -> ast.Expr:
+        parts = [self.expect_identifier()]
+        while (self.current.matches_op(".")
+               and self.tokens[self.pos + 1].type is TokenType.IDENTIFIER):
+            self.advance()
+            parts.append(self.expect_identifier())
+        if len(parts) == 1 and self.current.matches_op("("):
+            return self.parse_function_call(parts[0].upper())
+        return ast.ColumnRef(parts=tuple(parts))
+
+    def parse_function_call(self, name: str) -> ast.Expr:
+        self.expect_op("(")
+        distinct = False
+        is_star = False
+        args: list[ast.Expr] = []
+        if self.accept_op("*"):
+            is_star = True
+        elif not self.current.matches_op(")"):
+            if self.accept_keyword("DISTINCT"):
+                distinct = True
+            args.append(self.parse_expr())
+            # FLOOR(x TO HOUR)
+            if name == "FLOOR" and self.accept_keyword("TO"):
+                unit = self.expect_keyword(*_TIME_UNITS).value
+                self.expect_op(")")
+                return ast.FloorTo(arg=args[0], unit=unit)
+            while self.accept_op(","):
+                args.append(self.parse_expr())
+        self.expect_op(")")
+        call = ast.FuncCall(name=name, args=tuple(args), distinct=distinct,
+                            is_star=is_star)
+        if self.accept_keyword("OVER"):
+            return self.parse_over(call)
+        return call
+
+    def parse_over(self, func: ast.FuncCall) -> ast.OverCall:
+        self.expect_op("(")
+        partition_by: list[ast.Expr] = []
+        order_by: list[tuple[ast.Expr, bool]] = []
+        frame: ast.WindowFrame | None = None
+        if self.accept_keyword("PARTITION"):
+            self.expect_keyword("BY")
+            partition_by.append(self.parse_expr())
+            while self.accept_op(","):
+                partition_by.append(self.parse_expr())
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expr()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append((expr, ascending))
+                if not self.accept_op(","):
+                    break
+        mode_token = self.accept_keyword("RANGE", "ROWS")
+        if mode_token is not None:
+            if self.accept_keyword("UNBOUNDED"):
+                self.expect_keyword("PRECEDING")
+                frame = ast.WindowFrame(mode=mode_token.value, preceding="UNBOUNDED")
+            elif self.accept_keyword("CURRENT"):
+                self.expect_keyword("ROW")
+                frame = ast.WindowFrame(mode=mode_token.value, preceding="CURRENT")
+            else:
+                bound = self.parse_additive()
+                self.expect_keyword("PRECEDING")
+                frame = ast.WindowFrame(mode=mode_token.value, preceding=bound)
+        self.expect_op(")")
+        return ast.OverCall(
+            func=func, partition_by=tuple(partition_by),
+            order_by=tuple(order_by), frame=frame,
+        )
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse one SQL statement (SELECT, CREATE VIEW or INSERT INTO)."""
+    return _Parser(text).parse_statement()
+
+
+def parse_query(text: str) -> ast.SelectStmt:
+    """Parse a statement that must be a SELECT."""
+    stmt = parse_statement(text)
+    if not isinstance(stmt, ast.SelectStmt):
+        raise SqlParseError(f"expected a SELECT query, got {type(stmt).__name__}")
+    return stmt

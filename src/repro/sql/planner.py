@@ -1,0 +1,133 @@
+"""QueryPlanner facade: text → validated, optimized logical plan.
+
+The SamzaSQL shell drives this class; it also handles DDL-ish statements
+(CREATE VIEW registers into the catalog, INSERT INTO names the output
+stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import PlannerError, SqlValidationError
+from repro.sql import ast
+from repro.sql.catalog import Catalog
+from repro.sql.converter import Converter
+from repro.sql.parser import parse_statement
+from repro.sql.rel.nodes import LogicalDelta, LogicalScan, RelNode
+from repro.sql.rel.optimizer import Optimizer
+
+
+@dataclass
+class PlannedStatement:
+    kind: str  # "select" | "view" | "insert"
+    plan: Optional[RelNode] = None
+    is_streaming: bool = False
+    output_stream: Optional[str] = None
+    view_name: Optional[str] = None
+    statement: Optional[ast.Statement] = None
+    warnings: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.warnings is None:
+            self.warnings = []
+
+
+def _check_no_stuck_delta(plan: RelNode) -> None:
+    """A Delta left over a table scan means 'SELECT STREAM from a table'."""
+    if isinstance(plan, LogicalDelta):
+        child = plan.input
+        if isinstance(child, LogicalScan) and not child.is_stream:
+            raise PlannerError(
+                f"cannot stream table {child.source!r}: the STREAM keyword "
+                f"requires at least one stream input")
+        raise PlannerError(
+            f"STREAM conversion could not be pushed into: {child._describe()}")
+    for child in plan.inputs:
+        _check_no_stuck_delta(child)
+
+
+def _plan_is_streaming(statement: ast.SelectStmt) -> bool:
+    return statement.stream
+
+
+class QueryPlanner:
+    """Parse → validate/convert → optimize."""
+
+    def __init__(self, catalog: Catalog, optimizer: Optimizer | None = None):
+        self.catalog = catalog
+        self.optimizer = optimizer or Optimizer()
+
+    def plan_statement(self, text: str) -> PlannedStatement:
+        statement = parse_statement(text)
+        if isinstance(statement, ast.CreateView):
+            # Validate the view body eagerly so errors surface at CREATE time.
+            body = Converter(self.catalog).convert_query(statement.query)
+            if (statement.columns is not None
+                    and len(statement.columns) != len(body.row_type)):
+                raise SqlValidationError(
+                    f"view {statement.name!r} declares {len(statement.columns)} "
+                    f"columns but its query produces {len(body.row_type)}")
+            self.catalog.register_view(
+                statement.name, columns=statement.columns,
+                query_ast=statement.query)
+            return PlannedStatement(kind="view", view_name=statement.name,
+                                    statement=statement)
+        if isinstance(statement, ast.InsertInto):
+            plan = self._plan_select(statement.query)
+            return PlannedStatement(
+                kind="insert", plan=plan,
+                is_streaming=_plan_is_streaming(statement.query),
+                output_stream=statement.target, statement=statement,
+                warnings=self._collect_warnings(plan,
+                                                _plan_is_streaming(statement.query)))
+        assert isinstance(statement, ast.SelectStmt)
+        plan = self._plan_select(statement)
+        return PlannedStatement(kind="select", plan=plan,
+                                is_streaming=_plan_is_streaming(statement),
+                                statement=statement,
+                                warnings=self._collect_warnings(
+                                    plan, _plan_is_streaming(statement)))
+
+    @staticmethod
+    def _collect_warnings(plan: RelNode, is_streaming: bool) -> list[str]:
+        """Planner diagnostics (paper future-work item 2).
+
+        §7: "If this timestamp property is dropped during a projection,
+        SamzaSQL loses the ability to perform time-based window
+        aggregations on the resulting stream.  The query planner should
+        provide better warnings and error messages on such scenarios."
+        """
+        warnings: list[str] = []
+        if not is_streaming:
+            return warnings
+        from repro.sql.types import SqlType
+
+        has_rowtime = any(
+            f.name.lower() == "rowtime" and f.type in (SqlType.TIMESTAMP, SqlType.ANY)
+            for f in plan.row_type.fields)
+        if not has_rowtime:
+            warnings.append(
+                "output drops the 'rowtime' timestamp field: time-based "
+                "window aggregations will not be possible on the derived "
+                "stream (include rowtime, or a timestamp derived from it, "
+                "in the projection)")
+        return warnings
+
+    def plan_query(self, text: str) -> RelNode:
+        planned = self.plan_statement(text)
+        if planned.plan is None:
+            raise PlannerError(f"statement is not a query: {text!r}")
+        return planned.plan
+
+    def explain(self, text: str) -> str:
+        return self.plan_query(text).explain()
+
+    def _plan_select(self, select: ast.SelectStmt) -> RelNode:
+        logical = Converter(self.catalog).convert_query(select)
+        optimized = self.optimizer.optimize(logical)
+        _check_no_stuck_delta(optimized)
+        return optimized
+
+

@@ -1,0 +1,25 @@
+"""Logical relational algebra (Calcite's RelNode role)."""
+
+from repro.sql.rel.nodes import (
+    GroupWindow,
+    LogicalAggregate,
+    LogicalDelta,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    LogicalWindowAgg,
+    RelNode,
+)
+
+__all__ = [
+    "RelNode",
+    "LogicalScan",
+    "LogicalDelta",
+    "LogicalFilter",
+    "LogicalProject",
+    "LogicalAggregate",
+    "LogicalWindowAgg",
+    "LogicalJoin",
+    "GroupWindow",
+]

@@ -1,0 +1,287 @@
+"""Logical plan nodes.
+
+The physical plan is "a tree of relational algebra operators such as scan,
+filter, project and join where scan operators are at the leaf nodes" (§4.2)
+— these are the logical counterparts the optimizer works on before the
+SamzaSQL physical planner lowers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sql.rex import AggCall, RexNode
+from repro.sql.types import RelField, RowType, SqlType
+
+
+class RelNode:
+    """Base class: every node knows its inputs and output row type."""
+
+    inputs: tuple["RelNode", ...] = ()
+    row_type: RowType
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree (Calcite's EXPLAIN flavour)."""
+        line = "  " * indent + self._describe()
+        children = [child.explain(indent + 1) for child in self.inputs]
+        return "\n".join([line, *children])
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def with_inputs(self, inputs: list["RelNode"]) -> "RelNode":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LogicalScan(RelNode):
+    """Leaf: read a named stream or table from the catalog."""
+
+    source: str
+    row_type: RowType
+    is_stream: bool
+    rowtime_index: Optional[int] = None
+    inputs: tuple[RelNode, ...] = ()
+
+    def _describe(self) -> str:
+        kind = "stream" if self.is_stream else "table"
+        return f"LogicalScan({self.source}, {kind})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalScan":
+        assert not inputs
+        return self
+
+
+@dataclass(frozen=True)
+class LogicalDelta(RelNode):
+    """The STREAM keyword: convert a relation to its insert stream.
+
+    Calcite's streaming model introduces Delta at the query root and
+    pushes it to the leaves; a Delta directly over a stream scan is
+    absorbed (the scan already produces a stream), over a table scan it
+    is a validation error.
+    """
+
+    input: RelNode
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.input,)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        return self.input.row_type
+
+    def _describe(self) -> str:
+        return "LogicalDelta"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalDelta":
+        (child,) = inputs
+        return LogicalDelta(child)
+
+
+@dataclass(frozen=True)
+class LogicalFilter(RelNode):
+    input: RelNode
+    condition: RexNode
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.input,)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        return self.input.row_type
+
+    def _describe(self) -> str:
+        return f"LogicalFilter({self.condition})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalFilter":
+        (child,) = inputs
+        return LogicalFilter(child, self.condition)
+
+
+@dataclass(frozen=True)
+class LogicalProject(RelNode):
+    input: RelNode
+    exprs: tuple[RexNode, ...]
+    names: tuple[str, ...]
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.input,)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        return RowType([RelField(name, expr.type)
+                        for name, expr in zip(self.names, self.exprs)])
+
+    def _describe(self) -> str:
+        cols = ", ".join(f"{n}={e}" for n, e in zip(self.names, self.exprs))
+        return f"LogicalProject({cols})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalProject":
+        (child,) = inputs
+        return LogicalProject(child, self.exprs, self.names)
+
+    def is_identity(self) -> bool:
+        """True if this project just forwards every input field unchanged."""
+        from repro.sql.rex import RexInputRef
+        if len(self.exprs) != len(self.input.row_type):
+            return False
+        for i, expr in enumerate(self.exprs):
+            if not (isinstance(expr, RexInputRef) and expr.index == i):
+                return False
+        return list(self.names) == self.input.row_type.field_names
+
+
+@dataclass(frozen=True)
+class GroupWindow:
+    """TUMBLE/HOP window in a GROUP BY (§3.6).
+
+    ``time_expr`` evaluates the event timestamp; ``emit_ms`` is the
+    emit/advance interval and ``retain_ms`` the window size (equal for
+    tumbling).  ``align_ms`` shifts window boundaries (HOP's 4th argument).
+    """
+
+    kind: str  # TUMBLE or HOP
+    time_expr: RexNode
+    emit_ms: int
+    retain_ms: int
+    align_ms: int = 0
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(RelNode):
+    """GROUP BY aggregation, optionally windowed.
+
+    Output row type: ``[wstart, wend]`` (when windowed) ++ group keys ++
+    aggregate outputs.
+    """
+
+    input: RelNode
+    group_exprs: tuple[RexNode, ...]
+    group_names: tuple[str, ...]
+    agg_calls: tuple[AggCall, ...]
+    window: Optional[GroupWindow] = None
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.input,)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        fields: list[RelField] = []
+        if self.window is not None:
+            fields.append(RelField("wstart", SqlType.TIMESTAMP))
+            fields.append(RelField("wend", SqlType.TIMESTAMP))
+        for name, expr in zip(self.group_names, self.group_exprs):
+            fields.append(RelField(name, expr.type))
+        for call in self.agg_calls:
+            fields.append(RelField(call.name, call.type))
+        return RowType(fields)
+
+    def _describe(self) -> str:
+        window = f", window={self.window.kind}" if self.window else ""
+        keys = ", ".join(str(e) for e in self.group_exprs)
+        aggs = ", ".join(str(c) for c in self.agg_calls)
+        return f"LogicalAggregate(keys=[{keys}], aggs=[{aggs}]{window})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalAggregate":
+        (child,) = inputs
+        return LogicalAggregate(child, self.group_exprs, self.group_names,
+                                self.agg_calls, self.window)
+
+
+@dataclass(frozen=True)
+class LogicalWindowAgg(RelNode):
+    """Analytic (OVER) sliding-window aggregation (§3.7).
+
+    One output row per input row: all input fields plus one field per
+    aggregate.  ``preceding_ms`` for RANGE frames; ``preceding_rows`` for
+    ROWS frames; both None means UNBOUNDED.
+    """
+
+    input: RelNode
+    partition_exprs: tuple[RexNode, ...]
+    order_expr: RexNode
+    agg_calls: tuple[AggCall, ...]
+    frame_mode: str = "RANGE"
+    preceding_ms: Optional[int] = None
+    preceding_rows: Optional[int] = None
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.input,)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        fields = list(self.input.row_type.fields)
+        fields.extend(RelField(c.name, c.type) for c in self.agg_calls)
+        return RowType(fields)
+
+    def _describe(self) -> str:
+        aggs = ", ".join(str(c) for c in self.agg_calls)
+        bound = (f"{self.preceding_ms}ms" if self.preceding_ms is not None
+                 else f"{self.preceding_rows}rows" if self.preceding_rows is not None
+                 else "UNBOUNDED")
+        return f"LogicalWindowAgg([{aggs}] {self.frame_mode} {bound} PRECEDING)"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalWindowAgg":
+        (child,) = inputs
+        return LogicalWindowAgg(child, self.partition_exprs, self.order_expr,
+                                self.agg_calls, self.frame_mode,
+                                self.preceding_ms, self.preceding_rows)
+
+
+@dataclass(frozen=True)
+class LogicalSort(RelNode):
+    """ORDER BY [LIMIT] — meaningful for batch queries only (an unbounded
+    stream has no total order to sort by)."""
+
+    input: RelNode
+    sort_keys: tuple[tuple[RexNode, bool], ...]  # (expr, ascending)
+    limit: Optional[int] = None
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.input,)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        return self.input.row_type
+
+    def _describe(self) -> str:
+        keys = ", ".join(f"{e}{'' if asc else ' DESC'}" for e, asc in self.sort_keys)
+        limit = f" LIMIT {self.limit}" if self.limit is not None else ""
+        return f"LogicalSort({keys}{limit})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalSort":
+        (child,) = inputs
+        return LogicalSort(child, self.sort_keys, self.limit)
+
+
+@dataclass(frozen=True)
+class LogicalJoin(RelNode):
+    """Join; condition refs number left fields then right fields."""
+
+    left: RelNode
+    right: RelNode
+    kind: str  # INNER / LEFT / RIGHT / FULL
+    condition: RexNode
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return (self.left, self.right)
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        return self.left.row_type.concat(self.right.row_type)
+
+    def _describe(self) -> str:
+        return f"LogicalJoin({self.kind}, {self.condition})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalJoin":
+        left, right = inputs
+        return LogicalJoin(left, right, self.kind, self.condition)

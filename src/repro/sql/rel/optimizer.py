@@ -1,0 +1,36 @@
+"""Fixed-point rule driver over the logical plan."""
+
+from __future__ import annotations
+
+from repro.common.errors import PlannerError
+from repro.sql.rel.nodes import RelNode
+from repro.sql.rel.rules import DEFAULT_RULES, Rule
+
+
+class Optimizer:
+    """Applies rules bottom-up until no rule fires (with an iteration cap)."""
+
+    def __init__(self, rules: list[Rule] | None = None, max_passes: int = 50):
+        self.rules = list(rules) if rules is not None else list(DEFAULT_RULES)
+        self.max_passes = max_passes
+
+    def optimize(self, plan: RelNode) -> RelNode:
+        current = plan
+        for _ in range(self.max_passes):
+            rewritten = self._rewrite_once(current)
+            if rewritten == current:
+                return current
+            current = rewritten
+        raise PlannerError(
+            f"optimizer did not reach a fixed point in {self.max_passes} passes "
+            f"(rule set cycles?)")
+
+    def _rewrite_once(self, node: RelNode) -> RelNode:
+        new_inputs = [self._rewrite_once(child) for child in node.inputs]
+        if list(node.inputs) != new_inputs:
+            node = node.with_inputs(new_inputs)
+        for rule in self.rules:
+            replacement = rule.apply(node)
+            if replacement is not None and replacement != node:
+                return replacement
+        return node

@@ -1,0 +1,133 @@
+"""Row expressions (Calcite's RexNode role).
+
+A Rex tree is a *typed* expression over the fields of an input row,
+produced by the converter and consumed by the optimizer (constant folding,
+pushdown reasoning) and the code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.types import SqlType
+
+
+class RexNode:
+    """Base class; every node carries its result type."""
+
+    type: SqlType
+
+    def accept_fields(self) -> set[int]:
+        """The set of input field indexes this expression reads."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RexInputRef(RexNode):
+    """Reference to input field ``index``."""
+
+    index: int
+    type: SqlType = SqlType.ANY
+
+    def accept_fields(self) -> set[int]:
+        return {self.index}
+
+    def __str__(self) -> str:
+        return f"$[{self.index}]"
+
+
+@dataclass(frozen=True)
+class RexLiteral(RexNode):
+    value: object
+    type: SqlType = SqlType.ANY
+
+    def accept_fields(self) -> set[int]:
+        return set()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class RexCall(RexNode):
+    """Operator or function application.
+
+    ``op`` is an upper-case operator name: comparison (``=``, ``<`` ...),
+    arithmetic (``+`` ...), logic (``AND``/``OR``/``NOT``), or a scalar
+    function name from :mod:`repro.sql.functions` (``GREATEST``,
+    ``FLOOR_TIME``, ``CASE``, ``IS_NULL`` ...).
+    """
+
+    op: str
+    operands: tuple[RexNode, ...]
+    type: SqlType = SqlType.ANY
+
+    def accept_fields(self) -> set[int]:
+        out: set[int] = set()
+        for operand in self.operands:
+            out |= operand.accept_fields()
+        return out
+
+    def __str__(self) -> str:
+        args = ", ".join(str(o) for o in self.operands)
+        return f"{self.op}({args})"
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """One aggregate in an Aggregate/WindowAgg node.
+
+    ``arg`` is None for COUNT(*).  ``name`` is the output field name.
+    """
+
+    func: str  # COUNT / SUM / MIN / MAX / AVG
+    arg: Optional[RexNode]
+    type: SqlType
+    name: str
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{inner})"
+
+
+def shift_input_refs(node: RexNode, offset: int) -> RexNode:
+    """Return a copy with all input refs shifted by ``offset`` (join rewrites)."""
+    if isinstance(node, RexInputRef):
+        return RexInputRef(node.index + offset, node.type)
+    if isinstance(node, RexCall):
+        return RexCall(node.op,
+                       tuple(shift_input_refs(o, offset) for o in node.operands),
+                       node.type)
+    return node
+
+
+def remap_input_refs(node: RexNode, mapping: dict[int, int]) -> RexNode:
+    """Return a copy with input refs renumbered through ``mapping``."""
+    if isinstance(node, RexInputRef):
+        return RexInputRef(mapping[node.index], node.type)
+    if isinstance(node, RexCall):
+        return RexCall(node.op,
+                       tuple(remap_input_refs(o, mapping) for o in node.operands),
+                       node.type)
+    return node
+
+
+def split_conjunction(node: RexNode) -> list[RexNode]:
+    """Flatten nested ANDs into a conjunct list."""
+    if isinstance(node, RexCall) and node.op == "AND":
+        out: list[RexNode] = []
+        for operand in node.operands:
+            out.extend(split_conjunction(operand))
+        return out
+    return [node]
+
+
+def make_conjunction(conjuncts: list[RexNode]) -> RexNode | None:
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return RexCall("AND", tuple(conjuncts), SqlType.BOOLEAN)

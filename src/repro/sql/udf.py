@@ -1,0 +1,111 @@
+"""User-defined functions and aggregates (paper future-work item 4).
+
+§7: "the current implementation ... does not provide a concrete API to
+define user defined aggregates even though it is theoretically possible."
+This module provides that API:
+
+* :func:`register_scalar_udf` — a named scalar function usable anywhere an
+  expression is (SELECT items, WHERE, join conditions);
+* :func:`register_udaf` — a user-defined aggregate usable in windowed
+  GROUP BY aggregations and OVER sliding windows.
+
+Like Java UDFs on Samza's classpath, implementations live in a
+process-wide registry; the physical plan references them by name and the
+task resolves them at operator-build time (they cannot travel through
+ZooKeeper as JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import SqlValidationError
+from repro.sql.types import SqlType
+
+
+@dataclass(frozen=True)
+class ScalarUdf:
+    name: str
+    fn: Callable[..., Any]
+    min_args: int
+    max_args: int
+    result_type: SqlType
+
+
+class Udaf:
+    """User-defined aggregate: subclass and register.
+
+    ``create()`` returns a fresh accumulator state (must be a plain,
+    serde-able value), ``add(state, value) -> state`` folds one input, and
+    ``result(state)`` produces the output.  States are stored in the
+    operator's changelog-backed store, so they must round-trip through the
+    generic object serde (numbers, strings, lists, dicts).
+    """
+
+    name: str = ""
+    result_type: SqlType = SqlType.ANY
+
+    def create(self) -> Any:
+        raise NotImplementedError
+
+    def add(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def result(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+class UdfRegistry:
+    def __init__(self):
+        self._scalars: dict[str, ScalarUdf] = {}
+        self._udafs: dict[str, Udaf] = {}
+
+    # -- scalar ------------------------------------------------------------
+
+    def register_scalar(self, name: str, fn: Callable[..., Any],
+                        min_args: int = 1, max_args: int | None = None,
+                        result_type: SqlType = SqlType.ANY) -> ScalarUdf:
+        key = name.upper()
+        if key in self._scalars:
+            raise SqlValidationError(f"scalar UDF {key!r} already registered")
+        udf = ScalarUdf(key, fn, min_args,
+                        max_args if max_args is not None else min_args,
+                        result_type)
+        self._scalars[key] = udf
+        return udf
+
+    def scalar(self, name: str) -> ScalarUdf | None:
+        return self._scalars.get(name.upper())
+
+    # -- aggregates -----------------------------------------------------------
+
+    def register_udaf(self, udaf: Udaf) -> Udaf:
+        key = udaf.name.upper()
+        if not key:
+            raise SqlValidationError("UDAF must define a name")
+        if key in self._udafs:
+            raise SqlValidationError(f"UDAF {key!r} already registered")
+        self._udafs[key] = udaf
+        return udaf
+
+    def udaf(self, name: str) -> Udaf | None:
+        return self._udafs.get(name.upper())
+
+    def clear(self) -> None:
+        self._scalars.clear()
+        self._udafs.clear()
+
+
+#: Process-wide registry (the "classpath" of this deployment).
+UDF_REGISTRY = UdfRegistry()
+
+
+def register_scalar_udf(name: str, fn: Callable[..., Any], min_args: int = 1,
+                        max_args: int | None = None,
+                        result_type: SqlType = SqlType.ANY) -> ScalarUdf:
+    return UDF_REGISTRY.register_scalar(name, fn, min_args, max_args, result_type)
+
+
+def register_udaf(udaf: Udaf) -> Udaf:
+    return UDF_REGISTRY.register_udaf(udaf)

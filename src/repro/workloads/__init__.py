@@ -1,0 +1,30 @@
+"""Synthetic workload generators for the paper's evaluation (§5.1).
+
+The evaluation uses synthetic data for the ``Orders`` stream and
+``Products`` relation, padded to ~100-byte messages (the sweet spot the
+Kafka benchmark identifies), written to 32-partition topics.
+"""
+
+from repro.workloads.orders import (
+    ORDERS_SCHEMA,
+    OrdersGenerator,
+    make_order,
+    padded_orders_schema,
+)
+from repro.workloads.products import PRODUCTS_SCHEMA, ProductsGenerator
+from repro.workloads.packets import PACKETS_SCHEMA, PacketsGenerator
+from repro.workloads.market import ASKS_SCHEMA, BIDS_SCHEMA, MarketGenerator
+
+__all__ = [
+    "ORDERS_SCHEMA",
+    "OrdersGenerator",
+    "make_order",
+    "padded_orders_schema",
+    "PRODUCTS_SCHEMA",
+    "ProductsGenerator",
+    "PACKETS_SCHEMA",
+    "PacketsGenerator",
+    "ASKS_SCHEMA",
+    "BIDS_SCHEMA",
+    "MarketGenerator",
+]

@@ -1,0 +1,76 @@
+"""Bids/Asks market-data generator (§3.2's trading-flavoured streams)."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.producer import Producer
+from repro.serde.avro import AvroSchema, AvroSerde
+
+BIDS_SCHEMA = AvroSchema.record(
+    "Bids",
+    [("rowtime", "long"), ("bidId", "long"), ("ticker", "string"),
+     ("shares", "int"), ("price", "double")],
+)
+
+ASKS_SCHEMA = AvroSchema.record(
+    "Asks",
+    [("rowtime", "long"), ("askId", "long"), ("ticker", "string"),
+     ("shares", "int"), ("price", "double")],
+)
+
+_TICKERS = ["ACME", "GLOBX", "INIT", "UMBR", "WAYN", "STRK", "HOOLI", "PPER"]
+
+
+class MarketGenerator:
+    """Interleaved bid/ask flow with a slowly drifting mid price per ticker."""
+
+    def __init__(self, seed: int = 45, start_ts: int = 1_000_000,
+                 interarrival_ms: int = 5, tickers: list[str] | None = None):
+        self.rng = random.Random(seed)
+        self.start_ts = start_ts
+        self.interarrival_ms = interarrival_ms
+        self.tickers = list(tickers) if tickers is not None else list(_TICKERS)
+        self._mid = {t: 50.0 + 10 * i for i, t in enumerate(self.tickers)}
+        self.bid_serde = AvroSerde(BIDS_SCHEMA)
+        self.ask_serde = AvroSerde(ASKS_SCHEMA)
+
+    def events(self, count: int) -> Iterator[tuple[str, dict]]:
+        """('bid'|'ask', record) pairs in timestamp order."""
+        for i in range(count):
+            ts = self.start_ts + i * self.interarrival_ms
+            ticker = self.rng.choice(self.tickers)
+            self._mid[ticker] *= 1 + self.rng.uniform(-0.001, 0.001)
+            mid = self._mid[ticker]
+            side = "bid" if self.rng.random() < 0.5 else "ask"
+            spread = mid * self.rng.uniform(0.0005, 0.005)
+            price = mid - spread if side == "bid" else mid + spread
+            record = {
+                "rowtime": ts,
+                ("bidId" if side == "bid" else "askId"): i,
+                "ticker": ticker,
+                "shares": self.rng.choice([100, 200, 500, 1000]),
+                "price": round(price, 4),
+            }
+            yield side, record
+
+    def produce(self, cluster: KafkaCluster, bids_topic: str, asks_topic: str,
+                count: int, partitions: int = 8) -> tuple[int, int]:
+        for topic in (bids_topic, asks_topic):
+            cluster.create_topic(topic, partitions=partitions, if_not_exists=True)
+        producer = Producer(cluster)
+        bids = asks = 0
+        for side, record in self.events(count):
+            if side == "bid":
+                producer.send(bids_topic, self.bid_serde.to_bytes(record),
+                              key=record["ticker"].encode(),
+                              timestamp_ms=record["rowtime"])
+                bids += 1
+            else:
+                producer.send(asks_topic, self.ask_serde.to_bytes(record),
+                              key=record["ticker"].encode(),
+                              timestamp_ms=record["rowtime"])
+                asks += 1
+        return bids, asks

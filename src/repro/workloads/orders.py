@@ -1,0 +1,108 @@
+"""The Orders stream generator.
+
+§5.1: "we choose 100 bytes messages for our benchmark by adding a random
+string to each record from Orders stream."  ``padding`` is sized so the
+Avro-encoded record lands at ~100 bytes.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Iterator
+
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.producer import Producer
+from repro.serde.avro import AvroSchema, AvroSerde
+
+ORDERS_SCHEMA = AvroSchema.record(
+    "Orders",
+    [("rowtime", "long"), ("productId", "int"), ("orderId", "long"),
+     ("units", "int")],
+)
+
+
+def padded_orders_schema() -> AvroSchema:
+    """Orders plus the benchmark's random-string padding field."""
+    return AvroSchema.record(
+        "Orders",
+        [("rowtime", "long"), ("productId", "int"), ("orderId", "long"),
+         ("units", "int"), ("padding", "string")],
+    )
+
+
+def make_order(order_id: int, rowtime: int, product_count: int = 100,
+               rng: random.Random | None = None,
+               padding_bytes: int = 0) -> dict:
+    rng = rng or random
+    record = {
+        "rowtime": rowtime,
+        "productId": rng.randrange(product_count),
+        "orderId": order_id,
+        "units": rng.randrange(100),
+    }
+    if padding_bytes:
+        record["padding"] = "".join(
+            rng.choices(string.ascii_letters, k=padding_bytes))
+    return record
+
+
+class OrdersGenerator:
+    """Deterministic (seeded) Orders workload.
+
+    ``target_message_bytes`` pads records toward the paper's ~100-byte
+    message size; set to 0 for unpadded records.
+    """
+
+    def __init__(self, product_count: int = 100, seed: int = 42,
+                 start_ts: int = 1_000_000, interarrival_ms: int = 1,
+                 target_message_bytes: int = 100):
+        self.product_count = product_count
+        self.rng = random.Random(seed)
+        self.start_ts = start_ts
+        self.interarrival_ms = interarrival_ms
+        self.padded = target_message_bytes > 0
+        self.schema = padded_orders_schema() if self.padded else ORDERS_SCHEMA
+        self.serde = AvroSerde(self.schema)
+        self._padding_bytes = 0
+        if self.padded:
+            self._padding_bytes = self._calibrate_padding(target_message_bytes)
+
+    def _calibrate_padding(self, target: int) -> int:
+        probe = make_order(10**6, self.start_ts, self.product_count,
+                           random.Random(0), padding_bytes=0)
+        probe["padding"] = ""
+        base = len(self.serde.to_bytes(probe))
+        return max(target - base, 0)
+
+    def records(self, count: int, start_id: int = 0) -> Iterator[dict]:
+        for i in range(count):
+            yield make_order(
+                start_id + i,
+                self.start_ts + (start_id + i) * self.interarrival_ms,
+                self.product_count, self.rng,
+                padding_bytes=self._padding_bytes)
+
+    def encoded(self, count: int, start_id: int = 0) -> Iterator[tuple[bytes, bytes, int]]:
+        """(key, value, timestamp) triples ready to produce."""
+        for record in self.records(count, start_id):
+            yield (str(record["productId"]).encode(),
+                   self.serde.to_bytes(record), record["rowtime"])
+
+    def produce(self, cluster: KafkaCluster, topic: str, count: int,
+                partitions: int = 32, start_id: int = 0) -> int:
+        """Create the topic (if needed) and write ``count`` records."""
+        cluster.create_topic(topic, partitions=partitions, if_not_exists=True)
+        producer = Producer(cluster)
+        written = 0
+        for key, value, ts in self.encoded(count, start_id):
+            producer.send(topic, value, key=key, timestamp_ms=ts)
+            written += 1
+        return written
+
+    def average_message_bytes(self, sample: int = 200) -> float:
+        total = sum(len(value) for _, value, _ in
+                    OrdersGenerator(self.product_count, seed=7,
+                                    target_message_bytes=self._padding_bytes and 100)
+                    .encoded(sample))
+        return total / sample

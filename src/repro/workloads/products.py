@@ -1,0 +1,46 @@
+"""The Products relation generator (changelog-stream form, §4.4)."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.producer import Producer
+from repro.serde.avro import AvroSchema, AvroSerde
+
+PRODUCTS_SCHEMA = AvroSchema.record(
+    "Products",
+    [("productId", "int"), ("name", "string"), ("supplierId", "int")],
+)
+
+
+class ProductsGenerator:
+    """Products rows keyed by productId, produced as a compacted changelog."""
+
+    def __init__(self, product_count: int = 100, supplier_count: int = 10,
+                 seed: int = 43):
+        self.product_count = product_count
+        self.supplier_count = supplier_count
+        self.rng = random.Random(seed)
+        self.serde = AvroSerde(PRODUCTS_SCHEMA)
+
+    def records(self) -> Iterator[dict]:
+        for pid in range(self.product_count):
+            yield {
+                "productId": pid,
+                "name": f"product-{pid}",
+                "supplierId": self.rng.randrange(self.supplier_count),
+            }
+
+    def produce(self, cluster: KafkaCluster, topic: str,
+                partitions: int = 32) -> int:
+        cluster.create_topic(topic, partitions=partitions,
+                             cleanup_policy="compact", if_not_exists=True)
+        producer = Producer(cluster)
+        written = 0
+        for record in self.records():
+            producer.send(topic, self.serde.to_bytes(record),
+                          key=str(record["productId"]).encode())
+            written += 1
+        return written

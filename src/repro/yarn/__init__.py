@@ -1,0 +1,36 @@
+"""YARN model: resource management, scheduling, and container fault handling.
+
+Samza's deployment unit is a YARN application: a per-job ApplicationMaster
+(the paper's "masterless design" — each job has its *own* master) asks the
+ResourceManager for containers, launches its processing in them, and
+reacts to container failures by requesting replacements.  This package
+models exactly that control plane:
+
+* :class:`~repro.yarn.resources.Resource` — memory/vcore vectors,
+* :class:`~repro.yarn.node.NodeManager` — per-node capacity accounting,
+* :class:`~repro.yarn.rm.ResourceManager` — application registry and the
+  first-fit scheduler,
+* :class:`~repro.yarn.app.ApplicationMaster` — the callback protocol job
+  masters implement (Samza's AM lives in ``repro.samza.job``).
+
+Execution is cooperative (no threads): container payloads expose a
+``run_some()`` step method and the driver loop in ``repro.samza.runner``
+advances them, which keeps the whole distributed system deterministic and
+testable in-process.
+"""
+
+from repro.yarn.resources import Resource
+from repro.yarn.node import NodeManager
+from repro.yarn.container import Container, ContainerState
+from repro.yarn.rm import ApplicationReport, ResourceManager
+from repro.yarn.app import ApplicationMaster
+
+__all__ = [
+    "Resource",
+    "NodeManager",
+    "Container",
+    "ContainerState",
+    "ResourceManager",
+    "ApplicationReport",
+    "ApplicationMaster",
+]

@@ -1,0 +1,45 @@
+"""The ApplicationMaster protocol.
+
+Each YARN application runs its own master (per the paper: "Samza has no
+master. Instead each job has a master ... which makes scheduling and
+resource management decisions on behalf of its job").  The RM calls back
+into the AM when containers are allocated or complete; the AM drives its
+own logic through ``request_containers`` and ``finish``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.yarn.container import Container
+
+
+class ApplicationMaster(ABC):
+    """Callback interface implemented by per-job masters."""
+
+    application_id: str = ""  # assigned by the RM at submission
+
+    @abstractmethod
+    def on_start(self, rm: "ResourceManagerProtocol") -> None:
+        """Called once after registration; request initial containers here."""
+
+    @abstractmethod
+    def on_containers_allocated(self, containers: list[Container]) -> None:
+        """Allocated containers are now RUNNING; launch payloads."""
+
+    @abstractmethod
+    def on_container_completed(self, container: Container) -> None:
+        """A container reached a terminal state (failure handling hook)."""
+
+
+class ResourceManagerProtocol:
+    """The slice of the RM interface exposed to application masters."""
+
+    def request_containers(self, app_id: str, count: int, resource) -> None:
+        raise NotImplementedError
+
+    def release_container(self, container_id: str) -> None:
+        raise NotImplementedError
+
+    def finish_application(self, app_id: str, succeeded: bool = True) -> None:
+        raise NotImplementedError

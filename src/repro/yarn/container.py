@@ -1,0 +1,42 @@
+"""Containers: the unit of execution YARN hands to an application."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.yarn.resources import Resource
+
+
+class ContainerState(enum.Enum):
+    NEW = "new"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+@dataclass
+class Container:
+    """An allocated slice of a node, optionally carrying a payload.
+
+    The payload is whatever the application launches inside the container —
+    for Samza jobs it is a :class:`repro.samza.container.SamzaContainer`.
+    """
+
+    container_id: str
+    application_id: str
+    node_id: str
+    resource: Resource
+    state: ContainerState = ContainerState.NEW
+    payload: Any = None
+    exit_message: str = ""
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in (
+            ContainerState.COMPLETED,
+            ContainerState.FAILED,
+            ContainerState.KILLED,
+        )

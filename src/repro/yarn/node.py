@@ -1,0 +1,65 @@
+"""NodeManager: per-node capacity accounting and container hosting."""
+
+from __future__ import annotations
+
+from repro.common.errors import YarnError
+from repro.yarn.container import Container, ContainerState
+from repro.yarn.resources import Resource
+
+
+class NodeManager:
+    """One cluster node: fixed capacity, running containers."""
+
+    def __init__(self, node_id: str, capacity: Resource):
+        self.node_id = node_id
+        self.capacity = capacity
+        self.healthy = True
+        self._containers: dict[str, Container] = {}
+
+    @property
+    def allocated(self) -> Resource:
+        return sum(
+            (c.resource for c in self._containers.values() if not c.is_terminal),
+            Resource.zero(),
+        )
+
+    @property
+    def available(self) -> Resource:
+        return self.capacity - self.allocated
+
+    def can_fit(self, resource: Resource) -> bool:
+        return self.healthy and resource.fits_in(self.available)
+
+    def launch(self, container: Container) -> None:
+        if not self.healthy:
+            raise YarnError(f"node {self.node_id} is unhealthy")
+        if not container.resource.fits_in(self.available):
+            raise YarnError(
+                f"node {self.node_id} cannot fit {container.resource} "
+                f"(available {self.available})"
+            )
+        container.state = ContainerState.RUNNING
+        self._containers[container.container_id] = container
+
+    def kill(self, container_id: str, state: ContainerState = ContainerState.KILLED,
+             message: str = "") -> Container:
+        try:
+            container = self._containers[container_id]
+        except KeyError:
+            raise YarnError(f"node {self.node_id} has no container {container_id}") from None
+        container.state = state
+        container.exit_message = message
+        return container
+
+    def running_containers(self) -> list[Container]:
+        return [c for c in self._containers.values() if c.state is ContainerState.RUNNING]
+
+    def mark_unhealthy(self) -> list[Container]:
+        """Simulate node failure: every running container fails."""
+        self.healthy = False
+        failed = []
+        for container in self.running_containers():
+            container.state = ContainerState.FAILED
+            container.exit_message = f"node {self.node_id} lost"
+            failed.append(container)
+        return failed

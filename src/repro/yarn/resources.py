@@ -1,0 +1,37 @@
+"""Resource vectors (memory + vcores), the unit of YARN accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import YarnError
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """An (memory_mb, vcores) request or capacity."""
+
+    memory_mb: int
+    vcores: int
+
+    def __post_init__(self) -> None:
+        if self.memory_mb < 0 or self.vcores < 0:
+            raise YarnError(f"negative resource: {self}")
+
+    def fits_in(self, other: "Resource") -> bool:
+        return self.memory_mb <= other.memory_mb and self.vcores <= other.vcores
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb + other.memory_mb, self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb - other.memory_mb, self.vcores - other.vcores)
+
+    @staticmethod
+    def zero() -> "Resource":
+        return Resource(0, 0)
+
+
+# EC2 instance shapes from the paper's §5.1 test setup.
+R3_XLARGE = Resource(memory_mb=30_500, vcores=4)
+R3_2XLARGE = Resource(memory_mb=61_000, vcores=8)

@@ -1,0 +1,194 @@
+"""ResourceManager: application registry + first-fit container scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import YarnError
+from repro.yarn.app import ApplicationMaster, ResourceManagerProtocol
+from repro.yarn.container import Container, ContainerState
+from repro.yarn.node import NodeManager
+from repro.yarn.resources import Resource
+
+
+class ApplicationState(enum.Enum):
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+@dataclass
+class ApplicationReport:
+    application_id: str
+    name: str
+    state: ApplicationState
+    containers: dict[str, Container] = field(default_factory=dict)
+
+
+@dataclass
+class _PendingRequest:
+    app_id: str
+    resource: Resource
+    count: int
+
+
+class ResourceManager(ResourceManagerProtocol):
+    """Cluster-wide scheduler.
+
+    Scheduling is least-loaded-first-fit: each pending request is placed on
+    the healthy node with the most available memory that fits it, which
+    spreads a job's containers across nodes like YARN's default behaviour
+    in a lightly-loaded cluster (the paper's test setup).
+    """
+
+    def __init__(self):
+        self._nodes: dict[str, NodeManager] = {}
+        self._apps: dict[str, ApplicationReport] = {}
+        self._masters: dict[str, ApplicationMaster] = {}
+        self._pending: list[_PendingRequest] = []
+        self._next_app = 1
+        self._next_container = 1
+
+    # -- cluster membership ----------------------------------------------------
+
+    def add_node(self, node: NodeManager) -> None:
+        if node.node_id in self._nodes:
+            raise YarnError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> NodeManager:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise YarnError(f"unknown node {node_id}") from None
+
+    def nodes(self) -> list[NodeManager]:
+        return list(self._nodes.values())
+
+    def cluster_capacity(self) -> Resource:
+        return sum((n.capacity for n in self._nodes.values()), Resource.zero())
+
+    def cluster_available(self) -> Resource:
+        return sum(
+            (n.available for n in self._nodes.values() if n.healthy), Resource.zero()
+        )
+
+    # -- application lifecycle ------------------------------------------------------
+
+    def submit_application(self, name: str, master: ApplicationMaster) -> str:
+        app_id = f"application_{self._next_app:04d}"
+        self._next_app += 1
+        master.application_id = app_id
+        self._apps[app_id] = ApplicationReport(
+            application_id=app_id, name=name, state=ApplicationState.RUNNING
+        )
+        self._masters[app_id] = master
+        master.on_start(self)
+        self._schedule()
+        return app_id
+
+    def application(self, app_id: str) -> ApplicationReport:
+        try:
+            return self._apps[app_id]
+        except KeyError:
+            raise YarnError(f"unknown application {app_id}") from None
+
+    def finish_application(self, app_id: str, succeeded: bool = True) -> None:
+        report = self.application(app_id)
+        for container in list(report.containers.values()):
+            if not container.is_terminal:
+                self._kill_container(container, ContainerState.COMPLETED, "app finished")
+        report.state = ApplicationState.FINISHED if succeeded else ApplicationState.FAILED
+        self._pending = [p for p in self._pending if p.app_id != app_id]
+
+    def kill_application(self, app_id: str) -> None:
+        report = self.application(app_id)
+        for container in list(report.containers.values()):
+            if not container.is_terminal:
+                self._kill_container(container, ContainerState.KILLED, "app killed")
+        report.state = ApplicationState.KILLED
+        self._pending = [p for p in self._pending if p.app_id != app_id]
+
+    # -- container requests ------------------------------------------------------------
+
+    def request_containers(self, app_id: str, count: int, resource: Resource) -> None:
+        self.application(app_id)  # validates
+        if count < 1:
+            raise YarnError(f"container count must be positive, got {count}")
+        self._pending.append(_PendingRequest(app_id, resource, count))
+        self._schedule()
+
+    def release_container(self, container_id: str) -> None:
+        container = self._find_container(container_id)
+        if not container.is_terminal:
+            self._kill_container(container, ContainerState.COMPLETED, "released")
+
+    def pending_request_count(self) -> int:
+        return sum(p.count for p in self._pending)
+
+    def _find_container(self, container_id: str) -> Container:
+        for report in self._apps.values():
+            if container_id in report.containers:
+                return report.containers[container_id]
+        raise YarnError(f"unknown container {container_id}")
+
+    # -- scheduling -------------------------------------------------------------------------
+
+    def _schedule(self) -> None:
+        """Place as many pending requests as capacity allows."""
+        progressed = True
+        while progressed and self._pending:
+            progressed = False
+            request = self._pending[0]
+            allocated: list[Container] = []
+            while request.count > 0:
+                node = self._pick_node(request.resource)
+                if node is None:
+                    break
+                container = Container(
+                    container_id=f"container_{self._next_container:06d}",
+                    application_id=request.app_id,
+                    node_id=node.node_id,
+                    resource=request.resource,
+                )
+                self._next_container += 1
+                node.launch(container)
+                self._apps[request.app_id].containers[container.container_id] = container
+                allocated.append(container)
+                request.count -= 1
+                progressed = True
+            if request.count == 0:
+                self._pending.pop(0)
+            if allocated:
+                self._masters[request.app_id].on_containers_allocated(allocated)
+
+    def _pick_node(self, resource: Resource) -> NodeManager | None:
+        candidates = [n for n in self._nodes.values() if n.can_fit(resource)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda n: (n.available.memory_mb, n.available.vcores))
+
+    # -- failure handling ----------------------------------------------------------------------
+
+    def _kill_container(self, container: Container, state: ContainerState,
+                        message: str) -> None:
+        self._nodes[container.node_id].kill(container.container_id, state, message)
+
+    def fail_container(self, container_id: str, message: str = "container crashed") -> None:
+        """Mark one container FAILED and notify its application master."""
+        container = self._find_container(container_id)
+        if container.is_terminal:
+            return
+        self._kill_container(container, ContainerState.FAILED, message)
+        self._masters[container.application_id].on_container_completed(container)
+        self._schedule()
+
+    def fail_node(self, node_id: str) -> None:
+        """Node loss: fail every container on it and notify the owning AMs."""
+        failed = self.node(node_id).mark_unhealthy()
+        for container in failed:
+            self._masters[container.application_id].on_container_completed(container)
+        self._schedule()

@@ -1,0 +1,18 @@
+"""ZooKeeper model: hierarchical coordination store.
+
+Figure 2 of the paper: the query planner "uses Zookeeper to share metadata
+and configuration information between query planner and SamzaSQL streaming
+tasks" — the streaming SQL text, schema-registry location and message
+schema details are written by the shell and read back by tasks during
+their init-time planning pass.
+
+This package provides a faithful in-process znode tree: persistent and
+ephemeral nodes, per-node versions with compare-and-set, sequential
+children, and one-shot watches.
+"""
+
+from repro.zk.server import ZkServer
+from repro.zk.client import ZkClient
+from repro.zk.znode import Stat
+
+__all__ = ["ZkServer", "ZkClient", "Stat"]

@@ -1,0 +1,176 @@
+"""The znode store: create/get/set/delete with versions, ephemerals, watches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ZkError
+from repro.zk.znode import Stat, ZNode, split_path
+
+# Watch callbacks receive (event_type, path); event types follow ZooKeeper:
+# "created", "changed", "deleted", "children".
+WatchCallback = Callable[[str, str], None]
+
+
+class ZkServer:
+    """In-process ZooKeeper ensemble stand-in (single consistent image)."""
+
+    def __init__(self):
+        self._root = ZNode(name="")
+        self._next_session = 1
+        self._live_sessions: set[int] = set()
+        # path -> list of one-shot data watches / child watches
+        self._data_watches: dict[str, list[WatchCallback]] = {}
+        self._child_watches: dict[str, list[WatchCallback]] = {}
+
+    # -- sessions ---------------------------------------------------------------
+
+    def create_session(self) -> int:
+        session_id = self._next_session
+        self._next_session += 1
+        self._live_sessions.add(session_id)
+        return session_id
+
+    def close_session(self, session_id: int) -> None:
+        """Close a session, deleting every ephemeral node it owns."""
+        if session_id not in self._live_sessions:
+            return
+        self._live_sessions.discard(session_id)
+        for path in self._find_ephemerals(self._root, "", session_id):
+            # Deepest-first so parents empty out before deletion.
+            self.delete(path)
+
+    def session_alive(self, session_id: int) -> bool:
+        return session_id in self._live_sessions
+
+    def _find_ephemerals(self, node: ZNode, prefix: str, owner: int) -> list[str]:
+        found: list[str] = []
+        for name, child in node.children.items():
+            child_path = f"{prefix}/{name}"
+            found.extend(self._find_ephemerals(child, child_path, owner))
+            if child.ephemeral_owner == owner:
+                found.append(child_path)
+        return found
+
+    # -- tree navigation ------------------------------------------------------------
+
+    def _node(self, path: str) -> ZNode:
+        node = self._root
+        for part in split_path(path):
+            if part not in node.children:
+                raise ZkError(f"no node at {path!r}")
+            node = node.children[part]
+        return node
+
+    def _parent_of(self, path: str) -> tuple[ZNode, str]:
+        parts = split_path(path)
+        if not parts:
+            raise ZkError("cannot operate on the root node")
+        node = self._root
+        for part in parts[:-1]:
+            if part not in node.children:
+                raise ZkError(f"parent of {path!r} does not exist")
+            node = node.children[part]
+        return node, parts[-1]
+
+    @staticmethod
+    def _parent_path(path: str) -> str:
+        parts = split_path(path)
+        return "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
+
+    # -- operations ---------------------------------------------------------------------
+
+    def create(self, path: str, data: bytes = b"", session_id: int | None = None,
+               ephemeral: bool = False, sequential: bool = False) -> str:
+        """Create a node; returns the actual path (differs when sequential)."""
+        if ephemeral and session_id is None:
+            raise ZkError("ephemeral nodes require a session")
+        if session_id is not None and session_id not in self._live_sessions:
+            raise ZkError(f"session {session_id} is not alive")
+        parent, name = self._parent_of(path)
+        if parent.ephemeral_owner is not None:
+            raise ZkError("ephemeral nodes cannot have children")
+        if sequential:
+            name = f"{name}{parent.sequence_counter:010d}"
+            parent.sequence_counter += 1
+        if name in parent.children:
+            raise ZkError(f"node already exists: {path!r}")
+        parent.children[name] = ZNode(
+            name=name,
+            data=bytes(data),
+            ephemeral_owner=session_id if ephemeral else None,
+        )
+        actual = f"{self._parent_path(path).rstrip('/')}/{name}"
+        self._fire_data(actual, "created")
+        self._fire_children(self._parent_path(path))
+        return actual
+
+    def ensure_path(self, path: str) -> None:
+        """Create all missing persistent ancestors (and the node itself)."""
+        node = self._root
+        built = ""
+        for part in split_path(path):
+            built += f"/{part}"
+            if part not in node.children:
+                node.children[part] = ZNode(name=part)
+                self._fire_data(built, "created")
+                self._fire_children(self._parent_path(built))
+            node = node.children[part]
+
+    def exists(self, path: str, watch: WatchCallback | None = None) -> Stat | None:
+        if watch is not None:
+            self._data_watches.setdefault(path, []).append(watch)
+        try:
+            return self._node(path).stat()
+        except ZkError:
+            return None
+
+    def get(self, path: str, watch: WatchCallback | None = None) -> tuple[bytes, Stat]:
+        node = self._node(path)
+        if watch is not None:
+            self._data_watches.setdefault(path, []).append(watch)
+        return node.data, node.stat()
+
+    def set(self, path: str, data: bytes, expected_version: int | None = None) -> Stat:
+        node = self._node(path)
+        if expected_version is not None and node.version != expected_version:
+            raise ZkError(
+                f"version mismatch at {path!r}: expected {expected_version}, "
+                f"found {node.version}"
+            )
+        node.data = bytes(data)
+        node.version += 1
+        self._fire_data(path, "changed")
+        return node.stat()
+
+    def delete(self, path: str, expected_version: int | None = None) -> None:
+        parent, name = self._parent_of(path)
+        if name not in parent.children:
+            raise ZkError(f"no node at {path!r}")
+        node = parent.children[name]
+        if expected_version is not None and node.version != expected_version:
+            raise ZkError(
+                f"version mismatch at {path!r}: expected {expected_version}, "
+                f"found {node.version}"
+            )
+        if node.children:
+            raise ZkError(f"node {path!r} has children")
+        del parent.children[name]
+        self._fire_data(path, "deleted")
+        self._fire_children(self._parent_path(path))
+
+    def get_children(self, path: str, watch: WatchCallback | None = None) -> list[str]:
+        node = self._node(path)
+        if watch is not None:
+            self._child_watches.setdefault(path, []).append(watch)
+        return sorted(node.children)
+
+    # -- watches (one-shot, like ZooKeeper) ------------------------------------------------
+
+    def _fire_data(self, path: str, event: str) -> None:
+        for callback in self._data_watches.pop(path, []):
+            callback(event, path)
+
+    def _fire_children(self, path: str) -> None:
+        for callback in self._child_watches.pop(path, []):
+            callback("children", path)

@@ -1,0 +1,47 @@
+"""Znode tree internals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ZkError
+
+
+@dataclass(frozen=True, slots=True)
+class Stat:
+    """Subset of ZooKeeper's Stat: version + ephemeral owner + child count."""
+
+    version: int
+    ephemeral_owner: int | None
+    num_children: int
+
+
+@dataclass
+class ZNode:
+    name: str
+    data: bytes = b""
+    version: int = 0
+    ephemeral_owner: int | None = None
+    sequence_counter: int = 0
+    children: dict[str, "ZNode"] = field(default_factory=dict)
+
+    def stat(self) -> Stat:
+        return Stat(
+            version=self.version,
+            ephemeral_owner=self.ephemeral_owner,
+            num_children=len(self.children),
+        )
+
+
+def split_path(path: str) -> list[str]:
+    """Validate and split an absolute znode path into components."""
+    if not path.startswith("/"):
+        raise ZkError(f"znode path must be absolute: {path!r}")
+    if path == "/":
+        return []
+    if path.endswith("/"):
+        raise ZkError(f"znode path must not end with '/': {path!r}")
+    parts = path[1:].split("/")
+    if any(not p for p in parts):
+        raise ZkError(f"empty path component in {path!r}")
+    return parts

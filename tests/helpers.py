@@ -1,0 +1,145 @@
+"""Shared test fixtures: sample tasks and job-building helpers."""
+
+from __future__ import annotations
+
+from repro.common import Config, VirtualClock
+from repro.kafka import KafkaCluster, Producer
+from repro.samza import (
+    IncomingMessageEnvelope,
+    JobRunner,
+    OutgoingMessageEnvelope,
+    SamzaJob,
+)
+from repro.samza.serdes import SerdeRegistry
+from repro.samza.system import SystemStream
+from repro.samza.task import InitableTask, StreamTask, WindowableTask
+from repro.serde import AvroSchema, AvroSerde
+from repro.yarn import NodeManager, Resource, ResourceManager
+
+ORDERS_SCHEMA = AvroSchema.record(
+    "Orders",
+    [("rowtime", "long"), ("productId", "int"), ("orderId", "long"), ("units", "int")],
+)
+
+PRODUCTS_SCHEMA = AvroSchema.record(
+    "Products",
+    [("productId", "int"), ("name", "string"), ("supplierId", "int")],
+)
+
+
+class FilterTask(StreamTask):
+    """Forward orders with units > threshold to OrdersOut."""
+
+    def __init__(self, threshold=50):
+        self.threshold = threshold
+
+    def process(self, envelope, collector, coordinator):
+        if envelope.message["units"] > self.threshold:
+            collector.send(OutgoingMessageEnvelope(
+                system_stream=SystemStream("kafka", "OrdersOut"),
+                message=envelope.message,
+                key=envelope.key,
+                timestamp_ms=envelope.timestamp_ms,
+            ))
+
+
+class CountingTask(StreamTask, InitableTask):
+    """Counts messages per productId in a changelog-backed store."""
+
+    def __init__(self):
+        self.store = None
+
+    def init(self, config, context):
+        self.store = context.get_store("counts")
+
+    def process(self, envelope, collector, coordinator):
+        key = str(envelope.message["productId"])
+        current = self.store.get(key) or 0
+        self.store.put(key, current + 1)
+
+
+class WindowEmitTask(StreamTask, WindowableTask):
+    """Buffers messages, emits a count on each window() call."""
+
+    def __init__(self):
+        self.buffered = 0
+        self.window_calls = 0
+
+    def process(self, envelope, collector, coordinator):
+        self.buffered += 1
+
+    def window(self, collector, coordinator):
+        self.window_calls += 1
+        collector.send(OutgoingMessageEnvelope(
+            system_stream=SystemStream("kafka", "Counts"),
+            message={"count": self.buffered},
+        ))
+        self.buffered = 0
+
+
+def make_runtime(broker_count=1, nodes=2, node_mem=16_384, node_cores=8):
+    """(cluster, rm, runner, clock) wired together on a virtual clock."""
+    clock = VirtualClock(1_000_000)
+    cluster = KafkaCluster(broker_count=broker_count, clock=clock)
+    rm = ResourceManager()
+    for i in range(nodes):
+        rm.add_node(NodeManager(f"node-{i}", Resource(node_mem, node_cores)))
+    runner = JobRunner(cluster, rm, clock)
+    return cluster, rm, runner, clock
+
+
+def orders_serdes() -> SerdeRegistry:
+    serdes = SerdeRegistry()
+    serdes.register("avro-orders", AvroSerde(ORDERS_SCHEMA))
+    serdes.register("avro-products", AvroSerde(PRODUCTS_SCHEMA))
+    return serdes
+
+
+def base_config(name="test-job", containers=1, **extra):
+    cfg = {
+        "job.name": name,
+        "job.container.count": containers,
+        "task.inputs": "kafka.Orders",
+        "systems.kafka.streams.Orders.samza.msg.serde": "avro-orders",
+        "systems.kafka.streams.Orders.samza.key.serde": "string",
+        "systems.kafka.streams.OrdersOut.samza.msg.serde": "avro-orders",
+        "systems.kafka.streams.OrdersOut.samza.key.serde": "string",
+    }
+    cfg.update(extra)
+    return Config(cfg)
+
+
+def produce_orders(cluster, count, partitions=4, units=None, start_ts=1_000_000,
+                   topic="Orders"):
+    """Write synthetic Orders records; returns the list of dicts produced."""
+    cluster.create_topic(topic, partitions=partitions, if_not_exists=True)
+    producer = Producer(cluster)
+    serde = AvroSerde(ORDERS_SCHEMA)
+    written = []
+    for i in range(count):
+        record = {
+            "rowtime": start_ts + i,
+            "productId": i % 10,
+            "orderId": i,
+            "units": units if units is not None else (i * 7) % 100,
+        }
+        producer.send(
+            topic, serde.to_bytes(record),
+            key=str(record["productId"]).encode(),
+            timestamp_ms=record["rowtime"],
+        )
+        written.append(record)
+    return written
+
+
+def read_topic(cluster, topic, serde=None):
+    """Read every record currently in a topic, across partitions."""
+    out = []
+    for tp in cluster.partitions_for(topic):
+        start = cluster.earliest_offset(tp)
+        for message in cluster.fetch(tp, start):
+            if serde is not None and message.value is not None:
+                out.append(serde.from_bytes(message.value))
+            else:
+                out.append(message.value)
+    return out

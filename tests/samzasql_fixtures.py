@@ -1,0 +1,91 @@
+"""Shared end-to-end fixture: a full SamzaSQL deployment in-process."""
+
+from __future__ import annotations
+
+from repro.common import VirtualClock
+from repro.kafka import KafkaCluster, Producer
+from repro.samza import JobRunner
+from repro.samzasql import SamzaSQLShell
+from repro.serde import AvroSchema, AvroSerde
+from repro.yarn import NodeManager, Resource, ResourceManager
+
+ORDERS_SCHEMA = AvroSchema.record(
+    "Orders",
+    [("rowtime", "long"), ("productId", "int"), ("orderId", "long"), ("units", "int")],
+)
+PRODUCTS_SCHEMA = AvroSchema.record(
+    "Products",
+    [("productId", "int"), ("name", "string"), ("supplierId", "int")],
+)
+PACKETS_SCHEMA = AvroSchema.record(
+    "Packets",
+    [("rowtime", "long"), ("sourcetime", "long"), ("packetId", "long")],
+)
+
+
+class Deployment:
+    """Cluster + YARN + shell, with helpers to feed the paper's workloads."""
+
+    def __init__(self, partitions: int = 4, nodes: int = 2):
+        self.clock = VirtualClock(0)
+        self.cluster = KafkaCluster(broker_count=3, clock=self.clock)
+        self.rm = ResourceManager()
+        for i in range(nodes):
+            self.rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
+        self.runner = JobRunner(self.cluster, self.rm, self.clock)
+        self.shell = SamzaSQLShell(self.cluster, self.runner)
+        self.partitions = partitions
+        self.producer = Producer(self.cluster)
+
+    # -- catalog + data helpers --------------------------------------------------
+
+    def with_orders(self, count: int = 0, start_ts: int = 1_000_000,
+                    step_ms: int = 1000):
+        self.shell.register_stream("Orders", ORDERS_SCHEMA, partitions=self.partitions)
+        if count:
+            self.feed_orders(count, start_ts, step_ms)
+        return self
+
+    def feed_orders(self, count: int, start_ts: int = 1_000_000,
+                    step_ms: int = 1000, start_id: int = 0) -> list[dict]:
+        serde = AvroSerde(ORDERS_SCHEMA)
+        written = []
+        for i in range(start_id, start_id + count):
+            record = {"rowtime": start_ts + (i - start_id) * step_ms,
+                      "productId": i % 10, "orderId": i, "units": (i * 7) % 100}
+            self.producer.send("Orders", serde.to_bytes(record),
+                               key=str(record["productId"]).encode(),
+                               timestamp_ms=record["rowtime"])
+            written.append(record)
+        return written
+
+    def with_products(self, count: int = 10):
+        self.shell.register_table("Products", PRODUCTS_SCHEMA,
+                                  key_field="productId", partitions=self.partitions)
+        serde = AvroSerde(PRODUCTS_SCHEMA)
+        for pid in range(count):
+            record = {"productId": pid, "name": f"product-{pid}",
+                      "supplierId": pid % 3}
+            self.producer.send("Products-changelog", serde.to_bytes(record),
+                               key=str(pid).encode())
+        return self
+
+    def with_packets(self):
+        for name in ("PacketsR1", "PacketsR2"):
+            self.shell.register_stream(name, PACKETS_SCHEMA,
+                                       partitions=self.partitions)
+        return self
+
+    def feed_packet(self, stream: str, packet_id: int, rowtime: int,
+                    sourcetime: int | None = None) -> None:
+        serde = AvroSerde(PACKETS_SCHEMA)
+        record = {"rowtime": rowtime,
+                  "sourcetime": sourcetime if sourcetime is not None else rowtime,
+                  "packetId": packet_id}
+        self.producer.send(stream, serde.to_bytes(record),
+                           key=str(packet_id).encode(), timestamp_ms=rowtime)
+
+    def run(self, sql: str, containers: int = 1, **kwargs):
+        handle = self.shell.execute(sql, containers=containers, **kwargs)
+        self.runner.run_until_quiescent()
+        return handle

@@ -1,0 +1,29 @@
+"""Shared catalog fixture matching §3.2's example schema."""
+
+from repro.sql import Catalog
+from repro.sql.catalog import StreamDefinition, TableDefinition
+from repro.sql.types import RowType, SqlType
+
+
+def paper_catalog() -> Catalog:
+    """The two tables and five streams used throughout the paper."""
+    catalog = Catalog()
+    catalog.register_stream(StreamDefinition("Orders", RowType([
+        ("rowtime", SqlType.TIMESTAMP), ("productId", SqlType.INTEGER),
+        ("orderId", SqlType.BIGINT), ("units", SqlType.INTEGER)])))
+    catalog.register_table(TableDefinition("Products", RowType([
+        ("productId", SqlType.INTEGER), ("name", SqlType.VARCHAR),
+        ("supplierId", SqlType.INTEGER)]), key_field="productId"))
+    catalog.register_table(TableDefinition("Suppliers", RowType([
+        ("supplierId", SqlType.INTEGER), ("name", SqlType.VARCHAR),
+        ("location", SqlType.VARCHAR)]), key_field="supplierId"))
+    for name in ("PacketsR1", "PacketsR2"):
+        catalog.register_stream(StreamDefinition(name, RowType([
+            ("rowtime", SqlType.TIMESTAMP), ("sourcetime", SqlType.TIMESTAMP),
+            ("packetId", SqlType.BIGINT)])))
+    for name in ("Asks", "Bids"):
+        catalog.register_stream(StreamDefinition(name, RowType([
+            ("rowtime", SqlType.TIMESTAMP), (f"{name[:-1].lower()}Id", SqlType.BIGINT),
+            ("ticker", SqlType.VARCHAR), ("shares", SqlType.INTEGER),
+            ("price", SqlType.DOUBLE)])))
+    return catalog

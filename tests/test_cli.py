@@ -1,0 +1,106 @@
+"""Tests for the interactive shell (driven programmatically)."""
+
+import io
+
+import pytest
+
+from repro.samzasql.cli import SamzaSQLCli, build_default_shell
+
+
+@pytest.fixture
+def cli():
+    out = io.StringIO()
+    shell, runner = build_default_shell()
+    cli = SamzaSQLCli(shell, runner, out=out)
+    cli.out_buffer = out
+    return cli
+
+
+def output_of(cli) -> str:
+    return cli.out_buffer.getvalue()
+
+
+class TestReplMechanics:
+    def test_multiline_statement_buffering(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("SELECT productId, COUNT(*) AS c")
+        assert cli.prompt == cli.CONTINUATION
+        cli.process_line("FROM Orders GROUP BY productId;")
+        assert cli.prompt == cli.PROMPT
+        assert "row(s)" in output_of(cli)
+
+    def test_blank_lines_ignored(self, cli):
+        cli.process_line("")
+        cli.process_line("   ")
+        assert cli.prompt == cli.PROMPT
+
+    def test_quit(self, cli):
+        cli.process_line("!quit")
+        assert cli.done
+
+    def test_unknown_command(self, cli):
+        cli.process_line("!frobnicate")
+        assert "unknown command" in output_of(cli)
+
+    def test_error_reported_not_raised(self, cli):
+        cli.process_line("SELECT * FROM Missing;")
+        assert "ERROR" in output_of(cli)
+
+    def test_parse_error_reported(self, cli):
+        cli.process_line("SELEC oops;")
+        assert "ERROR" in output_of(cli)
+
+
+class TestCommands:
+    def test_demo_then_tables(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("!tables")
+        text = output_of(cli)
+        assert "orders" in text
+        assert "products" in text
+
+    def test_demo_idempotent(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("!demo")
+        assert "already loaded" in output_of(cli)
+
+    def test_explain(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("!explain SELECT STREAM * FROM Orders WHERE units > 50")
+        assert "LogicalFilter" in output_of(cli)
+
+    def test_batch_query_prints_table(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("SELECT productId, COUNT(*) AS c FROM Orders "
+                         "GROUP BY productId;")
+        text = output_of(cli)
+        assert "productId" in text
+        assert "20 row(s)" in text
+
+    def test_streaming_query_lifecycle(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("SELECT STREAM * FROM Orders WHERE units > 50;")
+        assert "started streaming query #1" in output_of(cli)
+        cli.process_line("!run")
+        assert "cluster idle" in output_of(cli)
+        cli.process_line("!results 1")
+        assert "row(s)" in output_of(cli)
+        cli.process_line("!queries")
+        assert "#1" in output_of(cli)
+
+    def test_results_bad_index(self, cli):
+        cli.process_line("!results 7")
+        assert "usage" in output_of(cli)
+
+    def test_view_creation(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("CREATE VIEW Big AS SELECT * FROM Orders WHERE units > 50;")
+        assert "view created" in output_of(cli)
+        cli.process_line("SELECT COUNT(*) AS c FROM Big;")
+        assert "c" in output_of(cli)
+
+    def test_warning_surfaced(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("SELECT STREAM orderId FROM Orders;")
+        assert "WARNING" in output_of(cli)
+        assert "rowtime" in output_of(cli)

@@ -1,0 +1,145 @@
+"""Tests for the discrete-event engine and the scaling model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterParameters, EventQueue, ScalingModel
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(30, lambda: seen.append("c"))
+        queue.schedule(10, lambda: seen.append("a"))
+        queue.schedule(20, lambda: seen.append("b"))
+        queue.run()
+        assert seen == ["a", "b", "c"]
+        assert queue.now == 30
+
+    def test_ties_are_fifo(self):
+        queue = EventQueue()
+        seen = []
+        for label in "abc":
+            queue.schedule(5, lambda l=label: seen.append(l))
+        queue.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def first():
+            seen.append(queue.now)
+            queue.schedule(5, lambda: seen.append(queue.now))
+
+        queue.schedule(10, first)
+        queue.run()
+        assert seen == [10, 15]
+
+    def test_run_until_bound(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(10, lambda: seen.append(1))
+        queue.schedule(100, lambda: seen.append(2))
+        queue.run(until_ms=50)
+        assert seen == [1]
+        assert len(queue) == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue(start_ms=100)
+        with pytest.raises(ValueError):
+            queue.schedule_at(50, lambda: None)
+
+    def test_runaway_guard(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(1, forever)
+
+        queue.schedule(0, forever)
+        with pytest.raises(RuntimeError):
+            queue.run(max_events=100)
+
+
+class TestClusterParameters:
+    def test_defaults_match_paper(self):
+        params = ClusterParameters()
+        assert params.partitions == 32
+        assert params.brokers == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterParameters(partitions=0)
+        with pytest.raises(ValueError):
+            ClusterParameters(fetch_max_records=0)
+
+
+class TestScalingModel:
+    def test_partition_assignment_balanced(self):
+        model = ScalingModel(ClusterParameters(partitions=32))
+        held = model.partitions_per_container(5)
+        assert sum(held) == 32
+        assert max(held) - min(held) <= 1
+
+    def test_closed_form_monotone_in_containers(self):
+        model = ScalingModel()
+        series = [model.closed_form_throughput(c, 0.02) for c in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(series, series[1:]))
+
+    def test_closed_form_sublinear(self):
+        model = ScalingModel()
+        one = model.closed_form_throughput(1, 0.02)
+        eight = model.closed_form_throughput(8, 0.02)
+        assert eight < 8 * one
+        assert eight > 2 * one
+
+    def test_higher_cpu_cost_lowers_throughput(self):
+        model = ScalingModel()
+        assert (model.closed_form_throughput(4, 0.01)
+                > model.closed_form_throughput(4, 0.1))
+
+    def test_simulation_conserves_messages(self):
+        model = ScalingModel()
+        result = model.simulate(4, 0.02, messages_per_partition=100)
+        assert result.total_messages == 32 * 100
+        assert result.elapsed_ms > 0
+
+    def test_simulation_matches_closed_form_roughly(self):
+        """DES adds queueing, but within 2x of the closed form."""
+        model = ScalingModel()
+        for containers in (1, 4, 8):
+            sim = model.simulate(containers, 0.02,
+                                 messages_per_partition=2000)
+            closed = model.closed_form_throughput(containers, 0.02)
+            assert 0.5 < sim.throughput_msgs_per_s / closed < 2.0
+
+    def test_simulation_sublinear(self):
+        model = ScalingModel()
+        one = model.simulate(1, 0.02, messages_per_partition=1000)
+        eight = model.simulate(8, 0.02, messages_per_partition=1000)
+        ratio = eight.throughput_msgs_per_s / one.throughput_msgs_per_s
+        assert 1.5 < ratio < 8.0
+
+    def test_sweep_shapes(self):
+        model = ScalingModel()
+        series = model.sweep([1, 2, 4], 0.05, messages_per_partition=200)
+        assert [c for c, _ in series] == [1, 2, 4]
+        assert all(t > 0 for _, t in series)
+
+    def test_more_containers_than_partitions(self):
+        """Extra containers idle (0 partitions) without crashing."""
+        model = ScalingModel(ClusterParameters(partitions=4))
+        result = model.simulate(8, 0.02, messages_per_partition=50)
+        assert result.total_messages == 200
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.floats(min_value=0.001, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_closed_form_positive_property(self, containers, cpu):
+        assert ScalingModel().closed_form_throughput(containers, cpu) > 0

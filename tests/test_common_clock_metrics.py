@@ -1,0 +1,89 @@
+"""Tests for clocks and the metrics registry."""
+
+import pytest
+
+from repro.common import MetricsRegistry, SystemClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(100).now_ms() == 100
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(250)
+        assert clock.now_ms() == 250
+
+    def test_sleep_advances(self):
+        clock = VirtualClock(10)
+        clock.sleep_ms(15)
+        assert clock.now_ms() == 25
+
+    def test_set_time_forward_only(self):
+        clock = VirtualClock(100)
+        clock.set_time(200)
+        assert clock.now_ms() == 200
+        with pytest.raises(ValueError):
+            clock.set_time(50)
+
+    def test_advance_negative_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestSystemClock:
+    def test_now_is_monotonic_enough(self):
+        clock = SystemClock()
+        a = clock.now_ms()
+        b = clock.now_ms()
+        assert b >= a
+
+    def test_sleep_zero_is_noop(self):
+        SystemClock().sleep_ms(0)  # must not raise
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("grp", "msgs")
+        c.inc()
+        c.inc(4)
+        assert c.count == 5
+
+    def test_counter_identity_per_group_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("g", "n") is reg.counter("g", "n")
+        assert reg.counter("g", "n") is not reg.counter("g2", "n")
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "lag")
+        g.set(12.5)
+        assert g.value == 12.5
+
+    def test_timer_statistics(self):
+        reg = MetricsRegistry()
+        t = reg.timer("g", "latency")
+        for d in (1.0, 2.0, 3.0):
+            t.update(d)
+        assert t.count == 3
+        assert t.total == 6.0
+        assert t.mean == 2.0
+        assert t.max == 3.0
+        assert t.stdev == pytest.approx(0.8165, abs=1e-3)
+
+    def test_timer_empty_stats(self):
+        t = MetricsRegistry().timer("g", "t")
+        assert t.mean == 0.0
+        assert t.stdev == 0.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "n").inc(3)
+        reg.gauge("c", "g").set(1.5)
+        reg.timer("c", "t").update(2.0)
+        snap = reg.snapshot()
+        assert snap["c"]["n"] == 3
+        assert snap["c"]["g"] == 1.5
+        assert snap["c"]["t.mean"] == 2.0
+        assert snap["c"]["t.count"] == 1

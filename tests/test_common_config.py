@@ -1,0 +1,96 @@
+"""Tests for repro.common.config.Config."""
+
+import pytest
+
+from repro.common import Config, ConfigError
+
+
+class TestBasics:
+    def test_construct_from_dict_and_kwargs(self):
+        cfg = Config({"a": 1}, b="two")
+        assert cfg["a"] == "1"
+        assert cfg["b"] == "two"
+
+    def test_booleans_stringified_like_java_properties(self):
+        cfg = Config(flag=True, off=False)
+        assert cfg["flag"] == "true"
+        assert cfg["off"] == "false"
+
+    def test_mapping_protocol(self):
+        cfg = Config(a=1, b=2)
+        assert len(cfg) == 2
+        assert set(cfg) == {"a", "b"}
+        assert dict(cfg) == {"a": "1", "b": "2"}
+
+    def test_to_dict_returns_copy(self):
+        cfg = Config(a=1)
+        d = cfg.to_dict()
+        d["a"] = "mutated"
+        assert cfg["a"] == "1"
+
+
+class TestTypedAccessors:
+    def test_get_int(self):
+        assert Config(n="42").get_int("n") == 42
+
+    def test_get_int_default(self):
+        assert Config().get_int("n", 7) == 7
+
+    def test_get_int_missing_raises(self):
+        with pytest.raises(ConfigError):
+            Config().get_int("n")
+
+    def test_get_int_bad_value_raises(self):
+        with pytest.raises(ConfigError):
+            Config(n="abc").get_int("n")
+
+    def test_get_float(self):
+        assert Config(x="2.5").get_float("x") == 2.5
+
+    def test_get_float_bad_value_raises(self):
+        with pytest.raises(ConfigError):
+            Config(x="nope").get_float("x")
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("TRUE", True), ("1", True), ("yes", True),
+        ("false", False), ("0", False), ("no", False),
+    ])
+    def test_get_bool_values(self, raw, expected):
+        assert Config(b=raw).get_bool("b") is expected
+
+    def test_get_bool_invalid_raises(self):
+        with pytest.raises(ConfigError):
+            Config(b="maybe").get_bool("b")
+
+    def test_get_str_missing_raises(self):
+        with pytest.raises(ConfigError):
+            Config().get_str("k")
+
+    def test_get_list(self):
+        assert Config(xs="a, b ,c").get_list("xs") == ["a", "b", "c"]
+
+    def test_get_list_empty_string(self):
+        assert Config(xs="").get_list("xs") == []
+
+    def test_get_list_default_copied(self):
+        default = ["x"]
+        got = Config().get_list("xs", default)
+        got.append("y")
+        assert default == ["x"]
+
+
+class TestStructural:
+    def test_subset_strips_prefix(self):
+        cfg = Config({"systems.kafka.host": "h", "systems.kafka.port": "9", "task.class": "T"})
+        sub = cfg.subset("systems.kafka.")
+        assert dict(sub) == {"host": "h", "port": "9"}
+
+    def test_subset_keep_prefix(self):
+        cfg = Config({"a.b": "1"})
+        assert dict(cfg.subset("a.", strip_prefix=False)) == {"a.b": "1"}
+
+    def test_merge_overrides(self):
+        merged = Config(a=1, b=2).merge({"b": 3, "c": 4})
+        assert merged.get_int("a") == 1
+        assert merged.get_int("b") == 3
+        assert merged.get_int("c") == 4

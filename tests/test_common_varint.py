@@ -1,0 +1,84 @@
+"""Unit + property tests for the varint/zigzag codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import (
+    SerdeError,
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    read_varint,
+    read_zigzag,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),
+    ])
+    def test_known_encodings(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(encoded) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerdeError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(SerdeError):
+            decode_varint(b"\x80")
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(SerdeError):
+            decode_varint(b"\x01\x01")
+
+    def test_read_returns_offset(self):
+        buf = encode_varint(300) + b"rest"
+        value, pos = read_varint(buf, 0)
+        assert value == 300
+        assert buf[pos:] == b"rest"
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        assert decode_varint(encode_varint(value)) == value
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"),
+        (-1, b"\x01"),
+        (1, b"\x02"),
+        (-2, b"\x03"),
+        (2147483647, b"\xfe\xff\xff\xff\x0f"),
+    ])
+    def test_known_encodings(self, value, encoded):
+        assert encode_zigzag(value) == encoded
+        assert decode_zigzag(encoded) == value
+
+    def test_read_returns_offset(self):
+        buf = encode_zigzag(-42) + b"x"
+        value, pos = read_zigzag(buf, 0)
+        assert value == -42
+        assert pos == len(buf) - 1
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_property(self, value):
+        assert decode_zigzag(encode_zigzag(value)) == value
+
+    @given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1), max_size=20))
+    def test_concatenated_stream_roundtrip(self, values):
+        buf = b"".join(encode_zigzag(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            v, pos = read_zigzag(buf, pos)
+            out.append(v)
+        assert out == values
+        assert pos == len(buf)

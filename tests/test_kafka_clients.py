@@ -1,0 +1,186 @@
+"""Tests for producer partitioning and the consumer poll loop."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import KafkaError
+from repro.kafka import Consumer, KafkaCluster, Producer, TopicPartition, hash_partitioner
+
+
+@pytest.fixture
+def cluster():
+    c = KafkaCluster()
+    c.create_topic("orders", partitions=4)
+    return c
+
+
+class TestPartitioner:
+    def test_deterministic(self):
+        assert hash_partitioner(b"key", 8) == hash_partitioner(b"key", 8)
+
+    def test_requires_key(self):
+        with pytest.raises(KafkaError):
+            hash_partitioner(None, 4)
+
+    @given(st.binary(min_size=1, max_size=16), st.integers(min_value=1, max_value=64))
+    def test_in_range_property(self, key, n):
+        assert 0 <= hash_partitioner(key, n) < n
+
+    def test_spreads_keys(self):
+        targets = {hash_partitioner(str(i).encode(), 8) for i in range(200)}
+        assert len(targets) == 8  # all partitions hit with 200 distinct keys
+
+
+class TestProducer:
+    def test_keyed_messages_colocate(self, cluster):
+        producer = Producer(cluster)
+        p1, _ = producer.send("orders", b"v1", key=b"product-7")
+        p2, _ = producer.send("orders", b"v2", key=b"product-7")
+        assert p1 == p2
+
+    def test_unkeyed_round_robin(self, cluster):
+        producer = Producer(cluster)
+        parts = [producer.send("orders", b"v")[0] for _ in range(8)]
+        assert parts == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_explicit_partition(self, cluster):
+        producer = Producer(cluster)
+        p, offset = producer.send("orders", b"v", partition=2)
+        assert (p, offset) == (2, 0)
+
+    def test_explicit_partition_out_of_range(self, cluster):
+        with pytest.raises(KafkaError):
+            Producer(cluster).send("orders", b"v", partition=9)
+
+    def test_offsets_increase_per_partition(self, cluster):
+        producer = Producer(cluster)
+        offsets = [producer.send("orders", b"v", partition=1)[1] for _ in range(3)]
+        assert offsets == [0, 1, 2]
+
+
+class TestConsumer:
+    def _fill(self, cluster, n_per_partition=5):
+        producer = Producer(cluster)
+        for p in range(4):
+            for i in range(n_per_partition):
+                producer.send("orders", f"p{p}-m{i}".encode(), partition=p)
+
+    def test_poll_reads_everything_in_partition_order(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        records = []
+        while True:
+            batch = consumer.poll()
+            if not batch:
+                break
+            records.extend(batch)
+        assert len(records) == 20
+        # per-partition order is preserved
+        for p in range(4):
+            offsets = [r.offset for r in records if r.partition == p]
+            assert offsets == sorted(offsets) == [0, 1, 2, 3, 4]
+
+    def test_poll_respects_max_records(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        assert len(consumer.poll(max_records=3)) == 3
+
+    def test_round_robin_fairness(self, cluster):
+        """A hot partition must not starve others across polls."""
+        producer = Producer(cluster)
+        for i in range(100):
+            producer.send("orders", b"hot", partition=0)
+        producer.send("orders", b"cold", partition=1)
+        consumer = Consumer(cluster, fetch_max_records_per_partition=10)
+        consumer.assign(cluster.partitions_for("orders"))
+        seen_partitions = set()
+        for _ in range(4):
+            for r in consumer.poll(max_records=10):
+                seen_partitions.add(r.partition)
+        assert 1 in seen_partitions
+
+    def test_seek_and_position(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        tp = TopicPartition("orders", 0)
+        consumer.assign([tp])
+        consumer.seek(tp, 3)
+        records = consumer.poll()
+        assert [r.offset for r in records] == [3, 4]
+        assert consumer.position(tp) == 5
+
+    def test_seek_to_end_then_new_data(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        tp = TopicPartition("orders", 0)
+        consumer.assign([tp])
+        consumer.seek_to_end(tp)
+        assert consumer.poll() == []
+        Producer(cluster).send("orders", b"late", partition=0)
+        assert [r.value for r in consumer.poll()] == [b"late"]
+
+    def test_lag(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        tp = TopicPartition("orders", 0)
+        consumer.assign([tp])
+        assert consumer.lag(tp) == 5
+        consumer.poll()
+        assert consumer.lag(tp) == 0
+        assert consumer.total_lag() == 0
+
+    def test_pause_resume(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        consumer.pause(TopicPartition("orders", 0))
+        records = []
+        while True:
+            batch = consumer.poll()
+            if not batch:
+                break
+            records.extend(batch)
+        assert all(r.partition != 0 for r in records)
+        consumer.resume(TopicPartition("orders", 0))
+        assert any(r.partition == 0 for r in consumer.poll())
+
+    def test_unassigned_partition_operations_raise(self, cluster):
+        consumer = Consumer(cluster)
+        with pytest.raises(KafkaError):
+            consumer.seek(TopicPartition("orders", 0), 0)
+        with pytest.raises(KafkaError):
+            consumer.position(TopicPartition("orders", 0))
+
+    def test_commit_and_resume_from_committed(self, cluster):
+        self._fill(cluster)
+        tp = TopicPartition("orders", 0)
+        c1 = Consumer(cluster, group_id="g")
+        c1.assign([tp])
+        c1.poll(max_records=2)
+        c1.commit()
+        c2 = Consumer(cluster, group_id="g")
+        c2.assign([tp])
+        assert c2.position(tp) == 2
+
+    def test_commit_without_group_raises(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        with pytest.raises(KafkaError):
+            consumer.commit()
+
+    def test_auto_reset_after_retention(self, cluster):
+        """Position below log start (expired data) resets to earliest."""
+        self._fill(cluster)
+        tp = TopicPartition("orders", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        cluster.topic("orders").partition(0).truncate_before(3)
+        records = consumer.poll()
+        assert [r.offset for r in records] == [3, 4]
+
+    def test_invalid_sizes_rejected(self, cluster):
+        with pytest.raises(KafkaError):
+            Consumer(cluster, max_poll_records=0)

@@ -1,0 +1,180 @@
+"""Tests for PartitionLog: ordering, replay, retention, compaction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import KafkaError, OffsetOutOfRangeError
+from repro.kafka import PartitionLog
+
+
+def make_log(n=0):
+    log = PartitionLog("t", 0)
+    for i in range(n):
+        log.append(str(i % 3).encode(), f"v{i}".encode(), timestamp_ms=1000 + i)
+    return log
+
+
+class TestAppendRead:
+    def test_offsets_sequential_from_zero(self):
+        log = make_log()
+        assert log.append(b"k", b"v", 1) == 0
+        assert log.append(b"k", b"v", 2) == 1
+        assert log.end_offset == 2
+
+    def test_read_all_in_order(self):
+        log = make_log(5)
+        msgs = log.read(0)
+        assert [m.offset for m in msgs] == [0, 1, 2, 3, 4]
+        assert msgs[0].value == b"v0"
+
+    def test_read_from_middle(self):
+        log = make_log(5)
+        assert [m.offset for m in log.read(3)] == [3, 4]
+
+    def test_read_max_records(self):
+        log = make_log(10)
+        assert len(log.read(0, max_records=4)) == 4
+
+    def test_read_at_end_is_empty(self):
+        log = make_log(3)
+        assert log.read(3) == []
+
+    def test_read_past_end_raises(self):
+        log = make_log(3)
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read(4)
+
+    def test_null_key_and_value_allowed(self):
+        log = PartitionLog("t", 0)
+        log.append(None, b"v", 1)
+        log.append(b"k", None, 2)  # tombstone
+        assert log.read(0)[0].key is None
+        assert log.read(0)[1].value is None
+
+    def test_non_bytes_rejected(self):
+        log = PartitionLog("t", 0)
+        with pytest.raises(KafkaError):
+            log.append("key", b"v", 1)
+        with pytest.raises(KafkaError):
+            log.append(b"k", 42, 1)
+
+    def test_message_size_accounting(self):
+        log = PartitionLog("t", 0)
+        log.append(b"ab", b"cdef", 1)
+        assert log.size_bytes == 2 + 4 + 24
+
+
+class TestRetention:
+    def test_truncate_before(self):
+        log = make_log(10)
+        removed = log.truncate_before(4)
+        assert removed == 4
+        assert log.log_start_offset == 4
+        assert [m.offset for m in log.read(4)] == list(range(4, 10))
+
+    def test_read_below_log_start_raises(self):
+        log = make_log(10)
+        log.truncate_before(4)
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read(2)
+
+    def test_truncate_beyond_end_clamps(self):
+        log = make_log(3)
+        assert log.truncate_before(100) == 3
+        assert log.log_start_offset == 3
+        assert log.end_offset == 3
+
+    def test_truncate_noop_below_start(self):
+        log = make_log(5)
+        log.truncate_before(3)
+        assert log.truncate_before(2) == 0
+
+    def test_time_retention(self):
+        log = make_log(10)  # timestamps 1000..1009
+        removed = log.apply_retention(now_ms=1010, retention_ms=5)
+        # cutoff = 1005; records with ts < 1005 (offsets 0-4) removed
+        assert removed == 5
+        assert log.log_start_offset == 5
+
+    def test_retention_none_keeps_all(self):
+        log = make_log(5)
+        assert log.apply_retention(now_ms=10**9, retention_ms=None) == 0
+
+    def test_offsets_not_reused_after_truncation(self):
+        log = make_log(5)
+        log.truncate_before(5)
+        assert log.append(b"k", b"v", 1) == 5
+
+
+class TestCompaction:
+    def test_keeps_latest_per_key(self):
+        log = PartitionLog("t", 0)
+        for i, (k, v) in enumerate([(b"a", b"1"), (b"b", b"2"), (b"a", b"3")]):
+            log.append(k, v, i)
+        removed = log.compact()
+        assert removed == 1
+        msgs = log.read(0)
+        assert [(m.key, m.value) for m in msgs] == [(b"b", b"2"), (b"a", b"3")]
+
+    def test_offsets_preserved_sparse(self):
+        log = PartitionLog("t", 0)
+        log.append(b"a", b"1", 0)
+        log.append(b"a", b"2", 1)
+        log.append(b"b", b"3", 2)
+        log.compact()
+        assert [m.offset for m in log.read(0)] == [1, 2]
+        # Reading from a compaction gap starts at the next survivor.
+        assert [m.offset for m in log.read(0, 1)] == [1]
+
+    def test_tombstone_removes_key(self):
+        log = PartitionLog("t", 0)
+        log.append(b"a", b"1", 0)
+        log.append(b"a", None, 1)  # tombstone
+        log.compact()
+        assert log.read(0) == []
+
+    def test_tombstone_then_rewrite_keeps_value(self):
+        log = PartitionLog("t", 0)
+        log.append(b"a", b"1", 0)
+        log.append(b"a", None, 1)
+        log.append(b"a", b"2", 2)
+        log.compact()
+        assert [(m.key, m.value) for m in log.read(0)] == [(b"a", b"2")]
+
+    def test_unkeyed_records_survive(self):
+        log = PartitionLog("t", 0)
+        log.append(None, b"x", 0)
+        log.append(None, b"y", 1)
+        assert log.compact() == 0
+        assert len(log.read(0)) == 2
+
+    def test_appends_continue_after_compaction(self):
+        log = PartitionLog("t", 0)
+        log.append(b"a", b"1", 0)
+        log.append(b"a", b"2", 1)
+        log.compact()
+        assert log.append(b"c", b"3", 2) == 2
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.binary(min_size=1, max_size=4), st.binary(max_size=8)),
+                    min_size=1, max_size=60))
+    def test_compaction_equals_dict_semantics(self, entries):
+        """Compaction must agree with 'latest value per key' dict semantics."""
+        log = PartitionLog("t", 0)
+        expected: dict[bytes, bytes] = {}
+        for i, (k, v) in enumerate(entries):
+            log.append(k, v, i)
+            expected[k] = v
+        log.compact()
+        survivors = {bytes(m.key): m.value for m in log.read(0)}
+        assert survivors == expected
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+    def test_read_is_replayable(self, n, start):
+        """Reading twice from the same offset yields identical results."""
+        log = make_log(n)
+        if start > n:
+            return
+        assert log.read(start) == log.read(start)

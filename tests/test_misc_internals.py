@@ -1,0 +1,200 @@
+"""Coverage for smaller internals: rex helpers, system-layer types, the
+samza serde registry, codegen UDF rendering, and physical-plan explain."""
+
+import pytest
+
+from repro.common import Config, ConfigError
+from repro.samza.serdes import SerdeRegistry
+from repro.samza.system import (
+    IncomingMessageEnvelope,
+    SystemStream,
+    SystemStreamPartition,
+)
+from repro.serde import AvroSerde, StringSerde
+from repro.sql.codegen import compile_lambda, render
+from repro.sql.rex import (
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    make_conjunction,
+    remap_input_refs,
+    shift_input_refs,
+    split_conjunction,
+)
+from repro.sql.types import SqlType, common_numeric_type
+from repro.common.errors import SqlValidationError
+
+
+class TestRexHelpers:
+    def _conj(self, *ops):
+        return RexCall("AND", tuple(ops), SqlType.BOOLEAN)
+
+    def test_split_flattens_nested_ands(self):
+        a = RexCall(">", (RexInputRef(0), RexLiteral(1)), SqlType.BOOLEAN)
+        b = RexCall("<", (RexInputRef(1), RexLiteral(2)), SqlType.BOOLEAN)
+        c = RexCall("=", (RexInputRef(2), RexLiteral(3)), SqlType.BOOLEAN)
+        nested = self._conj(self._conj(a, b), c)
+        assert split_conjunction(nested) == [a, b, c]
+
+    def test_split_non_and_is_singleton(self):
+        lit = RexLiteral(True, SqlType.BOOLEAN)
+        assert split_conjunction(lit) == [lit]
+
+    def test_make_conjunction_inverse(self):
+        a = RexCall(">", (RexInputRef(0), RexLiteral(1)), SqlType.BOOLEAN)
+        b = RexCall("<", (RexInputRef(1), RexLiteral(2)), SqlType.BOOLEAN)
+        assert make_conjunction([]) is None
+        assert make_conjunction([a]) is a
+        combined = make_conjunction([a, b])
+        assert split_conjunction(combined) == [a, b]
+
+    def test_shift_refs(self):
+        expr = RexCall("+", (RexInputRef(0, SqlType.INTEGER),
+                             RexInputRef(2, SqlType.INTEGER)), SqlType.INTEGER)
+        shifted = shift_input_refs(expr, 4)
+        assert shifted.accept_fields() == {4, 6}
+
+    def test_remap_refs(self):
+        expr = RexCall("+", (RexInputRef(0, SqlType.INTEGER),
+                             RexInputRef(1, SqlType.INTEGER)), SqlType.INTEGER)
+        remapped = remap_input_refs(expr, {0: 5, 1: 0})
+        assert remapped.accept_fields() == {5, 0}
+
+    def test_accept_fields_literal_empty(self):
+        assert RexLiteral(1, SqlType.INTEGER).accept_fields() == set()
+
+
+class TestCommonNumericType:
+    @pytest.mark.parametrize("a,b,expected", [
+        (SqlType.INTEGER, SqlType.INTEGER, SqlType.INTEGER),
+        (SqlType.INTEGER, SqlType.BIGINT, SqlType.BIGINT),
+        (SqlType.BIGINT, SqlType.DOUBLE, SqlType.DOUBLE),
+        (SqlType.TIMESTAMP, SqlType.INTERVAL, SqlType.TIMESTAMP),
+        (SqlType.INTERVAL, SqlType.TIMESTAMP, SqlType.TIMESTAMP),
+        (SqlType.TIMESTAMP, SqlType.TIMESTAMP, SqlType.INTERVAL),
+        (SqlType.ANY, SqlType.INTEGER, SqlType.ANY),
+    ])
+    def test_promotions(self, a, b, expected):
+        assert common_numeric_type(a, b) is expected
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SqlValidationError):
+            common_numeric_type(SqlType.VARCHAR, SqlType.INTEGER)
+
+
+class TestSystemTypes:
+    def test_system_stream_parse(self):
+        ss = SystemStream.parse("kafka.Orders")
+        assert ss == SystemStream("kafka", "Orders")
+        assert str(ss) == "kafka.Orders"
+
+    def test_system_stream_parse_invalid(self):
+        with pytest.raises(ValueError):
+            SystemStream.parse("nodot")
+
+    def test_ssp_topic_partition(self):
+        ssp = SystemStreamPartition("kafka", "Orders", 3)
+        assert ssp.topic_partition.topic == "Orders"
+        assert ssp.topic_partition.partition == 3
+        assert str(ssp) == "kafka.Orders-3"
+        assert ssp.system_stream == SystemStream("kafka", "Orders")
+
+    def test_envelope_stream_shortcut(self):
+        envelope = IncomingMessageEnvelope(
+            system_stream_partition=SystemStreamPartition("kafka", "Orders", 0),
+            offset=5, key=None, message={"x": 1})
+        assert envelope.stream == "Orders"
+
+
+class TestSamzaSerdeRegistry:
+    def test_builtins_present(self):
+        registry = SerdeRegistry()
+        for name in ("string", "bytes", "integer", "long", "json", "object"):
+            assert registry.get(name) is not None
+
+    def test_unknown_raises_config_error(self):
+        with pytest.raises(ConfigError, match="no serde"):
+            SerdeRegistry().get("protobuf")
+
+    def test_register_custom(self):
+        registry = SerdeRegistry()
+        serde = StringSerde()
+        registry.register("mine", serde)
+        assert registry.get("mine") is serde
+
+    def test_stream_resolution_with_fallbacks(self):
+        registry = SerdeRegistry()
+        config = Config({
+            "systems.kafka.samza.msg.serde": "object",
+            "systems.kafka.streams.Orders.samza.msg.serde": "json",
+            "systems.kafka.streams.Orders.samza.key.serde": "string",
+        })
+        key_serde, msg_serde = registry.resolve_stream_serdes(
+            config, "kafka", "Orders")
+        assert msg_serde is registry.get("json")
+        # stream without overrides uses the system default
+        _, default_msg = registry.resolve_stream_serdes(config, "kafka", "Other")
+        assert default_msg is registry.get("object")
+
+
+class TestCodegenCorners:
+    def test_udf_rendering(self):
+        from repro.sql.udf import UDF_REGISTRY
+
+        UDF_REGISTRY.clear()
+        try:
+            UDF_REGISTRY.register_scalar("TWICE", lambda x: x * 2,
+                                         result_type=SqlType.INTEGER)
+            call = RexCall("UDF:TWICE", (RexInputRef(0, SqlType.INTEGER),),
+                           SqlType.INTEGER)
+            source = render(call)
+            assert "_udf_call('TWICE', r[0])" == source
+            assert compile_lambda(source)([21]) == 42
+        finally:
+            UDF_REGISTRY.clear()
+
+    def test_unregistered_udf_fails_at_runtime(self):
+        from repro.common import PlannerError
+
+        fn = compile_lambda("_udf_call('GONE', r[0])")
+        with pytest.raises(PlannerError, match="not registered"):
+            fn([1])
+
+    def test_generated_code_has_no_builtin_access(self):
+        """The codegen namespace is a tight sandbox."""
+        fn = compile_lambda("max(r[0], 2)")
+        assert fn([1]) == 2
+        bad = compile_lambda("__import__('os')") if False else None
+        with pytest.raises(Exception):
+            compile_lambda("open('/etc/passwd')")([])
+
+    def test_case_nesting(self):
+        call = RexCall("CASE", (
+            RexCall(">", (RexInputRef(0, SqlType.INTEGER), RexLiteral(10)),
+                    SqlType.BOOLEAN),
+            RexLiteral("big", SqlType.VARCHAR),
+            RexCall(">", (RexInputRef(0, SqlType.INTEGER), RexLiteral(5)),
+                    SqlType.BOOLEAN),
+            RexLiteral("mid", SqlType.VARCHAR),
+            RexLiteral("small", SqlType.VARCHAR),
+        ), SqlType.VARCHAR)
+        fn = compile_lambda(render(call))
+        assert [fn([20]), fn([7]), fn([1])] == ["big", "mid", "small"]
+
+
+class TestPhysicalExplain:
+    def test_explain_tree_text(self):
+        from repro.samzasql.plan_builder import PhysicalPlanBuilder
+        from repro.sql import QueryPlanner
+
+        from tests.sql_fixtures import paper_catalog
+
+        catalog = paper_catalog()
+        logical = QueryPlanner(catalog).plan_query(
+            "SELECT STREAM Orders.units, Products.supplierId FROM Orders "
+            "JOIN Products ON Orders.productId = Products.productId")
+        plan = PhysicalPlanBuilder(catalog).build(logical, "Out")
+        text = plan.explain()
+        assert "insert(Out)" in text
+        assert "stream_relation_join(relation=Products)" in text
+        assert "scan(Orders)" in text

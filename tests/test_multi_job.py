@@ -1,0 +1,92 @@
+"""Multiple jobs sharing the cluster — the Kappa fan-out pattern.
+
+§2: Samza "facilitates sharing across stream processing stages by allowing
+addition of jobs that consume an intermediate stream"; each job has its
+own master, so "glitches in one job do not affect other jobs".
+"""
+
+import pytest
+
+from repro.common import PlannerError
+
+from tests.samzasql_fixtures import Deployment
+
+
+class TestConcurrentQueries:
+    def test_two_queries_same_input_independent(self):
+        deployment = Deployment().with_orders(60)
+        big = deployment.shell.execute("SELECT STREAM * FROM Orders WHERE units > 50")
+        small = deployment.shell.execute("SELECT STREAM * FROM Orders WHERE units <= 50")
+        deployment.runner.run_until_quiescent()
+        n_big = len(big.results())
+        n_small = len(small.results())
+        assert n_big + n_small == 60
+        assert n_big == sum(1 for i in range(60) if (i * 7) % 100 > 50)
+
+    def test_failure_in_one_job_does_not_affect_other(self):
+        deployment = Deployment().with_orders(40)
+        victim_query = deployment.shell.execute(
+            "SELECT STREAM * FROM Orders WHERE units > 50", containers=2)
+        healthy_query = deployment.shell.execute(
+            "SELECT STREAM rowtime, units FROM Orders")
+        for _ in range(2):
+            deployment.runner.run_iteration()
+        deployment.runner.kill_container(victim_query.master, index=0)
+        deployment.runner.run_until_quiescent()
+        # the healthy job saw every record exactly once (no failure there)
+        assert len(healthy_query.results()) == 40
+        # the victim job recovered and (at-least-once) covered everything
+        expected = {i for i in range(40) if (i * 7) % 100 > 50}
+        assert {r["orderId"] for r in victim_query.results()} == expected
+
+    def test_three_stage_pipeline(self):
+        deployment = Deployment().with_orders(50)
+        stage1 = deployment.run(
+            "INSERT INTO Stage1 SELECT STREAM * FROM Orders WHERE units > 20")
+        deployment.shell.register_derived_stream("S1", stage1)
+        stage2 = deployment.run(
+            "INSERT INTO Stage2 SELECT STREAM * FROM S1 WHERE units > 60")
+        deployment.shell.register_derived_stream("S2", stage2)
+        stage3 = deployment.run(
+            "SELECT STREAM orderId FROM S2 WHERE units > 90")
+        expected = [i for i in range(50) if (i * 7) % 100 > 90]
+        assert sorted(r["orderId"] for r in stage3.results()) == expected
+
+    def test_jobs_get_separate_checkpoint_topics(self):
+        deployment = Deployment().with_orders(10)
+        q1 = deployment.run("SELECT STREAM * FROM Orders")
+        q2 = deployment.run("SELECT STREAM rowtime, units FROM Orders")
+        topics = deployment.cluster.topics()
+        assert f"__checkpoint_{q1.query_id}" in topics
+        assert f"__checkpoint_{q2.query_id}" in topics
+
+    def test_yarn_capacity_shared(self):
+        """Containers from different jobs coexist under cluster capacity."""
+        deployment = Deployment(nodes=2).with_orders(10)
+        deployment.run("SELECT STREAM * FROM Orders", containers=2)
+        deployment.run("SELECT STREAM rowtime FROM Orders", containers=2)
+        used = deployment.rm.cluster_capacity().memory_mb - \
+            deployment.rm.cluster_available().memory_mb
+        assert used == 4 * 1024  # four containers at the 1024 MB default
+
+    def test_run_until_quiescent_guard_fires(self):
+        """The runner's iteration guard must fire instead of spinning
+        forever when a job cannot drain its input."""
+        from repro.samza.task import StreamTask
+        from repro.samza.system import OutgoingMessageEnvelope, SystemStream
+        from repro.samza import SamzaJob
+        from tests.helpers import base_config, orders_serdes
+
+        class SelfFeedingTask(StreamTask):
+            def process(self, envelope, collector, coordinator):
+                collector.send(OutgoingMessageEnvelope(
+                    system_stream=SystemStream("kafka", "Orders"),
+                    message=envelope.message, key=envelope.key,
+                    timestamp_ms=envelope.timestamp_ms))
+
+        deployment = Deployment().with_orders(1)
+        job = SamzaJob(config=base_config(name="loop-job"),
+                       task_factory=SelfFeedingTask, serdes=orders_serdes())
+        deployment.runner.submit(job)
+        with pytest.raises(RuntimeError, match="quiesce"):
+            deployment.runner.run_until_quiescent(max_iterations=50)

@@ -1,0 +1,257 @@
+"""Integration tests for the Samza container/job runtime."""
+
+import pytest
+
+from repro.common import Config
+from repro.samza import OutgoingMessageEnvelope, SamzaJob
+from repro.samza.system import SystemStream
+from repro.samza.task import StreamTask
+from repro.serde import AvroSerde
+
+from tests.helpers import (
+    ORDERS_SCHEMA,
+    CountingTask,
+    FilterTask,
+    WindowEmitTask,
+    base_config,
+    make_runtime,
+    orders_serdes,
+    produce_orders,
+    read_topic,
+)
+
+
+class TestFilterJobEndToEnd:
+    def _run(self, containers=1, partitions=4, count=100):
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, count, partitions=partitions)
+        job = SamzaJob(
+            config=base_config(containers=containers),
+            task_factory=lambda: FilterTask(threshold=50),
+            serdes=orders_serdes(),
+        )
+        master = runner.submit(job)
+        runner.run_until_quiescent()
+        return cluster, master
+
+    def test_filter_output_correct(self):
+        cluster, _ = self._run()
+        out = read_topic(cluster, "OrdersOut", AvroSerde(ORDERS_SCHEMA))
+        # input units pattern: (i*7) % 100 — count how many exceed 50
+        expected = [r for r in produce_expected(100) if r["units"] > 50]
+        assert sorted(o["orderId"] for o in out) == sorted(r["orderId"] for r in expected)
+        assert all(o["units"] > 50 for o in out)
+
+    def test_multi_container_same_result(self):
+        cluster_1, _ = self._run(containers=1)
+        cluster_4, _ = self._run(containers=4)
+        one = sorted(o["orderId"] for o in read_topic(
+            cluster_1, "OrdersOut", AvroSerde(ORDERS_SCHEMA)))
+        four = sorted(o["orderId"] for o in read_topic(
+            cluster_4, "OrdersOut", AvroSerde(ORDERS_SCHEMA)))
+        assert one == four
+
+    def test_key_partitioning_preserved(self):
+        """Outputs keyed by productId land in consistent partitions."""
+        cluster, _ = self._run()
+        by_key_partition = {}
+        for tp in cluster.partitions_for("OrdersOut"):
+            for msg in cluster.fetch(tp, 0):
+                by_key_partition.setdefault(msg.key, set()).add(tp.partition)
+        assert all(len(parts) == 1 for parts in by_key_partition.values())
+
+    def test_processed_count_matches_input(self):
+        _, master = self._run(count=60)
+        processed = sum(c.processed_count for c in master.samza_containers.values())
+        assert processed == 60
+
+    def test_container_count_respected(self):
+        _, master = self._run(containers=3)
+        assert len(master.samza_containers) == 3
+
+    def test_containers_cover_all_partitions(self):
+        _, master = self._run(containers=3, partitions=8)
+        partition_ids = []
+        for container in master.samza_containers.values():
+            for task in container.tasks.values():
+                partition_ids.append(task.partition_id)
+        assert sorted(partition_ids) == list(range(8))
+
+
+def produce_expected(count, start_ts=1_000_000):
+    return [
+        {"rowtime": start_ts + i, "productId": i % 10, "orderId": i,
+         "units": (i * 7) % 100}
+        for i in range(count)
+    ]
+
+
+class TestStatefulJob:
+    def _job(self, cluster, containers=1):
+        config = base_config(containers=containers).merge({
+            "stores.counts.changelog": "kafka.test-job-counts-changelog",
+            "stores.counts.key.serde": "string",
+            "stores.counts.msg.serde": "json",
+        })
+        return SamzaJob(config=config, task_factory=CountingTask, serdes=orders_serdes())
+
+    def test_counts_accumulate(self):
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 100, partitions=2)
+        master = runner.submit(self._job(cluster))
+        runner.run_until_quiescent()
+        totals = {}
+        for container in master.samza_containers.values():
+            for task in container.tasks.values():
+                for key, value in task.stores["counts"].all():
+                    totals[key] = totals.get(key, 0) + value
+        assert sum(totals.values()) == 100
+        assert totals == {str(p): 10 for p in range(10)}
+
+    def test_changelog_written(self):
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 20, partitions=2)
+        runner.submit(self._job(cluster))
+        runner.run_until_quiescent()
+        assert cluster.topic("test-job-counts-changelog").total_messages() > 0
+
+    def test_state_restored_after_container_failure(self):
+        """Kill a container mid-stream; the replacement must restore counts
+        from the changelog and resume from the checkpoint."""
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 50, partitions=2)
+        config = base_config(containers=2).merge({
+            "stores.counts.changelog": "kafka.test-job-counts-changelog",
+            "stores.counts.key.serde": "string",
+            "stores.counts.msg.serde": "json",
+            "task.checkpoint.interval.messages": 5,
+        })
+        job = SamzaJob(config=config, task_factory=CountingTask, serdes=orders_serdes())
+        master = runner.submit(job)
+        # process some of the input
+        for _ in range(3):
+            runner.run_iteration()
+        runner.kill_container(master, index=0)
+        produce_orders(cluster, 50, partitions=2)  # more input after failure
+        runner.run_until_quiescent()
+        totals = {}
+        for container in master.samza_containers.values():
+            for task in container.tasks.values():
+                for key, value in task.stores["counts"].all():
+                    totals[key] = totals.get(key, 0) + value
+        # At-least-once: every message counted at least once, and the
+        # replacement container resumed from its checkpoint, so totals are
+        # at least the true counts and bounded by checkpoint-interval slack.
+        assert sum(totals.values()) >= 100
+        assert sum(totals.values()) <= 100 + 2 * 5 * 2  # tasks * interval slack
+
+
+class TestWindowTimer:
+    def test_window_fires_on_interval(self):
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 10, partitions=1)
+        config = base_config().merge({"task.window.ms": 100})
+        job = SamzaJob(config=config, task_factory=WindowEmitTask, serdes=orders_serdes())
+        master = runner.submit(job)
+        runner.run_iteration()
+        clock.advance(150)
+        runner.run_iteration()
+        [container] = master.samza_containers.values()
+        [task] = container.tasks.values()
+        assert task.task.window_calls == 1
+        clock.advance(150)
+        runner.run_iteration()
+        assert task.task.window_calls == 2
+
+    def test_window_disabled_by_default(self):
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 10, partitions=1)
+        job = SamzaJob(config=base_config(), task_factory=WindowEmitTask,
+                       serdes=orders_serdes())
+        master = runner.submit(job)
+        clock.advance(10_000)
+        runner.run_until_quiescent()
+        [container] = master.samza_containers.values()
+        [task] = container.tasks.values()
+        assert task.task.window_calls == 0
+
+
+class TestBootstrapStreams:
+    def test_bootstrap_consumed_before_other_inputs(self):
+        """Products (bootstrap) must be fully read before any Orders message
+        is processed — the §4.4 stream-to-relation join mechanism."""
+        order_of_streams = []
+
+        class RecordingTask(StreamTask):
+            def process(self, envelope, collector, coordinator):
+                order_of_streams.append(envelope.stream)
+
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 30, partitions=2)
+        produce_orders(cluster, 10, partitions=2, topic="Products")
+        config = base_config().merge({
+            "task.inputs": "kafka.Orders,kafka.Products",
+            "systems.kafka.streams.Products.samza.bootstrap": "true",
+            "systems.kafka.streams.Products.samza.msg.serde": "avro-orders",
+            "systems.kafka.streams.Products.samza.key.serde": "string",
+        })
+        job = SamzaJob(config=config, task_factory=RecordingTask, serdes=orders_serdes())
+        runner.submit(job)
+        runner.run_until_quiescent()
+        first_orders = order_of_streams.index("Orders")
+        products_seen_before = order_of_streams[:first_orders].count("Products")
+        assert products_seen_before == 10
+        assert order_of_streams.count("Orders") == 30
+
+    def test_no_bootstrap_interleaves(self):
+        streams_seen = []
+
+        class RecordingTask(StreamTask):
+            def process(self, envelope, collector, coordinator):
+                streams_seen.append(envelope.stream)
+
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 20, partitions=2)
+        produce_orders(cluster, 20, partitions=2, topic="Products")
+        config = base_config().merge({
+            "task.inputs": "kafka.Orders,kafka.Products",
+            "systems.kafka.streams.Products.samza.msg.serde": "avro-orders",
+            "systems.kafka.streams.Products.samza.key.serde": "string",
+        })
+        job = SamzaJob(config=config, task_factory=RecordingTask, serdes=orders_serdes())
+        runner.submit(job)
+        runner.run_until_quiescent()
+        assert len(streams_seen) == 40
+
+
+class TestCoordinator:
+    def test_shutdown_request_stops_container(self):
+        class OneShotTask(StreamTask):
+            def process(self, envelope, collector, coordinator):
+                coordinator.shutdown()
+
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 10, partitions=1)
+        job = SamzaJob(config=base_config(), task_factory=OneShotTask,
+                       serdes=orders_serdes())
+        master = runner.submit(job)
+        runner.run_iteration()
+        [container] = master.samza_containers.values()
+        assert container.shutdown_requested
+        assert container.processed_count == 1
+
+    def test_commit_request_writes_checkpoint(self):
+        class CommittingTask(StreamTask):
+            def process(self, envelope, collector, coordinator):
+                coordinator.commit()
+
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 4, partitions=1)
+        job = SamzaJob(config=base_config(), task_factory=CommittingTask,
+                       serdes=orders_serdes())
+        master = runner.submit(job)
+        runner.run_until_quiescent()
+        checkpoint = master.checkpoints.read_last_checkpoint("Partition 0")
+        assert checkpoint is not None
+        [(ssp, offset)] = checkpoint.offsets.items()
+        assert offset == 4

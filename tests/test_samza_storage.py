@@ -1,0 +1,202 @@
+"""Tests for the layered key-value store stack."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import StateStoreError
+from repro.samza import (
+    CachedKeyValueStore,
+    InMemoryKeyValueStore,
+    LoggedKeyValueStore,
+    SerializedKeyValueStore,
+)
+from repro.serde import JsonSerde, LongSerde, StringSerde
+
+
+class TestInMemoryStore:
+    def test_put_get_delete(self):
+        store = InMemoryKeyValueStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_get_missing_is_none(self):
+        assert InMemoryKeyValueStore().get(b"nope") is None
+
+    def test_delete_missing_is_noop(self):
+        InMemoryKeyValueStore().delete(b"nope")
+
+    def test_overwrite(self):
+        store = InMemoryKeyValueStore()
+        store.put(b"k", b"1")
+        store.put(b"k", b"2")
+        assert store.get(b"k") == b"2"
+        assert len(store) == 1
+
+    def test_range_is_sorted_half_open(self):
+        store = InMemoryKeyValueStore()
+        for key in (b"d", b"a", b"c", b"b"):
+            store.put(key, key.upper())
+        assert list(store.range(b"b", b"d")) == [(b"b", b"B"), (b"c", b"C")]
+
+    def test_range_empty(self):
+        store = InMemoryKeyValueStore()
+        store.put(b"a", b"1")
+        assert list(store.range(b"x", b"z")) == []
+
+    def test_range_reversed_bounds_raise(self):
+        store = InMemoryKeyValueStore()
+        with pytest.raises(StateStoreError):
+            list(store.range(b"z", b"a"))
+
+    def test_all_in_key_order(self):
+        store = InMemoryKeyValueStore()
+        for key in (b"c", b"a", b"b"):
+            store.put(key, b"v")
+        assert [k for k, _ in store.all()] == [b"a", b"b", b"c"]
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(StateStoreError):
+            InMemoryKeyValueStore().put("str", b"v")
+        with pytest.raises(StateStoreError):
+            InMemoryKeyValueStore().get(3)
+
+    def test_non_bytes_value_rejected(self):
+        with pytest.raises(StateStoreError):
+            InMemoryKeyValueStore().put(b"k", "v")
+
+    @given(st.dictionaries(st.binary(min_size=1, max_size=6), st.binary(max_size=6),
+                           max_size=40))
+    def test_matches_dict_semantics(self, entries):
+        store = InMemoryKeyValueStore()
+        for k, v in entries.items():
+            store.put(k, v)
+        assert dict(store.all()) == entries
+        assert [k for k, _ in store.all()] == sorted(entries)
+
+    @given(
+        st.dictionaries(st.binary(min_size=1, max_size=4), st.binary(max_size=4), max_size=30),
+        st.binary(min_size=1, max_size=4), st.binary(min_size=1, max_size=4),
+    )
+    def test_range_matches_filter(self, entries, a, b):
+        lo, hi = min(a, b), max(a, b)
+        store = InMemoryKeyValueStore()
+        for k, v in entries.items():
+            store.put(k, v)
+        expected = sorted((k, v) for k, v in entries.items() if lo <= k < hi)
+        assert list(store.range(lo, hi)) == expected
+
+
+class TestLoggedStore:
+    def test_mutations_logged(self):
+        log = []
+        store = LoggedKeyValueStore(InMemoryKeyValueStore(), lambda k, v: log.append((k, v)))
+        store.put(b"a", b"1")
+        store.put(b"a", b"2")
+        store.delete(b"a")
+        assert log == [(b"a", b"1"), (b"a", b"2"), (b"a", None)]
+
+    def test_reads_not_logged(self):
+        log = []
+        store = LoggedKeyValueStore(InMemoryKeyValueStore(), lambda k, v: log.append(1))
+        store.put(b"a", b"1")
+        store.get(b"a")
+        list(store.range(b"a", b"b"))
+        list(store.all())
+        assert len(log) == 1
+
+    def test_replaying_log_rebuilds_store(self):
+        log = []
+        store = LoggedKeyValueStore(InMemoryKeyValueStore(), lambda k, v: log.append((k, v)))
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        rebuilt = InMemoryKeyValueStore()
+        for key, value in log:
+            if value is None:
+                rebuilt.delete(key)
+            else:
+                rebuilt.put(key, value)
+        assert dict(rebuilt.all()) == dict(store.all())
+
+
+class TestSerializedStore:
+    def _store(self):
+        return SerializedKeyValueStore(
+            InMemoryKeyValueStore(), StringSerde(), JsonSerde())
+
+    def test_object_roundtrip(self):
+        store = self._store()
+        store.put("order-1", {"units": 30})
+        assert store.get("order-1") == {"units": 30}
+
+    def test_missing_is_none(self):
+        assert self._store().get("missing") is None
+
+    def test_delete(self):
+        store = self._store()
+        store.put("k", [1])
+        store.delete("k")
+        assert store.get("k") is None
+
+    def test_range_decodes(self):
+        store = SerializedKeyValueStore(
+            InMemoryKeyValueStore(), LongSerde(), JsonSerde())
+        for ts in (100, 200, 300):
+            store.put(ts, {"ts": ts})
+        assert [k for k, _ in store.range(100, 300)] == [100, 200]
+
+    def test_long_keys_sort_numerically(self):
+        """Big-endian longs keep numeric order in the bytes store — the
+        property the window operator's time-keyed scans depend on."""
+        store = SerializedKeyValueStore(
+            InMemoryKeyValueStore(), LongSerde(), JsonSerde())
+        for ts in (5, 1000, 3, 70):
+            store.put(ts, ts)
+        assert [k for k, _ in store.all()] == [3, 5, 70, 1000]
+
+
+class TestCachedStore:
+    def _stack(self, capacity=8):
+        inner = SerializedKeyValueStore(
+            InMemoryKeyValueStore(), StringSerde(), JsonSerde())
+        return CachedKeyValueStore(inner, capacity=capacity), inner
+
+    def test_read_through_and_hit(self):
+        cached, _ = self._stack()
+        cached.put("k", 1)
+        assert cached.get("k") == 1
+        assert cached.hits == 1  # put populated the cache
+
+    def test_miss_then_hit(self):
+        cached, inner = self._stack()
+        inner.put("k", 5)
+        assert cached.get("k") == 5
+        assert cached.misses == 1
+        assert cached.get("k") == 5
+        assert cached.hits == 1
+
+    def test_write_through(self):
+        cached, inner = self._stack()
+        cached.put("k", 2)
+        assert inner.get("k") == 2  # not buffered
+
+    def test_delete_invalidates(self):
+        cached, _ = self._stack()
+        cached.put("k", 1)
+        cached.delete("k")
+        assert cached.get("k") is None
+
+    def test_eviction_bounded(self):
+        cached, _ = self._stack(capacity=2)
+        for i in range(5):
+            cached.put(f"k{i}", i)
+        # oldest entries evicted; store still correct
+        assert cached.get("k0") == 0
+        assert len(cached) == 5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StateStoreError):
+            CachedKeyValueStore(InMemoryKeyValueStore(), capacity=0)

@@ -1,0 +1,409 @@
+"""End-to-end tests: streaming SQL text in, output stream records out.
+
+These exercise the full stack: shell planning, ZooKeeper plan sharing,
+YARN submission, Samza containers, and the operator layer.
+"""
+
+import pytest
+
+from repro.common import PlannerError
+
+from tests.samzasql_fixtures import Deployment
+
+
+class TestFilterQuery:
+    """The paper's Filter benchmark query."""
+
+    SQL = "SELECT STREAM * FROM Orders WHERE units > 50"
+
+    def test_only_matching_rows(self):
+        deployment = Deployment().with_orders(100)
+        handle = deployment.run(self.SQL)
+        results = handle.results()
+        expected = [i for i in range(100) if (i * 7) % 100 > 50]
+        assert sorted(r["orderId"] for r in results) == expected
+        assert all(r["units"] > 50 for r in results)
+
+    def test_all_columns_preserved(self):
+        deployment = Deployment().with_orders(20)
+        handle = deployment.run(self.SQL)
+        for record in handle.results():
+            assert set(record) == {"rowtime", "productId", "orderId", "units"}
+
+    def test_multi_container_same_output(self):
+        single = Deployment().with_orders(100)
+        multi = Deployment().with_orders(100)
+        one = single.run(self.SQL, containers=1).results()
+        four = multi.run(self.SQL, containers=4).results()
+        key = lambda r: r["orderId"]
+        assert sorted(one, key=key) == sorted(four, key=key)
+
+    def test_continuous_processing(self):
+        """A streaming query keeps consuming new input (§3.3: 'this query
+        will continue to run')."""
+        deployment = Deployment().with_orders(10)
+        handle = deployment.run(self.SQL)
+        first = len(handle.results())
+        deployment.feed_orders(10, start_ts=2_000_000, start_id=100)
+        deployment.runner.run_until_quiescent()
+        assert len(handle.results()) > first
+
+
+class TestProjectQuery:
+    SQL = "SELECT STREAM rowtime, productId, units FROM Orders"
+
+    def test_projected_columns(self):
+        deployment = Deployment().with_orders(30)
+        handle = deployment.run(self.SQL)
+        results = handle.results()
+        assert len(results) == 30
+        assert all(set(r) == {"rowtime", "productId", "units"} for r in results)
+
+    def test_computed_projection(self):
+        deployment = Deployment().with_orders(10)
+        handle = deployment.run(
+            "SELECT STREAM orderId, units * 2 AS doubled FROM Orders")
+        assert all(r["doubled"] == (r["orderId"] * 7) % 100 * 2
+                   for r in handle.results())
+
+
+class TestStreamRelationJoin:
+    """Listing 8 — the paper's join benchmark query."""
+
+    SQL = ("SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId, "
+           "Orders.units, Products.supplierId FROM Orders JOIN Products "
+           "ON Orders.productId = Products.productId")
+
+    def test_join_enriches_every_order(self):
+        deployment = Deployment().with_orders(50).with_products(10)
+        handle = deployment.run(self.SQL)
+        results = handle.results()
+        assert len(results) == 50
+        for record in results:
+            assert record["supplierId"] == record["productId"] % 3
+
+    def test_missing_relation_rows_drop_orders(self):
+        deployment = Deployment().with_orders(50).with_products(5)  # products 0-4
+        handle = deployment.run(self.SQL)
+        results = handle.results()
+        assert len(results) == 25
+        assert all(r["productId"] < 5 for r in results)
+
+    def test_relation_updates_seen_by_later_orders(self):
+        """Changelog updates arriving after bootstrap keep the cache current."""
+        from repro.serde import AvroSerde
+        from tests.samzasql_fixtures import PRODUCTS_SCHEMA
+
+        deployment = Deployment().with_orders(10).with_products(10)
+        handle = deployment.run(self.SQL)
+        before = {r["orderId"]: r["supplierId"] for r in handle.results()}
+        # update product 3's supplier, then send more orders for product 3
+        serde = AvroSerde(PRODUCTS_SCHEMA)
+        deployment.producer.send(
+            "Products-changelog",
+            serde.to_bytes({"productId": 3, "name": "product-3", "supplierId": 99}),
+            key=b"3")
+        deployment.feed_orders(10, start_ts=5_000_000, start_id=200)
+        deployment.runner.run_until_quiescent()
+        after = {r["orderId"]: r["supplierId"] for r in handle.results()}
+        assert after[203] == 99          # new order sees the update
+        assert after[3] == before[3] == 0  # old output unchanged
+
+    def test_bootstrap_happens_before_stream(self):
+        """Orders produced before the job starts must still all join — the
+        relation is fully bootstrapped before stream processing."""
+        deployment = Deployment().with_orders(40).with_products(10)
+        handle = deployment.run(self.SQL, containers=2)
+        assert len(handle.results()) == 40
+
+
+class TestSlidingWindowQuery:
+    """The paper's sliding-window benchmark query (Listing 6 shape)."""
+
+    SQL = ("SELECT STREAM rowtime, productId, units, SUM(units) OVER "
+           "(PARTITION BY productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE "
+           "PRECEDING) unitsLastFiveMinutes FROM Orders")
+
+    def test_one_output_per_input(self):
+        deployment = Deployment().with_orders(50)
+        handle = deployment.run(self.SQL)
+        assert len(handle.results()) == 50
+
+    def test_window_sums_match_reference(self):
+        deployment = Deployment(partitions=1).with_orders(60, step_ms=30_000)
+        handle = deployment.run(self.SQL)
+        results = sorted(handle.results(), key=lambda r: r["rowtime"])
+        window_ms = 5 * 60 * 1000
+        rows = [(r["rowtime"], r["productId"], r["units"]) for r in results]
+        for record in results:
+            expected = sum(
+                units for ts, pid, units in rows
+                if pid == record["productId"]
+                and record["rowtime"] - window_ms <= ts <= record["rowtime"])
+            assert record["unitsLastFiveMinutes"] == expected
+
+    def test_old_rows_leave_the_window(self):
+        deployment = Deployment(partitions=1)
+        deployment.with_orders(0)
+        # two bursts 10 minutes apart: second burst must not include first
+        deployment.feed_orders(5, start_ts=1_000_000, step_ms=1)
+        deployment.feed_orders(5, start_ts=1_000_000 + 10 * 60 * 1000,
+                               step_ms=1, start_id=100)
+        handle = deployment.run(self.SQL)
+        results = sorted(handle.results(), key=lambda r: r["rowtime"])
+        by_order = {r["rowtime"]: r for r in results}
+        late = [r for r in results if r["rowtime"] >= 1_000_000 + 10 * 60 * 1000]
+        for record in late:
+            assert record["unitsLastFiveMinutes"] <= sum(
+                x["units"] for x in late)
+
+
+class TestStreamStreamJoin:
+    """Listing 7 — packet latency between two routers."""
+
+    SQL = ("SELECT STREAM GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) AS rowtime, "
+           "PacketsR1.sourcetime, PacketsR1.packetId, "
+           "PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel "
+           "FROM PacketsR1 JOIN PacketsR2 ON "
+           "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
+           "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
+           "AND PacketsR1.packetId = PacketsR2.packetId")
+
+    def test_packets_within_window_join(self):
+        deployment = Deployment(partitions=2).with_packets()
+        for pid in range(10):
+            t0 = 1_000_000 + pid * 10_000
+            deployment.feed_packet("PacketsR1", pid, t0)
+            deployment.feed_packet("PacketsR2", pid, t0 + 500)  # 0.5s later
+        handle = deployment.run(self.SQL)
+        results = handle.results()
+        assert len(results) == 10
+        assert all(r["timeToTravel"] == 500 for r in results)
+
+    def test_packets_outside_window_do_not_join(self):
+        deployment = Deployment(partitions=2).with_packets()
+        deployment.feed_packet("PacketsR1", 1, 1_000_000)
+        deployment.feed_packet("PacketsR2", 1, 1_000_000 + 5000)  # 5s > 2s window
+        handle = deployment.run(self.SQL)
+        assert handle.results() == []
+
+    def test_key_mismatch_does_not_join(self):
+        deployment = Deployment(partitions=2).with_packets()
+        deployment.feed_packet("PacketsR1", 1, 1_000_000)
+        deployment.feed_packet("PacketsR2", 2, 1_000_500)
+        handle = deployment.run(self.SQL)
+        assert handle.results() == []
+
+    def test_join_works_regardless_of_arrival_order(self):
+        deployment = Deployment(partitions=1).with_packets()
+        deployment.feed_packet("PacketsR2", 7, 1_000_500)  # R2 first
+        deployment.feed_packet("PacketsR1", 7, 1_000_000)
+        handle = deployment.run(self.SQL)
+        results = handle.results()
+        assert len(results) == 1
+        assert results[0]["timeToTravel"] == 500
+
+
+class TestGroupWindows:
+    def test_tumbling_hourly_count(self):
+        """Listing 4 — hourly order counts."""
+        deployment = Deployment(partitions=1)
+        deployment.with_orders(0)
+        hour = 3_600_000
+        # 3 orders in hour 1, 2 in hour 2, 1 in hour 3 (h3 emits on watermark
+        # from a later sentinel order in hour 4)
+        times = [hour + 1, hour + 2, hour + 3,
+                 2 * hour + 1, 2 * hour + 2,
+                 3 * hour + 1,
+                 4 * hour + 1]
+        from repro.serde import AvroSerde
+        from tests.samzasql_fixtures import ORDERS_SCHEMA
+        serde = AvroSerde(ORDERS_SCHEMA)
+        for i, ts in enumerate(times):
+            deployment.producer.send(
+                "Orders", serde.to_bytes(
+                    {"rowtime": ts, "productId": 0, "orderId": i, "units": 1}),
+                key=b"0", timestamp_ms=ts)
+        handle = deployment.run(
+            "SELECT STREAM START(rowtime) AS ws, END(rowtime) AS we, COUNT(*) AS c "
+            "FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+        results = sorted(handle.results(), key=lambda r: r["ws"])
+        # the hour-4 window never closes (no later watermark), so 3 outputs
+        assert [(r["ws"] // hour, r["c"]) for r in results] == [(1, 3), (2, 2), (3, 1)]
+        assert all(r["we"] - r["ws"] == hour for r in results)
+
+    def test_hopping_window_overlap(self):
+        """HOP(emit=1m, retain=2m): each tuple lands in two windows."""
+        deployment = Deployment(partitions=1)
+        deployment.with_orders(0)
+        minute = 60_000
+        from repro.serde import AvroSerde
+        from tests.samzasql_fixtures import ORDERS_SCHEMA
+        serde = AvroSerde(ORDERS_SCHEMA)
+        # one order per minute for 6 minutes
+        for i in range(6):
+            ts = minute * (i + 1) + 1
+            deployment.producer.send(
+                "Orders", serde.to_bytes(
+                    {"rowtime": ts, "productId": 0, "orderId": i, "units": 1}),
+                key=b"0", timestamp_ms=ts)
+        handle = deployment.run(
+            "SELECT STREAM START(rowtime) AS ws, COUNT(*) AS c FROM Orders "
+            "GROUP BY HOP(rowtime, INTERVAL '1' MINUTE, INTERVAL '2' MINUTE)")
+        results = sorted(handle.results(), key=lambda r: r["ws"])
+        # interior closed windows hold 2 tuples each (overlap)
+        interior = [r for r in results if r["c"] == 2]
+        assert len(interior) >= 3
+
+    def test_floor_group_by_is_hourly_tumble(self):
+        """Listing 3's FLOOR(rowtime TO HOUR) GROUP BY idiom."""
+        deployment = Deployment(partitions=1)
+        deployment.with_orders(0)
+        hour = 3_600_000
+        from repro.serde import AvroSerde
+        from tests.samzasql_fixtures import ORDERS_SCHEMA
+        serde = AvroSerde(ORDERS_SCHEMA)
+        for i, ts in enumerate([hour + 1, hour + 2, 2 * hour + 5, 3 * hour + 1]):
+            deployment.producer.send(
+                "Orders", serde.to_bytes(
+                    {"rowtime": ts, "productId": i % 2, "orderId": i, "units": 20}),
+                key=str(i % 2).encode(), timestamp_ms=ts)
+        handle = deployment.run(
+            "SELECT STREAM FLOOR(rowtime TO HOUR) AS hr, productId, COUNT(*) AS c, "
+            "SUM(units) AS su FROM Orders "
+            "GROUP BY FLOOR(rowtime TO HOUR), productId")
+        results = handle.results()
+        hour1 = [r for r in results if r["hr"] == hour]
+        assert sorted((r["productId"], r["c"], r["su"]) for r in hour1) == [
+            (0, 1, 20), (1, 1, 20)]
+
+
+class TestBatchMode:
+    def test_select_without_stream_reads_history(self):
+        deployment = Deployment().with_orders(40)
+        rows = deployment.shell.execute(
+            "SELECT productId, COUNT(*) AS c, SUM(units) AS su FROM Orders "
+            "GROUP BY productId")
+        assert len(rows) == 10
+        assert all(r["c"] == 4 for r in rows)
+
+    def test_table_query(self):
+        deployment = Deployment().with_orders(0).with_products(10)
+        rows = deployment.shell.execute(
+            "SELECT name FROM Products WHERE supplierId = 0")
+        assert sorted(r["name"] for r in rows) == [
+            "product-0", "product-3", "product-6", "product-9"]
+
+    def test_stream_table_join_batch(self):
+        deployment = Deployment().with_orders(20).with_products(10)
+        rows = deployment.shell.execute(
+            "SELECT Orders.orderId, Products.name FROM Orders JOIN Products "
+            "ON Orders.productId = Products.productId")
+        assert len(rows) == 20
+
+    def test_create_view_then_query(self):
+        deployment = Deployment().with_orders(50)
+        assert deployment.shell.execute(
+            "CREATE VIEW BigOrders AS SELECT * FROM Orders WHERE units > 50") is None
+        rows = deployment.shell.execute("SELECT COUNT(*) AS c FROM BigOrders")
+        expected = sum(1 for i in range(50) if (i * 7) % 100 > 50)
+        assert rows[0]["c"] == expected
+
+
+class TestStreamTableEquivalence:
+    """§3.2: same results on a stream as if the data were in a table."""
+
+    def test_filter_equivalence(self):
+        deployment = Deployment().with_orders(80)
+        streaming = deployment.run("SELECT STREAM orderId, units FROM Orders "
+                                   "WHERE units BETWEEN 20 AND 60").results()
+        batch = deployment.shell.execute(
+            "SELECT orderId, units FROM Orders WHERE units BETWEEN 20 AND 60")
+        key = lambda r: r["orderId"]
+        assert sorted(streaming, key=key) == sorted(batch, key=key)
+
+    def test_join_equivalence(self):
+        deployment = Deployment().with_orders(30).with_products(10)
+        sql_core = ("Orders.orderId AS orderId, Products.supplierId AS supplierId "
+                    "FROM Orders JOIN Products "
+                    "ON Orders.productId = Products.productId")
+        streaming = deployment.run(f"SELECT STREAM {sql_core}").results()
+        batch = deployment.shell.execute(f"SELECT {sql_core}")
+        key = lambda r: r["orderId"]
+        assert sorted(streaming, key=key) == sorted(batch, key=key)
+
+
+class TestPlannerRejections:
+    def test_unwindowed_stream_aggregate_rejected(self):
+        deployment = Deployment().with_orders(5)
+        with pytest.raises(PlannerError, match="window"):
+            deployment.shell.execute(
+                "SELECT STREAM productId, COUNT(*) FROM Orders GROUP BY productId")
+
+    def test_stream_of_table_rejected(self):
+        deployment = Deployment().with_orders(0).with_products(3)
+        with pytest.raises(PlannerError, match="stream"):
+            deployment.shell.execute("SELECT STREAM * FROM Products")
+
+    def test_unbounded_stream_join_rejected(self):
+        deployment = Deployment().with_packets()
+        with pytest.raises(PlannerError, match="time window"):
+            deployment.shell.execute(
+                "SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 "
+                "ON PacketsR1.packetId = PacketsR2.packetId")
+
+
+class TestInsertInto:
+    def test_named_output_stream(self):
+        deployment = Deployment().with_orders(20)
+        handle = deployment.run(
+            "INSERT INTO BigOrders SELECT STREAM * FROM Orders WHERE units > 50")
+        assert handle.output_stream == "BigOrders"
+        assert deployment.cluster.has_topic("BigOrders")
+        assert len(handle.results()) > 0
+
+    def test_chained_queries_via_insert(self):
+        """Kappa-style pipeline: query 2 consumes query 1's output stream."""
+        deployment = Deployment().with_orders(40)
+        first = deployment.run(
+            "INSERT INTO BigOrders SELECT STREAM * FROM Orders WHERE units > 50")
+        deployment.shell.register_derived_stream("BigOrdersIn", first)
+        handle = deployment.run(
+            "SELECT STREAM orderId FROM BigOrdersIn WHERE units > 90")
+        expected = [i for i in range(40) if (i * 7) % 100 > 90]
+        assert sorted(r["orderId"] for r in handle.results()) == expected
+
+
+class TestFaultTolerance:
+    SQL = ("SELECT STREAM rowtime, productId, orderId, units, SUM(units) OVER "
+           "(PARTITION BY productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE "
+           "PRECEDING) unitsLastFiveMinutes FROM Orders")
+
+    def test_sliding_window_survives_container_failure(self):
+        """Kill a container mid-query; the replacement restores window state
+        from the changelog and outputs stay deterministic (§4.3)."""
+        deployment = Deployment(partitions=2).with_orders(30, step_ms=1000)
+        handle = deployment.shell.execute(self.SQL, containers=2)
+        for _ in range(3):
+            deployment.runner.run_iteration()
+        deployment.runner.kill_container(handle.master, index=0)
+        deployment.feed_orders(30, start_ts=2_000_000, start_id=100)
+        deployment.runner.run_until_quiescent()
+        results = handle.results()
+        # at-least-once: every input produced at least one output, and window
+        # sums for late (post-failure) records are still correct
+        order_ids = {r["orderId"] for r in results}
+        assert set(range(100, 130)) <= order_ids
+        window_ms = 5 * 60 * 1000
+        by_id = {}
+        for r in results:
+            by_id[r["orderId"]] = r  # replays overwrite with identical values
+        rows = sorted(by_id.values(), key=lambda r: r["rowtime"])
+        for record in rows:
+            if record["orderId"] < 100:
+                continue
+            expected = sum(
+                x["units"] for x in rows
+                if x["productId"] == record["productId"]
+                and record["rowtime"] - window_ms <= x["rowtime"] <= record["rowtime"])
+            assert record["unitsLastFiveMinutes"] == expected

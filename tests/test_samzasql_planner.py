@@ -1,0 +1,251 @@
+"""Unit tests for the physical plan builder and plan serialization."""
+
+import pytest
+
+from repro.common import PlannerError
+from repro.samzasql.physical import (
+    FilterNode,
+    FusedScanNode,
+    GroupWindowAggNode,
+    InsertNode,
+    PhysicalPlan,
+    ProjectNode,
+    ScanNode,
+    SlidingWindowNode,
+    StreamRelationJoinNode,
+    StreamStreamJoinNode,
+)
+from repro.samzasql.plan_builder import PhysicalPlanBuilder
+from repro.sql import QueryPlanner
+from repro.sql.catalog import Catalog, StreamDefinition, TableDefinition
+from repro.sql.types import RowType, SqlType
+
+from tests.sql_fixtures import paper_catalog
+
+
+@pytest.fixture
+def catalog():
+    return paper_catalog()
+
+
+def build(catalog, sql, fuse=False):
+    logical = QueryPlanner(catalog).plan_query(sql)
+    return PhysicalPlanBuilder(catalog, fuse_scans=fuse).build(logical, "Out")
+
+
+class TestLowering:
+    def test_filter_plan_shape(self, catalog):
+        plan = build(catalog, "SELECT STREAM * FROM Orders WHERE units > 50")
+        assert isinstance(plan.root, InsertNode)
+        [filter_node] = plan.root.inputs
+        assert isinstance(filter_node, FilterNode)
+        assert isinstance(filter_node.inputs[0], ScanNode)
+        assert plan.input_streams == ["Orders"]
+        assert plan.store_names == []
+
+    def test_project_names(self, catalog):
+        plan = build(catalog, "SELECT STREAM rowtime, units FROM Orders")
+        [project] = plan.root.inputs
+        assert isinstance(project, ProjectNode)
+        assert project.field_names == ["rowtime", "units"]
+
+    def test_sliding_window_requirements(self, catalog):
+        plan = build(catalog,
+                     "SELECT STREAM rowtime, SUM(units) OVER (PARTITION BY "
+                     "productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE "
+                     "PRECEDING) s FROM Orders")
+        assert "sql-window-messages" in plan.store_names
+        assert "sql-window-state" in plan.store_names
+        window = plan.root.inputs[0].inputs[0]
+        assert isinstance(window, SlidingWindowNode)
+        assert window.preceding_ms == 300_000
+
+    def test_group_window_plan(self, catalog):
+        plan = build(catalog,
+                     "SELECT STREAM START(rowtime), COUNT(*) FROM Orders "
+                     "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+        agg = plan.root.inputs[0].inputs[0]
+        assert isinstance(agg, GroupWindowAggNode)
+        assert agg.window_kind == "TUMBLE"
+        assert plan.store_names == ["sql-group-windows"]
+
+    def test_stream_relation_join_requirements(self, catalog):
+        plan = build(catalog,
+                     "SELECT STREAM Orders.units, Products.supplierId "
+                     "FROM Orders JOIN Products "
+                     "ON Orders.productId = Products.productId")
+        join = plan.root.inputs[0].inputs[0]
+        assert isinstance(join, StreamRelationJoinNode)
+        assert join.stream_is_left
+        assert plan.bootstrap_streams == ["Products-changelog"]
+        assert "Products-changelog" in plan.input_streams
+        assert plan.store_names == ["sql-relation-products"]
+
+    def test_relation_on_left_supported(self, catalog):
+        plan = build(catalog,
+                     "SELECT STREAM Orders.units FROM Products JOIN Orders "
+                     "ON Orders.productId = Products.productId")
+        join = plan.root.inputs[0].inputs[0]
+        assert isinstance(join, StreamRelationJoinNode)
+        assert not join.stream_is_left
+
+    def test_output_rowtime_detected(self, catalog):
+        plan = build(catalog, "SELECT STREAM rowtime, units FROM Orders")
+        assert plan.root.rowtime_index == 0
+
+    def test_output_without_rowtime(self, catalog):
+        plan = build(catalog, "SELECT STREAM units FROM Orders")
+        assert plan.root.rowtime_index is None
+
+
+class TestStreamStreamBounds:
+    def test_symmetric_between(self, catalog):
+        plan = build(catalog, """
+            SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 ON
+            PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND
+              AND PacketsR2.rowtime + INTERVAL '2' SECOND
+            AND PacketsR1.packetId = PacketsR2.packetId""")
+        join = plan.root.inputs[0].inputs[0]
+        assert isinstance(join, StreamStreamJoinNode)
+        assert join.lower_bound_ms == 2000
+        assert join.upper_bound_ms == 2000
+        assert join.left_key_source is not None
+        assert plan.store_names == ["sql-join-left", "sql-join-right"]
+
+    def test_asymmetric_bounds(self, catalog):
+        plan = build(catalog, """
+            SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 ON
+            PacketsR1.rowtime >= PacketsR2.rowtime - INTERVAL '1' SECOND
+            AND PacketsR1.rowtime <= PacketsR2.rowtime + INTERVAL '3' SECOND
+            AND PacketsR1.packetId = PacketsR2.packetId""")
+        join = plan.root.inputs[0].inputs[0]
+        assert join.lower_bound_ms == 1000
+        assert join.upper_bound_ms == 3000
+
+    def test_missing_bounds_rejected(self, catalog):
+        with pytest.raises(PlannerError, match="time window"):
+            build(catalog,
+                  "SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 "
+                  "ON PacketsR1.packetId = PacketsR2.packetId")
+
+    def test_one_sided_bound_rejected(self, catalog):
+        with pytest.raises(PlannerError, match="time window"):
+            build(catalog, """
+                SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2
+                ON PacketsR1.rowtime >= PacketsR2.rowtime - INTERVAL '2' SECOND
+                AND PacketsR1.packetId = PacketsR2.packetId""")
+
+    def test_join_without_equi_key_allowed(self, catalog):
+        plan = build(catalog, """
+            SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 ON
+            PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '1' SECOND
+              AND PacketsR2.rowtime + INTERVAL '1' SECOND""")
+        join = plan.root.inputs[0].inputs[0]
+        assert join.left_key_source is None
+
+
+class TestRejections:
+    def test_unwindowed_aggregate(self, catalog):
+        with pytest.raises(PlannerError, match="window"):
+            build(catalog,
+                  "SELECT STREAM productId, COUNT(*) FROM Orders GROUP BY productId")
+
+    def test_distinct_aggregate_rejected(self, catalog):
+        with pytest.raises(PlannerError, match="DISTINCT"):
+            build(catalog,
+                  "SELECT STREAM COUNT(DISTINCT productId) FROM Orders "
+                  "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+
+    def test_table_only_query_rejected(self, catalog):
+        logical = QueryPlanner(catalog).plan_query("SELECT * FROM Products")
+        with pytest.raises(PlannerError):
+            PhysicalPlanBuilder(catalog).build(logical, "Out")
+
+    def test_full_outer_stream_relation_rejected(self, catalog):
+        with pytest.raises(PlannerError, match="INNER and LEFT"):
+            build(catalog,
+                  "SELECT STREAM Orders.units FROM Orders FULL OUTER JOIN Products "
+                  "ON Orders.productId = Products.productId")
+
+
+class TestFusion:
+    def test_filter_project_fused(self, catalog):
+        plan = build(catalog,
+                     "SELECT STREAM rowtime, units FROM Orders WHERE units > 50",
+                     fuse=True)
+        [fused] = plan.root.inputs
+        assert isinstance(fused, FusedScanNode)
+        assert fused.predicate_source is not None
+        assert fused.projection_source is not None
+        assert fused.output_field_names == ["rowtime", "units"]
+
+    def test_filter_only_fused(self, catalog):
+        plan = build(catalog, "SELECT STREAM * FROM Orders WHERE units > 50",
+                     fuse=True)
+        [fused] = plan.root.inputs
+        assert isinstance(fused, FusedScanNode)
+        assert fused.projection_source is None
+
+    def test_fusion_uses_field_names(self, catalog):
+        plan = build(catalog, "SELECT STREAM * FROM Orders WHERE units > 50",
+                     fuse=True)
+        assert "r['units']" in plan.root.inputs[0].predicate_source
+
+    def test_no_fusion_without_flag(self, catalog):
+        plan = build(catalog, "SELECT STREAM * FROM Orders WHERE units > 50")
+        assert not isinstance(plan.root.inputs[0], FusedScanNode)
+
+    def test_window_not_fused(self, catalog):
+        plan = build(catalog,
+                     "SELECT STREAM rowtime, SUM(units) OVER (PARTITION BY "
+                     "productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE "
+                     "PRECEDING) s FROM Orders", fuse=True)
+        # the window operator itself must not be swallowed
+        assert any(isinstance(node, SlidingWindowNode)
+                   for node in _walk(plan.root))
+
+
+def _walk(node):
+    yield node
+    for child in node.inputs:
+        yield from _walk(child)
+
+
+class TestSerialization:
+    QUERIES = [
+        "SELECT STREAM * FROM Orders WHERE units > 50",
+        "SELECT STREAM rowtime, productId, units FROM Orders",
+        ("SELECT STREAM rowtime, SUM(units) OVER (PARTITION BY productId "
+         "ORDER BY rowtime RANGE INTERVAL '5' MINUTE PRECEDING) s FROM Orders"),
+        ("SELECT STREAM START(rowtime), COUNT(*) FROM Orders "
+         "GROUP BY HOP(rowtime, INTERVAL '30' MINUTE, INTERVAL '1' HOUR)"),
+        ("SELECT STREAM Orders.units, Products.supplierId FROM Orders "
+         "JOIN Products ON Orders.productId = Products.productId"),
+        ("SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 ON "
+         "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
+         "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
+         "AND PacketsR1.packetId = PacketsR2.packetId"),
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_json_roundtrip(self, catalog, sql):
+        """The plan must survive the ZooKeeper round trip byte-identically
+        (the two-phase planning contract)."""
+        plan = build(catalog, sql)
+        restored = PhysicalPlan.from_dict(plan.to_dict())
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.input_streams == plan.input_streams
+        assert restored.bootstrap_streams == plan.bootstrap_streams
+        assert restored.explain() == plan.explain()
+
+    def test_json_roundtrip_fused(self, catalog):
+        plan = build(catalog, "SELECT STREAM units FROM Orders WHERE units > 1",
+                     fuse=True)
+        restored = PhysicalPlan.from_dict(plan.to_dict())
+        assert restored.to_dict() == plan.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        from repro.samzasql.physical import node_from_dict
+
+        with pytest.raises(PlannerError, match="unknown physical node"):
+            node_from_dict({"kind": "teleport", "inputs": []})

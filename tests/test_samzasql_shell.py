@@ -1,0 +1,116 @@
+"""Unit tests for shell internals: schema synthesis, serde resolution,
+handles, metrics, and batch data sourcing."""
+
+import pytest
+
+from repro.common import PlannerError
+from repro.samzasql.shell import sql_row_type_to_avro
+from repro.serde import AvroSerde, JsonSerde
+from repro.sql.types import RowType, SqlType
+
+from tests.samzasql_fixtures import Deployment, PRODUCTS_SCHEMA
+
+
+class TestOutputSchemaSynthesis:
+    def test_all_types_mapped(self):
+        row_type = RowType([
+            ("b", SqlType.BOOLEAN), ("i", SqlType.INTEGER),
+            ("l", SqlType.BIGINT), ("d", SqlType.DOUBLE),
+            ("s", SqlType.VARCHAR), ("t", SqlType.TIMESTAMP),
+            ("iv", SqlType.INTERVAL),
+        ])
+        schema = sql_row_type_to_avro("Out", row_type)
+        assert schema is not None
+        assert schema.field_names == ["b", "i", "l", "d", "s", "t", "iv"]
+        # every field is nullable (LEFT joins pad with NULLs)
+        datum = {name: None for name in schema.field_names}
+        assert schema.decode(schema.encode(datum)) == datum
+
+    def test_any_type_falls_back(self):
+        row_type = RowType([("x", SqlType.ANY)])
+        assert sql_row_type_to_avro("Out", row_type) is None
+
+    def test_values_roundtrip(self):
+        row_type = RowType([("n", SqlType.BIGINT), ("s", SqlType.VARCHAR)])
+        schema = sql_row_type_to_avro("Out", row_type)
+        datum = {"n": 42, "s": "x"}
+        assert schema.decode(schema.encode(datum)) == datum
+
+
+class TestSerdeSelection:
+    def test_output_serde_is_avro_for_typed_queries(self):
+        deployment = Deployment().with_orders(5)
+        handle = deployment.run("SELECT STREAM rowtime, units FROM Orders")
+        assert isinstance(handle.output_serde, AvroSerde)
+
+    def test_output_serde_json_for_any_columns(self):
+        from repro.sql.udf import UDF_REGISTRY, register_scalar_udf
+
+        UDF_REGISTRY.clear()
+        register_scalar_udf("IDENT", lambda x: x)  # result type ANY
+        try:
+            deployment = Deployment().with_orders(5)
+            handle = deployment.run(
+                "SELECT STREAM rowtime, IDENT(units) AS u FROM Orders")
+            assert isinstance(handle.output_serde, JsonSerde)
+            assert len(handle.results()) == 5
+        finally:
+            UDF_REGISTRY.clear()
+
+
+class TestHandles:
+    def test_explain_shows_physical_plan(self):
+        deployment = Deployment().with_orders(1)
+        handle = deployment.run("SELECT STREAM * FROM Orders WHERE units > 50")
+        text = handle.explain()
+        assert "insert" in text
+        assert "filter" in text
+        assert "scan" in text
+
+    def test_metrics_shape(self):
+        deployment = Deployment().with_orders(40)
+        handle = deployment.run("SELECT STREAM * FROM Orders", containers=2)
+        metrics = handle.metrics()
+        assert len(metrics) == 2
+        assert sum(m["processed"] for m in metrics.values()) == 40
+        assert all(m["lag"] == 0 for m in metrics.values())
+
+    def test_stop_finishes_job(self):
+        deployment = Deployment().with_orders(10)
+        handle = deployment.run("SELECT STREAM * FROM Orders")
+        handle.stop()
+        deployment.feed_orders(10, start_ts=9_000_000, start_id=500)
+        deployment.runner.run_until_quiescent()
+        # no new output after stop
+        assert all(r["orderId"] < 500 for r in handle.results())
+
+    def test_query_ids_unique(self):
+        deployment = Deployment().with_orders(1)
+        h1 = deployment.run("SELECT STREAM * FROM Orders")
+        h2 = deployment.run("SELECT STREAM * FROM Orders")
+        assert h1.query_id != h2.query_id
+        assert h1.output_stream != h2.output_stream
+
+
+class TestBatchDataSourcing:
+    def test_table_reads_latest_changelog_state(self):
+        deployment = Deployment().with_orders(0).with_products(3)
+        serde = AvroSerde(PRODUCTS_SCHEMA)
+        # update product 1, tombstone product 2
+        deployment.producer.send(
+            "Products-changelog",
+            serde.to_bytes({"productId": 1, "name": "updated", "supplierId": 9}),
+            key=b"1")
+        deployment.producer.send("Products-changelog", None, key=b"2")
+        rows = deployment.shell.execute("SELECT productId, name FROM Products")
+        by_id = {r["productId"]: r["name"] for r in rows}
+        assert by_id[1] == "updated"
+        assert 2 not in by_id
+
+    def test_unknown_source_raises(self):
+        deployment = Deployment().with_orders(0)
+        from repro.samzasql.batch import BatchExecutor
+
+        executor = BatchExecutor(deployment.shell._history_rows)
+        with pytest.raises(PlannerError):
+            deployment.shell._history_rows("Missing")

@@ -1,0 +1,217 @@
+"""Tests for the mini-Avro schema parser and binary codec."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import SchemaError, SerdeError
+from repro.serde import AvroSchema, AvroSerde
+
+ORDERS_SCHEMA = AvroSchema.record(
+    "Orders",
+    [("rowtime", "long"), ("productId", "int"), ("orderId", "long"), ("units", "int")],
+)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("kind,value", [
+        ("null", None),
+        ("boolean", True),
+        ("boolean", False),
+        ("int", -12345),
+        ("long", 2**40),
+        ("double", 3.25),
+        ("string", "héllo"),
+        ("bytes", b"\x00raw"),
+    ])
+    def test_roundtrip(self, kind, value):
+        schema = AvroSchema(kind)
+        assert schema.decode(schema.encode(value)) == value
+
+    def test_float_precision(self):
+        schema = AvroSchema("float")
+        assert schema.decode(schema.encode(1.5)) == 1.5  # representable in f32
+
+    def test_int_range_enforced(self):
+        with pytest.raises(SerdeError):
+            AvroSchema("int").encode(2**31)
+
+    def test_long_accepts_int_range(self):
+        schema = AvroSchema("long")
+        assert schema.decode(schema.encode(5)) == 5
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SerdeError):
+            AvroSchema("int").encode(True)
+
+    def test_null_rejects_values(self):
+        with pytest.raises(SerdeError):
+            AvroSchema("null").encode(0)
+
+    def test_string_type_error(self):
+        with pytest.raises(SerdeError):
+            AvroSchema("string").encode(5)
+
+    def test_known_zigzag_encoding(self):
+        # Avro spec: long 1 encodes to 0x02.
+        assert AvroSchema("long").encode(1) == b"\x02"
+
+    def test_known_string_encoding(self):
+        # length 3 (zigzag 0x06) + utf-8 bytes
+        assert AvroSchema("string").encode("foo") == b"\x06foo"
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        datum = {"rowtime": 1000, "productId": 7, "orderId": 99, "units": 30}
+        assert ORDERS_SCHEMA.decode(ORDERS_SCHEMA.encode(datum)) == datum
+
+    def test_field_order_is_schema_order(self):
+        # Encoding must not depend on dict insertion order.
+        a = {"rowtime": 1, "productId": 2, "orderId": 3, "units": 4}
+        b = {"units": 4, "orderId": 3, "productId": 2, "rowtime": 1}
+        assert ORDERS_SCHEMA.encode(a) == ORDERS_SCHEMA.encode(b)
+
+    def test_missing_field_raises(self):
+        with pytest.raises(SerdeError, match="missing field"):
+            ORDERS_SCHEMA.encode({"rowtime": 1})
+
+    def test_non_dict_raises(self):
+        with pytest.raises(SerdeError):
+            ORDERS_SCHEMA.encode([1, 2, 3, 4])
+
+    def test_nested_record(self):
+        schema = AvroSchema.record(
+            "Outer",
+            [("name", "string"),
+             ("inner", {"type": "record", "name": "Inner",
+                        "fields": [{"name": "x", "type": "int"}]})],
+        )
+        datum = {"name": "n", "inner": {"x": 5}}
+        assert schema.decode(schema.encode(datum)) == datum
+
+    def test_field_names_and_types(self):
+        assert ORDERS_SCHEMA.field_names == ["rowtime", "productId", "orderId", "units"]
+        assert ORDERS_SCHEMA.field_type("units") == "int"
+        with pytest.raises(SchemaError):
+            ORDERS_SCHEMA.field_type("nope")
+
+    def test_field_names_on_primitive_raises(self):
+        with pytest.raises(SchemaError):
+            AvroSchema("int").field_names
+
+
+class TestContainers:
+    def test_array_roundtrip(self):
+        schema = AvroSchema.array("long")
+        assert schema.decode(schema.encode([1, -2, 300])) == [1, -2, 300]
+
+    def test_empty_array(self):
+        schema = AvroSchema.array("long")
+        assert schema.encode([]) == b"\x00"
+        assert schema.decode(b"\x00") == []
+
+    def test_map_roundtrip(self):
+        schema = AvroSchema.map("string")
+        datum = {"a": "x", "b": "y"}
+        assert schema.decode(schema.encode(datum)) == datum
+
+    def test_map_non_string_key_raises(self):
+        with pytest.raises(SerdeError):
+            AvroSchema.map("int").encode({1: 2})
+
+    def test_array_of_records(self):
+        schema = AvroSchema.array(ORDERS_SCHEMA.definition)
+        data = [{"rowtime": i, "productId": i, "orderId": i, "units": i} for i in range(3)]
+        assert schema.decode(schema.encode(data)) == data
+
+
+class TestUnions:
+    def test_nullable_string(self):
+        schema = AvroSchema(["null", "string"])
+        assert schema.decode(schema.encode(None)) is None
+        assert schema.decode(schema.encode("x")) == "x"
+
+    def test_branch_selection_int_vs_string(self):
+        schema = AvroSchema(["long", "string"])
+        assert schema.decode(schema.encode(42)) == 42
+        assert schema.decode(schema.encode("42")) == "42"
+
+    def test_no_matching_branch_raises(self):
+        with pytest.raises(SerdeError):
+            AvroSchema(["null", "string"]).encode(1.5)
+
+    def test_bad_branch_index_raises(self):
+        with pytest.raises(SerdeError):
+            AvroSchema(["null", "string"]).decode(b"\x08")
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(SchemaError):
+            AvroSchema([])
+
+
+class TestSchemaParsing:
+    def test_from_json_string(self):
+        text = json.dumps(ORDERS_SCHEMA.definition)
+        assert AvroSchema(text) == ORDERS_SCHEMA
+
+    def test_equality_and_hash(self):
+        a = AvroSchema.record("R", [("x", "int")])
+        b = AvroSchema.record("R", [("x", "int")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            AvroSchema("decimal128")
+
+    def test_record_missing_fields_raises(self):
+        with pytest.raises(SchemaError):
+            AvroSchema({"type": "record", "name": "R"})
+
+    def test_trailing_bytes_rejected(self):
+        schema = AvroSchema("long")
+        with pytest.raises(SerdeError):
+            schema.decode(schema.encode(1) + b"x")
+
+
+class TestAvroSerde:
+    def test_roundtrip(self):
+        serde = AvroSerde(ORDERS_SCHEMA)
+        datum = {"rowtime": 10, "productId": 1, "orderId": 2, "units": 3}
+        assert serde.roundtrip(datum) == datum
+
+    def test_accepts_raw_definition(self):
+        serde = AvroSerde("long")
+        assert serde.roundtrip(99) == 99
+
+
+# -- property tests --------------------------------------------------------
+
+_field_values = st.fixed_dictionaries(
+    {
+        "rowtime": st.integers(min_value=0, max_value=2**62),
+        "productId": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        "orderId": st.integers(min_value=0, max_value=2**62),
+        "units": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    }
+)
+
+
+@given(_field_values)
+def test_record_roundtrip_property(datum):
+    assert ORDERS_SCHEMA.decode(ORDERS_SCHEMA.encode(datum)) == datum
+
+
+@given(st.lists(st.text(max_size=20), max_size=30))
+def test_string_array_roundtrip_property(values):
+    schema = AvroSchema.array("string")
+    assert schema.decode(schema.encode(values)) == values
+
+
+@given(st.dictionaries(st.text(max_size=10), st.integers(min_value=-(2**62), max_value=2**62), max_size=20))
+def test_map_roundtrip_property(values):
+    schema = AvroSchema.map("long")
+    assert schema.decode(schema.encode(values)) == values

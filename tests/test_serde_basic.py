@@ -1,0 +1,100 @@
+"""Tests for the basic serdes (string, bytes, int, long, json, no-op)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import SerdeError
+from repro.serde import (
+    BytesSerde,
+    IntegerSerde,
+    JsonSerde,
+    LongSerde,
+    NoOpSerde,
+    StringSerde,
+)
+
+
+class TestStringSerde:
+    def test_roundtrip(self):
+        s = StringSerde()
+        assert s.roundtrip("hello, wörld") == "hello, wörld"
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(SerdeError):
+            StringSerde().to_bytes(42)
+
+    def test_invalid_utf8_raises(self):
+        with pytest.raises(SerdeError):
+            StringSerde().from_bytes(b"\xff\xfe")
+
+    @given(st.text())
+    def test_roundtrip_property(self, text):
+        assert StringSerde().roundtrip(text) == text
+
+
+class TestBytesSerde:
+    def test_roundtrip(self):
+        assert BytesSerde().roundtrip(b"\x00\x01") == b"\x00\x01"
+
+    def test_bytearray_accepted(self):
+        assert BytesSerde().to_bytes(bytearray(b"ab")) == b"ab"
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(SerdeError):
+            BytesSerde().to_bytes("str")
+
+
+class TestIntegerSerdes:
+    def test_int32_roundtrip(self):
+        assert IntegerSerde().roundtrip(-123456) == -123456
+
+    def test_int32_fixed_width(self):
+        assert len(IntegerSerde().to_bytes(1)) == 4
+
+    def test_int32_overflow_raises(self):
+        with pytest.raises(SerdeError):
+            IntegerSerde().to_bytes(2**31)
+
+    def test_int64_roundtrip(self):
+        assert LongSerde().roundtrip(2**62) == 2**62
+
+    def test_int64_bad_length_raises(self):
+        with pytest.raises(SerdeError):
+            LongSerde().from_bytes(b"\x00")
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_long_roundtrip_property(self, value):
+        assert LongSerde().roundtrip(value) == value
+
+    def test_long_ordering_preserved_unsigned_prefix(self):
+        # Big-endian encoding gives bytewise ordering for non-negative longs,
+        # which the KV-store changelog keys rely on.
+        s = LongSerde()
+        assert s.to_bytes(1) < s.to_bytes(2) < s.to_bytes(2**40)
+
+
+class TestJsonSerde:
+    def test_roundtrip(self):
+        obj = {"a": [1, 2.5, None, True], "b": {"nested": "x"}}
+        assert JsonSerde().roundtrip(obj) == obj
+
+    def test_deterministic_output(self):
+        s = JsonSerde()
+        assert s.to_bytes({"b": 1, "a": 2}) == s.to_bytes({"a": 2, "b": 1})
+
+    def test_unserializable_raises(self):
+        with pytest.raises(SerdeError):
+            JsonSerde().to_bytes({"x": object()})
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(SerdeError):
+            JsonSerde().from_bytes(b"{nope")
+
+
+class TestNoOpSerde:
+    def test_passthrough_identity(self):
+        obj = {"k": [1, 2]}
+        s = NoOpSerde()
+        assert s.to_bytes(obj) is obj
+        assert s.from_bytes(obj) is obj

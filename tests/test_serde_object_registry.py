@@ -1,0 +1,124 @@
+"""Tests for the generic object serde ("Kryo") and the schema registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import SchemaError, SerdeError
+from repro.serde import AvroSchema, ObjectSerde, SchemaRegistry
+
+
+class TestObjectSerde:
+    @pytest.mark.parametrize("obj", [
+        None, True, False, 0, -1, 2**40, 3.5, "text", b"raw",
+        [1, "a", None], (1, 2), {"k": [True, {"n": 1.5}]},
+    ])
+    def test_roundtrip(self, obj):
+        assert ObjectSerde().roundtrip(obj) == obj
+
+    def test_tuple_preserved(self):
+        assert ObjectSerde().roundtrip((1, (2, 3))) == (1, (2, 3))
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SerdeError):
+            ObjectSerde().to_bytes(object())
+
+    def test_truncated_raises(self):
+        s = ObjectSerde()
+        data = s.to_bytes("hello")
+        with pytest.raises(SerdeError):
+            s.from_bytes(data[:-1])
+
+    def test_trailing_bytes_raise(self):
+        s = ObjectSerde()
+        with pytest.raises(SerdeError):
+            s.from_bytes(s.to_bytes(1) + b"\x00")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SerdeError):
+            ObjectSerde().from_bytes(b"\xee")
+
+    nested = st.recursive(
+        st.none() | st.booleans() | st.integers(min_value=-(2**62), max_value=2**62)
+        | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=15)
+        | st.binary(max_size=15),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=5), children, max_size=4),
+        max_leaves=20,
+    )
+
+    @given(nested)
+    def test_roundtrip_property(self, obj):
+        assert ObjectSerde().roundtrip(obj) == obj
+
+
+class TestSchemaRegistry:
+    def _orders(self, extra=()):
+        fields = [("rowtime", "long"), ("units", "int"), *extra]
+        return AvroSchema.record("Orders", fields)
+
+    def test_register_and_latest(self):
+        reg = SchemaRegistry()
+        first = reg.register("orders-value", self._orders())
+        assert first.version == 1
+        assert reg.latest("orders-value").schema == self._orders()
+
+    def test_register_idempotent(self):
+        reg = SchemaRegistry()
+        a = reg.register("s", self._orders())
+        b = reg.register("s", self._orders())
+        assert a.schema_id == b.schema_id
+        assert a.version == b.version == 1
+
+    def test_backward_compatible_addition(self):
+        reg = SchemaRegistry()
+        reg.register("s", self._orders())
+        second = reg.register("s", self._orders(extra=[("note", "string")]))
+        assert second.version == 2
+
+    def test_field_removal_rejected(self):
+        reg = SchemaRegistry()
+        reg.register("s", self._orders())
+        with pytest.raises(SchemaError, match="removed"):
+            reg.register("s", AvroSchema.record("Orders", [("rowtime", "long")]))
+
+    def test_field_retype_rejected(self):
+        reg = SchemaRegistry()
+        reg.register("s", self._orders())
+        with pytest.raises(SchemaError, match="re-typed"):
+            reg.register(
+                "s",
+                AvroSchema.record("Orders", [("rowtime", "string"), ("units", "int")]),
+            )
+
+    def test_compat_none_allows_anything(self):
+        reg = SchemaRegistry(compatibility="NONE")
+        reg.register("s", self._orders())
+        reg.register("s", AvroSchema("long"))  # would break BACKWARD
+
+    def test_get_by_id_and_version(self):
+        reg = SchemaRegistry()
+        first = reg.register("s", self._orders())
+        second = reg.register("s", self._orders(extra=[("x", "long")]))
+        assert reg.get_by_id(first.schema_id).version == 1
+        assert reg.get_version("s", 2).schema_id == second.schema_id
+
+    def test_unknown_lookups_raise(self):
+        reg = SchemaRegistry()
+        with pytest.raises(SchemaError):
+            reg.latest("missing")
+        with pytest.raises(SchemaError):
+            reg.get_by_id(12345)
+        reg.register("s", self._orders())
+        with pytest.raises(SchemaError):
+            reg.get_version("s", 9)
+
+    def test_subjects_sorted(self):
+        reg = SchemaRegistry()
+        reg.register("b", self._orders())
+        reg.register("a", self._orders())
+        assert reg.subjects() == ["a", "b"]
+
+    def test_invalid_compat_mode_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaRegistry(compatibility="FULL_TRANSITIVE")

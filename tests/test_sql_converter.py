@@ -1,0 +1,320 @@
+"""Tests for validation and AST -> logical plan conversion."""
+
+import pytest
+
+from repro.common import SqlValidationError
+from repro.sql import QueryPlanner
+from repro.sql.converter import Converter
+from repro.sql.parser import parse_query
+from repro.sql.rel.nodes import (
+    LogicalAggregate,
+    LogicalDelta,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    LogicalWindowAgg,
+)
+from repro.sql.rex import RexCall, RexInputRef
+from repro.sql.types import SqlType
+
+from tests.sql_fixtures import paper_catalog
+
+
+@pytest.fixture
+def catalog():
+    return paper_catalog()
+
+
+def convert(catalog, sql):
+    return Converter(catalog).convert_query(parse_query(sql))
+
+
+class TestScans:
+    def test_stream_scan(self, catalog):
+        plan = convert(catalog, "SELECT * FROM Orders")
+        assert isinstance(plan, LogicalScan)
+        assert plan.is_stream
+        assert plan.rowtime_index == 0
+
+    def test_table_scan(self, catalog):
+        plan = convert(catalog, "SELECT * FROM Products")
+        assert isinstance(plan, LogicalScan)
+        assert not plan.is_stream
+
+    def test_stream_keyword_adds_delta(self, catalog):
+        plan = convert(catalog, "SELECT STREAM * FROM Orders")
+        assert isinstance(plan, LogicalDelta)
+
+    def test_unknown_source_raises(self, catalog):
+        with pytest.raises(SqlValidationError, match="unknown"):
+            convert(catalog, "SELECT * FROM Nope")
+
+
+class TestColumnResolution:
+    def test_unqualified(self, catalog):
+        plan = convert(catalog, "SELECT units FROM Orders")
+        assert isinstance(plan, LogicalProject)
+        assert plan.exprs[0] == RexInputRef(3, SqlType.INTEGER)
+
+    def test_qualified(self, catalog):
+        plan = convert(catalog, "SELECT Orders.units FROM Orders")
+        assert plan.exprs[0].index == 3
+
+    def test_alias_qualification(self, catalog):
+        plan = convert(catalog, "SELECT o.units FROM Orders o")
+        assert plan.exprs[0].index == 3
+
+    def test_original_name_hidden_by_alias(self, catalog):
+        with pytest.raises(SqlValidationError):
+            convert(catalog, "SELECT Orders.units FROM Orders o")
+
+    def test_unknown_column_raises(self, catalog):
+        with pytest.raises(SqlValidationError, match="unknown column"):
+            convert(catalog, "SELECT nope FROM Orders")
+
+    def test_ambiguous_column_raises(self, catalog):
+        with pytest.raises(SqlValidationError, match="ambiguous"):
+            convert(catalog, "SELECT productId FROM Orders JOIN Products "
+                             "ON Orders.productId = Products.productId")
+
+    def test_case_insensitive_columns(self, catalog):
+        plan = convert(catalog, "SELECT UNITS FROM Orders")
+        assert plan.exprs[0].index == 3
+
+    def test_join_right_side_offset(self, catalog):
+        plan = convert(catalog,
+                       "SELECT Products.supplierId FROM Orders JOIN Products "
+                       "ON Orders.productId = Products.productId")
+        # Orders has 4 fields; supplierId is field 2 of Products -> index 6
+        assert plan.exprs[0].index == 6
+
+
+class TestTypeChecking:
+    def test_where_must_be_boolean(self, catalog):
+        with pytest.raises(SqlValidationError, match="boolean"):
+            convert(catalog, "SELECT * FROM Orders WHERE units + 1")
+
+    def test_arithmetic_type_promotion(self, catalog):
+        plan = convert(catalog, "SELECT units + 1, units * 2.0 FROM Orders")
+        assert plan.exprs[0].type is SqlType.INTEGER
+        assert plan.exprs[1].type is SqlType.DOUBLE
+
+    def test_string_arithmetic_rejected(self, catalog):
+        with pytest.raises(SqlValidationError):
+            convert(catalog, "SELECT name + 1 FROM Products")
+
+    def test_comparing_string_and_int_rejected(self, catalog):
+        with pytest.raises(SqlValidationError, match="compare"):
+            convert(catalog, "SELECT * FROM Products WHERE name > 5")
+
+    def test_timestamp_minus_timestamp_is_interval(self, catalog):
+        plan = convert(catalog,
+                       "SELECT PacketsR2.rowtime - PacketsR1.rowtime AS d "
+                       "FROM PacketsR1 JOIN PacketsR2 "
+                       "ON PacketsR1.packetId = PacketsR2.packetId")
+        assert plan.exprs[0].type is SqlType.INTERVAL
+
+    def test_not_requires_boolean(self, catalog):
+        with pytest.raises(SqlValidationError):
+            convert(catalog, "SELECT * FROM Orders WHERE NOT units")
+
+
+class TestProjections:
+    def test_star_expansion_in_join(self, catalog):
+        plan = convert(catalog,
+                       "SELECT * FROM Orders JOIN Products "
+                       "ON Orders.productId = Products.productId")
+        assert plan.row_type.field_names == [
+            "rowtime", "productId", "orderId", "units",
+            "productId", "name", "supplierId"]
+
+    def test_qualified_star(self, catalog):
+        plan = convert(catalog,
+                       "SELECT Products.* FROM Orders JOIN Products "
+                       "ON Orders.productId = Products.productId")
+        assert plan.row_type.field_names == ["productId", "name", "supplierId"]
+
+    def test_output_names(self, catalog):
+        plan = convert(catalog, "SELECT units AS u, units * 2 FROM Orders")
+        assert plan.row_type.field_names == ["u", "EXPR$1"]
+
+    def test_between_expands_to_conjunction(self, catalog):
+        plan = convert(catalog, "SELECT * FROM Orders WHERE units BETWEEN 10 AND 20")
+        assert isinstance(plan, LogicalFilter)
+        assert plan.condition.op == "AND"
+
+
+class TestAggregates:
+    def test_group_by_plain_key(self, catalog):
+        plan = convert(catalog,
+                       "SELECT productId, COUNT(*), SUM(units) FROM Orders "
+                       "GROUP BY productId")
+        project = plan
+        agg = project.input
+        assert isinstance(agg, LogicalAggregate)
+        assert agg.window is None
+        assert [c.func for c in agg.agg_calls] == ["COUNT", "SUM"]
+        assert agg.row_type.field_names[0] == "productId"
+
+    def test_tumble_window(self, catalog):
+        plan = convert(catalog,
+                       "SELECT STREAM START(rowtime), COUNT(*) FROM Orders "
+                       "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+        agg = plan.input.input  # Delta -> Project -> Aggregate
+        assert isinstance(agg, LogicalAggregate)
+        assert agg.window.kind == "TUMBLE"
+        assert agg.window.emit_ms == agg.window.retain_ms == 3_600_000
+
+    def test_hop_window_with_align(self, catalog):
+        plan = convert(catalog,
+                       "SELECT STREAM COUNT(*) FROM Orders GROUP BY HOP(rowtime, "
+                       "INTERVAL '1:30' HOUR TO MINUTE, INTERVAL '2' HOUR, TIME '0:30')")
+        agg = plan.input.input
+        assert agg.window.kind == "HOP"
+        assert agg.window.emit_ms == 90 * 60 * 1000
+        assert agg.window.retain_ms == 2 * 3_600_000
+        assert agg.window.align_ms == 30 * 60 * 1000
+
+    def test_floor_to_hour_is_implicit_tumble(self, catalog):
+        plan = convert(catalog,
+                       "SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*) "
+                       "FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId")
+        agg = plan.input
+        assert agg.window is not None
+        assert agg.window.kind == "TUMBLE"
+        assert agg.window.retain_ms == 3_600_000
+        assert len(agg.group_exprs) == 1  # productId only; FLOOR became the window
+        # the FLOOR select item resolves to the window start field
+        assert plan.exprs[0] == RexInputRef(0, SqlType.TIMESTAMP)
+
+    def test_start_end_require_window(self, catalog):
+        with pytest.raises(SqlValidationError, match="START"):
+            convert(catalog, "SELECT START(rowtime), COUNT(*) FROM Orders "
+                             "GROUP BY productId")
+
+    def test_bare_column_not_in_group_by_rejected(self, catalog):
+        with pytest.raises(SqlValidationError, match="GROUP BY"):
+            convert(catalog, "SELECT units, COUNT(*) FROM Orders GROUP BY productId")
+
+    def test_having_becomes_filter(self, catalog):
+        plan = convert(catalog,
+                       "SELECT productId FROM Orders GROUP BY productId "
+                       "HAVING COUNT(*) > 2")
+        assert isinstance(plan, LogicalProject)
+        assert isinstance(plan.input, LogicalFilter)
+        assert isinstance(plan.input.input, LogicalAggregate)
+
+    def test_expression_over_aggregates(self, catalog):
+        plan = convert(catalog,
+                       "SELECT SUM(units) / COUNT(*) FROM Orders GROUP BY productId")
+        assert isinstance(plan.exprs[0], RexCall)
+
+    def test_two_windows_rejected(self, catalog):
+        with pytest.raises(SqlValidationError, match="one window"):
+            convert(catalog,
+                    "SELECT COUNT(*) FROM Orders GROUP BY "
+                    "TUMBLE(rowtime, INTERVAL '1' HOUR), "
+                    "TUMBLE(rowtime, INTERVAL '2' HOUR)")
+
+    def test_star_with_group_by_rejected(self, catalog):
+        with pytest.raises(SqlValidationError):
+            convert(catalog, "SELECT * FROM Orders GROUP BY productId")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SqlValidationError, match="not allowed here"):
+            convert(catalog, "SELECT productId FROM Orders WHERE SUM(units) > 5 "
+                             "GROUP BY productId")
+
+
+class TestWindowAgg:
+    QUERY = ("SELECT STREAM rowtime, productId, units, "
+             "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+             "RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes "
+             "FROM Orders")
+
+    def test_window_node_shape(self, catalog):
+        plan = convert(catalog, self.QUERY)
+        project = plan.input  # under Delta
+        window = project.input
+        assert isinstance(window, LogicalWindowAgg)
+        assert window.preceding_ms == 5 * 60 * 1000
+        assert window.frame_mode == "RANGE"
+        assert window.partition_exprs == (RexInputRef(1, SqlType.INTEGER),)
+        assert [c.func for c in window.agg_calls] == ["SUM"]
+
+    def test_output_names(self, catalog):
+        plan = convert(catalog, self.QUERY)
+        assert plan.row_type.field_names == [
+            "rowtime", "productId", "units", "unitsLastFiveMinutes"]
+
+    def test_multiple_functions_same_window(self, catalog):
+        plan = convert(catalog,
+                       "SELECT SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+                       "RANGE INTERVAL '1' HOUR PRECEDING) s, "
+                       "COUNT(*) OVER (PARTITION BY productId ORDER BY rowtime "
+                       "RANGE INTERVAL '1' HOUR PRECEDING) c FROM Orders")
+        window = plan.input
+        assert len(window.agg_calls) == 2
+
+    def test_different_windows_rejected(self, catalog):
+        with pytest.raises(SqlValidationError, match="same"):
+            convert(catalog,
+                    "SELECT SUM(units) OVER (ORDER BY rowtime RANGE INTERVAL '1' HOUR PRECEDING), "
+                    "COUNT(*) OVER (ORDER BY rowtime RANGE INTERVAL '2' HOUR PRECEDING) "
+                    "FROM Orders")
+
+    def test_range_frame_requires_timestamp_order(self, catalog):
+        with pytest.raises(SqlValidationError, match="timestamp"):
+            convert(catalog,
+                    "SELECT SUM(units) OVER (ORDER BY units "
+                    "RANGE INTERVAL '1' HOUR PRECEDING) FROM Orders")
+
+    def test_descending_order_rejected(self, catalog):
+        with pytest.raises(SqlValidationError, match="ascending"):
+            convert(catalog,
+                    "SELECT SUM(units) OVER (ORDER BY rowtime DESC "
+                    "RANGE INTERVAL '1' HOUR PRECEDING) FROM Orders")
+
+
+class TestViewsAndSubqueries:
+    def test_subquery_scope(self, catalog):
+        plan = convert(catalog,
+                       "SELECT u FROM (SELECT units AS u FROM Orders) WHERE u > 5")
+        assert plan.row_type.field_names == ["u"]
+
+    def test_view_inlined(self, catalog):
+        planner = QueryPlanner(catalog)
+        planner.plan_statement(
+            "CREATE VIEW BigOrders AS SELECT * FROM Orders WHERE units > 50")
+        plan = planner.plan_query("SELECT STREAM rowtime FROM BigOrders")
+        text = plan.explain()
+        assert "LogicalScan(Orders" in text
+        assert "LogicalFilter" in text
+
+    def test_view_column_renames(self, catalog):
+        planner = QueryPlanner(catalog)
+        planner.plan_statement(
+            "CREATE VIEW V (a, b) AS SELECT productId, units FROM Orders")
+        plan = planner.plan_query("SELECT a, b FROM V")
+        assert plan.row_type.field_names == ["a", "b"]
+
+    def test_view_column_count_mismatch(self, catalog):
+        planner = QueryPlanner(catalog)
+        with pytest.raises(SqlValidationError, match="columns"):
+            planner.plan_statement(
+                "CREATE VIEW V (a) AS SELECT productId, units FROM Orders")
+
+    def test_stream_keyword_in_view_ignored(self, catalog):
+        """§3.3: STREAM in sub-queries or views has no effect."""
+        planner = QueryPlanner(catalog)
+        planner.plan_statement(
+            "CREATE VIEW V AS SELECT STREAM * FROM Orders")
+        plan = planner.plan_query("SELECT rowtime FROM V")
+        assert "LogicalDelta" not in plan.explain()
+
+    def test_duplicate_view_rejected(self, catalog):
+        planner = QueryPlanner(catalog)
+        planner.plan_statement("CREATE VIEW V AS SELECT * FROM Orders")
+        with pytest.raises(SqlValidationError, match="already defined"):
+            planner.plan_statement("CREATE VIEW V AS SELECT * FROM Orders")

@@ -1,0 +1,293 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.common import SqlParseError
+from repro.sql import ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_query, parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Stream FROM")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "STREAM", "FROM"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        [token, _eof] = tokenize("productId")
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "productId"
+
+    def test_quoted_identifier(self):
+        [token, _eof] = tokenize('"Weird Name"')
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "Weird Name"
+
+    def test_string_with_escaped_quote(self):
+        [token, _eof] = tokenize("'it''s'")
+        assert token.value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14", ".5"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("<= >= <> != ||")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment here\n1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("SELECT /* multi\nline */ 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("SELECT\n  x")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlParseError):
+            tokenize("'oops")
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(SqlParseError):
+            tokenize("/* never ends")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlParseError):
+            tokenize("SELECT @")
+
+
+class TestParserBasics:
+    def test_select_star(self):
+        stmt = parse_query("SELECT * FROM Orders")
+        assert not stmt.stream
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.from_clause == ast.NamedTable("Orders")
+
+    def test_select_stream(self):
+        assert parse_query("SELECT STREAM * FROM Orders").stream
+
+    def test_projection_with_aliases(self):
+        stmt = parse_query("SELECT rowtime, units AS u, units * 2 doubled FROM Orders")
+        assert stmt.items[0].alias is None
+        assert stmt.items[1].alias == "u"
+        assert stmt.items[2].alias == "doubled"
+
+    def test_qualified_star(self):
+        stmt = parse_query("SELECT Orders.* FROM Orders")
+        assert stmt.items[0].expr == ast.Star(qualifier="Orders")
+
+    def test_where_comparison(self):
+        stmt = parse_query("SELECT * FROM Orders WHERE units > 25")
+        assert stmt.where == ast.BinaryOp(
+            ">", ast.ColumnRef(("units",)), ast.Literal(25))
+
+    def test_operator_precedence(self):
+        stmt = parse_query("SELECT * FROM t WHERE a + b * 2 = 10 OR c AND d")
+        # OR at top, AND binds tighter, * tighter than +
+        assert isinstance(stmt.where, ast.BinaryOp) and stmt.where.op == "OR"
+        left, right = stmt.where.left, stmt.where.right
+        assert left.op == "="
+        assert left.left.op == "+"
+        assert left.left.right.op == "*"
+        assert right.op == "AND"
+
+    def test_parenthesized_precedence(self):
+        stmt = parse_query("SELECT * FROM t WHERE (a OR b) AND c")
+        assert stmt.where.op == "AND"
+        assert stmt.where.left.op == "OR"
+
+    def test_between(self):
+        stmt = parse_query("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b = 2")
+        # BETWEEN consumes '1 AND 5'; the second AND joins the b = 2 term
+        assert stmt.where.op == "AND"
+        assert isinstance(stmt.where.left, ast.Between)
+
+    def test_not_between(self):
+        stmt = parse_query("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5")
+        assert stmt.where == ast.Between(
+            ast.ColumnRef(("a",)), ast.Literal(1), ast.Literal(5), negated=True)
+
+    def test_in_list(self):
+        stmt = parse_query("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_is_null(self):
+        stmt = parse_query("SELECT * FROM t WHERE a IS NOT NULL")
+        assert stmt.where == ast.IsNull(ast.ColumnRef(("a",)), negated=True)
+
+    def test_case_expression(self):
+        stmt = parse_query(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.Case)
+        assert len(case.whens) == 1
+        assert case.else_result == ast.Literal("small")
+
+    def test_cast(self):
+        stmt = parse_query("SELECT CAST(a AS DOUBLE) FROM t")
+        assert stmt.items[0].expr == ast.Cast(ast.ColumnRef(("a",)), "DOUBLE")
+
+    def test_count_star(self):
+        stmt = parse_query("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert call.is_star and call.name == "COUNT"
+
+    def test_unary_minus(self):
+        stmt = parse_query("SELECT -units FROM t")
+        assert stmt.items[0].expr == ast.UnaryOp("-", ast.ColumnRef(("units",)))
+
+    def test_semicolon_allowed(self):
+        parse_query("SELECT * FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT * FROM t nonsense extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT 1")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlParseError) as excinfo:
+            parse_statement("SELECT *\nFROM WHERE")
+        assert excinfo.value.line == 2
+
+
+class TestParserStreamingExtensions:
+    def test_interval_literal(self):
+        stmt = parse_query("SELECT * FROM t WHERE x > INTERVAL '2' SECOND")
+        assert stmt.where.right == ast.IntervalLit(2000)
+
+    def test_compound_interval(self):
+        stmt = parse_query("SELECT * FROM t WHERE x > INTERVAL '1:30' HOUR TO MINUTE")
+        assert stmt.where.right == ast.IntervalLit(90 * 60 * 1000)
+
+    def test_time_literal(self):
+        stmt = parse_query("SELECT * FROM t WHERE x > TIME '0:30'")
+        assert stmt.where.right == ast.TimeLit(30 * 60 * 1000)
+
+    def test_floor_to_hour(self):
+        stmt = parse_query("SELECT FLOOR(rowtime TO HOUR) FROM t")
+        assert stmt.items[0].expr == ast.FloorTo(ast.ColumnRef(("rowtime",)), "HOUR")
+
+    def test_group_by_tumble(self):
+        stmt = parse_query(
+            "SELECT STREAM COUNT(*) FROM Orders "
+            "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+        [key] = stmt.group_by
+        assert key.name == "TUMBLE"
+        assert key.args[1] == ast.IntervalLit(3600 * 1000)
+
+    def test_group_by_hop_with_align(self):
+        stmt = parse_query(
+            "SELECT STREAM COUNT(*) FROM Orders GROUP BY HOP(rowtime, "
+            "INTERVAL '1:30' HOUR TO MINUTE, INTERVAL '2' HOUR, TIME '0:30')")
+        [key] = stmt.group_by
+        assert key.name == "HOP"
+        assert len(key.args) == 4
+
+    def test_end_function_call(self):
+        """END is a keyword (CASE) but also the window-end aggregate."""
+        stmt = parse_query("SELECT END(rowtime) FROM t GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+        assert stmt.items[0].expr == ast.FuncCall("END", (ast.ColumnRef(("rowtime",)),))
+
+    def test_over_with_range_frame(self):
+        stmt = parse_query(
+            "SELECT SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+            "RANGE INTERVAL '5' MINUTE PRECEDING) FROM Orders")
+        over = stmt.items[0].expr
+        assert isinstance(over, ast.OverCall)
+        assert over.func.name == "SUM"
+        assert over.partition_by == (ast.ColumnRef(("productId",)),)
+        assert over.frame.mode == "RANGE"
+        assert over.frame.preceding == ast.IntervalLit(5 * 60 * 1000)
+
+    def test_over_rows_frame(self):
+        stmt = parse_query(
+            "SELECT AVG(price) OVER (ORDER BY rowtime ROWS 10 PRECEDING) FROM Bids")
+        assert stmt.items[0].expr.frame == ast.WindowFrame("ROWS", ast.Literal(10))
+
+    def test_over_unbounded(self):
+        stmt = parse_query(
+            "SELECT SUM(x) OVER (ORDER BY rowtime RANGE UNBOUNDED PRECEDING) FROM t")
+        assert stmt.items[0].expr.frame == ast.WindowFrame("RANGE", "UNBOUNDED")
+
+
+class TestParserRelations:
+    def test_join_on(self):
+        stmt = parse_query(
+            "SELECT STREAM * FROM Orders JOIN Products "
+            "ON Orders.productId = Products.productId")
+        join = stmt.from_clause
+        assert isinstance(join, ast.JoinRef)
+        assert join.kind == "INNER"
+        assert join.left == ast.NamedTable("Orders")
+
+    def test_left_outer_join(self):
+        stmt = parse_query("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.from_clause.kind == "LEFT"
+
+    def test_join_condition_with_between(self):
+        """The paper's Listing 7 join shape."""
+        stmt = parse_query("""
+            SELECT STREAM
+              GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) AS rowtime,
+              PacketsR1.packetId
+            FROM PacketsR1
+            JOIN PacketsR2 ON
+              PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND
+                AND PacketsR2.rowtime + INTERVAL '2' SECOND
+              AND PacketsR1.packetId = PacketsR2.packetId
+        """)
+        join = stmt.from_clause
+        assert isinstance(join.condition, ast.BinaryOp)
+        assert join.condition.op == "AND"
+
+    def test_subquery_in_from(self):
+        stmt = parse_query(
+            "SELECT STREAM rowtime FROM (SELECT rowtime, units FROM Orders) WHERE units > 1")
+        assert isinstance(stmt.from_clause, ast.DerivedTable)
+
+    def test_table_alias(self):
+        stmt = parse_query("SELECT o.units FROM Orders o")
+        assert stmt.from_clause == ast.NamedTable("Orders", alias="o")
+
+    def test_group_by_having(self):
+        stmt = parse_query(
+            "SELECT productId, COUNT(*) FROM Orders GROUP BY productId "
+            "HAVING COUNT(*) > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+
+class TestStatements:
+    def test_create_view(self):
+        stmt = parse_statement(
+            "CREATE VIEW HourlyTotals (rowtime, c) AS "
+            "SELECT FLOOR(rowtime TO HOUR), COUNT(*) FROM Orders "
+            "GROUP BY FLOOR(rowtime TO HOUR)")
+        assert isinstance(stmt, ast.CreateView)
+        assert stmt.name == "HourlyTotals"
+        assert stmt.columns == ("rowtime", "c")
+
+    def test_create_view_without_columns(self):
+        stmt = parse_statement("CREATE VIEW V AS SELECT * FROM Orders")
+        assert stmt.columns is None
+
+    def test_insert_into(self):
+        stmt = parse_statement("INSERT INTO BigOrders SELECT STREAM * FROM Orders WHERE units > 50")
+        assert isinstance(stmt, ast.InsertInto)
+        assert stmt.target == "BigOrders"
+        assert stmt.query.stream
+
+    def test_parse_query_rejects_ddl(self):
+        with pytest.raises(SqlParseError):
+            parse_query("CREATE VIEW v AS SELECT * FROM t")

@@ -1,0 +1,130 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.kafka import KafkaCluster
+from repro.serde import AvroSerde
+from repro.workloads import (
+    MarketGenerator,
+    OrdersGenerator,
+    PacketsGenerator,
+    ProductsGenerator,
+    padded_orders_schema,
+)
+
+
+class TestOrdersGenerator:
+    def test_deterministic_with_seed(self):
+        a = list(OrdersGenerator(seed=1).records(10))
+        b = list(OrdersGenerator(seed=1).records(10))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(OrdersGenerator(seed=1).records(10))
+        b = list(OrdersGenerator(seed=2).records(10))
+        assert a != b
+
+    def test_message_size_near_100_bytes(self):
+        """§5.1: the benchmark uses ~100-byte messages."""
+        generator = OrdersGenerator()
+        sizes = [len(value) for _, value, _ in generator.encoded(100)]
+        mean = sum(sizes) / len(sizes)
+        assert 90 <= mean <= 110
+
+    def test_unpadded_schema(self):
+        generator = OrdersGenerator(target_message_bytes=0)
+        record = next(iter(generator.records(1)))
+        assert "padding" not in record
+
+    def test_timestamps_monotonic(self):
+        records = list(OrdersGenerator(interarrival_ms=5).records(20))
+        times = [r["rowtime"] for r in records]
+        assert times == sorted(times)
+        assert times[1] - times[0] == 5
+
+    def test_produce_creates_topic_and_partitions(self):
+        cluster = KafkaCluster()
+        written = OrdersGenerator().produce(cluster, "Orders", 64, partitions=32)
+        assert written == 64
+        topic = cluster.topic("Orders")
+        assert topic.partition_count == 32
+        assert topic.total_messages() == 64
+
+    def test_keyed_by_product(self):
+        """Same product lands in the same partition (join co-partitioning)."""
+        cluster = KafkaCluster()
+        OrdersGenerator(product_count=5).produce(cluster, "Orders", 100,
+                                                 partitions=8)
+        serde = AvroSerde(padded_orders_schema())
+        partition_of = {}
+        for tp in cluster.partitions_for("Orders"):
+            for msg in cluster.fetch(tp, 0):
+                pid = serde.from_bytes(msg.value)["productId"]
+                partition_of.setdefault(pid, set()).add(tp.partition)
+        assert all(len(parts) == 1 for parts in partition_of.values())
+
+    def test_decodable(self):
+        generator = OrdersGenerator()
+        serde = generator.serde
+        for _, value, _ in generator.encoded(10):
+            record = serde.from_bytes(value)
+            assert 0 <= record["units"] < 100
+
+
+class TestProductsGenerator:
+    def test_covers_all_product_ids(self):
+        records = list(ProductsGenerator(product_count=20).records())
+        assert [r["productId"] for r in records] == list(range(20))
+
+    def test_supplier_range(self):
+        records = list(ProductsGenerator(supplier_count=3).records())
+        assert all(0 <= r["supplierId"] < 3 for r in records)
+
+    def test_produce_compacted_topic(self):
+        cluster = KafkaCluster()
+        ProductsGenerator(product_count=10).produce(cluster, "Products-changelog")
+        assert cluster.topic("Products-changelog").config.cleanup_policy == "compact"
+
+
+class TestPacketsGenerator:
+    def test_pair_ordering(self):
+        for r1, r2 in PacketsGenerator().pairs(50):
+            if r2 is not None:
+                assert r2["rowtime"] > r1["rowtime"]
+                assert r2["packetId"] == r1["packetId"]
+
+    def test_loss_rate(self):
+        pairs = list(PacketsGenerator(loss_rate=0.5, seed=1).pairs(400))
+        lost = sum(1 for _, r2 in pairs if r2 is None)
+        assert 120 < lost < 280
+
+    def test_no_loss_by_default(self):
+        assert all(r2 is not None for _, r2 in PacketsGenerator().pairs(50))
+
+    def test_produce_counts(self):
+        cluster = KafkaCluster()
+        sent_r1, sent_r2 = PacketsGenerator(loss_rate=0.2, seed=3).produce(
+            cluster, "R1", "R2", 100, partitions=4)
+        assert sent_r1 == 100
+        assert sent_r2 < 100
+        assert cluster.topic("R2").total_messages() == sent_r2
+
+
+class TestMarketGenerator:
+    def test_event_mix(self):
+        events = list(MarketGenerator(seed=9).events(400))
+        bids = sum(1 for side, _ in events if side == "bid")
+        assert 120 < bids < 280
+
+    def test_record_fields(self):
+        for side, record in MarketGenerator().events(20):
+            id_field = "bidId" if side == "bid" else "askId"
+            assert id_field in record
+            assert record["price"] > 0
+            assert record["shares"] in (100, 200, 500, 1000)
+
+    def test_produce_roundtrip(self):
+        cluster = KafkaCluster()
+        bids, asks = MarketGenerator().produce(cluster, "Bids", "Asks", 100)
+        assert bids + asks == 100
+        assert cluster.topic("Bids").total_messages() == bids

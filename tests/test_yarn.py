@@ -1,0 +1,210 @@
+"""Tests for the YARN model: scheduling, capacity, failure handling."""
+
+import pytest
+
+from repro.common import YarnError
+from repro.yarn import (
+    ApplicationMaster,
+    Container,
+    ContainerState,
+    NodeManager,
+    Resource,
+    ResourceManager,
+)
+from repro.yarn.rm import ApplicationState
+
+
+class RecordingMaster(ApplicationMaster):
+    """Test AM: requests N containers at start, records callbacks, and can
+    re-request replacements for failures (like the Samza AM does)."""
+
+    def __init__(self, initial=2, resource=Resource(1024, 1), replace_failed=False):
+        self.initial = initial
+        self.resource = resource
+        self.replace_failed = replace_failed
+        self.allocated: list[Container] = []
+        self.completed: list[Container] = []
+        self._rm = None
+
+    def on_start(self, rm):
+        self._rm = rm
+        rm.request_containers(self.application_id, self.initial, self.resource)
+
+    def on_containers_allocated(self, containers):
+        self.allocated.extend(containers)
+
+    def on_container_completed(self, container):
+        self.completed.append(container)
+        if self.replace_failed and container.state is ContainerState.FAILED:
+            self._rm.request_containers(self.application_id, 1, self.resource)
+
+
+def small_cluster(nodes=2, mem=4096, cores=4):
+    rm = ResourceManager()
+    for i in range(nodes):
+        rm.add_node(NodeManager(f"node-{i}", Resource(mem, cores)))
+    return rm
+
+
+class TestResource:
+    def test_arithmetic(self):
+        assert Resource(2, 1) + Resource(3, 1) == Resource(5, 2)
+        assert Resource(5, 2) - Resource(3, 1) == Resource(2, 1)
+
+    def test_fits_in(self):
+        assert Resource(1, 1).fits_in(Resource(2, 2))
+        assert not Resource(3, 1).fits_in(Resource(2, 2))
+        assert not Resource(1, 3).fits_in(Resource(2, 2))
+
+    def test_negative_rejected(self):
+        with pytest.raises(YarnError):
+            Resource(-1, 0)
+
+
+class TestNodeManager:
+    def test_capacity_accounting(self):
+        node = NodeManager("n", Resource(4096, 4))
+        c = Container("c1", "app", "n", Resource(1024, 1))
+        node.launch(c)
+        assert node.allocated == Resource(1024, 1)
+        assert node.available == Resource(3072, 3)
+
+    def test_overcommit_rejected(self):
+        node = NodeManager("n", Resource(1024, 1))
+        node.launch(Container("c1", "app", "n", Resource(1024, 1)))
+        with pytest.raises(YarnError):
+            node.launch(Container("c2", "app", "n", Resource(1, 1)))
+
+    def test_kill_releases_capacity(self):
+        node = NodeManager("n", Resource(1024, 1))
+        node.launch(Container("c1", "app", "n", Resource(1024, 1)))
+        node.kill("c1")
+        assert node.available == Resource(1024, 1)
+
+    def test_kill_unknown_raises(self):
+        with pytest.raises(YarnError):
+            NodeManager("n", Resource(1, 1)).kill("nope")
+
+    def test_mark_unhealthy_fails_running(self):
+        node = NodeManager("n", Resource(4096, 4))
+        c = Container("c1", "app", "n", Resource(1024, 1))
+        node.launch(c)
+        failed = node.mark_unhealthy()
+        assert failed == [c]
+        assert c.state is ContainerState.FAILED
+        assert not node.can_fit(Resource(1, 1))
+
+
+class TestScheduling:
+    def test_submit_allocates(self):
+        rm = small_cluster()
+        am = RecordingMaster(initial=3)
+        app_id = rm.submit_application("job", am)
+        assert len(am.allocated) == 3
+        assert rm.application(app_id).state is ApplicationState.RUNNING
+
+    def test_containers_spread_across_nodes(self):
+        rm = small_cluster(nodes=2)
+        am = RecordingMaster(initial=4)
+        rm.submit_application("job", am)
+        nodes = {c.node_id for c in am.allocated}
+        assert nodes == {"node-0", "node-1"}
+
+    def test_request_queues_when_full(self):
+        rm = small_cluster(nodes=1, mem=2048)
+        am = RecordingMaster(initial=3, resource=Resource(1024, 1))
+        rm.submit_application("job", am)
+        assert len(am.allocated) == 2
+        assert rm.pending_request_count() == 1
+
+    def test_queued_request_served_after_release(self):
+        rm = small_cluster(nodes=1, mem=2048)
+        am = RecordingMaster(initial=3, resource=Resource(1024, 1))
+        rm.submit_application("job", am)
+        rm.release_container(am.allocated[0].container_id)
+        rm.request_containers(am.application_id, 1, Resource(1024, 1))
+        # the release freed capacity; both the old pending and the new request
+        # compete for one slot
+        assert len(am.allocated) == 3
+
+    def test_invalid_count_rejected(self):
+        rm = small_cluster()
+        am = RecordingMaster(initial=1)
+        rm.submit_application("job", am)
+        with pytest.raises(YarnError):
+            rm.request_containers(am.application_id, 0, Resource(1, 1))
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(YarnError):
+            small_cluster().application("application_9999")
+
+    def test_cluster_capacity_math(self):
+        rm = small_cluster(nodes=2, mem=4096, cores=4)
+        assert rm.cluster_capacity() == Resource(8192, 8)
+        am = RecordingMaster(initial=1, resource=Resource(1000, 1))
+        rm.submit_application("job", am)
+        assert rm.cluster_available() == Resource(7192, 7)
+
+    def test_duplicate_node_rejected(self):
+        rm = small_cluster(nodes=1)
+        with pytest.raises(YarnError):
+            rm.add_node(NodeManager("node-0", Resource(1, 1)))
+
+
+class TestLifecycleAndFailure:
+    def test_finish_application_completes_containers(self):
+        rm = small_cluster()
+        am = RecordingMaster(initial=2)
+        app_id = rm.submit_application("job", am)
+        rm.finish_application(app_id)
+        report = rm.application(app_id)
+        assert report.state is ApplicationState.FINISHED
+        assert all(c.state is ContainerState.COMPLETED for c in report.containers.values())
+
+    def test_kill_application(self):
+        rm = small_cluster()
+        am = RecordingMaster(initial=1)
+        app_id = rm.submit_application("job", am)
+        rm.kill_application(app_id)
+        assert rm.application(app_id).state is ApplicationState.KILLED
+
+    def test_container_failure_notifies_am(self):
+        rm = small_cluster()
+        am = RecordingMaster(initial=2)
+        rm.submit_application("job", am)
+        victim = am.allocated[0]
+        rm.fail_container(victim.container_id, "oom")
+        assert am.completed == [victim]
+        assert victim.state is ContainerState.FAILED
+        assert victim.exit_message == "oom"
+
+    def test_am_replaces_failed_container(self):
+        """The Samza-style recovery loop: failure -> AM re-requests -> new
+        container allocated on remaining capacity."""
+        rm = small_cluster()
+        am = RecordingMaster(initial=2, replace_failed=True)
+        rm.submit_application("job", am)
+        rm.fail_container(am.allocated[0].container_id)
+        assert len(am.allocated) == 3
+        assert am.allocated[2].state is ContainerState.RUNNING
+
+    def test_node_failure_fails_all_its_containers(self):
+        rm = small_cluster(nodes=2)
+        am = RecordingMaster(initial=4, replace_failed=True)
+        rm.submit_application("job", am)
+        per_node = {}
+        for c in am.allocated:
+            per_node.setdefault(c.node_id, []).append(c)
+        rm.fail_node("node-0")
+        # all containers that were on node-0 failed and were replaced on node-1
+        assert len(am.completed) == len(per_node["node-0"])
+        replacements = am.allocated[4:]
+        assert all(c.node_id == "node-1" for c in replacements)
+
+    def test_fail_container_idempotent_on_terminal(self):
+        rm = small_cluster()
+        am = RecordingMaster(initial=1)
+        app_id = rm.submit_application("job", am)
+        rm.finish_application(app_id)
+        rm.fail_container(am.allocated[0].container_id)  # no callback
+        assert am.completed == []

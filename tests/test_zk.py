@@ -1,0 +1,182 @@
+"""Tests for the ZooKeeper model: tree ops, versions, ephemerals, watches."""
+
+import pytest
+
+from repro.common import ZkError
+from repro.zk import ZkClient, ZkServer
+
+
+@pytest.fixture
+def server():
+    return ZkServer()
+
+
+@pytest.fixture
+def client(server):
+    return ZkClient(server)
+
+
+class TestPaths:
+    def test_relative_path_rejected(self, client):
+        with pytest.raises(ZkError):
+            client.create("relative")
+
+    def test_trailing_slash_rejected(self, client):
+        with pytest.raises(ZkError):
+            client.create("/a/")
+
+    def test_empty_component_rejected(self, client):
+        with pytest.raises(ZkError):
+            client.create("/a//b")
+
+    def test_root_operations_rejected(self, client):
+        with pytest.raises(ZkError):
+            client.create("/")
+
+
+class TestCrud:
+    def test_create_get(self, client):
+        client.create("/samza-sql", b"meta")
+        data, stat = client.get("/samza-sql")
+        assert data == b"meta"
+        assert stat.version == 0
+
+    def test_create_requires_parent(self, client):
+        with pytest.raises(ZkError):
+            client.create("/a/b/c")
+
+    def test_ensure_path_builds_ancestors(self, client):
+        client.ensure_path("/a/b/c")
+        assert client.exists("/a/b/c") is not None
+        assert client.get_children("/a") == ["b"]
+
+    def test_duplicate_create_raises(self, client):
+        client.create("/x")
+        with pytest.raises(ZkError):
+            client.create("/x")
+
+    def test_set_bumps_version(self, client):
+        client.create("/x", b"1")
+        stat = client.set("/x", b"2")
+        assert stat.version == 1
+        assert client.get("/x")[0] == b"2"
+
+    def test_conditional_set(self, client):
+        client.create("/x", b"1")
+        client.set("/x", b"2", expected_version=0)
+        with pytest.raises(ZkError):
+            client.set("/x", b"3", expected_version=0)
+
+    def test_delete(self, client):
+        client.create("/x")
+        client.delete("/x")
+        assert client.exists("/x") is None
+
+    def test_delete_with_children_raises(self, client):
+        client.ensure_path("/a/b")
+        with pytest.raises(ZkError):
+            client.delete("/a")
+
+    def test_conditional_delete(self, client):
+        client.create("/x", b"1")
+        client.set("/x", b"2")
+        with pytest.raises(ZkError):
+            client.delete("/x", expected_version=0)
+        client.delete("/x", expected_version=1)
+
+    def test_get_children_sorted(self, client):
+        client.ensure_path("/jobs")
+        client.create("/jobs/b")
+        client.create("/jobs/a")
+        assert client.get_children("/jobs") == ["a", "b"]
+
+    def test_get_missing_raises(self, client):
+        with pytest.raises(ZkError):
+            client.get("/missing")
+
+
+class TestSequential:
+    def test_sequential_names(self, client):
+        client.ensure_path("/queue")
+        a = client.create("/queue/item-", sequential=True)
+        b = client.create("/queue/item-", sequential=True)
+        assert a == "/queue/item-0000000000"
+        assert b == "/queue/item-0000000001"
+        assert client.get_children("/queue") == ["item-0000000000", "item-0000000001"]
+
+
+class TestEphemerals:
+    def test_ephemeral_deleted_on_session_close(self, server):
+        c1 = ZkClient(server)
+        c1.ensure_path("/locks")
+        c1.create("/locks/owner", b"c1", ephemeral=True)
+        c2 = ZkClient(server)
+        assert c2.exists("/locks/owner") is not None
+        c1.close()
+        assert c2.exists("/locks/owner") is None
+        # persistent parent survives
+        assert c2.exists("/locks") is not None
+
+    def test_ephemeral_cannot_have_children(self, client):
+        client.create("/e", ephemeral=True)
+        with pytest.raises(ZkError):
+            client.create("/e/child")
+
+    def test_closed_client_rejects_operations(self, server):
+        client = ZkClient(server)
+        client.close()
+        with pytest.raises(ZkError):
+            client.create("/x")
+
+    def test_context_manager_closes(self, server):
+        with ZkClient(server) as c:
+            c.create("/tmp-node", ephemeral=True)
+        probe = ZkClient(server)
+        assert probe.exists("/tmp-node") is None
+
+
+class TestWatches:
+    def test_data_watch_fires_once(self, client):
+        events = []
+        client.create("/w", b"1")
+        client.get("/w", watch=lambda ev, path: events.append((ev, path)))
+        client.set("/w", b"2")
+        client.set("/w", b"3")  # watch is one-shot
+        assert events == [("changed", "/w")]
+
+    def test_exists_watch_fires_on_create(self, client):
+        events = []
+        client.exists("/later", watch=lambda ev, path: events.append(ev))
+        client.create("/later")
+        assert events == ["created"]
+
+    def test_delete_fires_data_watch(self, client):
+        events = []
+        client.create("/w")
+        client.get("/w", watch=lambda ev, path: events.append(ev))
+        client.delete("/w")
+        assert events == ["deleted"]
+
+    def test_child_watch(self, client):
+        events = []
+        client.ensure_path("/parent")
+        client.get_children("/parent", watch=lambda ev, path: events.append((ev, path)))
+        client.create("/parent/kid")
+        assert events == [("children", "/parent")]
+
+
+class TestJsonHelpers:
+    def test_write_read_json(self, client):
+        payload = {"query": "SELECT STREAM * FROM Orders", "partitions": 32}
+        client.write_json("/samza-sql/jobs/q1", payload)
+        assert client.read_json("/samza-sql/jobs/q1") == payload
+
+    def test_write_json_overwrites(self, client):
+        client.write_json("/x", {"v": 1})
+        client.write_json("/x", {"v": 2})
+        assert client.read_json("/x") == {"v": 2}
+
+    def test_read_json_empty_node_raises(self, client):
+        client.create("/empty")
+        with pytest.raises(ZkError):
+            client.read_json("/empty")
