@@ -1,0 +1,291 @@
+"""Deterministic fault schedules and the injector the runtime consults.
+
+A :class:`FaultSchedule` is a *plan*: which fetch/produce operations fail,
+which operations are slowed down, at which processed-message counts a
+container dies, at which supervisor iterations ZooKeeper sessions expire,
+and during which operation windows a partition's leader is unreachable.
+Plans come from a seeded RNG (:meth:`FaultSchedule.from_seed`) or an
+explicit script (:meth:`FaultSchedule.script` + ``add_*`` calls).
+
+A :class:`FaultInjector` executes one plan.  The hook points live in
+``kafka/broker.py`` (fetch/produce/latency/unavailability),
+``samza/container.py`` (crashes) and ``chaos/supervisor.py`` (ZK expiry),
+all behind a no-op ``None`` default so the happy path is unchanged.  Every
+fault actually *fired* is appended to :attr:`FaultInjector.events`;
+serializing that log (:meth:`events_blob`) gives a byte-identical replay
+record — two runs with the same seed and workload must produce the same
+bytes, which :mod:`repro.chaos.validate` asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.clock import Clock
+from repro.common.errors import ConfigError, ContainerCrashError, TransientKafkaError
+from repro.kafka.message import TopicPartition
+
+FETCH_ERROR = "fetch_error"
+PRODUCE_ERROR = "produce_error"
+LATENCY = "latency"
+PARTITION_UNAVAILABLE = "partition_unavailable"
+CONTAINER_CRASH = "container_crash"
+ZK_EXPIRE = "zk_expire"
+
+#: Fault kinds that model recoverable broker-side errors.
+TRANSIENT_KINDS = (FETCH_ERROR, PRODUCE_ERROR, PARTITION_UNAVAILABLE)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    kind: str
+    op: int          # the operation/iteration/message counter when it fired
+    target: str      # topic-partition, container id, or session list
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "op": self.op,
+                "target": self.target, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class UnavailabilityWindow:
+    """Fetches of ``partition`` fail for ops in [first_op, last_op]."""
+
+    first_op: int
+    last_op: int
+    partition: int
+
+
+@dataclass
+class FaultSchedule:
+    """A deterministic plan of what fails, where, and when."""
+
+    fetch_faults: frozenset[int] = frozenset()      # fetch-op indices that fail
+    produce_faults: frozenset[int] = frozenset()    # produce-op indices that fail
+    latency_ms: dict[int, int] = field(default_factory=dict)  # fetch-op -> delay
+    crash_points: tuple[int, ...] = ()              # processed-message counts
+    zk_expiries: tuple[int, ...] = ()               # supervisor iterations
+    unavailable_windows: tuple[UnavailabilityWindow, ...] = ()
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def from_seed(seed: int, *, transient_faults: int = 8, latency_faults: int = 3,
+                  crashes: int = 1, zk_expiries: int = 1,
+                  unavailability_windows: int = 1, partitions: int = 4,
+                  horizon_ops: int = 150,
+                  crash_range: tuple[int, int] = (25, 140),
+                  zk_expiry_range: tuple[int, int] = (2, 6),
+                  latency_range_ms: tuple[int, int] = (5, 50),
+                  window_length_ops: tuple[int, int] = (3, 6)) -> "FaultSchedule":
+        """Draw a schedule from a seeded RNG.
+
+        All choices are made up front from ``random.Random(seed)``, so the
+        plan — and therefore the injected fault sequence against a fixed
+        workload — is a pure function of the seed.
+        """
+        if transient_faults < 0 or crashes < 0 or zk_expiries < 0:
+            raise ConfigError("fault counts must be non-negative")
+        rng = random.Random(seed)
+        op_space = range(3, max(horizon_ops, transient_faults * 3 + 10))
+        fetch_count = (transient_faults + 1) // 2
+        produce_count = transient_faults - fetch_count
+        fetch_faults = frozenset(rng.sample(op_space, fetch_count))
+        produce_faults = frozenset(rng.sample(op_space, produce_count))
+        latency = {op: rng.randint(*latency_range_ms)
+                   for op in rng.sample(op_space, latency_faults)}
+        crashes_at = tuple(sorted(
+            rng.randint(*crash_range) for _ in range(crashes)))
+        expiries_at = tuple(sorted(
+            rng.randint(*zk_expiry_range) for _ in range(zk_expiries)))
+        windows = []
+        for _ in range(unavailability_windows):
+            start = rng.choice(op_space)
+            length = rng.randint(*window_length_ops)
+            windows.append(UnavailabilityWindow(
+                first_op=start, last_op=start + length - 1,
+                partition=rng.randrange(partitions)))
+        return FaultSchedule(
+            fetch_faults=fetch_faults, produce_faults=produce_faults,
+            latency_ms=latency, crash_points=crashes_at,
+            zk_expiries=expiries_at, unavailable_windows=tuple(windows))
+
+    @staticmethod
+    def script() -> "FaultSchedule":
+        """An empty schedule to build up with the ``add_*`` methods."""
+        return FaultSchedule()
+
+    def add_fetch_fault(self, *ops: int) -> "FaultSchedule":
+        self.fetch_faults = frozenset(self.fetch_faults | set(ops))
+        return self
+
+    def add_produce_fault(self, *ops: int) -> "FaultSchedule":
+        self.produce_faults = frozenset(self.produce_faults | set(ops))
+        return self
+
+    def add_latency(self, op: int, ms: int) -> "FaultSchedule":
+        self.latency_ms[op] = ms
+        return self
+
+    def add_crash(self, *processed_counts: int) -> "FaultSchedule":
+        self.crash_points = tuple(sorted(self.crash_points + processed_counts))
+        return self
+
+    def add_zk_expiry(self, *iterations: int) -> "FaultSchedule":
+        self.zk_expiries = tuple(sorted(self.zk_expiries + iterations))
+        return self
+
+    def add_unavailability(self, first_op: int, last_op: int,
+                           partition: int) -> "FaultSchedule":
+        self.unavailable_windows = self.unavailable_windows + (
+            UnavailabilityWindow(first_op, last_op, partition),)
+        return self
+
+    # -- reporting -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "fetch_faults": sorted(self.fetch_faults),
+            "produce_faults": sorted(self.produce_faults),
+            "latency_ms": {str(k): v for k, v in sorted(self.latency_ms.items())},
+            "crash_points": list(self.crash_points),
+            "zk_expiries": list(self.zk_expiries),
+            "unavailable_windows": [
+                [w.first_op, w.last_op, w.partition]
+                for w in self.unavailable_windows],
+        }
+
+    def planned_transient_faults(self) -> int:
+        return len(self.fetch_faults) + len(self.produce_faults)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against the runtime's hook points.
+
+    The injector owns three monotonic counters — fetch ops, produce ops,
+    and processed messages — that index into the schedule.  It can be
+    :meth:`suspended` (e.g. while a test reads results back) and records
+    every fired fault for replay verification.
+    """
+
+    def __init__(self, schedule: FaultSchedule, clock: Clock | None = None):
+        self.schedule = schedule
+        self.clock = clock
+        self.active = True
+        self.fetch_ops = 0
+        self.produce_ops = 0
+        self.processed = 0
+        self.events: list[FaultEvent] = []
+        self._pending_crashes = sorted(schedule.crash_points)
+        self._pending_zk = sorted(schedule.zk_expiries)
+
+    # -- activation ----------------------------------------------------------
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Temporarily disable injection (counters freeze too)."""
+        was_active = self.active
+        self.active = False
+        try:
+            yield
+        finally:
+            self.active = was_active
+
+    # -- broker hooks --------------------------------------------------------
+
+    def on_fetch(self, broker_id: int, tp: TopicPartition) -> None:
+        """Called by a broker before serving a fetch; may raise."""
+        if not self.active:
+            return
+        self.fetch_ops += 1
+        op = self.fetch_ops
+        for window in self.schedule.unavailable_windows:
+            if window.first_op <= op <= window.last_op and tp.partition == window.partition:
+                self._record(PARTITION_UNAVAILABLE, op, str(tp),
+                             f"broker {broker_id} leader unavailable")
+                raise TransientKafkaError(
+                    f"{tp}: leader unavailable (chaos fetch op {op})")
+        delay = self.schedule.latency_ms.get(op)
+        if delay is not None:
+            self._record(LATENCY, op, str(tp), f"{delay}ms")
+            if self.clock is not None:
+                self.clock.sleep_ms(delay)
+        if op in self.schedule.fetch_faults:
+            self._record(FETCH_ERROR, op, str(tp), f"broker {broker_id}")
+            raise TransientKafkaError(
+                f"{tp}: fetch failed on broker {broker_id} (chaos op {op})")
+
+    def on_produce(self, broker_id: int, tp: TopicPartition) -> None:
+        """Called by a broker before appending a record; may raise."""
+        if not self.active:
+            return
+        self.produce_ops += 1
+        op = self.produce_ops
+        if op in self.schedule.produce_faults:
+            self._record(PRODUCE_ERROR, op, str(tp), f"broker {broker_id}")
+            raise TransientKafkaError(
+                f"{tp}: produce failed on broker {broker_id} (chaos op {op})")
+
+    # -- container hook ------------------------------------------------------
+
+    def on_processed(self, container_id: str) -> None:
+        """Called by a container after each processed message; may raise."""
+        if not self.active:
+            return
+        self.processed += 1
+        if self._pending_crashes and self.processed >= self._pending_crashes[0]:
+            point = self._pending_crashes.pop(0)
+            self._record(CONTAINER_CRASH, self.processed, container_id,
+                         f"scheduled at message {point}")
+            raise ContainerCrashError(
+                f"chaos killed {container_id} at message {self.processed}")
+
+    # -- supervisor hook -----------------------------------------------------
+
+    def zk_expiry_due(self, iteration: int) -> bool:
+        """True when the supervisor should expire ZK sessions this round."""
+        if not self.active:
+            return False
+        if self._pending_zk and iteration >= self._pending_zk[0]:
+            self._pending_zk.pop(0)
+            return True
+        return False
+
+    def record_zk_expiry(self, iteration: int, session_ids: list[int]) -> None:
+        self._record(ZK_EXPIRE, iteration,
+                     ",".join(str(s) for s in session_ids),
+                     f"{len(session_ids)} sessions")
+
+    # -- replay record -------------------------------------------------------
+
+    def _record(self, kind: str, op: int, target: str, detail: str) -> None:
+        self.events.append(FaultEvent(kind=kind, op=op, target=target, detail=detail))
+
+    def fault_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def transient_fault_count(self) -> int:
+        return sum(1 for e in self.events if e.kind in TRANSIENT_KINDS)
+
+    def events_blob(self) -> bytes:
+        """Canonical JSON serialization of the fired-fault log.
+
+        Two runs of the same seed + workload must produce byte-identical
+        blobs — this is the schedule-replay determinism contract.
+        """
+        return json.dumps([e.to_dict() for e in self.events],
+                          sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.events_blob()).hexdigest()

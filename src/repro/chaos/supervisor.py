@@ -1,0 +1,109 @@
+"""Job-level supervision under fault injection.
+
+The :class:`ChaosSupervisor` is the chaos-mode counterpart of
+:meth:`repro.samza.job.JobRunner.run_until_quiescent`: it drives every
+container one cooperative iteration at a time, and when the injector
+kills one (:class:`ContainerCrashError` escaping the run loop, or a
+retry budget exhausting) it fails that container through the YARN
+resource manager.  That triggers the Samza application master's normal
+recovery path — re-request a container, re-attach the task group, restore
+store state from the changelog, and resume input from the last checkpoint
+— which is exactly the machinery this subsystem exists to exercise.
+
+The supervisor also owns the ZooKeeper side of the schedule: at the
+scheduled iterations it expires every live session on the server, the way
+a real ensemble drops clients that miss heartbeats.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import FaultInjector
+from repro.common.errors import ContainerCrashError, RetryExhaustedError
+from repro.samza.job import JobRunner
+from repro.zk.server import ZkServer
+
+
+class ChaosSupervisor:
+    """Drives jobs to completion while the injector works against them."""
+
+    def __init__(self, runner: JobRunner, injector: FaultInjector,
+                 zk: ZkServer | None = None):
+        self.runner = runner
+        self.injector = injector
+        self.zk = zk
+        self.iterations = 0
+        self.restarts = 0
+        self.zk_expirations = 0
+
+    # -- one cooperative round -----------------------------------------------
+
+    def run_iteration(self) -> int:
+        """Advance every container once; repair whatever the chaos broke."""
+        self.iterations += 1
+        self._maybe_expire_zk_sessions()
+        processed = 0
+        for master in self.runner.masters():
+            if master.finished:
+                continue
+            for yarn_cid, samza_container in list(master.samza_containers.items()):
+                if samza_container.shutdown_requested:
+                    continue
+                try:
+                    processed += samza_container.run_iteration()
+                except ContainerCrashError as err:
+                    self._fail(yarn_cid, str(err))
+                except RetryExhaustedError as err:
+                    self._fail(yarn_cid, f"retries exhausted: {err}")
+        return processed
+
+    def _fail(self, yarn_container_id: str, message: str) -> None:
+        """Report the crash to YARN; the application master re-requests a
+        replacement synchronously (restore from checkpoint + changelog)."""
+        self.restarts += 1
+        self.runner.rm.fail_container(yarn_container_id, message)
+
+    def _maybe_expire_zk_sessions(self) -> None:
+        if self.zk is None or not self.injector.zk_expiry_due(self.iterations):
+            return
+        expired = list(self.zk.live_sessions())
+        for session_id in expired:
+            self.zk.expire_session(session_id)
+        self.zk_expirations += 1
+        self.injector.record_zk_expiry(self.iterations, expired)
+
+    # -- driving to completion -------------------------------------------------
+
+    def run_until_quiescent(self, max_iterations: int = 10_000,
+                            settle_rounds: int = 3) -> int:
+        """Drive all jobs until no progress and no lag; returns processed.
+
+        Mirrors :meth:`JobRunner.run_until_quiescent`, but survives the
+        fault schedule.  Lag/progress accounting is unaffected by
+        injection (watermark reads are not hook points).
+        """
+        total = 0
+        idle = 0
+        for _ in range(max_iterations):
+            processed = self.run_iteration()
+            total += processed
+            if processed == 0 and all(
+                    m.total_lag() == 0
+                    for m in self.runner.masters() if not m.finished):
+                idle += 1
+                if idle >= settle_rounds:
+                    return total
+            else:
+                idle = 0
+        raise RuntimeError(
+            f"jobs did not quiesce within {max_iterations} iterations under chaos")
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "container_restarts": self.restarts,
+            "zk_expirations": self.zk_expirations,
+            "fault_counts": self.injector.fault_counts(),
+            "fingerprint": self.injector.fingerprint(),
+        }

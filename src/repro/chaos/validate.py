@@ -1,0 +1,262 @@
+"""End-to-end at-least-once verification under a fault schedule.
+
+Runs the paper's benchmark shapes — a filter plus a 5-minute sliding
+window over the Orders workload — while a seeded :class:`FaultSchedule`
+injects broker errors, a container crash, and a ZooKeeper session expiry.
+When the job quiesces the harness audits delivery semantics:
+
+* **completeness** — every input order that satisfies the predicate must
+  appear in the output at least once (no lost input offsets);
+* **bounded duplication** — replays may duplicate outputs (that *is*
+  at-least-once), but never by more than the crash count allows;
+* **consistency** — duplicate emissions of the same order carry the same
+  input fields;
+* **replay determinism** — the fired-fault log serializes to
+  byte-identical blobs across runs of the same seed.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.chaos.validate --seed 42 --replay-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import (
+    CONTAINER_CRASH,
+    ZK_EXPIRE,
+    FaultInjector,
+    FaultSchedule,
+)
+from repro.chaos.supervisor import ChaosSupervisor
+from repro.common.clock import VirtualClock
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.producer import Producer
+from repro.samza.job import JobRunner
+from repro.samzasql.shell import SamzaSQLShell
+from repro.serde.avro import AvroSerde
+from repro.workloads.orders import ORDERS_SCHEMA
+from repro.yarn.node import NodeManager
+from repro.yarn.resources import Resource
+from repro.yarn.rm import ResourceManager
+from repro.zk.server import ZkServer
+
+#: Filter + sliding window — the paper's two single-stream benchmark
+#: shapes composed into one query.
+VALIDATION_SQL = (
+    "SELECT STREAM rowtime, productId, orderId, units, "
+    "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+    "RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes "
+    "FROM Orders WHERE units > {threshold}"
+)
+
+
+@dataclass
+class ValidationReport:
+    """Delivery-semantics audit of one chaos run."""
+
+    seed: int
+    sql: str
+    input_count: int
+    expected_count: int          # inputs satisfying the predicate
+    output_records: int          # total emissions, duplicates included
+    distinct_outputs: int
+    lost_order_ids: list[int]
+    duplicated_order_ids: int    # distinct orders emitted more than once
+    duplicate_records: int       # emissions beyond the first, summed
+    max_duplication: int         # highest emissions seen for one order
+    inconsistent_order_ids: list[int]
+    fault_counts: dict[str, int]
+    transient_faults: int
+    container_restarts: int
+    zk_expirations: int
+    iterations: int
+    fingerprint: str
+    events_blob: bytes = field(repr=False)
+
+    @property
+    def at_least_once(self) -> bool:
+        return not self.lost_order_ids and not self.inconsistent_order_ids
+
+    def meets_criteria(self, min_transient: int = 5, min_crashes: int = 1,
+                       min_zk_expiries: int = 1) -> bool:
+        """Did the schedule actually exercise the system hard enough?"""
+        return (self.transient_faults >= min_transient
+                and self.fault_counts.get(CONTAINER_CRASH, 0) >= min_crashes
+                and self.fault_counts.get(ZK_EXPIRE, 0) >= min_zk_expiries)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "sql": self.sql,
+            "input_count": self.input_count,
+            "expected_count": self.expected_count,
+            "output_records": self.output_records,
+            "distinct_outputs": self.distinct_outputs,
+            "lost_order_ids": self.lost_order_ids,
+            "duplicated_order_ids": self.duplicated_order_ids,
+            "duplicate_records": self.duplicate_records,
+            "max_duplication": self.max_duplication,
+            "inconsistent_order_ids": self.inconsistent_order_ids,
+            "fault_counts": self.fault_counts,
+            "transient_faults": self.transient_faults,
+            "container_restarts": self.container_restarts,
+            "zk_expirations": self.zk_expirations,
+            "iterations": self.iterations,
+            "fingerprint": self.fingerprint,
+            "at_least_once": self.at_least_once,
+        }
+
+    def summary(self) -> str:
+        verdict = ("at-least-once VERIFIED" if self.at_least_once
+                   else "DELIVERY VIOLATION")
+        lines = [
+            f"chaos validation (seed {self.seed}): {verdict}",
+            f"  inputs: {self.input_count} "
+            f"({self.expected_count} satisfy the predicate)",
+            f"  outputs: {self.output_records} emissions, "
+            f"{self.distinct_outputs} distinct "
+            f"({self.duplicate_records} duplicate emissions over "
+            f"{self.duplicated_order_ids} orders, worst x{self.max_duplication})",
+            f"  lost inputs: {len(self.lost_order_ids)}"
+            + (f" {self.lost_order_ids[:10]}" if self.lost_order_ids else ""),
+            f"  faults fired: {self.fault_counts or '{}'} "
+            f"({self.transient_faults} transient)",
+            f"  recovery: {self.container_restarts} container restart(s), "
+            f"{self.zk_expirations} zk expiry event(s), "
+            f"{self.iterations} supervisor iterations",
+            f"  schedule fingerprint: {self.fingerprint[:16]}…",
+        ]
+        return "\n".join(lines)
+
+
+def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
+                   partitions: int = 4, units_threshold: int = 10,
+                   schedule: FaultSchedule | None = None,
+                   commit_interval: int = 40,
+                   batch_size: int = 25) -> ValidationReport:
+    """One full chaos run: build, inject, recover, audit."""
+    clock = VirtualClock(0)
+    cluster = KafkaCluster(broker_count=3, clock=clock)
+    rm = ResourceManager()
+    for i in range(2):
+        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
+    if schedule is None:
+        schedule = FaultSchedule.from_seed(seed, partitions=partitions)
+    injector = FaultInjector(schedule, clock=clock)
+    runner = JobRunner(cluster, rm, clock, fault_injector=injector)
+    zk = ZkServer()
+    shell = SamzaSQLShell(cluster, runner, zk=zk)
+
+    # Deterministic Orders workload (the fixture distribution: units cycle
+    # through (i*7) % 100, ten products, one order per second).
+    shell.register_stream("Orders", ORDERS_SCHEMA, partitions=partitions)
+    serde = AvroSerde(ORDERS_SCHEMA)
+    producer = Producer(cluster)
+    inputs: list[dict] = []
+    for i in range(orders):
+        record = {"rowtime": 1_000_000 + i * 1_000, "productId": i % 10,
+                  "orderId": i, "units": (i * 7) % 100}
+        producer.send("Orders", serde.to_bytes(record),
+                      key=str(record["productId"]).encode(),
+                      timestamp_ms=record["rowtime"])
+        inputs.append(record)
+
+    # Arm the brokers only now: the workload feed is part of the fixture,
+    # not the system under test.
+    cluster.install_fault_injector(injector)
+
+    sql = VALIDATION_SQL.format(threshold=units_threshold)
+    handle = shell.execute(sql, containers=containers, config_overrides={
+        "task.checkpoint.interval.messages": commit_interval,
+        "task.poll.batch.size": batch_size,
+    })
+    supervisor = ChaosSupervisor(runner, injector, zk=zk)
+    supervisor.run_until_quiescent()
+
+    with injector.suspended():
+        results = handle.results()
+
+    expected = {r["orderId"]: r for r in inputs if r["units"] > units_threshold}
+    emissions: dict[int, list[dict]] = {}
+    for record in results:
+        emissions.setdefault(record["orderId"], []).append(record)
+
+    lost = sorted(set(expected) - set(emissions))
+    inconsistent = sorted(
+        order_id for order_id, copies in emissions.items()
+        if len({(c["rowtime"], c["productId"], c["units"]) for c in copies}) > 1
+    )
+    dup_counts = [len(copies) for copies in emissions.values()]
+    return ValidationReport(
+        seed=seed,
+        sql=sql,
+        input_count=len(inputs),
+        expected_count=len(expected),
+        output_records=len(results),
+        distinct_outputs=len(emissions),
+        lost_order_ids=lost,
+        duplicated_order_ids=sum(1 for n in dup_counts if n > 1),
+        duplicate_records=sum(n - 1 for n in dup_counts),
+        max_duplication=max(dup_counts, default=0),
+        inconsistent_order_ids=inconsistent,
+        fault_counts=injector.fault_counts(),
+        transient_faults=injector.transient_fault_count(),
+        container_restarts=supervisor.restarts,
+        zk_expirations=supervisor.zk_expirations,
+        iterations=supervisor.iterations,
+        fingerprint=injector.fingerprint(),
+        events_blob=injector.events_blob(),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.validate",
+        description="At-least-once verification under seeded fault injection.")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--orders", type=int, default=300)
+    parser.add_argument("--containers", type=int, default=2)
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--replay-check", action="store_true",
+                        help="run the schedule twice and require "
+                             "byte-identical fault logs")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    report = run_validation(seed=args.seed, orders=args.orders,
+                            containers=args.containers,
+                            partitions=args.partitions)
+    ok = report.at_least_once and report.meets_criteria()
+
+    replay_ok = True
+    if args.replay_check:
+        second = run_validation(seed=args.seed, orders=args.orders,
+                                containers=args.containers,
+                                partitions=args.partitions)
+        replay_ok = second.events_blob == report.events_blob
+
+    if args.json:
+        payload = report.to_dict()
+        payload["meets_criteria"] = report.meets_criteria()
+        if args.replay_check:
+            payload["replay_identical"] = replay_ok
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.summary())
+        if not report.meets_criteria():
+            print("  WARNING: schedule fired fewer faults than the "
+                  "acceptance bar (>=5 transient, >=1 crash, >=1 zk expiry)")
+        if args.replay_check:
+            print(f"  replay determinism: "
+                  f"{'byte-identical' if replay_ok else 'MISMATCH'}")
+    return 0 if (ok and replay_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@ from repro.common.config import Config
 from repro.common.errors import (
     CheckpointError,
     ConfigError,
+    ContainerCrashError,
     KafkaError,
     OffsetOutOfRangeError,
+    RetryExhaustedError,
     PlannerError,
     ReproError,
     SchemaError,
@@ -20,9 +22,11 @@ from repro.common.errors import (
     SqlValidationError,
     StateStoreError,
     TopicExistsError,
+    TransientKafkaError,
     UnknownTopicError,
     YarnError,
     ZkError,
+    ZkSessionExpiredError,
 )
 from repro.common.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.common.varint import (
@@ -47,7 +51,11 @@ __all__ = [
     "TopicExistsError",
     "UnknownTopicError",
     "OffsetOutOfRangeError",
+    "TransientKafkaError",
+    "RetryExhaustedError",
+    "ContainerCrashError",
     "ZkError",
+    "ZkSessionExpiredError",
     "YarnError",
     "CheckpointError",
     "StateStoreError",

@@ -51,6 +51,15 @@ class OffsetOutOfRangeError(KafkaError):
     """A fetch requested an offset below the log start or above the end."""
 
 
+class TransientKafkaError(KafkaError):
+    """A produce/fetch failed for a reason that retrying can fix.
+
+    Models broker hiccups: dropped requests, leader unavailability windows,
+    timeouts.  Clients are expected to back off and retry rather than fail
+    the container (see :mod:`repro.chaos.retry`).
+    """
+
+
 # --------------------------------------------------------------------------
 # coordination / resource management
 # --------------------------------------------------------------------------
@@ -58,6 +67,15 @@ class OffsetOutOfRangeError(KafkaError):
 
 class ZkError(ReproError):
     """ZooKeeper-model error (missing node, bad version, node exists...)."""
+
+
+class ZkSessionExpiredError(ZkError):
+    """The server expired this client's session (e.g. missed heartbeats).
+
+    All ephemerals owned by the session are gone; the client must open a
+    new session (:meth:`repro.zk.client.ZkClient.reconnect`) and rebuild
+    whatever ephemeral state it needs.
+    """
 
 
 class YarnError(ReproError):
@@ -75,6 +93,29 @@ class CheckpointError(ReproError):
 
 class StateStoreError(ReproError):
     """Local key-value store failure (closed store, bad range bounds...)."""
+
+
+# --------------------------------------------------------------------------
+# fault injection / recovery
+# --------------------------------------------------------------------------
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation failed on every allowed attempt.
+
+    Carries the final underlying error as ``__cause__``.  At the container
+    level this is treated like a crash: the supervisor fails the container
+    and lets the application master re-launch it.
+    """
+
+
+class ContainerCrashError(ReproError):
+    """A container process died (in this reproduction: by fault injection).
+
+    Raised out of the container's run loop *without* committing, so the
+    replacement container replays input from the last checkpoint — the
+    at-least-once contract the chaos validator verifies.
+    """
 
 
 # --------------------------------------------------------------------------

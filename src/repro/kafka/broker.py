@@ -17,6 +17,10 @@ class Broker:
     is per-request overhead plus per-byte cost, and the sublinear scaling
     in Figure 5 falls out of how many fetch round-trips are needed when 32
     partitions are spread over more consumers.
+
+    ``fault_injector`` (see :mod:`repro.chaos.faults`) is consulted before
+    each produce/fetch and may raise a transient error or add latency; the
+    default ``None`` keeps the happy path unchanged.
     """
 
     def __init__(self, broker_id: int, clock: Clock | None = None,
@@ -24,6 +28,7 @@ class Broker:
         self.broker_id = broker_id
         self.clock = clock or SystemClock()
         self.metrics = metrics or MetricsRegistry()
+        self.fault_injector = None
         self._partitions: dict[TopicPartition, PartitionLog] = {}
         group = f"broker-{broker_id}"
         self._produce_requests = self.metrics.counter(group, "produce_requests")
@@ -53,6 +58,8 @@ class Broker:
     def produce(self, tp: TopicPartition, key: bytes | None, value: bytes | None,
                 timestamp_ms: int | None = None) -> int:
         """Append one record; returns its offset."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_produce(self.broker_id, tp)
         self._produce_requests.inc()
         self._messages_in.inc()
         ts = timestamp_ms if timestamp_ms is not None else self.clock.now_ms()
@@ -61,6 +68,8 @@ class Broker:
     def fetch(self, tp: TopicPartition, from_offset: int,
               max_records: int | None = None) -> list[Message]:
         """Serve one fetch request for one partition."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_fetch(self.broker_id, tp)
         self._fetch_requests.inc()
         records = self._log(tp).read(from_offset, max_records)
         self._messages_out.inc(len(records))

@@ -25,10 +25,25 @@ class KafkaCluster:
         self.clock = clock or SystemClock()
         self.metrics = MetricsRegistry()
         self.brokers = [Broker(i, self.clock, self.metrics) for i in range(broker_count)]
+        self.fault_injector = None
         self._topics: dict[str, Topic] = {}
         self._leaders: dict[TopicPartition, Broker] = {}
         # {group: {TopicPartition: offset}} — committed consumer positions.
         self._group_offsets: dict[str, dict[TopicPartition, int]] = {}
+
+    # -- fault injection ---------------------------------------------------------
+
+    def install_fault_injector(self, injector) -> None:
+        """Arm every broker with a :class:`repro.chaos.faults.FaultInjector`.
+
+        Pass ``None`` to disarm.  The injector's clock defaults to the
+        cluster clock so latency faults advance virtual time.
+        """
+        if injector is not None and injector.clock is None:
+            injector.clock = self.clock
+        self.fault_injector = injector
+        for broker in self.brokers:
+            broker.fault_injector = injector
 
     # -- admin -------------------------------------------------------------------
 

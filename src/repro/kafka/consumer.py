@@ -33,13 +33,15 @@ class Consumer:
     """Single-threaded partition consumer with manual assignment."""
 
     def __init__(self, cluster: KafkaCluster, group_id: str | None = None,
-                 max_poll_records: int = 500, fetch_max_records_per_partition: int = 100):
+                 max_poll_records: int = 500, fetch_max_records_per_partition: int = 100,
+                 retry_policy=None):
         if max_poll_records < 1 or fetch_max_records_per_partition < 1:
             raise KafkaError("poll/fetch sizes must be positive")
         self._cluster = cluster
         self.group_id = group_id
         self._max_poll_records = max_poll_records
         self._fetch_size = fetch_max_records_per_partition
+        self._retry = retry_policy
         self._positions: dict[TopicPartition, int] = {}
         self._paused: set[TopicPartition] = set()
         self._rr_cursor = 0
@@ -49,17 +51,26 @@ class Consumer:
 
     def assign(self, partitions: list[TopicPartition]) -> None:
         """Assign partitions; positions default to the committed offset for
-        this group, falling back to the earliest available offset."""
-        self._positions = {}
+        this group, falling back to the earliest available offset.
+
+        Reassignment discards all flow-control state *before* resolving the
+        new positions: stale pause flags from a previous assignment would
+        otherwise silently starve re-assigned partitions, and the old
+        round-robin cursor would bias the first polls.  Clearing first also
+        keeps the state consistent if position resolution raises (e.g. an
+        unknown topic) halfway through.
+        """
+        self._paused.clear()
+        self._rr_cursor = 0
+        positions: dict[TopicPartition, int] = {}
         for tp in partitions:
             committed = (
                 self._cluster.committed_offset(self.group_id, tp)
                 if self.group_id is not None else None
             )
             start = committed if committed is not None else self._cluster.earliest_offset(tp)
-            self._positions[tp] = start
-        self._paused.clear()
-        self._rr_cursor = 0
+            positions[tp] = start
+        self._positions = positions
 
     def assignment(self) -> list[TopicPartition]:
         return sorted(self._positions, key=lambda tp: (tp.topic, tp.partition))
@@ -106,6 +117,14 @@ class Consumer:
 
     # -- the poll loop ----------------------------------------------------------------------
 
+    def _fetch(self, tp: TopicPartition, offset: int, max_records: int):
+        """One fetch request, retried on transient broker errors when a
+        retry policy is installed (``OffsetOutOfRangeError`` is permanent
+        and always propagates to the caller)."""
+        if self._retry is None:
+            return self._cluster.fetch(tp, offset, max_records)
+        return self._retry.call(lambda: self._cluster.fetch(tp, offset, max_records))
+
     def poll(self, max_records: int | None = None) -> list[ConsumerRecord]:
         """Fetch up to ``max_records`` across assigned, unpaused partitions.
 
@@ -126,13 +145,13 @@ class Consumer:
             if tp in self._paused:
                 continue
             try:
-                messages = self._cluster.fetch(
+                messages = self._fetch(
                     tp, self._positions[tp], min(self._fetch_size, budget)
                 )
             except OffsetOutOfRangeError:
                 # Auto-reset to earliest, like auto.offset.reset=earliest.
                 self._positions[tp] = self._cluster.earliest_offset(tp)
-                messages = self._cluster.fetch(
+                messages = self._fetch(
                     tp, self._positions[tp], min(self._fetch_size, budget)
                 )
             if not messages:

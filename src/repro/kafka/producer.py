@@ -34,11 +34,19 @@ def hash_partitioner(key: bytes | None, partition_count: int) -> int:
 
 
 class Producer:
-    """Client-side writer: partition selection + produce-request routing."""
+    """Client-side writer: partition selection + produce-request routing.
 
-    def __init__(self, cluster: KafkaCluster, partitioner: Partitioner = hash_partitioner):
+    ``retry_policy`` (a :class:`repro.chaos.retry.RetryPolicy`) makes sends
+    survive transient broker errors by backing off and re-issuing the
+    produce request; ``None`` (the default) sends exactly once and lets
+    errors propagate.
+    """
+
+    def __init__(self, cluster: KafkaCluster, partitioner: Partitioner = hash_partitioner,
+                 retry_policy=None):
         self._cluster = cluster
         self._partitioner = partitioner
+        self._retry = retry_policy
         self._round_robin: dict[str, int] = {}
 
     def send(self, topic: str, value: bytes | None, key: bytes | None = None,
@@ -60,7 +68,13 @@ class Producer:
             raise KafkaError(
                 f"partition {partition} out of range for topic {topic!r} ({count} partitions)"
             )
-        offset = self._cluster.produce(
-            TopicPartition(topic, partition), key, value, timestamp_ms
-        )
+        tp = TopicPartition(topic, partition)
+        if self._retry is None:
+            offset = self._cluster.produce(tp, key, value, timestamp_ms)
+        else:
+            # Re-sending after a transient failure may duplicate the record
+            # (the first attempt could have landed) — at-least-once, exactly
+            # like a real producer without idempotence enabled.
+            offset = self._retry.call(
+                lambda: self._cluster.produce(tp, key, value, timestamp_ms))
         return partition, offset

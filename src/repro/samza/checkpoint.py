@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import CheckpointError
+from repro.common.errors import CheckpointError, OffsetOutOfRangeError
 from repro.kafka.cluster import KafkaCluster
 from repro.kafka.message import TopicPartition
 from repro.samza.system import SystemStreamPartition
@@ -41,13 +41,20 @@ class Checkpoint:
 
 
 class CheckpointManager:
-    """Reads/writes per-task checkpoints on a compacted topic."""
+    """Reads/writes per-task checkpoints on a compacted topic.
 
-    def __init__(self, cluster: KafkaCluster, job_name: str):
+    ``retry_policy`` (a :class:`repro.chaos.retry.RetryPolicy`) makes
+    checkpoint IO survive transient broker errors — losing a checkpoint
+    write to a recoverable hiccup would silently widen the replay window
+    after the next crash.
+    """
+
+    def __init__(self, cluster: KafkaCluster, job_name: str, retry_policy=None):
         self._cluster = cluster
         self._topic = f"__checkpoint_{job_name}"
         self._key_serde = StringSerde()
         self._value_serde = JsonSerde()
+        self._retry = retry_policy
         cluster.create_topic(
             self._topic, partitions=1, cleanup_policy="compact", if_not_exists=True
         )
@@ -57,18 +64,28 @@ class CheckpointManager:
     def topic(self) -> str:
         return self._topic
 
+    def _call(self, fn):
+        return fn() if self._retry is None else self._retry.call(fn)
+
     def write_checkpoint(self, task_name: str, checkpoint: Checkpoint) -> None:
-        self._cluster.produce(
-            self._tp,
-            self._key_serde.to_bytes(task_name),
-            self._value_serde.to_bytes(checkpoint.to_payload()),
-        )
+        key = self._key_serde.to_bytes(task_name)
+        value = self._value_serde.to_bytes(checkpoint.to_payload())
+        self._call(lambda: self._cluster.produce(self._tp, key, value))
 
     def read_last_checkpoint(self, task_name: str) -> Checkpoint | None:
-        """Scan the checkpoint partition for the task's latest entry."""
+        """Scan the checkpoint partition for the task's latest entry.
+
+        A stale start offset (the scan raced retention/compaction) is not
+        fatal: the scan restarts once from the current earliest offset.
+        """
         latest: Checkpoint | None = None
-        start = self._cluster.earliest_offset(self._tp)
-        for message in self._cluster.fetch(self._tp, start):
+        start = self._call(lambda: self._cluster.earliest_offset(self._tp))
+        try:
+            messages = self._call(lambda: self._cluster.fetch(self._tp, start))
+        except OffsetOutOfRangeError:
+            fresh = self._cluster.earliest_offset(self._tp)
+            messages = self._call(lambda: self._cluster.fetch(self._tp, fresh))
+        for message in messages:
             if message.key is None or message.value is None:
                 continue
             if self._key_serde.from_bytes(message.key) == task_name:

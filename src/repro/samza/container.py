@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chaos.retry import RetryPolicy
 from repro.common.clock import Clock, SystemClock
 from repro.common.config import Config
 from repro.common.errors import ConfigError
@@ -95,7 +96,8 @@ class SamzaContainer:
     def __init__(self, container_id: str, config: Config, cluster: KafkaCluster,
                  serdes: SerdeRegistry, task_models: list[TaskModel],
                  task_factory, checkpoint_manager: CheckpointManager | None = None,
-                 clock: Clock | None = None, metrics: MetricsRegistry | None = None):
+                 clock: Clock | None = None, metrics: MetricsRegistry | None = None,
+                 fault_injector=None):
         self.container_id = container_id
         self.config = config
         self.cluster = cluster
@@ -105,13 +107,20 @@ class SamzaContainer:
         self._task_factory = task_factory
         self._task_models = task_models
         self._checkpoints = checkpoint_manager
+        self._fault_injector = fault_injector
 
+        # Transient broker errors are survived by backing off and retrying
+        # (tunable via task.retry.*); only exhaustion fails the container.
+        self._retry = RetryPolicy.from_config(
+            config, clock=self.clock, metrics=self.metrics,
+            group=f"container-{container_id}-retry")
         self._consumer = Consumer(
             cluster,
             fetch_max_records_per_partition=config.get_int(
                 "systems.kafka.consumer.fetch.max.records", 100),
+            retry_policy=self._retry,
         )
-        self._producer = Producer(cluster)
+        self._producer = Producer(cluster, retry_policy=self._retry)
         self._collector = _Collector(self)
         self._coordinator = _Coordinator()
 
@@ -135,6 +144,8 @@ class SamzaContainer:
         self._processed = self.metrics.counter(f"container-{container_id}", "processed")
         self._sent = self.metrics.counter(f"container-{container_id}", "sent")
         self._commits = self.metrics.counter(f"container-{container_id}", "commits")
+        self._checkpoint_resets = self.metrics.counter(
+            f"container-{container_id}", "checkpoint.reset")
 
     # -- configuration parsing ---------------------------------------------------
 
@@ -187,7 +198,12 @@ class SamzaContainer:
         self._consumer.assign([ssp.topic_partition for ssp in sorted(
             all_ssps, key=lambda s: (s.stream, s.partition))])
 
-        # Restore offsets (checkpoint wins, else earliest) and seek.
+        # Restore offsets (checkpoint wins, else earliest) and seek.  A
+        # checkpointed offset can be stale: retention may have evicted it
+        # (offset below log start) or the topic may have been recreated
+        # (offset beyond the high watermark).  Either way the replay
+        # contract is "resume from what still exists" — clamp into the
+        # valid range and count the reset rather than crash on restore.
         tp_to_ssp = {ssp.topic_partition: ssp for ssp in all_ssps}
         for instance in self.tasks.values():
             earliest = {
@@ -195,7 +211,13 @@ class SamzaContainer:
                 for ssp in instance.ssps
             }
             instance.restore_offsets(earliest)
-            for ssp, offset in instance.offsets.items():
+            for ssp, offset in list(instance.offsets.items()):
+                low = earliest[ssp]
+                high = self.cluster.latest_offset(ssp.topic_partition)
+                if offset < low or offset > high:
+                    offset = low if offset < low else high
+                    instance.offsets[ssp] = offset
+                    self._checkpoint_resets.inc()
                 self._consumer.seek(ssp.topic_partition, offset)
 
         # Resolve input serdes per stream.
@@ -229,7 +251,8 @@ class SamzaContainer:
                 tp = TopicPartition(topic, model.partition_id)
 
                 def log_fn(key: bytes, value: bytes | None, _tp=tp) -> None:
-                    self.cluster.produce(_tp, key, value, self.clock.now_ms())
+                    self._retry.call(lambda: self.cluster.produce(
+                        _tp, key, value, self.clock.now_ms()))
 
                 bytes_store = LoggedKeyValueStore(memory, log_fn)
             store: KeyValueStore = SerializedKeyValueStore(
@@ -246,7 +269,7 @@ class SamzaContainer:
             return
         tp = TopicPartition(topic, partition)
         start = self.cluster.earliest_offset(tp)
-        for message in self.cluster.fetch(tp, start):
+        for message in self._retry.call(lambda: self.cluster.fetch(tp, start)):
             if message.key is None:
                 continue
             if message.value is None:
@@ -313,6 +336,11 @@ class SamzaContainer:
             instance.process(envelope, self._collector, self._coordinator)
             self._processed.inc()
             self._messages_since_commit += 1
+            if self._fault_injector is not None:
+                # May raise ContainerCrashError: the exception must escape
+                # WITHOUT committing, so work since the last checkpoint is
+                # genuinely lost and the replacement container replays it.
+                self._fault_injector.on_processed(self.container_id)
             if self._coordinator.shutdown_requested:
                 break
 
@@ -368,6 +396,14 @@ class SamzaContainer:
     @property
     def processed_count(self) -> int:
         return self._processed.count
+
+    @property
+    def checkpoint_reset_count(self) -> int:
+        return self._checkpoint_resets.count
+
+    @property
+    def retry_count(self) -> int:
+        return self._retry.retry_count
 
     @property
     def is_bootstrapping(self) -> bool:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chaos.retry import RetryPolicy
 from repro.common.clock import Clock, SystemClock
 from repro.common.config import Config
 from repro.common.errors import ConfigError
@@ -99,11 +100,14 @@ class SamzaApplicationMaster(ApplicationMaster):
     """The job's own master: container requests + failure recovery."""
 
     def __init__(self, job: SamzaJob, cluster: KafkaCluster,
-                 checkpoint_manager: CheckpointManager, clock: Clock):
+                 checkpoint_manager: CheckpointManager, clock: Clock,
+                 fault_injector=None):
         self.job = job
         self.cluster = cluster
         self.checkpoints = checkpoint_manager
         self.clock = clock
+        self.fault_injector = fault_injector
+        self.container_restarts = 0
         self.samza_containers: dict[str, SamzaContainer] = {}
         self._unassigned_groups: list[list[TaskModel]] = []
         self._group_by_container: dict[str, list[TaskModel]] = {}
@@ -143,6 +147,7 @@ class SamzaApplicationMaster(ApplicationMaster):
                 task_factory=self.job.task_factory,
                 checkpoint_manager=self.checkpoints,
                 clock=self.clock,
+                fault_injector=self.fault_injector,
             )
             self._next_samza_container += 1
             samza_container.start()
@@ -157,6 +162,7 @@ class SamzaApplicationMaster(ApplicationMaster):
                 and not self.finished):
             # Re-request a replacement; its tasks restore state from the
             # changelog and resume input from the last checkpoint.
+            self.container_restarts += 1
             self._unassigned_groups.append(group)
             self._rm.request_containers(
                 self.application_id, 1, self.job.container_resource())
@@ -197,18 +203,28 @@ class JobRunner:
     """
 
     def __init__(self, cluster: KafkaCluster, rm: ResourceManager,
-                 clock: Clock | None = None):
+                 clock: Clock | None = None, fault_injector=None):
         self.cluster = cluster
         self.rm = rm
         self.clock = clock or SystemClock()
+        self.fault_injector = fault_injector
         self._masters: dict[str, SamzaApplicationMaster] = {}
 
     def submit(self, job: SamzaJob) -> SamzaApplicationMaster:
-        checkpoint_manager = CheckpointManager(self.cluster, job.name)
-        master = SamzaApplicationMaster(job, self.cluster, checkpoint_manager, self.clock)
+        # Checkpoint IO rides the same transient-error retry as the data
+        # plane — a dropped checkpoint write must not widen the replay
+        # window, and a dropped read must not fail a container restart.
+        checkpoint_manager = CheckpointManager(
+            self.cluster, job.name,
+            retry_policy=RetryPolicy(clock=self.clock))
+        master = SamzaApplicationMaster(job, self.cluster, checkpoint_manager,
+                                        self.clock, self.fault_injector)
         app_id = self.rm.submit_application(job.name, master)
         self._masters[app_id] = master
         return master
+
+    def masters(self) -> list[SamzaApplicationMaster]:
+        return list(self._masters.values())
 
     def run_iteration(self) -> int:
         processed = 0

@@ -13,6 +13,7 @@ the operator DAG; operator output leaves through the task's collector.
 from __future__ import annotations
 
 from repro.common.config import Config
+from repro.common.errors import ZkSessionExpiredError
 from repro.samza.system import OutgoingMessageEnvelope, SystemStream
 from repro.samza.task import (
     InitableTask,
@@ -57,7 +58,14 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         self._early_emit = False
 
     def init(self, config: Config, context: TaskContext) -> None:
-        payload = self._zk.read_json(self._plan_path)
+        try:
+            payload = self._zk.read_json(self._plan_path)
+        except ZkSessionExpiredError:
+            # The server expired our session (chaos, GC pause...) between
+            # client creation and plan load; the plan znode is persistent,
+            # so a fresh session reads it fine.
+            self._zk.reconnect()
+            payload = self._zk.read_json(self._plan_path)
         plan = PhysicalPlan.from_dict(payload)
         self._sink = _CollectorSink(plan.output_stream)
         stores = {name: context.get_store(name) for name in plan.store_names}

@@ -9,7 +9,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.common.errors import ZkError
+from repro.common.errors import ZkError, ZkSessionExpiredError
 from repro.zk.server import WatchCallback, ZkServer
 from repro.zk.znode import Stat
 
@@ -21,6 +21,7 @@ class ZkClient:
         self._server = server
         self._session_id = server.create_session()
         self._closed = False
+        self.reconnect_count = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -39,9 +40,20 @@ class ZkClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def reconnect(self) -> None:
+        """Open a fresh session after an expiry (ephemerals are gone)."""
+        self._session_id = self._server.create_session()
+        self._closed = False
+        self.reconnect_count += 1
+
     def _check_open(self) -> None:
         if self._closed:
             raise ZkError("client session is closed")
+        if not self._server.session_alive(self._session_id):
+            if self._server.session_expired(self._session_id):
+                raise ZkSessionExpiredError(
+                    f"session {self._session_id} was expired by the server")
+            raise ZkError(f"session {self._session_id} is not alive")
 
     # -- raw operations ----------------------------------------------------------
 

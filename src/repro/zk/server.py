@@ -19,6 +19,7 @@ class ZkServer:
         self._root = ZNode(name="")
         self._next_session = 1
         self._live_sessions: set[int] = set()
+        self._expired_sessions: set[int] = set()
         # path -> list of one-shot data watches / child watches
         self._data_watches: dict[str, list[WatchCallback]] = {}
         self._child_watches: dict[str, list[WatchCallback]] = {}
@@ -40,8 +41,28 @@ class ZkServer:
             # Deepest-first so parents empty out before deletion.
             self.delete(path)
 
+    def expire_session(self, session_id: int) -> None:
+        """Server-side session expiry (missed heartbeats, partition...).
+
+        Identical cleanup to a clean close — every ephemeral the session
+        owns is deleted — but the session is remembered as *expired* so a
+        client that is still holding the handle gets
+        :class:`ZkSessionExpiredError` on its next operation instead of a
+        generic closed-session error.
+        """
+        if session_id not in self._live_sessions:
+            return
+        self.close_session(session_id)
+        self._expired_sessions.add(session_id)
+
     def session_alive(self, session_id: int) -> bool:
         return session_id in self._live_sessions
+
+    def session_expired(self, session_id: int) -> bool:
+        return session_id in self._expired_sessions
+
+    def live_sessions(self) -> list[int]:
+        return sorted(self._live_sessions)
 
     def _find_ephemerals(self, node: ZNode, prefix: str, owner: int) -> list[str]:
         found: list[str] = []
