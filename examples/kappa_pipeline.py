@@ -15,22 +15,13 @@ reproduction stack:
 Run:  python examples/kappa_pipeline.py
 """
 
-from repro.common import VirtualClock
-from repro.kafka import KafkaCluster
-from repro.samza import JobRunner
-from repro.samzasql import SamzaSQLShell
+from repro.samzasql import SamzaSqlEnvironment
 from repro.workloads import OrdersGenerator, padded_orders_schema
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 
 def main() -> None:
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    for i in range(3):
-        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
-    runner = JobRunner(cluster, rm, clock)
-    shell = SamzaSQLShell(cluster, runner)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=3, start_ms=0)
+    cluster, runner, shell = env.cluster, env.runner, env.shell
 
     shell.register_stream("Orders", padded_orders_schema(), partitions=8)
     OrdersGenerator(product_count=50, interarrival_ms=500).produce(

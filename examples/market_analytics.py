@@ -7,21 +7,13 @@ VWAP-style average, and a windowed bid/ask matching join.
 Run:  python examples/market_analytics.py
 """
 
-from repro.common import VirtualClock
-from repro.kafka import KafkaCluster
-from repro.samza import JobRunner
-from repro.samzasql import SamzaSQLShell
+from repro.samzasql import SamzaSqlEnvironment
 from repro.workloads import ASKS_SCHEMA, BIDS_SCHEMA, MarketGenerator
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 
 def main() -> None:
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    rm.add_node(NodeManager("node-0", Resource(61_000, 8)))
-    runner = JobRunner(cluster, rm, clock)
-    shell = SamzaSQLShell(cluster, runner)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=1, start_ms=0)
+    cluster, runner, shell = env.cluster, env.runner, env.shell
 
     shell.register_stream("Bids", BIDS_SCHEMA, partitions=4)
     shell.register_stream("Asks", ASKS_SCHEMA, partitions=4)

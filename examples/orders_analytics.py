@@ -9,10 +9,8 @@
 Run:  python examples/orders_analytics.py
 """
 
-from repro.common import VirtualClock
-from repro.kafka import KafkaCluster, Producer
-from repro.samza import JobRunner
-from repro.samzasql import SamzaSQLShell
+from repro.kafka import Producer
+from repro.samzasql import SamzaSqlEnvironment
 from repro.serde import AvroSerde
 from repro.workloads import (
     ORDERS_SCHEMA,
@@ -20,18 +18,13 @@ from repro.workloads import (
     ProductsGenerator,
     make_order,
 )
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 HOUR = 3_600_000
 
 
 def build_shell():
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    rm.add_node(NodeManager("node-0", Resource(61_000, 8)))
-    runner = JobRunner(cluster, rm, clock)
-    return SamzaSQLShell(cluster, runner), runner, cluster
+    env = SamzaSqlEnvironment(broker_count=3, node_count=1, start_ms=0)
+    return env.shell, env.runner, env.cluster
 
 
 def feed_orders(cluster, hours=6, per_hour=40):

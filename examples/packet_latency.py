@@ -8,12 +8,8 @@ conditions and that out-of-window (delayed/lost) packets drop out.
 Run:  python examples/packet_latency.py
 """
 
-from repro.common import VirtualClock
-from repro.kafka import KafkaCluster
-from repro.samza import JobRunner
-from repro.samzasql import SamzaSQLShell
+from repro.samzasql import SamzaSqlEnvironment
 from repro.workloads import PACKETS_SCHEMA, PacketsGenerator
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 QUERY = """
 SELECT STREAM
@@ -30,12 +26,8 @@ JOIN PacketsR2 ON
 
 
 def main() -> None:
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    rm.add_node(NodeManager("node-0", Resource(61_000, 8)))
-    runner = JobRunner(cluster, rm, clock)
-    shell = SamzaSQLShell(cluster, runner)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=1, start_ms=0)
+    cluster, runner, shell = env.cluster, env.runner, env.shell
 
     for name in ("PacketsR1", "PacketsR2"):
         shell.register_stream(name, PACKETS_SCHEMA, partitions=4)

@@ -1,37 +1,30 @@
 """Quickstart: run your first streaming SQL query on the in-process stack.
 
 Spins up the whole reproduction — a 3-broker Kafka model, a YARN cluster,
-ZooKeeper, and the SamzaSQL shell — then registers an Orders stream, feeds
-it synthetic data, and runs the paper's filter query both as a continuous
-streaming job and as a batch query over the stream's history.
+ZooKeeper, and the SamzaSQL shell, all behind one
+:class:`SamzaSqlEnvironment` constructor — then registers an Orders
+stream, feeds it synthetic data, and runs the paper's filter query both as
+a continuous streaming job and as a batch query over the stream's history.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.common import VirtualClock
-from repro.kafka import KafkaCluster
-from repro.samza import JobRunner
-from repro.samzasql import SamzaSQLShell
+from repro.samzasql import SamzaSqlEnvironment
 from repro.workloads import OrdersGenerator, padded_orders_schema
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 
 def main() -> None:
-    # 1. The substrate: Kafka brokers, YARN nodes, a job runner, the shell.
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    for i in range(2):
-        rm.add_node(NodeManager(f"node-{i}", Resource(memory_mb=61_000, vcores=8)))
-    runner = JobRunner(cluster, rm, clock)
-    shell = SamzaSQLShell(cluster, runner)
+    # 1. The whole substrate — Kafka brokers, YARN nodes, ZooKeeper, job
+    #    runner, shell — in one constructor.
+    env = SamzaSqlEnvironment(broker_count=3, node_count=2, start_ms=0)
+    shell = env.shell
 
     # 2. Register the Orders stream (schema -> catalog, topic -> Kafka).
     shell.register_stream("Orders", padded_orders_schema(), partitions=8)
 
     # 3. Feed it the paper's synthetic ~100-byte order records.
     generator = OrdersGenerator(product_count=20, interarrival_ms=1000)
-    generator.produce(cluster, "Orders", count=500, partitions=8)
+    generator.produce(env.cluster, "Orders", count=500, partitions=8)
 
     # 4. A streaming query: compiled to a Samza job, submitted to YARN.
     query = "SELECT STREAM * FROM Orders WHERE units > 50"
@@ -42,10 +35,17 @@ def main() -> None:
     print(handle.explain())
 
     # 5. Drive the cluster until the backlog is drained, then read results.
-    runner.run_until_quiescent()
+    env.run_until_quiescent()
     results = handle.results()
     print(f"\nstreaming result: {len(results)} of 500 orders had units > 50")
     print("first three:", *results[:3], sep="\n  ")
+
+    # 5b. Operator-level metrics, read back from the __metrics stream.
+    print("\noperator metrics (from the __metrics snapshot stream):")
+    for record in handle.snapshots():
+        if record["operator"] and record["metric"] == "messages-in":
+            print(f"  {record['operator']} p{record['part']}: "
+                  f"{record['value']:.0f} messages in")
 
     # 6. The same stream, queried as a table (no STREAM keyword): the
     #    query runs over the topic's retained history (§3.3).

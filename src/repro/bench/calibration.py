@@ -12,14 +12,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.common import Config, VirtualClock
 from repro.kafka import KafkaCluster
-from repro.samza import JobRunner, SamzaJob
-from repro.samzasql import SamzaSQLShell
+from repro.samza import SamzaJob
+from repro.samzasql import SamzaSqlEnvironment
 from repro.bench.native_jobs import native_job_config
 from repro.workloads.orders import OrdersGenerator, padded_orders_schema
 from repro.workloads.products import PRODUCTS_SCHEMA, ProductsGenerator
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 # The four §5.1 benchmark queries, in SamzaSQL.
 SQL_QUERIES = {
@@ -53,13 +51,11 @@ class CalibrationResult:
         return self.messages / self.elapsed_s
 
 
-def _build_runtime(partitions: int) -> tuple[KafkaCluster, JobRunner, VirtualClock]:
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    for i in range(3):
-        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
-    return cluster, JobRunner(cluster, rm, clock), clock
+def _build_runtime(partitions: int,
+                   metrics_interval_ms: int = 0) -> SamzaSqlEnvironment:
+    return SamzaSqlEnvironment(
+        broker_count=3, node_count=3, node_mem_mb=61_000, start_ms=0,
+        metrics_interval_ms=metrics_interval_ms)
 
 
 def _feed_workload(cluster: KafkaCluster, query: str, messages: int,
@@ -73,17 +69,22 @@ def _feed_workload(cluster: KafkaCluster, query: str, messages: int,
 
 
 def _measure_once(query: str, variant: str, messages: int,
-                  partitions: int, containers: int, warmup: int) -> float:
-    cluster, runner, clock = _build_runtime(partitions)
+                  partitions: int, containers: int, warmup: int,
+                  metrics_interval_ms: int = 0) -> float:
+    env = _build_runtime(partitions, metrics_interval_ms=metrics_interval_ms)
+    cluster, runner = env.cluster, env.runner
     _feed_workload(cluster, query, messages, partitions)
 
     if variant == "native":
         config, serdes, factory = native_job_config(
             query, f"native-{query}", containers=containers)
+        if metrics_interval_ms > 0:
+            config = config.merge(
+                {"metrics.reporter.interval.ms": metrics_interval_ms})
         job = SamzaJob(config=config, task_factory=factory, serdes=serdes)
         runner.submit(job)
     else:
-        shell = SamzaSQLShell(cluster, runner)
+        shell = env.shell
         shell.register_stream("Orders", padded_orders_schema(),
                               partitions=partitions)
         if query == "join":
@@ -97,14 +98,26 @@ def _measure_once(query: str, variant: str, messages: int,
     import gc
 
     gc.collect()
-    started = time.perf_counter()
-    runner.run_until_quiescent(max_iterations=1_000_000)
-    return time.perf_counter() - started
+    # The run is single-threaded and CPU-bound, so CPU time is the right
+    # measure of per-message cost — and unlike wall clock it is immune to
+    # scheduler preemption, which on a busy host swamps a ~100ms run.  A
+    # single GC pause inside the window is still several percent, so
+    # collection is suspended for the measurement.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.process_time_ns()
+        runner.run_until_quiescent(max_iterations=1_000_000)
+        return (time.process_time_ns() - started) / 1e9
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
 
 def measure(query: str, variant: str, messages: int = 5000,
             partitions: int = 32, containers: int = 1,
-            warmup: int = 200, repeats: int = 2) -> CalibrationResult:
+            warmup: int = 200, repeats: int = 2,
+            metrics_interval_ms: int = 0) -> CalibrationResult:
     """Run one (query, variant) to completion; best-of-``repeats`` timing.
 
     The minimum over repeats is the standard noise-robust estimator for
@@ -115,10 +128,38 @@ def measure(query: str, variant: str, messages: int = 5000,
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
     elapsed = min(
-        _measure_once(query, variant, messages, partitions, containers, warmup)
+        _measure_once(query, variant, messages, partitions, containers, warmup,
+                      metrics_interval_ms=metrics_interval_ms)
         for _ in range(max(repeats, 1)))
     return CalibrationResult(query=query, variant=variant,
                              messages=messages, elapsed_s=max(elapsed, 1e-9))
+
+
+def measure_metrics_overhead(query: str = "filter", messages: int = 4000,
+                             partitions: int = 32, repeats: int = 3,
+                             metrics_interval_ms: int = 1_000) -> dict[str, float]:
+    """Instrumentation overhead of the metrics reporter on one query.
+
+    Runs plain and instrumented rounds interleaved (like
+    :func:`calibrate_pair`), alternating which mode goes first each round
+    so anything that grows over the process lifetime (heap size, interned
+    state) taxes both modes equally, and keeps the per-mode minimum —
+    scheduler noise and GC only ever *add* time, so the minima are the
+    cleanest estimate of each mode's true cost.  Returns best elapsed
+    seconds per mode, keyed ``{"off": ..., "on": ..., "overhead_percent": ...}``.
+    """
+    best: dict[str, float] = {}
+    modes = [("off", 0), ("on", metrics_interval_ms)]
+    for round_no in range(max(repeats, 1)):
+        order = modes if round_no % 2 == 0 else modes[::-1]
+        for mode, interval in order:
+            elapsed = _measure_once(query, "samzasql", messages, partitions,
+                                    containers=1, warmup=200,
+                                    metrics_interval_ms=interval)
+            if mode not in best or elapsed < best[mode]:
+                best[mode] = elapsed
+    best["overhead_percent"] = (best["on"] / best["off"] - 1.0) * 100.0
+    return best
 
 
 def calibrate_pair(query: str, messages: int = 5000,

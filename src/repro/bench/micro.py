@@ -221,3 +221,57 @@ def native_pipeline(query: str, messages: int = 8192) -> MicroPipeline:
         return MicroPipeline(process, _encoded_orders(messages), reset=reset)
 
     raise ValueError(f"unknown query {query!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Metrics-overhead smoke: run the fig5a filter query through the full
+    runtime with the snapshot reporter off and on, and fail (exit 1) if
+    instrumentation costs more than ``--threshold`` percent.
+
+    Run:  python -m repro.bench.micro [--threshold 5] [--messages 4000]
+    """
+    import argparse
+
+    from repro.bench.calibration import measure_metrics_overhead
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max tolerated overhead, percent (default 5)")
+    parser.add_argument("--messages", type=int, default=4000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--attempts", type=int, default=3,
+                        help="independent measurements before failing "
+                             "(noise guard; a real regression fails all)")
+    args = parser.parse_args(argv)
+
+    # A real regression (say an allocation added to the per-message path)
+    # shows up in every measurement; a noisy host phase does not.  So the
+    # gate takes the best of up to --attempts measurements and only fails
+    # when none of them comes in under the threshold.
+    result = None
+    for attempt in range(max(args.attempts, 1)):
+        measured = measure_metrics_overhead(
+            query="filter", messages=args.messages, repeats=args.repeats)
+        if (result is None
+                or measured["overhead_percent"] < result["overhead_percent"]):
+            result = measured
+        if result["overhead_percent"] <= args.threshold:
+            break
+        print(f"attempt {attempt + 1}: overhead "
+              f"{measured['overhead_percent']:+.2f}% over threshold; "
+              f"re-measuring...")
+    print(f"fig5a filter query, {args.messages} messages, "
+          f"best of {args.repeats}:")
+    print(f"  reporter off: {result['off'] * 1000:.1f} ms")
+    print(f"  reporter on:  {result['on'] * 1000:.1f} ms")
+    print(f"  overhead:     {result['overhead_percent']:+.2f}% "
+          f"(threshold {args.threshold:.1f}%)")
+    if result["overhead_percent"] > args.threshold:
+        print("FAIL: metrics instrumentation overhead above threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

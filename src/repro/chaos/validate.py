@@ -34,16 +34,10 @@ from repro.chaos.faults import (
 )
 from repro.chaos.supervisor import ChaosSupervisor
 from repro.common.clock import VirtualClock
-from repro.kafka.cluster import KafkaCluster
 from repro.kafka.producer import Producer
-from repro.samza.job import JobRunner
-from repro.samzasql.shell import SamzaSQLShell
+from repro.samzasql.environment import SamzaSqlEnvironment
 from repro.serde.avro import AvroSerde
 from repro.workloads.orders import ORDERS_SCHEMA
-from repro.yarn.node import NodeManager
-from repro.yarn.resources import Resource
-from repro.yarn.rm import ResourceManager
-from repro.zk.server import ZkServer
 
 #: Filter + sliding window — the paper's two single-stream benchmark
 #: shapes composed into one query.
@@ -77,6 +71,7 @@ class ValidationReport:
     iterations: int
     fingerprint: str
     events_blob: bytes = field(repr=False)
+    snapshot_counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def at_least_once(self) -> bool:
@@ -109,6 +104,7 @@ class ValidationReport:
             "iterations": self.iterations,
             "fingerprint": self.fingerprint,
             "at_least_once": self.at_least_once,
+            "snapshot_counters": self.snapshot_counters,
         }
 
     def summary(self) -> str:
@@ -131,6 +127,13 @@ class ValidationReport:
             f"{self.iterations} supervisor iterations",
             f"  schedule fingerprint: {self.fingerprint[:16]}…",
         ]
+        if self.snapshot_counters:
+            lines.append(
+                "  __metrics counters: "
+                f"retries={self.snapshot_counters.get('retries', 0):.0f}, "
+                "checkpoint resets="
+                f"{self.snapshot_counters.get('checkpoint.reset', 0):.0f}, "
+                f"commits={self.snapshot_counters.get('commits', 0):.0f}")
         return "\n".join(lines)
 
 
@@ -141,16 +144,14 @@ def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
                    batch_size: int = 25) -> ValidationReport:
     """One full chaos run: build, inject, recover, audit."""
     clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    for i in range(2):
-        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
     if schedule is None:
         schedule = FaultSchedule.from_seed(seed, partitions=partitions)
     injector = FaultInjector(schedule, clock=clock)
-    runner = JobRunner(cluster, rm, clock, fault_injector=injector)
-    zk = ZkServer()
-    shell = SamzaSQLShell(cluster, runner, zk=zk)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=2,
+                              node_mem_mb=61_000, clock=clock,
+                              fault_injector=injector,
+                              metrics_interval_ms=1_000)
+    cluster, runner, shell, zk = env.cluster, env.runner, env.shell, env.zk
 
     # Deterministic Orders workload (the fixture distribution: units cycle
     # through (i*7) % 100, ten products, one order per second).
@@ -180,6 +181,14 @@ def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
 
     with injector.suspended():
         results = handle.results()
+        # Recovery counters read back from the __metrics stream: the
+        # snapshots are the audit trail, not the in-process registries.
+        snapshot_counters: dict[str, float] = {}
+        for record in shell.latest_snapshots(job=handle.query_id, force=True):
+            if record["kind"] == "counter":
+                snapshot_counters[record["metric"]] = (
+                    snapshot_counters.get(record["metric"], 0.0)
+                    + record["value"])
 
     expected = {r["orderId"]: r for r in inputs if r["units"] > units_threshold}
     emissions: dict[int, list[dict]] = {}
@@ -211,6 +220,7 @@ def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
         iterations=supervisor.iterations,
         fingerprint=injector.fingerprint(),
         events_blob=injector.events_blob(),
+        snapshot_counters=snapshot_counters,
     )
 
 

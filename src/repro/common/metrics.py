@@ -2,13 +2,27 @@
 
 Containers and operators record counters (messages processed), gauges
 (lag, store size) and timers (per-message latency).  The benchmark harness
-reads these to compute throughput series.
+and the :mod:`repro.metrics` snapshot reporter read these to compute
+throughput series and to publish periodic snapshots to the ``__metrics``
+stream.
+
+Design notes for the snapshot path:
+
+* ``Timer`` keeps a bounded reservoir of recent samples so snapshots can
+  report percentiles (p50/p95/p99) without unbounded memory.
+* ``Gauge`` optionally wraps a zero-arg callable, evaluated on read, so
+  expensive values (window-state sizes) cost nothing on the hot path and
+  are computed only at snapshot time.
+* Iteration (``counters()``/``gauges()``/``timers()``/``snapshot()``) is
+  sorted by (group, name) so serialized snapshots are byte-deterministic
+  under a fixed seed regardless of registration order.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
 
 
 class Counter:
@@ -29,40 +43,67 @@ class Counter:
 
 
 class Gauge:
-    """Last-value-wins gauge."""
+    """Last-value-wins gauge, or a live view over a zero-arg callable."""
 
-    __slots__ = ("name", "_value")
+    __slots__ = ("name", "_value", "_fn")
 
-    def __init__(self, name: str, initial: float = 0.0):
+    def __init__(self, name: str, initial: float = 0.0,
+                 fn: Optional[Callable[[], float]] = None):
         self.name = name
         self._value = initial
+        self._fn = fn
 
     def set(self, value: float) -> None:
         self._value = value
+        self._fn = None
 
     @property
     def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
         return self._value
 
 
-class Timer:
-    """Accumulates durations; reports count / total / mean / max / stdev."""
+#: Reservoir size for timer percentiles; big enough for stable tail
+#: estimates over a reporting interval, small enough to sort at snapshot
+#: time without a measurable pause.
+TIMER_RESERVOIR_SIZE = 512
 
-    __slots__ = ("name", "_count", "_total", "_total_sq", "_max")
+
+class Timer:
+    """Accumulates durations; reports count / total / mean / max / stdev
+    plus reservoir-based percentiles (last ``TIMER_RESERVOIR_SIZE``
+    samples, nearest-rank)."""
+
+    __slots__ = ("name", "_count", "_total", "_max", "_mean", "_m2",
+                 "_reservoir", "_next_slot")
 
     def __init__(self, name: str):
         self.name = name
         self._count = 0
         self._total = 0.0
-        self._total_sq = 0.0
         self._max = 0.0
+        # Welford accumulators: numerically stable where the naive
+        # sum-of-squares formula cancels catastrophically (and went
+        # negative) for tight distributions.
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._reservoir: list[float] = []
+        self._next_slot = 0
 
     def update(self, duration: float) -> None:
         self._count += 1
         self._total += duration
-        self._total_sq += duration * duration
         if duration > self._max:
             self._max = duration
+        delta = duration - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (duration - self._mean)
+        if len(self._reservoir) < TIMER_RESERVOIR_SIZE:
+            self._reservoir.append(duration)
+        else:  # ring buffer: keep the most recent window of samples
+            self._reservoir[self._next_slot] = duration
+            self._next_slot = (self._next_slot + 1) % TIMER_RESERVOIR_SIZE
 
     @property
     def count(self) -> int:
@@ -74,7 +115,7 @@ class Timer:
 
     @property
     def mean(self) -> float:
-        return self._total / self._count if self._count else 0.0
+        return self._mean if self._count else 0.0
 
     @property
     def max(self) -> float:
@@ -82,11 +123,25 @@ class Timer:
 
     @property
     def stdev(self) -> float:
+        # A single sample has zero spread, not an undefined one: the
+        # divisor is the sample count, so count == 1 yields exactly 0.0
+        # (the old sum-of-squares version could return NaN-adjacent
+        # garbage once cancellation kicked in).
         if self._count < 2:
             return 0.0
-        mean = self.mean
-        var = max(self._total_sq / self._count - mean * mean, 0.0)
-        return math.sqrt(var)
+        return math.sqrt(max(self._m2 / self._count, 0.0))
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained reservoir.
+
+        ``q`` in [0, 1].  With a single sample every percentile IS that
+        sample; with none, 0.0.
+        """
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
 
 
 @dataclass
@@ -103,10 +158,11 @@ class MetricsRegistry:
             self._counters[key] = Counter(name)
         return self._counters[key]
 
-    def gauge(self, group: str, name: str, initial: float = 0.0) -> Gauge:
+    def gauge(self, group: str, name: str, initial: float = 0.0,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
         key = (group, name)
         if key not in self._gauges:
-            self._gauges[key] = Gauge(name, initial)
+            self._gauges[key] = Gauge(name, initial, fn=fn)
         return self._gauges[key]
 
     def timer(self, group: str, name: str) -> Timer:
@@ -115,14 +171,41 @@ class MetricsRegistry:
             self._timers[key] = Timer(name)
         return self._timers[key]
 
+    # -- deterministic iteration (snapshot serialization) ----------------------
+
+    def counters(self) -> Iterator[tuple[str, str, Counter]]:
+        for (group, name) in sorted(self._counters):
+            yield group, name, self._counters[(group, name)]
+
+    def gauges(self) -> Iterator[tuple[str, str, Gauge]]:
+        for (group, name) in sorted(self._gauges):
+            yield group, name, self._gauges[(group, name)]
+
+    def timers(self) -> Iterator[tuple[str, str, Timer]]:
+        for (group, name) in sorted(self._timers):
+            yield group, name, self._timers[(group, name)]
+
     def snapshot(self) -> dict[str, dict[str, float]]:
-        """Flatten all metrics into ``{group: {name: value}}`` for reporting."""
+        """Flatten all metrics into ``{group: {name: value}}`` for reporting.
+
+        Groups and names come out sorted, so two registries with the same
+        contents produce identical (ordered) snapshots regardless of the
+        order metrics were first touched in — the property the snapshot
+        reporter's determinism rests on.
+        """
         out: dict[str, dict[str, float]] = {}
-        for (group, name), counter in self._counters.items():
+        for group, name, counter in self.counters():
             out.setdefault(group, {})[name] = counter.count
-        for (group, name), gauge in self._gauges.items():
+        for group, name, gauge in self.gauges():
             out.setdefault(group, {})[name] = gauge.value
-        for (group, name), timer in self._timers.items():
-            out.setdefault(group, {})[f"{name}.mean"] = timer.mean
-            out.setdefault(group, {})[f"{name}.count"] = timer.count
-        return out
+        for group, name, timer in self.timers():
+            stats = out.setdefault(group, {})
+            stats[f"{name}.count"] = timer.count
+            stats[f"{name}.mean"] = timer.mean
+            stats[f"{name}.max"] = timer.max
+            stats[f"{name}.stdev"] = timer.stdev
+            stats[f"{name}.p50"] = timer.percentile(0.50)
+            stats[f"{name}.p95"] = timer.percentile(0.95)
+            stats[f"{name}.p99"] = timer.percentile(0.99)
+        return {group: dict(sorted(stats.items()))
+                for group, stats in sorted(out.items())}

@@ -1,0 +1,121 @@
+"""The metrics snapshot record: fixed Avro schema + registry flattening.
+
+One snapshot is a *batch of flat records*, one per metric statistic, all
+stamped with the same ``rowtime``.  Flat primitive columns (no nesting)
+keep the stream fully queryable by SamzaSQL — ``SELECT STREAM * FROM
+__metrics WHERE kind = 'timer' AND metric = 'process-ns.p99'`` works with
+no special casing anywhere in the planner.
+
+The schema is versioned through the ``version`` field (and frozen per
+version): consumers filter on it rather than sniffing shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.metrics import MetricsRegistry
+from repro.serde.avro import AvroSchema
+
+#: The metrics stream every container's reporter publishes to.
+METRICS_STREAM = "__metrics"
+
+#: Bump when the record layout changes; consumers filter on it.
+SNAPSHOT_VERSION = 1
+
+#: The fixed, versioned snapshot record schema (v1).  All columns are flat
+#: primitives so the stream is directly SQL-queryable.
+METRICS_SNAPSHOT_SCHEMA = AvroSchema.record(
+    "MetricsSnapshotV1",
+    [
+        ("rowtime", "long"),      # snapshot publish time (ms, job clock)
+        ("version", "int"),       # SNAPSHOT_VERSION
+        ("job", "string"),        # job.name of the reporting job
+        ("container", "string"),  # container id within the job
+        ("operator", "string"),   # physical operator id, or "" for
+                                  # container-level metrics
+        ("part", "int"),          # task partition for operator metrics,
+                                  # -1 otherwise ("partition" is a SQL
+                                  # keyword in window clauses; avoid it)
+        ("grp", "string"),        # registry group the metric lives in
+        ("metric", "string"),     # metric (statistic) name
+        ("kind", "string"),       # counter | gauge | timer
+        ("value", "double"),
+    ],
+)
+
+#: Registry groups carrying per-operator metrics look like
+#: ``operator.<op_id>.p<partition>``; everything else is container-level.
+OPERATOR_GROUP_PREFIX = "operator."
+
+#: Timer statistics exported per timer, in snapshot order.
+TIMER_STATS = ("count", "mean", "max", "stdev", "p50", "p95", "p99")
+
+
+def _split_operator_group(group: str) -> tuple[str, int]:
+    """``operator.filter-1.p0`` -> ("filter-1", 0); else ("", -1)."""
+    if not group.startswith(OPERATOR_GROUP_PREFIX):
+        return "", -1
+    rest = group[len(OPERATOR_GROUP_PREFIX):]
+    head, sep, tail = rest.rpartition(".p")
+    if sep and tail.isdigit():
+        return head, int(tail)
+    return rest, -1
+
+
+def snapshot_records(job: str, container: str, registry: MetricsRegistry,
+                     now_ms: int) -> list[dict[str, Any]]:
+    """Flatten a registry into snapshot records, deterministically ordered.
+
+    Ordering is (kind, group, metric) with kinds in counter → gauge →
+    timer order, inherited from the registry's sorted iteration — so two
+    identical registries serialize to identical byte sequences.
+    """
+    records: list[dict[str, Any]] = []
+
+    def record(group: str, metric: str, kind: str, value: float) -> None:
+        operator, part = _split_operator_group(group)
+        records.append({
+            "rowtime": now_ms,
+            "version": SNAPSHOT_VERSION,
+            "job": job,
+            "container": container,
+            "operator": operator,
+            "part": part,
+            "grp": group,
+            "metric": metric,
+            "kind": kind,
+            "value": float(value),
+        })
+
+    for group, name, counter in registry.counters():
+        record(group, name, "counter", counter.count)
+    for group, name, gauge in registry.gauges():
+        record(group, name, "gauge", gauge.value)
+    for group, name, timer in registry.timers():
+        values = (timer.count, timer.mean, timer.max, timer.stdev,
+                  timer.percentile(0.50), timer.percentile(0.95),
+                  timer.percentile(0.99))
+        for stat, value in zip(TIMER_STATS, values):
+            record(group, f"{name}.{stat}", "timer", value)
+    return records
+
+
+def latest_by_container(records: list[dict[str, Any]],
+                        job: str | None = None) -> list[dict[str, Any]]:
+    """Keep only each (job, container)'s most recent snapshot batch.
+
+    ``records`` is the raw history read off ``__metrics``; the result is
+    what "current state of the world" queries (the ``!metrics`` shell
+    command, ``env.metrics()``) want.
+    """
+    newest: dict[tuple[str, str], int] = {}
+    for r in records:
+        if job is not None and r["job"] != job:
+            continue
+        key = (r["job"], r["container"])
+        if r["rowtime"] >= newest.get(key, -1):
+            newest[key] = r["rowtime"]
+    return [r for r in records
+            if (job is None or r["job"] == job)
+            and r["rowtime"] == newest[(r["job"], r["container"])]]

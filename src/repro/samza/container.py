@@ -147,6 +147,23 @@ class SamzaContainer:
         self._checkpoint_resets = self.metrics.counter(
             f"container-{container_id}", "checkpoint.reset")
 
+        # Metrics snapshot reporter (opt-in): serializes this container's
+        # registry to the __metrics stream every interval of virtual time.
+        self.metrics_reporter = None
+        interval_ms = config.get_int("metrics.reporter.interval.ms", 0)
+        if interval_ms > 0:
+            from repro.metrics.reporter import MetricsSnapshotReporter
+
+            self.metrics_reporter = MetricsSnapshotReporter(
+                job=config.get("job.name", "job"),
+                container=container_id,
+                registry=self.metrics,
+                cluster=cluster,
+                clock=self.clock,
+                interval_ms=interval_ms,
+                producer=self._producer,
+            )
+
     # -- configuration parsing ---------------------------------------------------
 
     @staticmethod
@@ -188,7 +205,7 @@ class SamzaContainer:
             task: StreamTask = self._task_factory()
             instance = TaskInstance(
                 model.task_name, model.partition_id, task, set(model.ssps),
-                stores, self._checkpoints,
+                stores, self._checkpoints, metrics=self.metrics,
             )
             self.tasks[model.task_name] = instance
             for ssp in model.ssps:
@@ -346,6 +363,9 @@ class SamzaContainer:
 
         self._maybe_fire_window()
 
+        if self.metrics_reporter is not None:
+            self.metrics_reporter.maybe_report()
+
         if (self._coordinator.commit_requested
                 or self._messages_since_commit >= self._commit_interval):
             self.commit()
@@ -389,6 +409,9 @@ class SamzaContainer:
         self.commit()
         for instance in self.tasks.values():
             instance.close()
+        if self.metrics_reporter is not None:
+            # Final snapshot so post-shutdown counters are observable.
+            self.metrics_reporter.report()
         self.shutdown_requested = True
 
     # -- introspection ---------------------------------------------------------------------------

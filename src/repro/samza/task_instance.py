@@ -29,7 +29,8 @@ class TaskInstance:
     def __init__(self, task_name: str, partition_id: int, task: StreamTask,
                  ssps: set[SystemStreamPartition],
                  stores: dict[str, KeyValueStore],
-                 checkpoint_manager: CheckpointManager | None):
+                 checkpoint_manager: CheckpointManager | None,
+                 metrics=None):
         self.task_name = task_name
         self.partition_id = partition_id
         self.task = task
@@ -39,7 +40,7 @@ class TaskInstance:
         # next offset to process per SSP; filled by the container at startup
         self.offsets: dict[SystemStreamPartition, int] = {}
         self.messages_processed = 0
-        self.context = TaskContext(task_name, partition_id, stores)
+        self.context = TaskContext(task_name, partition_id, stores, metrics=metrics)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -24,8 +24,10 @@ The pieces, following §4:
   execution").
 """
 
-from repro.samzasql.shell import SamzaSQLShell, QueryHandle
+from repro.samzasql.shell import SamzaSQLShell, QueryHandle, ResultCursor
+from repro.samzasql.environment import SamzaSqlEnvironment
 from repro.samzasql.plan_builder import PhysicalPlanBuilder
 from repro.samzasql.task import SamzaSqlTask
 
-__all__ = ["SamzaSQLShell", "QueryHandle", "PhysicalPlanBuilder", "SamzaSqlTask"]
+__all__ = ["SamzaSQLShell", "SamzaSqlEnvironment", "QueryHandle",
+           "ResultCursor", "PhysicalPlanBuilder", "SamzaSqlTask"]

@@ -11,6 +11,7 @@ with ``;``.  Bang-commands:
 * ``!explain <query>`` — logical plan
 * ``!queries`` — running streaming queries
 * ``!results <n>`` — sample output of query *n*
+* ``!metrics [n]`` — latest operator metrics snapshots (all jobs, or query *n*)
 * ``!run`` — drive the cluster until idle
 * ``!demo`` — load the paper's Orders/Products demo data
 * ``!quit``
@@ -23,9 +24,9 @@ from __future__ import annotations
 import sys
 from typing import IO
 
-from repro.common import ReproError, VirtualClock
-from repro.kafka import KafkaCluster
+from repro.common import ReproError
 from repro.samza import JobRunner
+from repro.samzasql.environment import SamzaSqlEnvironment
 from repro.samzasql.shell import QueryHandle, SamzaSQLShell
 from repro.workloads import (
     OrdersGenerator,
@@ -33,17 +34,12 @@ from repro.workloads import (
     PRODUCTS_SCHEMA,
     padded_orders_schema,
 )
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 
 def build_default_shell() -> tuple[SamzaSQLShell, JobRunner]:
-    clock = VirtualClock(0)
-    cluster = KafkaCluster(broker_count=3, clock=clock)
-    rm = ResourceManager()
-    for i in range(3):
-        rm.add_node(NodeManager(f"node-{i}", Resource(61_000, 8)))
-    runner = JobRunner(cluster, rm, clock)
-    return SamzaSQLShell(cluster, runner), runner
+    env = SamzaSqlEnvironment(broker_count=3, node_count=3,
+                              node_mem_mb=61_000, start_ms=0)
+    return env.shell, env.runner
 
 
 class SamzaSQLCli:
@@ -173,6 +169,26 @@ class SamzaSQLCli:
                 self._print("usage: !results <query number>")
                 return
             self._print_rows(handle.results())
+        elif command == "!metrics":
+            job = None
+            if args:
+                try:
+                    job = self.handles[int(args[0]) - 1].query_id
+                except (IndexError, ValueError):
+                    self._print("usage: !metrics [query number]")
+                    return
+            records = self.shell.latest_snapshots(job=job, force=True)
+            if not records:
+                self._print("(no metrics snapshots; is metrics reporting "
+                            "enabled and a query running?)")
+                return
+            shown = [
+                {"job": r["job"], "container": r["container"],
+                 "operator": r["operator"] or "-", "part": r["part"],
+                 "metric": r["metric"], "kind": r["kind"], "value": r["value"]}
+                for r in records
+            ]
+            self._print_rows(shown, limit=40)
         elif command == "!run":
             processed = self.runner.run_until_quiescent()
             self._print(f"processed {processed} messages; cluster idle.")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 from repro.samza.storage import KeyValueStore
@@ -11,12 +12,16 @@ class OperatorContext:
     """What operators get at setup: stores, an output sink, metrics."""
 
     def __init__(self, stores: dict[str, KeyValueStore],
-                 send: Callable[..., None], partition_id: int = 0):
+                 send: Callable[..., None], partition_id: int = 0,
+                 metrics=None):
         self._stores = stores
         # send(message_dict, timestamp_ms, key=None); key set for
         # relation-stream outputs (compacted/upserting output topics)
         self.send = send
         self.partition_id = partition_id
+        # MetricsRegistry of the hosting container, or None when the job
+        # runs without metrics reporting.
+        self.metrics = metrics
 
     def get_store(self, name: str) -> KeyValueStore:
         try:
@@ -33,12 +38,27 @@ class Operator:
     ``process(port, row, timestamp)`` receives an array-tuple on an input
     port (port 0 for single-input operators; joins use 0/1 plus a relation
     port) and forwards zero or more tuples downstream via ``emit``.
+
+    Message delivery goes through ``receive`` — normally just a bound
+    alias of ``process``.  When the job's metrics reporter is enabled, a
+    :class:`~repro.metrics.instrument.TimingSampler` at the task entry
+    point flips ``receive`` to :meth:`_timed_process` for sampled
+    messages, so unsampled traffic crosses no wrapper at all.  Each
+    operator carries a stable ``op_id`` (assigned by the router in plan
+    order) under which its metrics appear in snapshots.
     """
+
+    #: Stable path segment for metrics (``<METRIC_KIND>-<index>``);
+    #: overridden by every concrete operator.
+    METRIC_KIND = "operator"
 
     def __init__(self):
         self.downstream: Operator | None = None
         self.processed = 0
         self.emitted = 0
+        self.op_id = ""
+        self.receive: Callable[[int, Any, int], None] = self.process
+        self._process_timer = None
 
     def setup(self, context: OperatorContext) -> None:
         """Bind stores / compile state; called once at task init."""
@@ -49,10 +69,32 @@ class Operator:
     def emit(self, row: list, timestamp_ms: int) -> None:
         self.emitted += 1
         if self.downstream is not None:
-            self.downstream.process(0, row, timestamp_ms)
+            self.downstream.receive(0, row, timestamp_ms)
 
     def on_timer(self, now_ms: int) -> None:
         """Wall-clock hook (Samza window() tick); default no-op."""
+
+    # -- instrumentation ------------------------------------------------------
+
+    def enable_timing(self, timer) -> None:
+        """Attach a ``process-ns`` timer; deliveries are NOT rerouted here.
+
+        The :class:`~repro.metrics.instrument.TimingSampler` binds
+        ``receive`` to :meth:`_timed_process` only for the messages it
+        samples, so a plain (unsampled) delivery costs nothing extra.
+        """
+        self._process_timer = timer
+
+    def _timed_process(self, port: int, row: list, timestamp_ms: int) -> None:
+        """Timed delivery path; bound to ``receive`` during a sample.
+
+        The timer measures *inclusive* time: an operator's sample covers
+        its own work plus everything it forwards downstream synchronously
+        (the DAG executes depth-first in-process).
+        """
+        start = time.perf_counter_ns()
+        self.process(port, row, timestamp_ms)
+        self._process_timer.update(time.perf_counter_ns() - start)
 
     # debugging helper used by the shell's EXPLAIN and by tests
     def describe(self) -> str:

@@ -7,6 +7,8 @@ from repro.sql.codegen import compile_lambda
 
 
 class FilterOperator(Operator):
+    METRIC_KIND = "filter"
+
     def __init__(self, predicate_source: str):
         super().__init__()
         self.predicate_source = predicate_source

@@ -18,6 +18,8 @@ from repro.sql.codegen import compile_lambda
 
 
 class FusedScanOperator(Operator):
+    METRIC_KIND = "fused-scan"
+
     def __init__(self, stream: str, field_names: list[str],
                  rowtime_index: int | None,
                  predicate_source: str | None,

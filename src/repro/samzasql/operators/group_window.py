@@ -28,6 +28,8 @@ _META_KEY = "__meta__"
 
 
 class GroupWindowAggOperator(Operator):
+    METRIC_KIND = "group-window"
+
     def __init__(self, window_kind: str, time_source: str, emit_ms: int,
                  retain_ms: int, align_ms: int, group_key_source: str,
                  aggs: list[AggSpec], field_names: list[str]):
@@ -65,6 +67,13 @@ class GroupWindowAggOperator(Operator):
 
     def setup(self, context: OperatorContext) -> None:
         self._store = context.get_store(STORE)
+
+    def state_size(self) -> int:
+        """Open (not yet emitted) windows; backs ``window-state-size``."""
+        if self._store is None:
+            return 0
+        meta = self._store.get(_META_KEY)
+        return len(meta["open"]) if meta else 0
 
     # -- window assignment ----------------------------------------------------
 

@@ -6,6 +6,8 @@ from repro.samzasql.operators.base import Operator, OperatorContext
 
 
 class InsertOperator(Operator):
+    METRIC_KIND = "insert"
+
     def __init__(self, output_stream: str, field_names: list[str],
                  rowtime_index: int | None,
                  key_field_indexes: list[int] | None = None):

@@ -7,6 +7,8 @@ from repro.sql.codegen import compile_lambda
 
 
 class ProjectOperator(Operator):
+    METRIC_KIND = "project"
+
     def __init__(self, projection_source: str, field_names: list[str]):
         super().__init__()
         self.projection_source = projection_source

@@ -65,9 +65,9 @@ class _Port:
             row = [message[name] for name in self.field_names]
             if self.rowtime_index is not None:
                 timestamp_ms = row[self.rowtime_index]
-            self.operator.process(self.port, row, timestamp_ms)
+            self.operator.receive(self.port, row, timestamp_ms)
         else:
-            self.operator.process(self.port, message, timestamp_ms)
+            self.operator.receive(self.port, message, timestamp_ms)
 
 
 class MessageRouter:
@@ -131,7 +131,10 @@ def build_router(plan: PhysicalPlan, context: OperatorContext) -> MessageRouter:
         return operator
 
     root = build(plan.root)
-    for operator in operators:
+    # Stable operator ids (metric paths): build order is deterministic for a
+    # given plan, so "filter-1" names the same node on every container.
+    for index, operator in enumerate(operators):
+        operator.op_id = f"{operator.METRIC_KIND}-{index}"
         operator.setup(context)
     # The router's operator list is leaf-to-root; reverse for display.
     return MessageRouter(entries, list(reversed(operators)))
@@ -146,7 +149,7 @@ class _PortAdapter(Operator):
         self._port = port
 
     def process(self, port: int, row: list, timestamp_ms: int) -> None:
-        self._target.process(self._port, row, timestamp_ms)
+        self._target.receive(self._port, row, timestamp_ms)
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
         return f"port{self._port}->{self._target.describe()}"

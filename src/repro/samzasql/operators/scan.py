@@ -15,6 +15,8 @@ from repro.samzasql.operators.base import Operator
 
 
 class ScanOperator(Operator):
+    METRIC_KIND = "scan"
+
     def __init__(self, stream: str, field_names: list[str],
                  rowtime_index: int | None):
         super().__init__()

@@ -102,6 +102,8 @@ class _Accumulators:
 
 
 class SlidingWindowOperator(Operator):
+    METRIC_KIND = "sliding-window"
+
     def __init__(self, partition_key_source: str, order_source: str,
                  frame_mode: str, preceding_ms: int | None,
                  preceding_rows: int | None, aggs: list[AggSpec],
@@ -187,6 +189,13 @@ class SlidingWindowOperator(Operator):
 
         # send latest aggregate values downstream
         self.emit(row + results, timestamp_ms)
+
+    def state_size(self) -> int:
+        """Messages currently retained in open windows (snapshot-time walk,
+        backs the ``window-state-size`` gauge)."""
+        if self._messages is None:
+            return 0
+        return sum(1 for _ in self._messages.all())
 
     def describe(self) -> str:
         bound = (f"{self.preceding_ms}ms" if self.preceding_ms is not None

@@ -22,6 +22,8 @@ RELATION_PORT = 1
 
 
 class StreamRelationJoinOperator(Operator):
+    METRIC_KIND = "relation-join"
+
     def __init__(self, relation: str, relation_field_names: list[str],
                  relation_key_index: int, stream_is_left: bool,
                  stream_width: int, relation_width: int,
@@ -48,6 +50,12 @@ class StreamRelationJoinOperator(Operator):
 
     def setup(self, context: OperatorContext) -> None:
         self._store = context.get_store(self.store_name)
+
+    def state_size(self) -> int:
+        """Cached relation rows; backs ``window-state-size``."""
+        if self._store is None:
+            return 0
+        return sum(1 for _ in self._store.all())
 
     def process(self, port: int, row: list, timestamp_ms: int) -> None:
         self.processed += 1

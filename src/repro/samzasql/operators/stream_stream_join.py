@@ -26,6 +26,8 @@ RIGHT_STORE = "sql-join-right"
 
 
 class StreamStreamJoinOperator(Operator):
+    METRIC_KIND = "stream-join"
+
     def __init__(self, left_width: int, right_width: int, condition_source: str,
                  left_time_index: int, right_time_index: int,
                  lower_bound_ms: int, upper_bound_ms: int,
@@ -51,6 +53,16 @@ class StreamStreamJoinOperator(Operator):
     def setup(self, context: OperatorContext) -> None:
         self._stores = [context.get_store(LEFT_STORE),
                         context.get_store(RIGHT_STORE)]
+
+    def state_size(self) -> int:
+        """Rows buffered on both sides; backs ``window-state-size``."""
+        total = 0
+        for store in self._stores:
+            if store is None:
+                continue
+            for _key, bucket in store.all():
+                total += len(bucket["rows"])
+        return total
 
     # -- helpers ----------------------------------------------------------------
 

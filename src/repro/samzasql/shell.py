@@ -23,6 +23,12 @@ from typing import Any, Optional
 from repro.common.config import Config
 from repro.common.errors import PlannerError
 from repro.kafka.cluster import KafkaCluster
+from repro.kafka.message import TopicPartition
+from repro.metrics import (
+    METRICS_SNAPSHOT_SCHEMA,
+    METRICS_STREAM,
+    latest_by_container,
+)
 from repro.samza.job import JobRunner, SamzaApplicationMaster, SamzaJob
 from repro.samza.serdes import SerdeRegistry
 from repro.samzasql.batch import BatchExecutor
@@ -69,6 +75,39 @@ def sql_row_type_to_avro(name: str, row_type: RowType) -> AvroSchema | None:
     return AvroSchema.record(name, fields)
 
 
+class ResultCursor:
+    """Incremental reader over a query's output stream.
+
+    Remembers the next offset per partition, so each :meth:`poll` returns
+    only records produced since the previous one — no re-scan from
+    earliest.  Iterating the cursor drains whatever is new right now.
+    """
+
+    def __init__(self, cluster: KafkaCluster, topic: str, serde: Any,
+                 from_earliest: bool = True):
+        self._cluster = cluster
+        self._topic = topic
+        self._serde = serde
+        self._positions: dict[TopicPartition, int] = {
+            tp: (cluster.earliest_offset(tp) if from_earliest
+                 else cluster.latest_offset(tp))
+            for tp in cluster.partitions_for(topic)
+        }
+
+    def poll(self) -> list[dict]:
+        """Deserialized records appended since the last poll."""
+        out = []
+        for tp in sorted(self._positions, key=lambda t: t.partition):
+            for message in self._cluster.fetch(tp, self._positions[tp]):
+                if message.value is not None:
+                    out.append(self._serde.from_bytes(message.value))
+                self._positions[tp] = message.offset + 1
+        return out
+
+    def __iter__(self):
+        return iter(self.poll())
+
+
 @dataclass
 class QueryHandle:
     """A running streaming query."""
@@ -84,13 +123,13 @@ class QueryHandle:
 
     def results(self) -> list[dict]:
         """All records currently in the output stream (deserialized)."""
-        cluster = self._shell.cluster
-        out = []
-        for tp in cluster.partitions_for(self.output_stream):
-            for message in cluster.fetch(tp, cluster.earliest_offset(tp)):
-                if message.value is not None:
-                    out.append(self.output_serde.from_bytes(message.value))
-        return out
+        return self.iter_results().poll()
+
+    def iter_results(self, from_earliest: bool = True) -> ResultCursor:
+        """Cursor over the output stream; each ``poll()`` yields only
+        records produced since the previous poll."""
+        return ResultCursor(self._shell.cluster, self.output_stream,
+                            self.output_serde, from_earliest=from_earliest)
 
     def relation(self) -> dict[str, dict]:
         """Latest record per key — the relation a relation-stream output
@@ -122,6 +161,12 @@ class QueryHandle:
     def stop(self) -> None:
         self.master.finish()
 
+    def snapshots(self, force: bool = True) -> list[dict]:
+        """Latest operator-level metrics snapshot records for this query,
+        read back from the ``__metrics`` stream (requires the shell's
+        metrics reporting to be enabled)."""
+        return self._shell.latest_snapshots(job=self.query_id, force=force)
+
     def explain(self) -> str:
         return self.plan.explain()
 
@@ -130,15 +175,33 @@ class SamzaSQLShell:
     """The end-to-end SamzaSQL entry point over the in-process substrates."""
 
     def __init__(self, cluster: KafkaCluster, runner: JobRunner,
-                 zk: ZkServer | None = None, catalog: Catalog | None = None):
+                 zk: ZkServer | None = None, catalog: Catalog | None = None,
+                 metrics_interval_ms: int = 0,
+                 default_overrides: dict | None = None):
         self.cluster = cluster
         self.runner = runner
         self.zk = zk or ZkServer()
         self.catalog = catalog or Catalog()
         self.planner = QueryPlanner(self.catalog)
         self._query_counter = 0
+        self._masters: list[SamzaApplicationMaster] = []
+        self._default_overrides = dict(default_overrides or {})
+        self.metrics_interval_ms = metrics_interval_ms
+        if metrics_interval_ms > 0:
+            self.enable_metrics_stream()
 
     # -- catalog management ----------------------------------------------------
+
+    def enable_metrics_stream(self) -> StreamDefinition:
+        """Create and catalog the ``__metrics`` stream so snapshot records
+        are queryable: ``SELECT STREAM * FROM __metrics WHERE ...``."""
+        self.cluster.create_topic(METRICS_STREAM, partitions=1,
+                                  if_not_exists=True)
+        existing = self.catalog.stream(METRICS_STREAM)
+        if existing is not None:
+            return existing
+        return self.catalog.register_stream_from_avro(
+            METRICS_STREAM, METRICS_SNAPSHOT_SCHEMA, rowtime_field="rowtime")
 
     def register_stream(self, name: str, schema: AvroSchema,
                         partitions: int = 4,
@@ -275,7 +338,13 @@ class SamzaSQLShell:
 
         serdes, config = self._build_job_config(
             query_id, plan, planned.plan.row_type, containers, window_ms)
-        config = Config(config).merge(overrides)
+        # Monitoring: every job reports snapshots — except jobs that *consume*
+        # __metrics, which must not also produce to it (feedback loop).
+        if (self.metrics_interval_ms > 0
+                and METRICS_STREAM not in plan.input_streams):
+            config.setdefault(
+                "metrics.reporter.interval.ms", self.metrics_interval_ms)
+        config = Config(config).merge(self._default_overrides).merge(overrides)
 
         job = SamzaJob(
             config=config,
@@ -283,6 +352,7 @@ class SamzaSQLShell:
             serdes=serdes,
         )
         master = self.runner.submit(job)
+        self._masters.append(master)
 
         output_schema = sql_row_type_to_avro(
             f"{query_id}_output", planned.plan.row_type)
@@ -354,6 +424,33 @@ class SamzaSQLShell:
                     return f"avro-{topic}"
                 return "json"
         return "json"
+
+    # -- observability -----------------------------------------------------------------------
+
+    def latest_snapshots(self, job: str | None = None,
+                         force: bool = False) -> list[dict]:
+        """The most recent snapshot batch per (job, container) from the
+        ``__metrics`` stream, optionally filtered to one job.
+
+        ``force=True`` asks every live container reporter to publish an
+        out-of-cycle snapshot first, so the result reflects *now* rather
+        than the last interval boundary.
+        """
+        if force:
+            for master in self._masters:
+                for container in master.samza_containers.values():
+                    reporter = getattr(container, "metrics_reporter", None)
+                    if reporter is not None:
+                        reporter.report()
+        if not self.cluster.has_topic(METRICS_STREAM):
+            return []
+        serde = AvroSerde(METRICS_SNAPSHOT_SCHEMA)
+        records = []
+        for tp in self.cluster.partitions_for(METRICS_STREAM):
+            for message in self.cluster.fetch(tp, self.cluster.earliest_offset(tp)):
+                if message.value is not None:
+                    records.append(serde.from_bytes(message.value))
+        return latest_by_container(records, job=job)
 
     # -- maintenance -----------------------------------------------------------------------
 

@@ -54,6 +54,7 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         self._zk = zk
         self._plan_path = plan_path
         self._router = None
+        self._route = None
         self._sink = None
         self._early_emit = False
 
@@ -71,14 +72,23 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         stores = {name: context.get_store(name) for name in plan.store_names}
         op_context = OperatorContext(
             stores=stores, send=self._sink.send,
-            partition_id=context.partition_id)
+            partition_id=context.partition_id, metrics=context.metrics)
         self._router = build_router(plan, op_context)
+        self._route = self._router.route
+        if (context.metrics is not None
+                and config.get_int("metrics.reporter.interval.ms", 0) > 0):
+            from repro.metrics.instrument import TimingSampler, instrument_operators
+
+            instrument_operators(self._router.operators, context.metrics,
+                                 context.partition_id)
+            self._route = TimingSampler(self._router.route,
+                                        self._router.operators).route
         self._early_emit = config.get_bool("samzasql.window.early.emit", False)
 
     def process(self, envelope, collector: MessageCollector,
                 coordinator: TaskCoordinator) -> None:
         self._sink.collector = collector
-        self._router.route(envelope.stream, envelope.message, envelope.timestamp_ms)
+        self._route(envelope.stream, envelope.message, envelope.timestamp_ms)
 
     def window(self, collector: MessageCollector,
                coordinator: TaskCoordinator) -> None:

@@ -2,19 +2,18 @@
 
 from __future__ import annotations
 
-from repro.common import Config, VirtualClock
-from repro.kafka import KafkaCluster, Producer
+from repro.common import Config
+from repro.kafka import Producer
 from repro.samza import (
     IncomingMessageEnvelope,
-    JobRunner,
     OutgoingMessageEnvelope,
     SamzaJob,
 )
 from repro.samza.serdes import SerdeRegistry
 from repro.samza.system import SystemStream
 from repro.samza.task import InitableTask, StreamTask, WindowableTask
+from repro.samzasql import SamzaSqlEnvironment
 from repro.serde import AvroSchema, AvroSerde
-from repro.yarn import NodeManager, Resource, ResourceManager
 
 ORDERS_SCHEMA = AvroSchema.record(
     "Orders",
@@ -79,13 +78,10 @@ class WindowEmitTask(StreamTask, WindowableTask):
 
 def make_runtime(broker_count=1, nodes=2, node_mem=16_384, node_cores=8):
     """(cluster, rm, runner, clock) wired together on a virtual clock."""
-    clock = VirtualClock(1_000_000)
-    cluster = KafkaCluster(broker_count=broker_count, clock=clock)
-    rm = ResourceManager()
-    for i in range(nodes):
-        rm.add_node(NodeManager(f"node-{i}", Resource(node_mem, node_cores)))
-    runner = JobRunner(cluster, rm, clock)
-    return cluster, rm, runner, clock
+    env = SamzaSqlEnvironment(
+        broker_count=broker_count, node_count=nodes, node_mem_mb=node_mem,
+        node_cores=node_cores, metrics_interval_ms=0)
+    return env.cluster, env.rm, env.runner, env.clock
 
 
 def orders_serdes() -> SerdeRegistry:
