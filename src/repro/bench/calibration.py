@@ -70,7 +70,8 @@ def _feed_workload(cluster: KafkaCluster, query: str, messages: int,
 
 def _measure_once(query: str, variant: str, messages: int,
                   partitions: int, containers: int, warmup: int,
-                  metrics_interval_ms: int = 0) -> float:
+                  metrics_interval_ms: int = 0,
+                  extra_config: dict | None = None) -> float:
     env = _build_runtime(partitions, metrics_interval_ms=metrics_interval_ms)
     cluster, runner = env.cluster, env.runner
     _feed_workload(cluster, query, messages, partitions)
@@ -81,6 +82,8 @@ def _measure_once(query: str, variant: str, messages: int,
         if metrics_interval_ms > 0:
             config = config.merge(
                 {"metrics.reporter.interval.ms": metrics_interval_ms})
+        if extra_config:
+            config = config.merge(extra_config)
         job = SamzaJob(config=config, task_factory=factory, serdes=serdes)
         runner.submit(job)
     else:
@@ -90,7 +93,8 @@ def _measure_once(query: str, variant: str, messages: int,
         if query == "join":
             shell.register_table("Products", PRODUCTS_SCHEMA,
                                  key_field="productId", partitions=partitions)
-        shell.execute(SQL_QUERIES[query], containers=containers)
+        shell.execute(SQL_QUERIES[query], containers=containers,
+                      config_overrides=extra_config)
 
     # Warm the pipeline (codegen, store setup) before timing.
     for _ in range(max(warmup // 200, 1)):
@@ -159,6 +163,35 @@ def measure_metrics_overhead(query: str = "filter", messages: int = 4000,
             if mode not in best or elapsed < best[mode]:
                 best[mode] = elapsed
     best["overhead_percent"] = (best["on"] / best["off"] - 1.0) * 100.0
+    return best
+
+
+def measure_batch_speedup(query: str = "filter", messages: int = 4000,
+                          partitions: int = 32, repeats: int = 3,
+                          containers: int = 1) -> dict[str, float]:
+    """Throughput ratio of batched vs single-message execution on one query.
+
+    Same methodology as :func:`measure_metrics_overhead`: GC-suspended
+    process-time runs, modes interleaved with alternating order so process
+    lifetime drift taxes both equally, per-mode minimum kept.  Returns best
+    elapsed seconds per mode plus derived msgs/sec and the speedup factor,
+    keyed ``{"single": ..., "batch": ..., "single_msgs_per_s": ...,
+    "batch_msgs_per_s": ..., "speedup": ...}``.
+    """
+    best: dict[str, float] = {}
+    modes = [("single", "false"), ("batch", "true")]
+    for round_no in range(max(repeats, 1)):
+        order = modes if round_no % 2 == 0 else modes[::-1]
+        for mode, flag in order:
+            elapsed = _measure_once(
+                query, "samzasql", messages, partitions,
+                containers=containers, warmup=200,
+                extra_config={"task.batch.execution": flag})
+            if mode not in best or elapsed < best[mode]:
+                best[mode] = elapsed
+    best["single_msgs_per_s"] = messages / max(best["single"], 1e-9)
+    best["batch_msgs_per_s"] = messages / max(best["batch"], 1e-9)
+    best["speedup"] = best["single"] / max(best["batch"], 1e-9)
     return best
 
 

@@ -71,20 +71,70 @@ class MicroPipeline:
             self.step()
 
 
+class BatchMicroPipeline:
+    """Batch-at-a-time twin of :class:`MicroPipeline`.
+
+    ``step()`` hands the next ``batch_size`` encoded messages to the
+    pipeline in a single call — the shape the batched container loop
+    produces from ``Consumer.poll_batches`` — so benchmarks can compare
+    per-message cost against the single-message ``MicroPipeline`` on
+    identical workloads.  ``messages_per_step`` converts step timings to
+    per-message figures.
+    """
+
+    def __init__(self, process_batch: Callable[[list, list], None],
+                 messages: list[tuple[bytes, bytes, int]], batch_size: int,
+                 reset: Callable[[], None] | None = None):
+        self._process_batch = process_batch
+        self._messages = messages
+        self._batch_size = batch_size
+        self._index = 0
+        self._reset = reset
+        self.messages_per_step = batch_size
+
+    def step(self) -> None:
+        start = self._index
+        stop = start + self._batch_size
+        chunk = self._messages[start:stop]
+        self._index = stop
+        if self._index >= len(self._messages):
+            self._index = 0
+            if self._reset is not None:
+                self._reset()
+        self._process_batch([value for value, _key, _ts in chunk],
+                            [ts for _value, _key, ts in chunk])
+
+    def run_batch(self, count: int) -> None:
+        """Process at least ``count`` messages (whole steps)."""
+        done = 0
+        while done < count:
+            self.step()
+            done += self._batch_size
+
+
 def _encoded_orders(count: int) -> list[tuple[bytes, bytes, int]]:
     generator = OrdersGenerator(interarrival_ms=1000)
     return [(value, key, ts) for key, value, ts in generator.encoded(count)]
 
 
 def samzasql_pipeline(query: str, messages: int = 8192,
-                      fuse_scans: bool = False) -> MicroPipeline:
-    """The SamzaSQL-compiled pipeline: deserialize → operators → serialize."""
+                      fuse_scans: bool = False,
+                      batch_size: int = 0) -> MicroPipeline | BatchMicroPipeline:
+    """The SamzaSQL-compiled pipeline: deserialize → operators → serialize.
+
+    With ``batch_size > 0`` the returned pipeline runs the batched
+    execution path instead — ``from_bytes_batch`` → ``route_batch`` →
+    buffered insert sinks flushed through ``to_bytes_batch`` — mirroring
+    what the container does per poll group when ``task.batch.execution``
+    is on.
+    """
     catalog = _catalog()
     planner = QueryPlanner(catalog)
     logical = planner.plan_query(SQL_QUERIES[query])
     builder = PhysicalPlanBuilder(catalog, fuse_scans=fuse_scans)
     plan = builder.build(logical, "bench-output")
 
+    from repro.samzasql.operators.insert import InsertOperator
     from repro.samzasql.shell import sql_row_type_to_avro
 
     output_schema = sql_row_type_to_avro("BenchOut", logical.row_type)
@@ -95,6 +145,20 @@ def samzasql_pipeline(query: str, messages: int = 8192,
         output_serde.to_bytes(message)  # ArrayToAvro + wire encoding
         sink_count[0] += 1
 
+    def send_batch(entries: list) -> None:
+        encoded = output_serde.to_bytes_batch(
+            [message for message, _ts, _key in entries])
+        sink_count[0] += len(encoded)
+
+    def _build() -> MessageRouter:
+        router = build_router(plan, OperatorContext(
+            stores, send, send_batch=send_batch))
+        if batch_size > 0:
+            for operator in router.operators:
+                if isinstance(operator, InsertOperator):
+                    operator.set_buffering(True)
+        return router
+
     stores = _make_stores()
     router_box: list[MessageRouter] = []
 
@@ -102,7 +166,7 @@ def samzasql_pipeline(query: str, messages: int = 8192,
         fresh = _make_stores()
         stores.clear()
         stores.update(fresh)
-        router_box[0] = build_router(plan, OperatorContext(stores, send))
+        router_box[0] = _build()
         _load_relation(router_box[0], query)
 
     def _load_relation(router: MessageRouter, q: str) -> None:
@@ -112,16 +176,29 @@ def samzasql_pipeline(query: str, messages: int = 8192,
         for record in ProductsGenerator().records():
             router.route("Products-changelog", record, 0)
 
-    router_box.append(build_router(plan, OperatorContext(stores, send)))
+    router_box.append(_build())
     _load_relation(router_box[0], query)
     input_serde = AvroSerde(padded_orders_schema())
     stream = plan.input_streams[0]
+    workload = _encoded_orders(messages)
+
+    if batch_size > 0:
+        def process_batch(values: list, timestamps: list) -> None:
+            records = input_serde.from_bytes_batch(values)
+            router = router_box[0]
+            router.route_batch(stream, records, timestamps)
+            router.flush_sinks()
+
+        batch_pipeline = BatchMicroPipeline(process_batch, workload,
+                                            batch_size, reset=rebuild)
+        batch_pipeline.sink_count = sink_count  # type: ignore[attr-defined]
+        return batch_pipeline
 
     def process(value_bytes: bytes, ts: int) -> None:
         record = input_serde.from_bytes(value_bytes)
         router_box[0].route(stream, record, ts)
 
-    pipeline = MicroPipeline(process, _encoded_orders(messages), reset=rebuild)
+    pipeline = MicroPipeline(process, workload, reset=rebuild)
     pipeline.sink_count = sink_count  # type: ignore[attr-defined]
     return pipeline
 
@@ -224,19 +301,31 @@ def native_pipeline(query: str, messages: int = 8192) -> MicroPipeline:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Metrics-overhead smoke: run the fig5a filter query through the full
-    runtime with the snapshot reporter off and on, and fail (exit 1) if
-    instrumentation costs more than ``--threshold`` percent.
+    """Perf gates over the fig5a filter query through the full runtime:
 
-    Run:  python -m repro.bench.micro [--threshold 5] [--messages 4000]
+    * metrics overhead — snapshot reporter off vs on must cost no more
+      than ``--threshold`` percent;
+    * batch speedup — ``task.batch.execution=true`` must be at least
+      ``--batch-threshold`` times the single-message path's throughput.
+
+    Both use GC-suspended process-time runs, interleaved modes, per-mode
+    minima, and a best-of-``--attempts`` noise guard.  Exit 1 when either
+    gate fails.
+
+    Run:  python -m repro.bench.micro [--threshold 5] [--batch-threshold 1.5]
     """
     import argparse
 
-    from repro.bench.calibration import measure_metrics_overhead
+    from repro.bench.calibration import (measure_batch_speedup,
+                                         measure_metrics_overhead)
 
     parser = argparse.ArgumentParser(description=main.__doc__)
     parser.add_argument("--threshold", type=float, default=5.0,
-                        help="max tolerated overhead, percent (default 5)")
+                        help="max tolerated metrics overhead, percent "
+                             "(default 5)")
+    parser.add_argument("--batch-threshold", type=float, default=1.5,
+                        help="min batched/single throughput ratio "
+                             "(default 1.5; 0 disables the gate)")
     parser.add_argument("--messages", type=int, default=4000)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--attempts", type=int, default=3,
@@ -245,9 +334,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     # A real regression (say an allocation added to the per-message path)
-    # shows up in every measurement; a noisy host phase does not.  So the
+    # shows up in every measurement; a noisy host phase does not.  So each
     # gate takes the best of up to --attempts measurements and only fails
-    # when none of them comes in under the threshold.
+    # when none of them comes in under (over) the threshold.
     result = None
     for attempt in range(max(args.attempts, 1)):
         measured = measure_metrics_overhead(
@@ -266,8 +355,34 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  reporter on:  {result['on'] * 1000:.1f} ms")
     print(f"  overhead:     {result['overhead_percent']:+.2f}% "
           f"(threshold {args.threshold:.1f}%)")
+    failed = False
     if result["overhead_percent"] > args.threshold:
         print("FAIL: metrics instrumentation overhead above threshold")
+        failed = True
+
+    if args.batch_threshold > 0:
+        speedup = None
+        for attempt in range(max(args.attempts, 1)):
+            measured = measure_batch_speedup(
+                query="filter", messages=args.messages,
+                repeats=min(args.repeats, 3))
+            if speedup is None or measured["speedup"] > speedup["speedup"]:
+                speedup = measured
+            if speedup["speedup"] >= args.batch_threshold:
+                break
+            print(f"attempt {attempt + 1}: batch speedup "
+                  f"{measured['speedup']:.2f}x under threshold; "
+                  f"re-measuring...")
+        print("batched execution (task.batch.execution=true vs false):")
+        print(f"  single-message: {speedup['single_msgs_per_s']:,.0f} msgs/s")
+        print(f"  batched:        {speedup['batch_msgs_per_s']:,.0f} msgs/s")
+        print(f"  speedup:        {speedup['speedup']:.2f}x "
+              f"(threshold {args.batch_threshold:.1f}x)")
+        if speedup["speedup"] < args.batch_threshold:
+            print("FAIL: batched execution speedup below threshold")
+            failed = True
+
+    if failed:
         return 1
     print("OK")
     return 0

@@ -248,6 +248,18 @@ class FaultInjector:
             raise ContainerCrashError(
                 f"chaos killed {container_id} at message {self.processed}")
 
+    def messages_until_crash(self) -> int | None:
+        """How many more :meth:`on_processed` calls can run before the next
+        scheduled crash fires; ``None`` when inactive or nothing pending.
+
+        The batched run loop caps its batch sizes with this so a crash
+        escapes before any message past the crash point is processed —
+        per-message crash semantics, batch-at-a-time execution.
+        """
+        if not self.active or not self._pending_crashes:
+            return None
+        return max(self._pending_crashes[0] - self.processed, 1)
+
     # -- supervisor hook -----------------------------------------------------
 
     def zk_expiry_due(self, iteration: int) -> bool:

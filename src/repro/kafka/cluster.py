@@ -26,6 +26,9 @@ class KafkaCluster:
         self.metrics = MetricsRegistry()
         self.brokers = [Broker(i, self.clock, self.metrics) for i in range(broker_count)]
         self.fault_injector = None
+        # Bumped on every topic create/delete; producers key their
+        # partition-count caches off it.
+        self.metadata_epoch = 0
         self._topics: dict[str, Topic] = {}
         self._leaders: dict[TopicPartition, Broker] = {}
         # {group: {TopicPartition: offset}} — committed consumer positions.
@@ -61,6 +64,7 @@ class KafkaCluster:
             retention_ms=retention_ms,
         ))
         self._topics[name] = topic
+        self.metadata_epoch += 1
         for log in topic.partitions:
             leader = self.brokers[log.partition % len(self.brokers)]
             leader.host_partition(log)
@@ -73,6 +77,7 @@ class KafkaCluster:
             tp = TopicPartition(name, log.partition)
             del self._leaders[tp]
         del self._topics[name]
+        self.metadata_epoch += 1
 
     def topic(self, name: str) -> Topic:
         try:

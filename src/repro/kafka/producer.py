@@ -48,6 +48,29 @@ class Producer:
         self._partitioner = partitioner
         self._retry = retry_policy
         self._round_robin: dict[str, int] = {}
+        # Per-topic partition counts, valid for one cluster metadata epoch.
+        # Topic partition counts are fixed at creation, so the cache only
+        # goes stale when topics are created/deleted (e.g. a repartition
+        # writing to a fresh topic) — which bumps the cluster epoch.
+        self._partition_counts: dict[str, int] = {}
+        # TopicPartition is immutable, so the coordinate objects themselves
+        # are cached alongside the counts instead of being rebuilt per send.
+        self._tps: dict[str, tuple[TopicPartition, ...]] = {}
+        self._metadata_epoch = -1
+
+    def _partition_count(self, topic: str) -> int:
+        epoch = self._cluster.metadata_epoch
+        if epoch != self._metadata_epoch:
+            self._partition_counts.clear()
+            self._tps.clear()
+            self._metadata_epoch = epoch
+        count = self._partition_counts.get(topic)
+        if count is None:
+            count = self._cluster.topic(topic).partition_count
+            self._partition_counts[topic] = count
+            self._tps[topic] = tuple(
+                TopicPartition(topic, p) for p in range(count))
+        return count
 
     def send(self, topic: str, value: bytes | None, key: bytes | None = None,
              partition: int | None = None, timestamp_ms: int | None = None) -> tuple[int, int]:
@@ -56,7 +79,7 @@ class Producer:
         Partition selection order: explicit ``partition`` argument, then the
         partitioner for keyed records, then round-robin for unkeyed ones.
         """
-        count = self._cluster.topic(topic).partition_count
+        count = self._partition_count(topic)
         if partition is None:
             if key is not None:
                 partition = self._partitioner(key, count)
@@ -68,7 +91,7 @@ class Producer:
             raise KafkaError(
                 f"partition {partition} out of range for topic {topic!r} ({count} partitions)"
             )
-        tp = TopicPartition(topic, partition)
+        tp = self._tps[topic][partition]
         if self._retry is None:
             offset = self._cluster.produce(tp, key, value, timestamp_ms)
         else:
@@ -78,3 +101,48 @@ class Producer:
             offset = self._retry.call(
                 lambda: self._cluster.produce(tp, key, value, timestamp_ms))
         return partition, offset
+
+    def send_batch(
+        self, topic: str,
+        entries: list[tuple[bytes | None, bytes | None, int | None, int | None]],
+    ) -> list[tuple[int, int]]:
+        """Send many records to one topic; returns ``(partition, offset)``
+        per entry, in order.
+
+        Each entry is ``(value, key, partition, timestamp_ms)`` with the
+        same selection rules as :meth:`send`.  The topic's partition count
+        and the partitioner are resolved once for the whole batch; produce
+        requests (and their retry semantics) stay per record, so broker
+        fault injection sees the same op stream as sequential sends.
+        """
+        count = self._partition_count(topic)
+        tps = self._tps[topic]
+        partitioner = self._partitioner
+        produce = self._cluster.produce
+        retry = self._retry
+        results: list[tuple[int, int]] = []
+        rr_cursor: int | None = None
+        for value, key, partition, timestamp_ms in entries:
+            if partition is None:
+                if key is not None:
+                    partition = partitioner(key, count)
+                else:
+                    if rr_cursor is None:
+                        rr_cursor = self._round_robin.get(topic, 0)
+                    partition = rr_cursor % count
+                    rr_cursor += 1
+            elif not 0 <= partition < count:
+                raise KafkaError(
+                    f"partition {partition} out of range for topic {topic!r} "
+                    f"({count} partitions)")
+            tp = tps[partition]
+            if retry is None:
+                offset = produce(tp, key, value, timestamp_ms)
+            else:
+                offset = retry.call(
+                    lambda tp=tp, key=key, value=value, ts=timestamp_ms:
+                    produce(tp, key, value, ts))
+            results.append((partition, offset))
+        if rr_cursor is not None:
+            self._round_robin[topic] = rr_cursor
+        return results

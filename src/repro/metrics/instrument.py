@@ -46,10 +46,11 @@ class TimingSampler:
     #: Time 1-in-16 routed messages.
     SAMPLE_MASK = 15
 
-    __slots__ = ("_route", "_timed_ops", "_tick")
+    __slots__ = ("_route", "_route_batch", "_timed_ops", "_tick")
 
-    def __init__(self, route, operators):
+    def __init__(self, route, operators, route_batch=None):
         self._route = route
+        self._route_batch = route_batch
         self._timed_ops = [op for op in operators
                            if op._process_timer is not None]
         self._tick = 0
@@ -66,6 +67,51 @@ class TimingSampler:
         finally:
             for op in self._timed_ops:
                 op.receive = op.process
+
+    #: Batch path: time the same 1-in-16 of messages, but take them as a
+    #: 16-message burst once per 256 so a poll batch is split at period
+    #: boundaries instead of at every 16th message.  Splitting is what
+    #: batch-mode sampling costs — each sub-batch pays the DAG's fixed
+    #: per-call overhead — and bursts cut the split count 8x while keeping
+    #: the sampling rate, and the per-sample methodology (one individually
+    #: routed, individually timed message), identical.
+    BURST_LEN = 16
+    BURST_PERIOD_MASK = 255
+
+    def route_batch(self, stream: str, messages: list, timestamps: list) -> None:
+        """Batch routing with the same 1-in-16 per-message sampling rate.
+
+        Unsampled spans go through the router's batch path; sampled
+        messages are routed individually with every operator bound to its
+        timed path, exactly as in single-message mode — only the sample
+        *placement* differs (bursts, see :attr:`BURST_LEN`).
+        """
+        mask = self.BURST_PERIOD_MASK
+        burst = self.BURST_LEN
+        route = self._route
+        route_batch = self._route_batch
+        timed_ops = self._timed_ops
+        start = 0
+        n = len(messages)
+        while start < n:
+            pos = self._tick & mask
+            if pos >= burst:  # unsampled span: batch until the next period
+                stop = min(start + (mask + 1 - pos), n)
+                self._tick += stop - start
+                route_batch(stream, messages[start:stop], timestamps[start:stop])
+                start = stop
+            else:  # inside the burst: route singly through timed bindings
+                stop = min(start + (burst - pos), n)
+                self._tick += stop - start
+                for op in timed_ops:
+                    op.receive = op._timed_process
+                try:
+                    for i in range(start, stop):
+                        route(stream, messages[i], timestamps[i])
+                finally:
+                    for op in timed_ops:
+                        op.receive = op.process
+                start = stop
 
 
 def instrument_operators(operators, registry: MetricsRegistry,

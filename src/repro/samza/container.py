@@ -89,6 +89,9 @@ class _Collector(MessageCollector):
     def send(self, envelope: OutgoingMessageEnvelope) -> None:
         self._container._send(envelope)
 
+    def send_batch(self, envelopes: list[OutgoingMessageEnvelope]) -> None:
+        self._container._send_batch(envelopes)
+
 
 class SamzaContainer:
     """Hosts task instances and drives their processing loop."""
@@ -133,6 +136,10 @@ class SamzaContainer:
         self._window_ms = config.get_int("task.window.ms", -1)
         self._commit_interval = config.get_int("task.checkpoint.interval.messages", 500)
         self._batch_size = config.get_int("task.poll.batch.size", 200)
+        # Batch-at-a-time execution (default): decode, dispatch and process
+        # whole per-partition record batches.  task.batch.execution=false
+        # selects the per-message loop for A/B comparison.
+        self._batch_execution = config.get_bool("task.batch.execution", True)
         self._messages_since_commit = 0
         self._last_window_ms = 0
         self._started = False
@@ -326,6 +333,48 @@ class SamzaContainer:
                             partition=partition, timestamp_ms=timestamp)
         self._sent.inc()
 
+    def _send_batch(self, envelopes: list[OutgoingMessageEnvelope]) -> None:
+        """Batched output path: per stream, resolve the serdes and the
+        partition count once, encode with the serdes' batch forms, and hand
+        the whole batch to ``Producer.send_batch``."""
+        by_stream: dict[str, list[OutgoingMessageEnvelope]] = {}
+        for envelope in envelopes:
+            by_stream.setdefault(envelope.system_stream.stream, []).append(envelope)
+        for stream, group in by_stream.items():
+            if any(e.pre_serialized for e in group):
+                for envelope in group:
+                    self._send(envelope)
+                continue
+            if not self.cluster.has_topic(stream):
+                partitions = max(
+                    (self.cluster.topic(ssp.stream).partition_count
+                     for ssp in self._task_by_ssp), default=1)
+                self.cluster.create_topic(stream, partitions=partitions,
+                                          if_not_exists=True)
+            if stream not in self._output_serdes:
+                self._output_serdes[stream] = self.serdes.resolve_stream_serdes(
+                    self.config, group[0].system_stream.system, stream)
+            key_serde, msg_serde = self._output_serdes[stream]
+            key_bytes = key_serde.to_bytes_batch([e.key for e in group])
+            value_bytes = msg_serde.to_bytes_batch([e.message for e in group])
+            count = self.cluster.topic(stream).partition_count
+            to_partition_key = _PARTITION_KEY_SERDE.to_bytes
+            now_ms = None
+            entries = []
+            for envelope, kb, vb in zip(group, key_bytes, value_bytes):
+                partition = None
+                if envelope.partition_key is not None:
+                    partition = hash_partitioner(
+                        to_partition_key(envelope.partition_key), count)
+                timestamp = envelope.timestamp_ms
+                if timestamp is None:
+                    if now_ms is None:
+                        now_ms = self.clock.now_ms()
+                    timestamp = now_ms
+                entries.append((vb, kb, partition, timestamp))
+            self._producer.send_batch(stream, entries)
+            self._sent.inc(len(entries))
+
     # -- the run loop --------------------------------------------------------------------
 
     def run_iteration(self) -> int:
@@ -338,6 +387,26 @@ class SamzaContainer:
         if self._bootstrap_active:
             self._maybe_finish_bootstrap()
 
+        if self._batch_execution:
+            handled = self._process_poll_batched()
+        else:
+            handled = self._process_poll_single()
+
+        self._maybe_fire_window()
+
+        if self.metrics_reporter is not None:
+            self.metrics_reporter.maybe_report()
+
+        if (self._coordinator.commit_requested
+                or self._messages_since_commit >= self._commit_interval):
+            self.commit()
+
+        if self._coordinator.shutdown_requested:
+            self.stop()
+        return handled
+
+    def _process_poll_single(self) -> int:
+        """The per-message loop (task.batch.execution=false)."""
         records = self._consumer.poll(max_records=self._batch_size)
         for record in records:
             ssp = SystemStreamPartition("kafka", record.topic, record.partition)
@@ -360,19 +429,54 @@ class SamzaContainer:
                 self._fault_injector.on_processed(self.container_id)
             if self._coordinator.shutdown_requested:
                 break
-
-        self._maybe_fire_window()
-
-        if self.metrics_reporter is not None:
-            self.metrics_reporter.maybe_report()
-
-        if (self._coordinator.commit_requested
-                or self._messages_since_commit >= self._commit_interval):
-            self.commit()
-
-        if self._coordinator.shutdown_requested:
-            self.stop()
         return len(records)
+
+    def _process_poll_batched(self) -> int:
+        """Batch-at-a-time loop: task, serdes and decode are resolved once
+        per (topic, partition) group, the whole group flows through
+        ``TaskInstance.process_batch``, and only then does the per-message
+        bookkeeping (counters, fault injection) run for each record.
+
+        Per-message crash semantics are preserved by capping each chunk at
+        the fault injector's next crash point: every message before the
+        point is fully processed (output flushed by the task) and nothing
+        past it is touched, so the crash loses exactly the uncommitted
+        suffix — the same replay window as the single-message loop.
+        """
+        groups = self._consumer.poll_batches(max_records=self._batch_size)
+        injector = self._fault_injector
+        coordinator = self._coordinator
+        handled = 0
+        for tp, records in groups:
+            ssp = SystemStreamPartition("kafka", tp.topic, tp.partition)
+            instance = self._task_by_ssp[ssp]
+            key_serde, msg_serde = self._input_serdes[tp.topic]
+            start, total = 0, len(records)
+            while start < total:
+                limit = total - start
+                if injector is not None:
+                    until = injector.messages_until_crash()
+                    if until is not None and until < limit:
+                        limit = until
+                chunk = records if limit == total else records[start:start + limit]
+                keys = key_serde.from_bytes_batch([r.key for r in chunk])
+                messages = msg_serde.from_bytes_batch([r.value for r in chunk])
+                done = instance.process_batch(
+                    ssp, chunk, keys, messages, self._collector, coordinator)
+                handled += done
+                self._processed.inc(done)
+                self._messages_since_commit += done
+                if injector is not None:
+                    on_processed = injector.on_processed
+                    for _ in range(done):
+                        # May raise ContainerCrashError — see the single
+                        # loop; the chunk cap above guarantees no message
+                        # past the crash point has been processed.
+                        on_processed(self.container_id)
+                if done < len(chunk) or coordinator.shutdown_requested:
+                    return handled
+                start += limit
+        return handled
 
     def _maybe_finish_bootstrap(self) -> None:
         caught_up = all(

@@ -60,6 +60,42 @@ class TaskInstance:
         self.offsets[envelope.system_stream_partition] = envelope.offset + 1
         self.messages_processed += 1
 
+    def process_batch(self, ssp: SystemStreamPartition, records: list,
+                      keys: list, messages: list, collector: MessageCollector,
+                      coordinator: TaskCoordinator) -> int:
+        """Process one partition's decoded record batch; returns how many
+        records were actually processed (all of them unless the task
+        requested shutdown mid-batch).
+
+        Batch-aware tasks get the whole batch in one call; other tasks fall
+        back to a per-record loop with per-record offset tracking, exactly
+        matching the single-message path.  Offsets only ever cover records
+        whose processing completed, so a checkpoint taken afterwards is
+        identical to one the single-message path would have written.
+        """
+        task_batch = getattr(self.task, "process_batch", None)
+        if task_batch is not None:
+            task_batch(ssp, records, keys, messages, collector, coordinator)
+            done = len(records)
+            self.offsets[ssp] = records[-1].offset + 1
+            self.messages_processed += done
+            return done
+        process = self.task.process
+        offsets = self.offsets
+        done = 0
+        for record, key, message in zip(records, keys, messages):
+            process(IncomingMessageEnvelope(
+                system_stream_partition=ssp, offset=record.offset,
+                key=key, message=message, timestamp_ms=record.timestamp_ms,
+                raw_key=record.key, raw_message=record.value,
+            ), collector, coordinator)
+            offsets[ssp] = record.offset + 1
+            done += 1
+            if getattr(coordinator, "shutdown_requested", False):
+                break
+        self.messages_processed += done
+        return done
+
     def window(self, collector: MessageCollector, coordinator: TaskCoordinator) -> None:
         if isinstance(self.task, WindowableTask):
             self.task.window(collector, coordinator)

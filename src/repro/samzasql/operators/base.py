@@ -13,11 +13,14 @@ class OperatorContext:
 
     def __init__(self, stores: dict[str, KeyValueStore],
                  send: Callable[..., None], partition_id: int = 0,
-                 metrics=None):
+                 metrics=None, send_batch: Callable[[list], None] | None = None):
         self._stores = stores
         # send(message_dict, timestamp_ms, key=None); key set for
         # relation-stream outputs (compacted/upserting output topics)
         self.send = send
+        # send_batch(entries) with entries of (message, timestamp_ms, key);
+        # None when the hosting environment has no batched output path.
+        self.send_batch = send_batch
         self.partition_id = partition_id
         # MetricsRegistry of the hosting container, or None when the job
         # runs without metrics reporting.
@@ -58,6 +61,10 @@ class Operator:
         self.emitted = 0
         self.op_id = ""
         self.receive: Callable[[int, Any, int], None] = self.process
+        # Batch delivery entry point: always the plain bound method — the
+        # TimingSampler routes sampled messages through the single-message
+        # path, so batch deliveries are never rebound.
+        self.receive_batch: Callable[[int, list, list], None] = self.process_batch
         self._process_timer = None
 
     def setup(self, context: OperatorContext) -> None:
@@ -66,10 +73,26 @@ class Operator:
     def process(self, port: int, row: list, timestamp_ms: int) -> None:
         raise NotImplementedError
 
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        """Process a whole batch delivered on one port.
+
+        The default loops over :meth:`process`, preserving single-message
+        semantics exactly; stateless operators override it with a
+        vectorized (codegen'd comprehension) implementation.
+        """
+        process = self.process
+        for row, ts in zip(rows, timestamps):
+            process(port, row, ts)
+
     def emit(self, row: list, timestamp_ms: int) -> None:
         self.emitted += 1
         if self.downstream is not None:
             self.downstream.receive(0, row, timestamp_ms)
+
+    def emit_batch(self, rows: list, timestamps: list) -> None:
+        self.emitted += len(rows)
+        if rows and self.downstream is not None:
+            self.downstream.receive_batch(0, rows, timestamps)
 
     def on_timer(self, now_ms: int) -> None:
         """Wall-clock hook (Samza window() tick); default no-op."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.samzasql.operators.base import Operator
-from repro.sql.codegen import compile_lambda
+from repro.sql.codegen import compile_batch_fused_scan, compile_lambda
 
 
 class FusedScanOperator(Operator):
@@ -35,6 +35,9 @@ class FusedScanOperator(Operator):
         self._project = (None if projection_source is None
                          else compile_lambda(projection_source))
         self.output_field_names = list(output_field_names)
+        self._batch_eval = compile_batch_fused_scan(
+            self.field_names, self.rowtime_field,
+            predicate_source, projection_source)
 
     def process(self, port: int, message: Any, timestamp_ms: int) -> None:
         self.processed += 1
@@ -47,6 +50,12 @@ class FusedScanOperator(Operator):
         else:
             row = [message[name] for name in self.field_names]
         self.emit(row, timestamp_ms)
+
+    def process_batch(self, port: int, messages: list, timestamps: list) -> None:
+        self.processed += len(messages)
+        pairs = self._batch_eval(messages, timestamps)
+        if pairs:
+            self.emit_batch([row for row, _ in pairs], [ts for _, ts in pairs])
 
     def describe(self) -> str:
         parts = ["scan"]

@@ -17,9 +17,30 @@ class InsertOperator(Operator):
         self.rowtime_index = rowtime_index
         self.key_field_indexes = key_field_indexes
         self._send = None
+        self._send_batch = None
+        # Output buffer for the batched execution path; None when the
+        # operator sends each record immediately (single-message mode).
+        self._buffer: list | None = None
 
     def setup(self, context: OperatorContext) -> None:
         self._send = context.send
+        self._send_batch = getattr(context, "send_batch", None)
+
+    def set_buffering(self, enabled: bool) -> None:
+        """Buffer output and send it in one flush per task callback.
+
+        The hosting task flushes at the end of every ``process_batch`` /
+        ``window`` invocation — before control returns to the container —
+        so output is never held across a checkpoint, a crash loses only
+        output of uncommitted (replayable) input, and quiescence detection
+        still sees everything the processed input produced.
+        """
+        if enabled:
+            if self._buffer is None:
+                self._buffer = []
+        else:
+            self.flush()
+            self._buffer = None
 
     def _key_of(self, row: list) -> str | None:
         if self.key_field_indexes is None:
@@ -33,7 +54,56 @@ class InsertOperator(Operator):
         if self.rowtime_index is not None and row[self.rowtime_index] is not None:
             timestamp_ms = row[self.rowtime_index]
         self.emitted += 1
-        self._send(message, timestamp_ms, self._key_of(row))
+        if self._buffer is not None:
+            self._buffer.append((message, timestamp_ms, self._key_of(row)))
+        else:
+            self._send(message, timestamp_ms, self._key_of(row))
+
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        n = len(rows)
+        self.processed += n
+        self.emitted += n
+        names = self.field_names
+        rt = self.rowtime_index
+        if self.key_field_indexes is None:
+            if rt is None:
+                entries = [(dict(zip(names, row)), ts, None)
+                           for row, ts in zip(rows, timestamps)]
+            else:
+                entries = [(dict(zip(names, row)),
+                            ts if row[rt] is None else row[rt], None)
+                           for row, ts in zip(rows, timestamps)]
+        else:
+            key_of = self._key_of
+            if rt is None:
+                entries = [(dict(zip(names, row)), ts, key_of(row))
+                           for row, ts in zip(rows, timestamps)]
+            else:
+                entries = [(dict(zip(names, row)),
+                            ts if row[rt] is None else row[rt], key_of(row))
+                           for row, ts in zip(rows, timestamps)]
+        if self._buffer is not None:
+            self._buffer.extend(entries)
+        elif self._send_batch is not None:
+            self._send_batch(entries)
+        else:
+            send = self._send
+            for message, ts, key in entries:
+                send(message, ts, key)
+
+    def flush(self) -> None:
+        """Send buffered output, resolving the sink once for the batch."""
+        buffer = self._buffer
+        if not buffer:
+            return
+        entries = buffer[:]
+        buffer.clear()
+        if self._send_batch is not None:
+            self._send_batch(entries)
+        else:
+            send = self._send
+            for message, ts, key in entries:
+                send(message, ts, key)
 
     def describe(self) -> str:
         return f"Insert({self.output_stream})"

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.samzasql.operators.base import Operator
-from repro.sql.codegen import compile_lambda
+from repro.sql.codegen import compile_batch_projection, compile_lambda
 
 
 class ProjectOperator(Operator):
@@ -14,10 +14,15 @@ class ProjectOperator(Operator):
         self.projection_source = projection_source
         self.field_names = list(field_names)
         self._project = compile_lambda(projection_source)
+        self._batch_project = compile_batch_projection(projection_source)
 
     def process(self, port: int, row: list, timestamp_ms: int) -> None:
         self.processed += 1
         self.emit(self._project(row), timestamp_ms)
+
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        self.processed += len(rows)
+        self.emit_batch(self._batch_project(rows), timestamps)
 
     def describe(self) -> str:
         return f"Project({', '.join(self.field_names)})"

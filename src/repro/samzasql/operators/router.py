@@ -69,6 +69,15 @@ class _Port:
         else:
             self.operator.receive(self.port, message, timestamp_ms)
 
+    def deliver_batch(self, messages: list, timestamps: list) -> None:
+        if self.field_names is not None:
+            # Relation changelog entry: stateful update path, loop per record.
+            deliver = self.deliver
+            for message, ts in zip(messages, timestamps):
+                deliver(message, ts)
+        else:
+            self.operator.receive_batch(self.port, messages, timestamps)
+
 
 class MessageRouter:
     """stream name → entry ports, plus timer fan-out over all operators."""
@@ -87,6 +96,18 @@ class MessageRouter:
         for port in ports:
             port.deliver(message, timestamp_ms)
 
+    def route_batch(self, stream: str, messages: list, timestamps: list) -> None:
+        """Route one stream's record batch; operators forward whole lists
+        downstream (vectorized where overridden, per-message otherwise)."""
+        try:
+            ports = self._entries[stream]
+        except KeyError:
+            raise PlannerError(
+                f"router has no entry for stream {stream!r}; known: "
+                f"{sorted(self._entries)}") from None
+        for port in ports:
+            port.deliver_batch(messages, timestamps)
+
     def on_timer(self, now_ms: int) -> None:
         for operator in self.operators:
             operator.on_timer(now_ms)
@@ -95,6 +116,13 @@ class MessageRouter:
         """Force-emit open group windows (bounded-input runs, shutdown)."""
         for operator in self.operators:
             if isinstance(operator, GroupWindowAggOperator):
+                operator.flush()
+        self.flush_sinks()
+
+    def flush_sinks(self) -> None:
+        """Flush buffered insert output (batched execution) downstream."""
+        for operator in self.operators:
+            if isinstance(operator, InsertOperator):
                 operator.flush()
 
     def operator_chain(self) -> str:
@@ -150,6 +178,9 @@ class _PortAdapter(Operator):
 
     def process(self, port: int, row: list, timestamp_ms: int) -> None:
         self._target.receive(self._port, row, timestamp_ms)
+
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        self._target.receive_batch(self._port, rows, timestamps)
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
         return f"port{self._port}->{self._target.describe()}"

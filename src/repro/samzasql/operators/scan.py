@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.samzasql.operators.base import Operator
+from repro.sql.codegen import compile_batch_scan
 
 
 class ScanOperator(Operator):
@@ -23,6 +24,7 @@ class ScanOperator(Operator):
         self.stream = stream
         self.field_names = list(field_names)
         self.rowtime_index = rowtime_index
+        self._batch_scan = compile_batch_scan(self.field_names, rowtime_index)
 
     def process(self, port: int, message: Any, timestamp_ms: int) -> None:
         self.processed += 1
@@ -31,6 +33,11 @@ class ScanOperator(Operator):
         if self.rowtime_index is not None:
             timestamp_ms = row[self.rowtime_index]
         self.emit(row, timestamp_ms)
+
+    def process_batch(self, port: int, messages: list, timestamps: list) -> None:
+        self.processed += len(messages)
+        pairs = self._batch_scan(messages, timestamps)
+        self.emit_batch([row for row, _ in pairs], [ts for _, ts in pairs])
 
     def describe(self) -> str:
         return f"Scan({self.stream})"

@@ -46,6 +46,25 @@ class _CollectorSink:
             timestamp_ms=timestamp_ms,
         ))
 
+    def send_batch(self, entries: list) -> None:
+        """Send many ``(message, timestamp_ms, key)`` entries in one call,
+        batched through the collector when it supports it."""
+        output_stream = self.output_stream
+        envelopes = [
+            OutgoingMessageEnvelope(
+                system_stream=output_stream, message=message, key=key,
+                partition_key=key, timestamp_ms=timestamp_ms)
+            for message, timestamp_ms, key in entries
+        ]
+        collector = self.collector
+        send_batch = getattr(collector, "send_batch", None)
+        if send_batch is not None:
+            send_batch(envelopes)
+        else:
+            send = collector.send
+            for envelope in envelopes:
+                send(envelope)
+
 
 class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
     """Executes one streaming SQL query's operator DAG."""
@@ -55,8 +74,10 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         self._plan_path = plan_path
         self._router = None
         self._route = None
+        self._route_batch = None
         self._sink = None
         self._early_emit = False
+        self._buffered_sinks = False
 
     def init(self, config: Config, context: TaskContext) -> None:
         try:
@@ -72,23 +93,52 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         stores = {name: context.get_store(name) for name in plan.store_names}
         op_context = OperatorContext(
             stores=stores, send=self._sink.send,
-            partition_id=context.partition_id, metrics=context.metrics)
+            partition_id=context.partition_id, metrics=context.metrics,
+            send_batch=self._sink.send_batch)
         self._router = build_router(plan, op_context)
         self._route = self._router.route
+        self._route_batch = self._router.route_batch
         if (context.metrics is not None
                 and config.get_int("metrics.reporter.interval.ms", 0) > 0):
             from repro.metrics.instrument import TimingSampler, instrument_operators
 
             instrument_operators(self._router.operators, context.metrics,
                                  context.partition_id)
-            self._route = TimingSampler(self._router.route,
-                                        self._router.operators).route
+            sampler = TimingSampler(self._router.route, self._router.operators,
+                                    route_batch=self._router.route_batch)
+            self._route = sampler.route
+            self._route_batch = sampler.route_batch
+        if config.get_bool("task.batch.execution", True):
+            # Batched container loop: buffer insert output and flush it once
+            # per task callback (topic + partitioner resolved per flush).
+            from repro.samzasql.operators.insert import InsertOperator
+
+            for operator in self._router.operators:
+                if isinstance(operator, InsertOperator):
+                    operator.set_buffering(True)
+                    self._buffered_sinks = True
         self._early_emit = config.get_bool("samzasql.window.early.emit", False)
 
     def process(self, envelope, collector: MessageCollector,
                 coordinator: TaskCoordinator) -> None:
         self._sink.collector = collector
         self._route(envelope.stream, envelope.message, envelope.timestamp_ms)
+        if self._buffered_sinks:
+            self._router.flush_sinks()
+
+    def process_batch(self, ssp, records: list, keys: list, messages: list,
+                      collector: MessageCollector,
+                      coordinator: TaskCoordinator) -> None:
+        """Route one partition's decoded record batch through the DAG.
+
+        Buffered insert output is flushed before returning, so by the time
+        the container fires its per-message bookkeeping (fault injection,
+        commits) everything this batch produced is already out.
+        """
+        self._sink.collector = collector
+        timestamps = [record.timestamp_ms for record in records]
+        self._route_batch(ssp.stream, messages, timestamps)
+        self._router.flush_sinks()
 
     def window(self, collector: MessageCollector,
                coordinator: TaskCoordinator) -> None:
@@ -105,6 +155,7 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
                 if isinstance(operator, GroupWindowAggOperator):
                     operator.emit_partials()
         self._router.on_timer(0)
+        self._router.flush_sinks()
 
     @property
     def router(self):

@@ -29,6 +29,22 @@ class Serde(ABC, Generic[T]):
     def roundtrip(self, obj: T) -> T:
         return self.from_bytes(self.to_bytes(obj))
 
+    # -- batch forms ---------------------------------------------------------
+    #
+    # The batched run loop decodes/encodes whole poll batches through these
+    # so method dispatch happens once per batch instead of once per record.
+    # ``None`` items pass through untouched, matching the runtime's
+    # null-message (tombstone) convention — the per-record path never hands
+    # a null payload to the serde either.
+
+    def to_bytes_batch(self, objs: list[T | None]) -> list[bytes | None]:
+        to_bytes = self.to_bytes
+        return [None if obj is None else to_bytes(obj) for obj in objs]
+
+    def from_bytes_batch(self, datas: list[bytes | None]) -> list[T | None]:
+        from_bytes = self.from_bytes
+        return [None if data is None else from_bytes(data) for data in datas]
+
 
 class NoOpSerde(Serde[Any]):
     """Pass-through: the stored representation *is* the object.

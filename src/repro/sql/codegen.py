@@ -79,7 +79,8 @@ CODEGEN_NAMESPACE: dict[str, Any] = {
     "_ceil": math.ceil,
     "_sqrt": math.sqrt,
     "__builtins__": {"abs": abs, "max": max, "min": min, "len": len,
-                     "str": str, "float": float, "bool": bool, "int": int},
+                     "str": str, "float": float, "bool": bool, "int": int,
+                     "zip": zip},
 }
 
 _COMPARISON = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
@@ -227,6 +228,62 @@ def render_projection(exprs: list[RexNode]) -> str:
 
 def compile_join_predicate(node: RexNode, left_width: int) -> Callable[[list, list], bool]:
     return compile_lambda(render(node, left_width=left_width), params="l, r")
+
+
+# -- batch compilers ----------------------------------------------------------
+#
+# The batched execution path evaluates one compiled expression over a whole
+# record batch: a single list comprehension with the rendered expression
+# inlined in it, so the per-row cost is the expression itself — no lambda
+# call, no operator dispatch.  Sources follow the same conventions as the
+# single-row compilers (``r`` is one row/record, rendered by :func:`render`).
+
+
+def compile_batch_predicate(source: str) -> Callable[[list, list], list]:
+    """Filter a batch in one call: ``f(rows, timestamps)`` returns the
+    surviving ``(row, timestamp)`` pairs, evaluating ``source`` once per
+    row inside a single comprehension."""
+    return compile_lambda(
+        f"[(r, t) for r, t in zip(rows, timestamps) if ({source})]",
+        params="rows, timestamps")
+
+
+def compile_batch_projection(source: str) -> Callable[[list], list]:
+    """Project a batch in one call: ``f(rows)`` maps the rendered
+    row-expression ``source`` (e.g. ``[r[0], r[2]]``) over every row."""
+    return compile_lambda(f"[{source} for r in rows]", params="rows")
+
+
+def compile_batch_scan(field_names: list[str],
+                       rowtime_index: int | None) -> Callable[[list, list], list]:
+    """Batch AvroToArray: ``f(messages, timestamps)`` converts record dicts
+    to array-tuples, pairing each with its rowtime (or the wire timestamp
+    when the stream has no rowtime column)."""
+    row_expr = "[" + ", ".join(f"r[{name!r}]" for name in field_names) + "]"
+    ts_expr = ("t" if rowtime_index is None
+               else f"r[{field_names[rowtime_index]!r}]")
+    return compile_lambda(
+        f"[({row_expr}, {ts_expr}) for r, t in zip(messages, timestamps)]",
+        params="messages, timestamps")
+
+
+def compile_batch_fused_scan(field_names: list[str],
+                             rowtime_field: str | None,
+                             predicate_source: str | None,
+                             projection_source: str | None,
+                             ) -> Callable[[list, list], list]:
+    """Batch form of the fused scan: filter + project + rowtime extraction
+    directly over the record dicts, all in one comprehension.  Returns
+    surviving ``(row, timestamp)`` pairs."""
+    row_expr = projection_source
+    if row_expr is None:
+        row_expr = "[" + ", ".join(f"r[{name!r}]" for name in field_names) + "]"
+    ts_expr = "t" if rowtime_field is None else f"r[{rowtime_field!r}]"
+    source = f"[({row_expr}, {ts_expr}) for r, t in zip(messages, timestamps)"
+    if predicate_source is not None:
+        source += f" if ({predicate_source})"
+    source += "]"
+    return compile_lambda(source, params="messages, timestamps")
 
 
 def eval_constant(node: RexNode) -> Any:

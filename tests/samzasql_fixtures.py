@@ -26,6 +26,11 @@ PACKETS_SCHEMA = AvroSchema.record(
 class Deployment:
     """Cluster + YARN + shell, with helpers to feed the paper's workloads."""
 
+    #: Merged under every ``run``'s ``config_overrides``.  Test modules
+    #: parametrize this (e.g. over ``task.batch.execution``) to drive the
+    #: same end-to-end scenarios down both execution paths.
+    default_overrides: dict[str, str] = {}
+
     def __init__(self, partitions: int = 4, nodes: int = 2):
         self.clock = VirtualClock(0)
         self.cluster = KafkaCluster(broker_count=3, clock=self.clock)
@@ -86,6 +91,10 @@ class Deployment:
                            key=str(packet_id).encode(), timestamp_ms=rowtime)
 
     def run(self, sql: str, containers: int = 1, **kwargs):
+        if self.default_overrides:
+            overrides = dict(self.default_overrides)
+            overrides.update(kwargs.pop("config_overrides", None) or {})
+            kwargs["config_overrides"] = overrides
         handle = self.shell.execute(sql, containers=containers, **kwargs)
         self.runner.run_until_quiescent()
         return handle

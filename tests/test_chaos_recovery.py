@@ -231,3 +231,64 @@ class TestValidationHarness:
         assert payload["at_least_once"] is True
         assert payload["input_count"] == 120
         assert "chaos validation" in report.summary()
+
+
+class TestMidBatchCrash:
+    """A crash scheduled *inside* a poll batch must fire at exactly the
+    scheduled message — the batched loop caps its chunks at the injector's
+    next crash point — and replay exactly the uncommitted suffix."""
+
+    def test_crash_mid_batch_replays_uncommitted_suffix(self):
+        from repro.chaos.faults import CONTAINER_CRASH
+
+        crash_at, batch_size, interval = 25, 32, 10
+        schedule = FaultSchedule.script().add_crash(crash_at)
+        cluster, runner, injector, written = chaos_runtime(schedule, 80)
+        job = SamzaJob(
+            config=base_config(containers=2).merge({
+                "task.batch.execution": "true",
+                "task.poll.batch.size": batch_size,
+                "task.checkpoint.interval.messages": interval,
+            }),
+            task_factory=lambda: FilterTask(threshold=50),
+            serdes=orders_serdes(),
+        )
+        runner.submit(job)
+        supervisor = ChaosSupervisor(runner, injector)
+        supervisor.run_until_quiescent()
+
+        # 25 is not a multiple of the 32-message batch, so the crash point
+        # fell mid-batch; the chunk cap must still land it exactly there.
+        crashes = [e for e in injector.events if e.kind == CONTAINER_CRASH]
+        assert [e.op for e in crashes] == [crash_at]
+        assert supervisor.restarts == 1
+
+        out = read_topic(cluster, "OrdersOut", AvroSerde(ORDERS_SCHEMA))
+        expected = {r["orderId"] for r in written if r["units"] > 50}
+        # at-least-once: nothing lost; duplicates bounded by the crashed
+        # container's uncommitted window (at most one checkpoint interval
+        # plus one poll batch of input replays)
+        assert {o["orderId"] for o in out} == expected
+        assert len(out) <= len(expected) + interval + batch_size
+
+    def test_mid_batch_crash_matches_single_message_output(self):
+        """The committed-plus-replayed output set is the same whether the
+        crashed job ran batched or message-at-a-time."""
+        outputs = {}
+        for mode in ("true", "false"):
+            schedule = FaultSchedule.script().add_crash(25)
+            cluster, runner, injector, _ = chaos_runtime(schedule, 80)
+            job = SamzaJob(
+                config=base_config(containers=2).merge({
+                    "task.batch.execution": mode,
+                    "task.poll.batch.size": 32,
+                    "task.checkpoint.interval.messages": 10,
+                }),
+                task_factory=lambda: FilterTask(threshold=50),
+                serdes=orders_serdes(),
+            )
+            runner.submit(job)
+            ChaosSupervisor(runner, injector).run_until_quiescent()
+            out = read_topic(cluster, "OrdersOut", AvroSerde(ORDERS_SCHEMA))
+            outputs[mode] = {o["orderId"] for o in out}
+        assert outputs["true"] == outputs["false"]

@@ -184,3 +184,89 @@ class TestConsumer:
     def test_invalid_sizes_rejected(self, cluster):
         with pytest.raises(KafkaError):
             Consumer(cluster, max_poll_records=0)
+
+
+class TestBatchClients:
+    """poll_batches / send_batch — the batched dataflow's client primitives."""
+
+    def _fill(self, cluster, n_per_partition=5):
+        producer = Producer(cluster)
+        for p in range(4):
+            for i in range(n_per_partition):
+                producer.send("orders", f"p{p}-m{i}".encode(), partition=p)
+
+    def test_poll_batches_groups_per_partition(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        groups = consumer.poll_batches()
+        assert {tp.partition for tp, _ in groups} == {0, 1, 2, 3}
+        for tp, records in groups:
+            assert all(r.partition == tp.partition for r in records)
+            assert [r.offset for r in records] == [0, 1, 2, 3, 4]
+
+    def test_poll_batches_matches_flat_poll(self, cluster):
+        """Same records, same order — grouping is the only difference."""
+        self._fill(cluster)
+        flat_consumer = Consumer(cluster)
+        flat_consumer.assign(cluster.partitions_for("orders"))
+        grouped_consumer = Consumer(cluster)
+        grouped_consumer.assign(cluster.partitions_for("orders"))
+        flat = flat_consumer.poll(max_records=12)
+        grouped = [r for _, records in
+                   grouped_consumer.poll_batches(max_records=12)
+                   for r in records]
+        assert ([(r.partition, r.offset, r.value) for r in flat]
+                == [(r.partition, r.offset, r.value) for r in grouped])
+
+    def test_poll_batches_advances_position(self, cluster):
+        self._fill(cluster)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        seen = []
+        while True:
+            groups = consumer.poll_batches(max_records=7)
+            if not groups:
+                break
+            seen.extend(r for _, records in groups for r in records)
+        assert len(seen) == 20
+        assert len({(r.partition, r.offset) for r in seen}) == 20  # no dups
+
+    def test_send_batch_matches_sequential_sends(self, cluster):
+        cluster.create_topic("mirror", partitions=4)
+        sequential = Producer(cluster)
+        batched = Producer(cluster)
+        entries = [(f"v{i}".encode(),
+                    str(i % 3).encode() if i % 2 else None,
+                    1 if i == 4 else None, 1000 + i)
+                   for i in range(8)]
+        expected = [sequential.send("orders", value, key=key,
+                                    partition=partition, timestamp_ms=ts)
+                    for value, key, partition, ts in entries]
+        got = batched.send_batch("mirror", entries)
+        assert got == expected
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders")
+                        + cluster.partitions_for("mirror"))
+        records = consumer.poll(max_records=100)
+        by_topic = {"orders": [], "mirror": []}
+        for r in records:
+            by_topic[r.topic].append((r.partition, r.offset, r.key, r.value))
+        assert sorted(by_topic["orders"]) == sorted(by_topic["mirror"])
+
+    def test_send_batch_rejects_out_of_range_partition(self, cluster):
+        with pytest.raises(KafkaError):
+            Producer(cluster).send_batch("orders", [(b"v", None, 9, None)])
+
+    def test_partition_cache_invalidated_on_metadata_change(self, cluster):
+        """The producer's cached TopicPartition tuples must follow topic
+        metadata: a topic recreated with more partitions gets routed with
+        the new count, not the cached one."""
+        producer = Producer(cluster)
+        producer.send("orders", b"v", partition=3)
+        assert len(producer._tps["orders"]) == 4
+        cluster.delete_topic("orders")
+        cluster.create_topic("orders", partitions=8)
+        partition, offset = producer.send("orders", b"v", partition=6)
+        assert (partition, offset) == (6, 0)
+        assert len(producer._tps["orders"]) == 8

@@ -11,6 +11,20 @@ from repro.common import PlannerError
 from tests.samzasql_fixtures import Deployment
 
 
+@pytest.fixture(autouse=True, params=["true", "false"],
+                ids=["batched", "single-message"])
+def execution_mode(request, monkeypatch):
+    """Run every end-to-end scenario down both execution paths.
+
+    The batched container loop must be observationally identical to the
+    single-message one — same outputs, same offsets, same checkpoints —
+    so the whole module is parametrized over ``task.batch.execution``.
+    """
+    monkeypatch.setattr(Deployment, "default_overrides",
+                        {"task.batch.execution": request.param})
+    return request.param
+
+
 class TestFilterQuery:
     """The paper's Filter benchmark query."""
 
@@ -407,3 +421,41 @@ class TestFaultTolerance:
                 if x["productId"] == record["productId"]
                 and record["rowtime"] - window_ms <= x["rowtime"] <= record["rowtime"])
             assert record["unitsLastFiveMinutes"] == expected
+
+
+class TestBatchSingleEquivalence:
+    """The batched path must be bit-identical to single-message execution:
+    same output records, same task offsets, same checkpoint contents."""
+
+    QUERIES = {
+        "filter": "SELECT STREAM * FROM Orders WHERE units > 50",
+        "project": "SELECT STREAM rowtime, productId, units FROM Orders",
+    }
+
+    @staticmethod
+    def _run_mode(sql: str, mode: str, containers: int = 2):
+        deployment = Deployment().with_orders(120)
+        handle = deployment.run(
+            sql, containers=containers,
+            config_overrides={"task.batch.execution": mode})
+        outputs = sorted(handle.results(),
+                         key=lambda r: sorted(r.items()))
+        offsets = {}
+        checkpoints = {}
+        for container in handle.master.samza_containers.values():
+            for name, instance in container.tasks.items():
+                offsets[name] = {str(ssp): off
+                                 for ssp, off in instance.offsets.items()}
+                instance.commit()
+                checkpoint = instance._checkpoints.read_last_checkpoint(name)
+                checkpoints[name] = checkpoint.to_payload()
+        return outputs, offsets, checkpoints
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_outputs_offsets_checkpoints_identical(self, query):
+        sql = self.QUERIES[query]
+        batched = self._run_mode(sql, "true")
+        single = self._run_mode(sql, "false")
+        assert batched[0] == single[0], "output records differ"
+        assert batched[1] == single[1], "task offsets differ"
+        assert batched[2] == single[2], "checkpoint contents differ"

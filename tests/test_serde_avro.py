@@ -215,3 +215,102 @@ def test_string_array_roundtrip_property(values):
 def test_map_roundtrip_property(values):
     schema = AvroSchema.map("long")
     assert schema.decode(schema.encode(values)) == values
+
+
+class TestBatchCodecs:
+    """The generated flat-record codecs behind encode_batch/decode_batch
+    must be byte- and error-identical to the closure-walk interpreter."""
+
+    NULLABLE_SCHEMA = AvroSchema.record(
+        "Out",
+        [("rowtime", ["null", "long"]), ("productId", ["null", "int"]),
+         ("name", ["null", "string"]), ("price", ["null", "double"]),
+         ("live", ["null", "boolean"])],
+    )
+
+    def _orders(self, n=40):
+        return [{"rowtime": 1000 + i, "productId": i % 10,
+                 "orderId": -i if i % 7 == 0 else i * 2**40,
+                 "units": (i * 7) % 100} for i in range(n)]
+
+    def test_fast_codecs_compiled_for_flat_records(self):
+        assert ORDERS_SCHEMA._encode_fast is not None
+        assert ORDERS_SCHEMA._decode_fast is not None
+        assert self.NULLABLE_SCHEMA._encode_fast is not None
+        assert self.NULLABLE_SCHEMA._decode_fast is not None
+
+    def test_batch_encode_byte_identical_to_single(self):
+        datums = self._orders()
+        assert (ORDERS_SCHEMA.encode_batch(datums)
+                == [ORDERS_SCHEMA.encode(d) for d in datums])
+
+    def test_batch_decode_matches_single(self):
+        blobs = [ORDERS_SCHEMA.encode(d) for d in self._orders()]
+        assert (ORDERS_SCHEMA.decode_batch(blobs)
+                == [ORDERS_SCHEMA.decode(b) for b in blobs])
+
+    def test_nullable_union_batch_roundtrip(self):
+        datums = [
+            {"rowtime": 1, "productId": 2, "name": "a", "price": 1.5, "live": True},
+            {"rowtime": None, "productId": None, "name": None, "price": None,
+             "live": None},
+            {"rowtime": -(2**60), "productId": -1, "name": "", "price": -0.0,
+             "live": False},
+            {"rowtime": 7, "productId": None, "name": "x" * 300, "price": 3,
+             "live": None},  # int into double slot
+        ]
+        schema = self.NULLABLE_SCHEMA
+        blobs = schema.encode_batch(datums)
+        assert blobs == [schema.encode(d) for d in datums]
+        decoded = schema.decode_batch(blobs)
+        assert decoded == [schema.decode(b) for b in blobs]
+        assert decoded[3]["price"] == 3.0
+
+    def test_unsupported_schema_falls_back_to_interpreter(self):
+        nested = AvroSchema.record(
+            "Wrapper", [("tags", {"type": "array", "items": "string"})])
+        assert nested._encode_fast is None
+        assert nested._decode_fast is None
+        datums = [{"tags": ["a", "b"]}, {"tags": []}]
+        assert nested.decode_batch(nested.encode_batch(datums)) == datums
+
+    @pytest.mark.parametrize("bad,message", [
+        ([1, 2], "expected dict"),
+        ({"rowtime": 1, "productId": 2, "orderId": 3}, "missing field"),
+    ])
+    def test_fast_encoder_error_parity(self, bad, message):
+        with pytest.raises(SerdeError) as fast:
+            ORDERS_SCHEMA.encode_batch([bad])
+        with pytest.raises(SerdeError) as slow:
+            ORDERS_SCHEMA._encode(bad, bytearray())
+        assert str(fast.value) == str(slow.value)
+        assert message in str(fast.value)
+
+    def test_fast_decoder_truncation_parity(self):
+        blob = ORDERS_SCHEMA.encode(
+            {"rowtime": 10, "productId": 1, "orderId": 2, "units": 3})
+        for cut in range(len(blob)):
+            with pytest.raises(SerdeError):
+                ORDERS_SCHEMA.decode_batch([blob[:cut]])
+
+    def test_serde_batch_helpers(self):
+        serde = AvroSerde(ORDERS_SCHEMA)
+        datums = self._orders(10)
+        blobs = serde.to_bytes_batch(datums)
+        assert blobs == [serde.to_bytes(d) for d in datums]
+        assert serde.from_bytes_batch(blobs) == datums
+
+    @given(st.lists(st.fixed_dictionaries({
+        "rowtime": st.one_of(st.none(),
+                             st.integers(min_value=-(2**62), max_value=2**62)),
+        "productId": st.one_of(st.none(), st.integers(min_value=-(2**31),
+                                                      max_value=2**31 - 1)),
+        "name": st.one_of(st.none(), st.text(max_size=20)),
+        "price": st.one_of(st.none(), st.floats(allow_nan=False)),
+        "live": st.one_of(st.none(), st.booleans()),
+    }), max_size=20))
+    def test_nullable_batch_roundtrip_property(self, datums):
+        schema = self.NULLABLE_SCHEMA
+        blobs = schema.encode_batch(datums)
+        assert blobs == [schema.encode(d) for d in datums]
+        assert schema.decode_batch(blobs) == datums
