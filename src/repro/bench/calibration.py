@@ -195,6 +195,37 @@ def measure_batch_speedup(query: str = "filter", messages: int = 4000,
     return best
 
 
+def measure_writebehind_speedup(query: str = "window", messages: int = 4000,
+                                partitions: int = 32, repeats: int = 3,
+                                containers: int = 1) -> dict[str, float]:
+    """Throughput ratio of write-behind vs write-through state stores.
+
+    Runs one stateful query (default the fig6 sliding window, the shape the
+    paper shows "dominated by access to the key-value store") in batched
+    execution with ``stores.write.behind`` toggled.  Same noise discipline
+    as :func:`measure_batch_speedup`: GC-suspended process-time runs, modes
+    interleaved with alternating order, per-mode minimum.  Returns
+    ``{"writethrough": ..., "writebehind": ...,
+    "writethrough_msgs_per_s": ..., "writebehind_msgs_per_s": ...,
+    "speedup": ...}``.
+    """
+    best: dict[str, float] = {}
+    modes = [("writethrough", "false"), ("writebehind", "true")]
+    for round_no in range(max(repeats, 1)):
+        order = modes if round_no % 2 == 0 else modes[::-1]
+        for mode, flag in order:
+            elapsed = _measure_once(
+                query, "samzasql", messages, partitions,
+                containers=containers, warmup=200,
+                extra_config={"stores.write.behind": flag})
+            if mode not in best or elapsed < best[mode]:
+                best[mode] = elapsed
+    best["writethrough_msgs_per_s"] = messages / max(best["writethrough"], 1e-9)
+    best["writebehind_msgs_per_s"] = messages / max(best["writebehind"], 1e-9)
+    best["speedup"] = best["writethrough"] / max(best["writebehind"], 1e-9)
+    return best
+
+
 def calibrate_pair(query: str, messages: int = 5000,
                    partitions: int = 32,
                    repeats: int = 3) -> dict[str, CalibrationResult]:

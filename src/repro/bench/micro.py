@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.samza.storage import InMemoryKeyValueStore, SerializedKeyValueStore
+from repro.samza.storage import (InMemoryKeyValueStore, LoggedKeyValueStore,
+                                 SerializedKeyValueStore,
+                                 WriteBehindKeyValueStore)
 from repro.samzasql.operators.base import OperatorContext
 from repro.samzasql.operators.router import MessageRouter, build_router
 from repro.samzasql.plan_builder import PhysicalPlanBuilder
@@ -300,19 +302,162 @@ def native_pipeline(query: str, messages: int = 8192) -> MicroPipeline:
     raise ValueError(f"unknown query {query!r}")
 
 
+# Runtime default of ``task.checkpoint.interval.messages`` — how often the
+# container commits, i.e. how often write-behind state actually flushes.
+COMMIT_INTERVAL = 500
+
+
+def _changelogged_store(write_behind: bool) -> "SerializedKeyValueStore":
+    """One store as the container stacks it: in-memory → changelog →
+    serde, optionally topped with the write-behind dirty map."""
+    changelog: list = []
+    key_serde = ObjectSerde()
+    store = SerializedKeyValueStore(
+        LoggedKeyValueStore(InMemoryKeyValueStore(),
+                            lambda k, v, log=changelog: log.append((k, v))),
+        key_serde, ObjectSerde())
+    if write_behind:
+        store = WriteBehindKeyValueStore(store, key_serde)
+    return store
+
+
+def measure_window_state_speedup(messages: int = 15_000,
+                                 repeats: int = 3) -> dict[str, float]:
+    """Per-message state-maintenance cost: legacy vs write-behind window.
+
+    The legacy side reconstructs how ``SlidingWindowOperator`` maintained
+    state before the split-layout rewrite: the whole per-key window blob
+    (all retained rows + accumulators) round-trips through the serialized,
+    changelogged store on **every** message — O(window size) serde work per
+    tuple.  The new side runs the *shipped* operator through the compiled
+    fig6 DAG over write-behind stores, flushed every ``COMMIT_INTERVAL``
+    messages like the container's commit loop does.  Both sides consume the
+    same pre-decoded Orders workload so the ratio isolates state
+    maintenance from input/output serde.
+
+    Methodology matches :func:`repro.bench.calibration.measure_batch_speedup`:
+    GC-suspended process-time runs, modes interleaved with alternating
+    order, per-mode minimum.  Returns ``{"legacy_ms_per_msg": ...,
+    "writebehind_ms_per_msg": ..., "speedup": ...}``.
+    """
+    import gc
+    import time
+
+    window_ms = 300_000  # the fig6 query's 5-minute RANGE frame
+    generator = OrdersGenerator(interarrival_ms=1000)
+    workload = [(record, record["rowtime"])
+                for record in generator.records(max(messages + 2000, 4000))]
+    warmup, body = workload[:2000], workload[2000:]
+
+    def run_legacy() -> float:
+        messages_store = _changelogged_store(write_behind=False)
+        state_store = _changelogged_store(write_behind=False)
+
+        def step(order: dict, _ts: int) -> None:
+            key = repr(order["productId"])
+            order_value = order["rowtime"]
+            state = state_store.get(key)
+            if state is None:
+                state = {"rows": [], "accs": [[0, 0]],
+                         "lower": order_value, "upper": order_value, "seq": 0}
+            seq = state["seq"]
+            state["seq"] = seq + 1
+            messages_store.put((key, order_value, seq), list(order.values()))
+            if order_value > state["upper"]:
+                state["upper"] = order_value
+            units = order["units"]
+            rows = state["rows"]
+            cutoff = order_value - window_ms
+            keep_from = 0
+            for keep_from, existing in enumerate(rows):
+                if existing[0] >= cutoff:
+                    break
+            else:
+                keep_from = len(rows)
+            for purged in rows[:keep_from]:
+                state["accs"][0][0] -= purged[2][0]
+                state["accs"][0][1] -= 1
+                messages_store.delete((key, purged[0], purged[1]))
+            del rows[:keep_from]
+            state["lower"] = cutoff
+            rows.append((order_value, seq, [units]))
+            state["accs"][0][0] += units
+            state["accs"][0][1] += 1
+            state_store.put(key, state)
+
+        return _timed_steps(step, flush_stores=None)
+
+    def run_writebehind() -> float:
+        catalog = _catalog()
+        logical = QueryPlanner(catalog).plan_query(SQL_QUERIES["window"])
+        plan = PhysicalPlanBuilder(catalog).build(logical, "bench-output")
+        stream = plan.input_streams[0]
+        stores = {name: _changelogged_store(write_behind=True)
+                  for name in _STORE_NAMES}
+        router = build_router(plan, OperatorContext(
+            stores, lambda _m, _ts, _key=None: None))
+
+        def step(record: dict, ts: int) -> None:
+            router.route(stream, record, ts)
+
+        return _timed_steps(step, flush_stores=list(stores.values()))
+
+    def _timed_steps(step, flush_stores) -> float:
+        for record, ts in warmup:
+            step(record, ts)
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.process_time_ns()
+            done = 0
+            index = 0
+            while done < messages:
+                for record, ts in body[index:index + COMMIT_INTERVAL]:
+                    step(record, ts)
+                index += COMMIT_INTERVAL
+                if index + COMMIT_INTERVAL > len(body):
+                    index = 0
+                done += COMMIT_INTERVAL
+                if flush_stores is not None:
+                    for store in flush_stores:
+                        store.flush()
+            return (time.process_time_ns() - started) / 1e6 / messages
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    best = {"legacy": float("inf"), "writebehind": float("inf")}
+    modes = [("legacy", run_legacy), ("writebehind", run_writebehind)]
+    for round_no in range(max(repeats, 1)):
+        order = modes if round_no % 2 == 0 else modes[::-1]
+        for mode, run in order:
+            best[mode] = min(best[mode], run())
+    return {
+        "legacy_ms_per_msg": best["legacy"],
+        "writebehind_ms_per_msg": best["writebehind"],
+        "speedup": best["legacy"] / max(best["writebehind"], 1e-9),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """Perf gates over the fig5a filter query through the full runtime:
 
     * metrics overhead — snapshot reporter off vs on must cost no more
       than ``--threshold`` percent;
     * batch speedup — ``task.batch.execution=true`` must be at least
-      ``--batch-threshold`` times the single-message path's throughput.
+      ``--batch-threshold`` times the single-message path's throughput;
+    * window state maintenance — the fig6 sliding window's split-layout
+      write-behind state path must be at least ``--window-threshold``
+      times faster per message than the legacy monolithic-blob
+      write-through maintenance it replaced.
 
-    Both use GC-suspended process-time runs, interleaved modes, per-mode
-    minima, and a best-of-``--attempts`` noise guard.  Exit 1 when either
+    All use GC-suspended process-time runs, interleaved modes, per-mode
+    minima, and a best-of-``--attempts`` noise guard.  Exit 1 when any
     gate fails.
 
     Run:  python -m repro.bench.micro [--threshold 5] [--batch-threshold 1.5]
+          [--window-threshold 2.0]
     """
     import argparse
 
@@ -326,6 +471,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-threshold", type=float, default=1.5,
                         help="min batched/single throughput ratio "
                              "(default 1.5; 0 disables the gate)")
+    parser.add_argument("--window-threshold", type=float, default=2.0,
+                        help="min fig6 state-maintenance speedup of the "
+                             "write-behind layout over the legacy blob "
+                             "path (default 2.0; 0 disables the gate)")
     parser.add_argument("--messages", type=int, default=4000)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--attempts", type=int, default=3,
@@ -380,6 +529,27 @@ def main(argv: list[str] | None = None) -> int:
               f"(threshold {args.batch_threshold:.1f}x)")
         if speedup["speedup"] < args.batch_threshold:
             print("FAIL: batched execution speedup below threshold")
+            failed = True
+
+    if args.window_threshold > 0:
+        window = None
+        for attempt in range(max(args.attempts, 1)):
+            measured = measure_window_state_speedup(repeats=2)
+            if window is None or measured["speedup"] > window["speedup"]:
+                window = measured
+            if window["speedup"] >= args.window_threshold:
+                break
+            print(f"attempt {attempt + 1}: window state speedup "
+                  f"{measured['speedup']:.2f}x under threshold; "
+                  f"re-measuring...")
+        print("fig6 window state maintenance (write-behind split layout "
+              "vs legacy blob):")
+        print(f"  legacy blob:   {window['legacy_ms_per_msg']:.4f} ms/msg")
+        print(f"  write-behind:  {window['writebehind_ms_per_msg']:.4f} ms/msg")
+        print(f"  speedup:       {window['speedup']:.2f}x "
+              f"(threshold {args.window_threshold:.1f}x)")
+        if window["speedup"] < args.window_threshold:
+            print("FAIL: window state-maintenance speedup below threshold")
             failed = True
 
     if failed:

@@ -46,6 +46,7 @@ from repro.samza.storage import (
     KeyValueStore,
     LoggedKeyValueStore,
     SerializedKeyValueStore,
+    WriteBehindKeyValueStore,
 )
 from repro.samza.checkpoint import Checkpoint, CheckpointManager
 from repro.samza.container import SamzaContainer
@@ -67,6 +68,7 @@ __all__ = [
     "InMemoryKeyValueStore",
     "SerializedKeyValueStore",
     "LoggedKeyValueStore",
+    "WriteBehindKeyValueStore",
     "CachedKeyValueStore",
     "Checkpoint",
     "CheckpointManager",

@@ -36,6 +36,7 @@ from repro.samza.storage import (
     KeyValueStore,
     LoggedKeyValueStore,
     SerializedKeyValueStore,
+    WriteBehindKeyValueStore,
 )
 from repro.samza.system import (
     IncomingMessageEnvelope,
@@ -66,6 +67,7 @@ class _StoreSpec:
     msg_serde: str
     cached: bool
     cache_size: int
+    write_behind: bool
 
 
 class _Coordinator(TaskCoordinator):
@@ -176,11 +178,15 @@ class SamzaContainer:
     @staticmethod
     def _parse_store_specs(config: Config) -> list[_StoreSpec]:
         specs: list[_StoreSpec] = []
+        # "stores.write.behind" is the job-wide write-behind default, not a
+        # store named "write".
         names = {
             key.split(".")[1]
             for key in config
             if key.startswith("stores.") and len(key.split(".")) >= 3
+            and key != "stores.write.behind"
         }
+        write_behind_default = config.get_bool("stores.write.behind", True)
         for name in sorted(names):
             prefix = f"stores.{name}."
             changelog = config.get(prefix + "changelog")
@@ -193,6 +199,8 @@ class SamzaContainer:
                 msg_serde=config.get(prefix + "msg.serde", "object"),
                 cached=config.get_bool(prefix + "cache.enabled", False),
                 cache_size=config.get_int(prefix + "cache.size", 1024),
+                write_behind=config.get_bool(
+                    prefix + "write.behind", write_behind_default),
             ))
         return specs
 
@@ -279,10 +287,20 @@ class SamzaContainer:
                         _tp, key, value, self.clock.now_ms()))
 
                 bytes_store = LoggedKeyValueStore(memory, log_fn)
+            key_serde = self.serdes.get(spec.key_serde)
             store: KeyValueStore = SerializedKeyValueStore(
-                bytes_store, self.serdes.get(spec.key_serde), self.serdes.get(spec.msg_serde))
+                bytes_store, key_serde, self.serdes.get(spec.msg_serde))
+            group = f"store.{spec.name}.p{model.partition_id}"
+            if spec.write_behind:
+                store = WriteBehindKeyValueStore(store, key_serde)
+                self.metrics.gauge(group, "dirty-entries",
+                                   fn=lambda s=store: s.dirty_count)
             if spec.cached:
                 store = CachedKeyValueStore(store, spec.cache_size)
+                self.metrics.gauge(group, "cache-hits",
+                                   fn=lambda s=store: s.hits)
+                self.metrics.gauge(group, "cache-misses",
+                                   fn=lambda s=store: s.misses)
             stores[spec.name] = store
         return stores
 

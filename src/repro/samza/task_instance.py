@@ -105,7 +105,13 @@ class TaskInstance:
     def commit(self) -> None:
         """Flush state then checkpoint offsets (state-first, like Samza:
         replay after a crash between the two steps reprocesses messages
-        rather than losing them)."""
+        rather than losing them).
+
+        With write-behind stores this flush is where the interval's
+        deferred mutations are serialized and mirrored to the changelog —
+        the changelog therefore describes exactly the state the checkpoint
+        written next accompanies, never a partially-applied interval.
+        """
         for store in self.stores.values():
             store.flush()
         if self._checkpoints is not None:

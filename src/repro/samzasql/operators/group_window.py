@@ -135,6 +135,83 @@ class GroupWindowAggOperator(Operator):
         self._emit_closed(meta)
         self._store.put(_META_KEY, meta)
 
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        """Batch path: the meta record is fetched once per batch and window
+        states once per (window, batch), with write-back deferred to the
+        end of the batch.  Watermark advancement and closed-window emission
+        still run per message — lateness decisions and the emission
+        sequence are exactly those of the single-message path."""
+        self.processed += len(rows)
+        store = self._store
+        meta = store.get(_META_KEY) or {"watermark": None, "open": {}}
+        states: dict[str, dict] = {}  # per-batch (window, key) state cache
+        dirty: dict[str, dict] = {}   # subset of states needing a put
+        out_rows: list = []
+        out_ts: list = []
+        for row in rows:
+            ts = self._time_fn(row)
+            key = repr(self._key_fn(row))
+            key_values = self._key_fn(row)
+            watermark = meta["watermark"]
+            arg_values = [None if fn is None else fn(row)
+                          for fn in self._arg_fns]
+            for wstart in self.windows_for(ts):
+                wend = wstart + self.retain_ms
+                if watermark is not None and wend <= watermark:
+                    self.late_dropped += 1
+                    continue
+                store_key = f"{wstart}|{key}"
+                state = states.get(store_key)
+                if state is None:
+                    state = store.get(store_key)
+                    if state is None:
+                        state = {"wstart": wstart, "keys": key_values,
+                                 "accs": [([None, 0, None, None] if udaf is None
+                                           else [udaf.create()])
+                                          for udaf in self._udafs]}
+                        meta["open"][store_key] = wend
+                    states[store_key] = state
+                dirty[store_key] = state
+                for udaf, acc, value in zip(self._udafs, state["accs"],
+                                            arg_values):
+                    if udaf is not None:
+                        acc[0] = udaf.add(acc[0], value)
+                        continue
+                    acc[1] += 1
+                    if value is not None:
+                        acc[0] = value if acc[0] is None else acc[0] + value
+                        acc[2] = value if acc[2] is None else min(acc[2], value)
+                        acc[3] = value if acc[3] is None else max(acc[3], value)
+            if watermark is None or ts > watermark:
+                meta["watermark"] = ts
+            self._close_windows(meta, states, dirty, out_rows, out_ts)
+        for store_key, state in dirty.items():
+            store.put(store_key, state)
+        store.put(_META_KEY, meta)
+        self.emit_batch(out_rows, out_ts)
+
+    def _close_windows(self, meta: dict, states: dict, dirty: dict,
+                       out_rows: list, out_ts: list) -> None:
+        """Batch-mode twin of :meth:`_emit_closed`: consults the per-batch
+        state cache before the store (deferred puts haven't landed yet) and
+        collects output rows instead of emitting them one by one."""
+        watermark = meta["watermark"]
+        if watermark is None:
+            return
+        for store_key, wend in sorted(meta["open"].items(), key=lambda kv: kv[1]):
+            if wend > watermark:
+                continue
+            state = states.pop(store_key, None)
+            if state is None:
+                state = self._store.get(store_key)
+            dirty.pop(store_key, None)  # closed: never write it back
+            meta["open"].pop(store_key)
+            if state is None:
+                continue
+            self._store.delete(store_key)
+            out_rows.append(self._window_row(state, wend))
+            out_ts.append(wend)
+
     def _emit_closed(self, meta: dict) -> None:
         watermark = meta["watermark"]
         if watermark is None:
@@ -175,6 +252,9 @@ class GroupWindowAggOperator(Operator):
         self._store.put(_META_KEY, meta)
 
     def _emit_window(self, state: dict, wend: int) -> None:
+        self.emit(self._window_row(state, wend), wend)
+
+    def _window_row(self, state: dict, wend: int) -> list:
         results = []
         for spec, udaf, acc in zip(self.aggs, self._udafs, state["accs"]):
             func = spec.func
@@ -192,8 +272,7 @@ class GroupWindowAggOperator(Operator):
                 results.append(acc[3])
             else:
                 raise ValueError(f"unsupported aggregate {func}")
-        out = [state["wstart"], wend, *state["keys"], *results]
-        self.emit(out, wend)
+        return [state["wstart"], wend, *state["keys"], *results]
 
     def describe(self) -> str:
         return (f"GroupWindowAgg({self.window_kind}, emit={self.emit_ms}ms, "

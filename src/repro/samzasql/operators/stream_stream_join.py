@@ -114,6 +114,58 @@ class StreamStreamJoinOperator(Operator):
         bucket["rows"] = [entry for entry in bucket["rows"] if entry[0] >= horizon]
         self._stores[port].put(key, bucket)
 
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        """Batch path: rows are probed/buffered in input order (matches and
+        final buffer contents are identical to the single-message path),
+        but each touched bucket is fetched from the store once per batch
+        and written back once per batch instead of once per row."""
+        self.processed += len(rows)
+        own_store = self._stores[port]
+        other_port = RIGHT_PORT if port == LEFT_PORT else LEFT_PORT
+        other_store = self._stores[other_port]
+        own_buckets: dict[str, dict] = {}
+        other_buckets: dict[str, dict] = {}
+        out_rows: list = []
+        out_ts: list = []
+        condition = self._condition
+        retention = self._retention_ms()
+        for row in rows:
+            ts = self._time_of(port, row)
+            key = self._key_of(port, row)
+
+            other_bucket = other_buckets.get(key)
+            if other_bucket is None:
+                other_bucket = other_store.get(key) or {"rows": []}
+                other_buckets[key] = other_bucket
+            if port == LEFT_PORT:
+                low, high = ts - self.upper_bound_ms, ts + self.lower_bound_ms
+            else:
+                low, high = ts - self.lower_bound_ms, ts + self.upper_bound_ms
+            for other_ts, _other_seq, other_row in other_bucket["rows"]:
+                if not low <= other_ts <= high:
+                    continue
+                if port == LEFT_PORT:
+                    left, right = row, other_row
+                else:
+                    left, right = other_row, row
+                if condition(left, right):
+                    out_rows.append(list(left) + list(right))
+                    out_ts.append(max(self._time_of(LEFT_PORT, left),
+                                      self._time_of(RIGHT_PORT, right)))
+
+            bucket = own_buckets.get(key)
+            if bucket is None:
+                bucket = own_store.get(key) or {"rows": []}
+                own_buckets[key] = bucket
+            self._seq += 1
+            bucket["rows"].append((ts, self._seq, row))
+            horizon = ts - retention
+            bucket["rows"] = [entry for entry in bucket["rows"]
+                              if entry[0] >= horizon]
+        for key, bucket in own_buckets.items():
+            own_store.put(key, bucket)
+        self.emit_batch(out_rows, out_ts)
+
     def describe(self) -> str:
         return (f"StreamStreamJoin(window=[-{self.lower_bound_ms}ms, "
                 f"+{self.upper_bound_ms}ms])")

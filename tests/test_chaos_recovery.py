@@ -208,6 +208,56 @@ class TestSqlQueryRecovery:
             assert len({(c["rowtime"], c["productId"], c["units"])
                         for c in copies}) == 1
 
+    def test_writebehind_crash_replays_byte_identical_aggregates(self):
+        """Crash a container mid-commit-interval, while the write-behind
+        stores hold dirty (never flushed) window state.
+
+        The dirty suffix dies with the container; the changelog describes
+        exactly the last checkpoint's state, so the replacement rebuilds
+        the same windows the lost messages originally extended and replay
+        regenerates every lost emission — including the running
+        ``unitsLastFiveMinutes`` aggregate — byte for byte.  This is the
+        consistency property that lets write-behind defer every store
+        write to commit without weakening at-least-once recovery.
+        """
+        overrides = {
+            "task.checkpoint.interval.messages": 12,
+            "task.poll.batch.size": 10,
+        }
+
+        # reference: the same input, no faults
+        ref = Deployment(partitions=2)
+        ref.with_orders(count=80)
+        ref_rows = ref.run(SLIDING_WINDOW_SQL, containers=2,
+                           config_overrides=overrides).results()
+        ref_by_order = {}
+        for row in ref_rows:
+            ref_by_order.setdefault(row["orderId"], set()).add(
+                tuple(sorted(row.items())))
+        # fault-free sliding window emits exactly once per input
+        assert all(len(v) == 1 for v in ref_by_order.values())
+
+        # chaos: crash 35 messages in — 11 past the last commit at 24, so
+        # the write-behind dirty maps are mid-interval when the container
+        # dies
+        schedule = FaultSchedule.script().add_crash(35)
+        dep, injector = chaos_sql_deployment(schedule)
+        handle = dep.shell.execute(SLIDING_WINDOW_SQL, containers=2,
+                                   config_overrides=overrides)
+        supervisor = ChaosSupervisor(dep.runner, injector)
+        supervisor.run_until_quiescent()
+        with injector.suspended():
+            rows = handle.results()
+
+        assert supervisor.restarts == 1
+        emissions = {}
+        for row in rows:
+            emissions.setdefault(row["orderId"], set()).add(
+                tuple(sorted(row.items())))
+        # nothing lost, and every emission (original or replayed duplicate)
+        # is identical to the fault-free run's — aggregates included
+        assert emissions == ref_by_order
+
 
 class TestValidationHarness:
     def test_seed_42_meets_acceptance_bar(self):

@@ -111,7 +111,29 @@ class TestStatefulJob:
     def test_changelog_written(self):
         cluster, rm, runner, clock = make_runtime()
         produce_orders(cluster, 20, partitions=2)
-        runner.submit(self._job(cluster))
+        master = runner.submit(self._job(cluster))
+        runner.run_until_quiescent()
+        # Write-behind defers changelog writes to commit: nothing has been
+        # mirrored yet (20 messages < the commit interval)...
+        assert cluster.topic("test-job-counts-changelog").total_messages() == 0
+        # ...until stop(), which commits — flushing the dirty state down
+        # through the changelog layer alongside the checkpoint.
+        master.finish()
+        assert cluster.topic("test-job-counts-changelog").total_messages() > 0
+
+    def test_changelog_writethrough_mode(self):
+        """stores.write.behind=false restores per-mutation changelog writes."""
+        cluster, rm, runner, clock = make_runtime()
+        produce_orders(cluster, 20, partitions=2)
+        config = base_config(containers=1).merge({
+            "stores.counts.changelog": "kafka.test-job-counts-changelog",
+            "stores.counts.key.serde": "string",
+            "stores.counts.msg.serde": "json",
+            "stores.write.behind": "false",
+        })
+        job = SamzaJob(config=config, task_factory=CountingTask,
+                       serdes=orders_serdes())
+        runner.submit(job)
         runner.run_until_quiescent()
         assert cluster.topic("test-job-counts-changelog").total_messages() > 0
 

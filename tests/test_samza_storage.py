@@ -10,8 +10,9 @@ from repro.samza import (
     InMemoryKeyValueStore,
     LoggedKeyValueStore,
     SerializedKeyValueStore,
+    WriteBehindKeyValueStore,
 )
-from repro.serde import JsonSerde, LongSerde, StringSerde
+from repro.serde import JsonSerde, LongSerde, ObjectSerde, StringSerde
 
 
 class TestInMemoryStore:
@@ -200,3 +201,183 @@ class TestCachedStore:
     def test_zero_capacity_rejected(self):
         with pytest.raises(StateStoreError):
             CachedKeyValueStore(InMemoryKeyValueStore(), capacity=0)
+
+
+class TestWriteBehindStore:
+    """Write-behind over serialized over logged over in-memory — the full
+    production stack permutation."""
+
+    def _stack(self):
+        log = []
+        memory = InMemoryKeyValueStore()
+        logged = LoggedKeyValueStore(
+            memory, lambda k, v: log.append((k, v)))
+        serde = ObjectSerde()
+        serialized = SerializedKeyValueStore(logged, serde, serde)
+        wb = WriteBehindKeyValueStore(serialized, serde)
+        return wb, serialized, log
+
+    def test_reads_see_unflushed_writes(self):
+        wb, inner, log = self._stack()
+        wb.put("k", {"n": 1})
+        assert wb.get("k") == {"n": 1}
+        assert inner.get("k") is None   # nothing pushed down yet
+        assert log == []                # ...and nothing logged
+
+    def test_value_captured_by_reference(self):
+        """Mutations after put are visible at flush — the flushed bytes
+        describe commit-time state, matching the checkpoint."""
+        wb, inner, _ = self._stack()
+        value = {"n": 1}
+        wb.put("k", value)
+        value["n"] = 2
+        wb.flush()
+        assert inner.get("k") == {"n": 2}
+
+    def test_flush_pushes_serde_and_changelog(self):
+        wb, inner, log = self._stack()
+        wb.put("a", 1)
+        wb.put("b", 2)
+        wb.flush()
+        assert inner.get("a") == 1 and inner.get("b") == 2
+        assert len(log) == 2
+        assert wb.dirty_count == 0
+
+    def test_flush_order_is_insertion_order(self):
+        """First-dirtying order decides the changelog sequence, so replayed
+        runs produce byte-identical changelogs."""
+        wb, _, log = self._stack()
+        wb.put("b", 1)
+        wb.put("a", 2)
+        wb.put("b", 3)  # overwrite keeps b's original position
+        wb.flush()
+        serde = ObjectSerde()
+        assert [k for k, _ in log] == [serde.to_bytes("b"), serde.to_bytes("a")]
+        assert serde.from_bytes(log[0][1]) == 3
+
+    def test_last_write_wins_before_flush(self):
+        wb, inner, log = self._stack()
+        wb.put("k", 1)
+        wb.put("k", 2)
+        wb.flush()
+        assert inner.get("k") == 2
+        assert len(log) == 1  # intermediate version never logged
+
+    def test_tombstone_defers_delete(self):
+        wb, inner, log = self._stack()
+        wb.put("k", 1)
+        wb.flush()
+        wb.delete("k")
+        assert wb.get("k") is None      # read-your-delete
+        assert inner.get("k") == 1      # not yet applied below
+        wb.flush()
+        assert inner.get("k") is None
+        assert log[-1][1] is None       # changelog tombstone
+
+    def test_put_then_delete_flushes_tombstone_only(self):
+        wb, inner, log = self._stack()
+        wb.put("k", 1)
+        wb.delete("k")
+        wb.flush()
+        assert inner.get("k") is None
+        assert [v for _, v in log] == [None]
+
+    def test_scan_merges_dirty_and_backing(self):
+        wb, _, log = self._stack()
+        wb.put(1, "flushed")
+        wb.put(3, "flushed")
+        wb.flush()
+        flushed_log = len(log)
+        wb.put(2, "dirty")
+        wb.put(4, "dirty")
+        wb.delete(3)
+        assert list(wb.all()) == [(1, "flushed"), (2, "dirty"), (4, "dirty")]
+        assert list(wb.range(1, 4)) == [(1, "flushed"), (2, "dirty")]
+        # scans never spill: no changelog traffic between commits
+        assert len(log) == flushed_log
+
+    def test_scan_dirty_shadows_backing(self):
+        wb, _, _ = self._stack()
+        wb.put(1, "old")
+        wb.flush()
+        wb.put(1, "new")
+        assert list(wb.all()) == [(1, "new")]
+
+    def test_len_accounts_for_dirty(self):
+        wb, _, _ = self._stack()
+        wb.put("a", 1)
+        wb.put("b", 2)
+        wb.flush()
+        wb.delete("a")
+        wb.put("c", 3)
+        wb.put("b", 9)  # overwrite: no size change
+        assert len(wb) == 2
+
+    def test_changelog_restore_equivalence(self):
+        """Replaying the changelog produced through write-behind rebuilds
+        exactly the flushed store contents."""
+        wb, _, log = self._stack()
+        wb.put("a", {"n": 1})
+        wb.put("b", [1, 2])
+        wb.flush()
+        wb.delete("a")
+        wb.put("c", "x")
+        wb.flush()
+        wb.put("never-flushed", 1)  # lost on crash: not in the changelog
+
+        restored_memory = InMemoryKeyValueStore()
+        for key, value in log:
+            if value is None:
+                restored_memory.delete(key)
+            else:
+                restored_memory.put(key, value)
+        serde = ObjectSerde()
+        restored = SerializedKeyValueStore(restored_memory, serde, serde)
+        assert dict(restored.all()) == {"b": [1, 2], "c": "x"}
+
+    def test_write_behind_over_cached_composition(self):
+        """Cache above write-behind: hits come from the cache, writes stay
+        dirty until flush."""
+        wb, inner, _ = self._stack()
+        cached = CachedKeyValueStore(wb, capacity=8)
+        cached.put("k", 7)
+        assert cached.get("k") == 7
+        assert cached.hits == 1
+        assert inner.get("k") is None
+        cached.flush()
+        assert inner.get("k") == 7
+
+
+class TestCachedStoreLRU:
+    def _stack(self, capacity=3):
+        inner = InMemoryKeyValueStore()
+        serde = ObjectSerde()
+        serialized = SerializedKeyValueStore(inner, serde, serde)
+        return CachedKeyValueStore(serialized, capacity), serialized
+
+    def test_hit_refreshes_recency(self):
+        """A hot key survives a scan of cold keys (true LRU, not FIFO)."""
+        cached, _ = self._stack(capacity=2)
+        cached.put("hot", 1)
+        cached.put("cold1", 2)
+        cached.get("hot")       # refresh: cold1 is now least recent
+        cached.put("cold2", 3)  # evicts cold1, not hot
+        misses_before = cached.misses
+        cached.get("hot")
+        assert cached.misses == misses_before  # still cached
+        cached.get("cold1")
+        assert cached.misses == misses_before + 1  # was evicted
+
+    def test_eviction_is_least_recently_used(self):
+        cached, _ = self._stack(capacity=3)
+        for key in ("a", "b", "c"):
+            cached.put(key, key)
+        cached.get("a")  # order now b, c, a
+        cached.put("d", "d")  # evicts b
+        misses_before = cached.misses
+        cached.get("a")
+        cached.get("c")
+        cached.get("d")
+        assert cached.misses == misses_before
+        cached.get("b")
+        assert cached.misses == misses_before + 1

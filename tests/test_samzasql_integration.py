@@ -430,18 +430,44 @@ class TestBatchSingleEquivalence:
     QUERIES = {
         "filter": "SELECT STREAM * FROM Orders WHERE units > 50",
         "project": "SELECT STREAM rowtime, productId, units FROM Orders",
+        "window": ("SELECT STREAM rowtime, productId, units, SUM(units) OVER "
+                   "(PARTITION BY productId ORDER BY rowtime RANGE "
+                   "INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes "
+                   "FROM Orders"),
+        "join": ("SELECT STREAM GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) "
+                 "AS rowtime, PacketsR1.sourcetime, PacketsR1.packetId, "
+                 "PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel "
+                 "FROM PacketsR1 JOIN PacketsR2 ON "
+                 "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
+                 "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
+                 "AND PacketsR1.packetId = PacketsR2.packetId"),
+        "group_window": ("SELECT STREAM START(rowtime) AS ws, END(rowtime) AS we, "
+                         "COUNT(*) AS c, SUM(units) AS s FROM Orders "
+                         "GROUP BY TUMBLE(rowtime, INTERVAL '1' MINUTE)"),
     }
 
     @staticmethod
-    def _run_mode(sql: str, mode: str, containers: int = 2):
-        deployment = Deployment().with_orders(120)
+    def _deployment(query: str) -> Deployment:
+        if query == "join":
+            deployment = Deployment(partitions=2).with_packets()
+            for pid in range(40):
+                t0 = 1_000_000 + pid * 700
+                deployment.feed_packet("PacketsR1", pid, t0)
+                deployment.feed_packet("PacketsR2", pid, t0 + (pid % 5) * 400)
+            return deployment
+        return Deployment().with_orders(120)
+
+    @classmethod
+    def _run_mode(cls, query: str, mode: str, containers: int = 2):
+        deployment = cls._deployment(query)
         handle = deployment.run(
-            sql, containers=containers,
+            cls.QUERIES[query], containers=containers,
             config_overrides={"task.batch.execution": mode})
         outputs = sorted(handle.results(),
                          key=lambda r: sorted(r.items()))
         offsets = {}
         checkpoints = {}
+        stores = {}
         for container in handle.master.samza_containers.values():
             for name, instance in container.tasks.items():
                 offsets[name] = {str(ssp): off
@@ -449,13 +475,18 @@ class TestBatchSingleEquivalence:
                 instance.commit()
                 checkpoint = instance._checkpoints.read_last_checkpoint(name)
                 checkpoints[name] = checkpoint.to_payload()
-        return outputs, offsets, checkpoints
+                stores[name] = {
+                    store_name: {repr(k): v for k, v in contents.items()}
+                    for store_name, contents
+                    in instance.store_snapshot().items()
+                }
+        return outputs, offsets, checkpoints, stores
 
     @pytest.mark.parametrize("query", sorted(QUERIES))
     def test_outputs_offsets_checkpoints_identical(self, query):
-        sql = self.QUERIES[query]
-        batched = self._run_mode(sql, "true")
-        single = self._run_mode(sql, "false")
+        batched = self._run_mode(query, "true")
+        single = self._run_mode(query, "false")
         assert batched[0] == single[0], "output records differ"
         assert batched[1] == single[1], "task offsets differ"
         assert batched[2] == single[2], "checkpoint contents differ"
+        assert batched[3] == single[3], "committed store state differs"

@@ -172,6 +172,57 @@ class TestSlidingWindowOperator:
             operator2.process(0, [ts, "k", value], ts)
         assert sink2.rows[2][0][-1] == first_final
 
+    AGGS = [AggSpec(func="SUM", arg_source="r[2]"),
+            AggSpec(func="COUNT", arg_source=None),
+            AggSpec(func="MIN", arg_source="r[2]"),
+            AggSpec(func="MAX", arg_source="r[2]"),
+            AggSpec(func="AVG", arg_source="r[2]")]
+
+    def _fresh(self, context):
+        operator = SlidingWindowOperator(
+            partition_key_source="[r[1]]", order_source="r[0]",
+            frame_mode="RANGE", preceding_ms=50, preceding_rows=None,
+            aggs=self.AGGS,
+            field_names=["rowtime", "key", "value", "s", "c", "mn", "mx", "a"])
+        operator.setup(context)
+        sink = Sink()
+        operator.downstream = sink
+        return operator, sink
+
+    def test_restore_rebuilds_live_window(self):
+        """A new operator instance over the same stores (changelog-restore
+        stand-in) continues producing exactly what an uninterrupted one
+        would — accumulators, monotonic MIN/MAX deques and seq counters are
+        all rebuilt from the retained rows and the bounds record."""
+        inputs = [[i * 7 % 120, f"k{i % 3}", (i * 31) % 17] for i in range(40)]
+        stores = ("sql-window-messages", "sql-window-state")
+        context, _ = make_context(stores)
+        first, sink1 = self._fresh(context)
+        for row in inputs[:25]:
+            first.process(0, list(row), row[0])
+        # "crash": fresh operator, same (already flushed-through) stores
+        restored, sink2 = self._fresh(context)
+        assert restored.state_size() == first.state_size()
+        for row in inputs[25:]:
+            restored.process(0, list(row), row[0])
+        # reference: one uninterrupted run on fresh stores
+        ref_context, _ = make_context(stores)
+        reference, ref_sink = self._fresh(ref_context)
+        for row in inputs:
+            reference.process(0, list(row), row[0])
+        assert sink1.rows + sink2.rows == ref_sink.rows
+        assert restored.state_size() == reference.state_size()
+
+    def test_state_size_counter_matches_store(self):
+        """The O(1) retained-row counter tracks the messages store exactly."""
+        stores = ("sql-window-messages", "sql-window-state")
+        context, _ = make_context(stores)
+        operator, _sink = self._fresh(context)
+        messages = context.get_store("sql-window-messages")
+        for i in range(60):
+            operator.process(0, [i * 11 % 200, f"k{i % 4}", i], i)
+            assert operator.state_size() == sum(1 for _ in messages.all())
+
 
 class TestGroupWindowOperator:
     def _operator(self, kind="TUMBLE", emit=100, retain=100, align=0):
@@ -442,16 +493,99 @@ class TestBatchEquivalence:
         buffered.flush()
         assert sent_buffered == sent_plain
 
-    def test_stateful_default_falls_back_to_loop(self):
-        """Operators without a vectorized override (sliding window) get the
-        base-class loop and stay row-for-row identical."""
+    def test_sliding_window_range_frame(self):
+        """The stateful batch override must match the per-message path row
+        for row, including the incremental MIN/MAX deque results across
+        purges."""
         rows = [[o["rowtime"], o["productId"], o["units"]] for o in self.ORDERS]
         self._check(
             lambda: SlidingWindowOperator(
                 partition_key_source="[r[1]]", order_source="r[0]",
-                frame_mode="RANGE", preceding_ms=5 * 60 * 1000,
+                frame_mode="RANGE", preceding_ms=20,
                 preceding_rows=None,
-                aggs=[AggSpec(func="SUM", arg_source="r[2]")],
-                field_names=["rowtime", "productId", "units", "sum_units"]),
+                aggs=[AggSpec(func="SUM", arg_source="r[2]"),
+                      AggSpec(func="COUNT", arg_source=None),
+                      AggSpec(func="MIN", arg_source="r[2]"),
+                      AggSpec(func="MAX", arg_source="r[2]"),
+                      AggSpec(func="AVG", arg_source="r[2]")],
+                field_names=["rowtime", "productId", "units",
+                             "s", "c", "mn", "mx", "a"]),
             rows, [o["rowtime"] for o in self.ORDERS],
             store_names=("sql-window-messages", "sql-window-state"))
+
+    def test_sliding_window_rows_frame(self):
+        rows = [[o["rowtime"], o["productId"], o["units"]] for o in self.ORDERS]
+        self._check(
+            lambda: SlidingWindowOperator(
+                partition_key_source="[r[1]]", order_source="r[0]",
+                frame_mode="ROWS", preceding_ms=None, preceding_rows=2,
+                aggs=[AggSpec(func="SUM", arg_source="r[2]"),
+                      AggSpec(func="MIN", arg_source="r[2]")],
+                field_names=["rowtime", "productId", "units", "s", "mn"]),
+            rows, [o["rowtime"] for o in self.ORDERS],
+            store_names=("sql-window-messages", "sql-window-state"))
+
+    def test_stream_stream_join(self):
+        """Per-port batches in the same port order as the single feed must
+        match — including matches against rows buffered earlier in the
+        same batch."""
+        left = [[1000 + i * 10, f"p{i % 3}"] for i in range(20)]
+        right = [[1005 + i * 10, f"p{i % 3}"] for i in range(20)]
+
+        def make_operator():
+            return StreamStreamJoinOperator(
+                left_width=2, right_width=2,
+                condition_source="(l[1] == r[1])",
+                left_time_index=0, right_time_index=0,
+                lower_bound_ms=40, upper_bound_ms=40,
+                left_key_source="r[1]", right_key_source="r[1]",
+                field_names=["lt", "lid", "rt", "rid"])
+
+        def feed_single(op):
+            for row in left:
+                op.process(LEFT_PORT, row, row[0])
+            for row in right:
+                op.process(RIGHT_PORT, row, row[0])
+
+        def feed_batch(op):
+            op.process_batch(LEFT_PORT, list(left), [r[0] for r in left])
+            op.process_batch(RIGHT_PORT, list(right), [r[0] for r in right])
+
+        self._drain(make_operator, feed_single, feed_batch,
+                    ("sql-join-left", "sql-join-right"))
+
+    def test_group_window(self):
+        """Watermark advancement and closed-window emission inside a batch
+        must match the per-message sequence exactly (lateness decisions
+        included)."""
+        rows = [[(i * 37) % 500, f"k{i % 4}", i] for i in range(60)]
+        self._check(
+            lambda: GroupWindowAggOperator(
+                window_kind="TUMBLE", time_source="r[0]", emit_ms=100,
+                retain_ms=100, align_ms=0, group_key_source="[r[1]]",
+                aggs=[AggSpec(func="COUNT", arg_source=None),
+                      AggSpec(func="SUM", arg_source="r[2]"),
+                      AggSpec(func="MIN", arg_source="r[2]"),
+                      AggSpec(func="MAX", arg_source="r[2]")],
+                field_names=["wstart", "wend", "key", "c", "s", "mn", "mx"]),
+            rows, [r[0] for r in rows],
+            store_names=("sql-group-windows",))
+
+    def test_group_window_late_dropped_matches(self):
+        rows = [[(i * 37) % 500, f"k{i % 4}", i] for i in range(60)]
+
+        def make_operator():
+            return GroupWindowAggOperator(
+                window_kind="HOP", time_source="r[0]", emit_ms=50,
+                retain_ms=120, align_ms=0, group_key_source="[r[1]]",
+                aggs=[AggSpec(func="COUNT", arg_source=None)],
+                field_names=["wstart", "wend", "key", "c"])
+
+        single = make_operator()
+        wire(single, ("sql-group-windows",))
+        for row in rows:
+            single.process(0, row, row[0])
+        batched = make_operator()
+        wire(batched, ("sql-group-windows",))
+        batched.process_batch(0, list(rows), [r[0] for r in rows])
+        assert batched.late_dropped == single.late_dropped
