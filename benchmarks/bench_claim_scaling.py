@@ -4,7 +4,28 @@ Paper: "Results show sublinear scalability because the number of Kafka
 stream partitions assigned to a single task decrease with the increasing
 number of tasks (we keep partition count constant across tests) and lower
 number of partitions means lower read throughput at the streaming task."
+
+Two modes:
+
+* pytest (default) — the analytic :class:`ScalingModel` sweep, plus a
+  measured overlay in ``results/claim_scaling.txt`` when a previous
+  ``--real`` run left a ``BENCH_scaling.json`` behind;
+* ``python benchmarks/bench_claim_scaling.py --real`` — run the fig5a
+  filter for real at 1/2/4/8 worker processes
+  (``cluster.parallel.execution=true``), write ``BENCH_scaling.json`` at
+  the repo root and regenerate ``results/claim_scaling.txt`` with the
+  measured curve next to the modeled one.
 """
+
+import json
+import pathlib
+import sys
+
+if __name__ == "__main__":  # `python benchmarks/bench_claim_scaling.py`
+    _root = pathlib.Path(__file__).resolve().parent.parent
+    for entry in (str(_root), str(_root / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
 
 import pytest
 
@@ -13,6 +34,28 @@ from repro.cluster.scaling import ClusterParameters, ScalingModel
 from benchmarks.conftest import write_result
 
 CPU_MS = 0.02  # representative stateless per-message cost
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_SCALING_JSON = REPO_ROOT / "BENCH_scaling.json"
+
+
+def _measured_overlay_lines() -> list[str]:
+    """Lines describing the last --real sweep, if one was recorded."""
+    if not BENCH_SCALING_JSON.exists():
+        return []
+    payload = json.loads(BENCH_SCALING_JSON.read_text())
+    lines = [
+        "",
+        f"Measured (process-backed workers, fig5a filter, "
+        f"{payload['messages']} msgs, {payload['cpu_count']} CPUs):",
+    ]
+    measured = payload["measured"]
+    base = measured[0]["msgs_per_s"]
+    for point in measured:
+        lines.append(
+            f"  {point['workers']:>3} workers: "
+            f"{point['msgs_per_s']:>10.0f} msg/s "
+            f"({point['msgs_per_s'] / base:.2f}x vs 1 worker)")
+    return lines
 
 
 def test_simulate_8_containers(benchmark):
@@ -36,6 +79,7 @@ def test_claim_sublinear_with_fixed_partitions(benchmark, results_dir):
         speedup = throughput / base
         lines.append(f"  {count:>3} containers: {throughput:>10.0f} msg/s "
                      f"({speedup:.2f}x vs 1 container, linear would be {count}x)")
+    lines.extend(_measured_overlay_lines())
     write_result(results_dir, "claim_scaling", "\n".join(lines))
 
     # monotone growth but strictly sublinear
@@ -61,3 +105,71 @@ def test_claim_more_partitions_restore_scaling(benchmark, results_dir):
         "\n".join([f"Control — partitions grow with containers:"]
                   + [f"  {c} containers: {t / base:.2f}x" for c, t in series]))
     assert series[-1][1] / base > 6.5  # near-linear 8x
+
+
+def run_real_sweep(worker_counts: list[int], messages: int,
+                   partitions: int) -> dict:
+    """Measure the fig5a filter at each worker count (real processes) and
+    write BENCH_scaling.json + the measured/modeled results file."""
+    import os
+
+    from repro.bench.parallel_scaling import measure_parallel_scaling
+
+    measured = measure_parallel_scaling(worker_counts, messages=messages,
+                                        partitions=partitions)
+    model = ScalingModel(ClusterParameters(partitions=32))
+    modeled = model.sweep([1, 2, 4, 8, 16, 32], CPU_MS,
+                          messages_per_partition=1000)
+    payload = {
+        "benchmark": "fig5a filter, process-backed scaling",
+        "cpu_count": os.cpu_count() or 1,
+        "messages": messages,
+        "partitions": partitions,
+        "measured": [{"workers": count, "msgs_per_s": throughput}
+                     for count, throughput in measured],
+        "modeled": [{"containers": count, "msgs_per_s": throughput}
+                    for count, throughput in modeled],
+    }
+    BENCH_SCALING_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["Claim S3 — throughput vs containers (32 fixed partitions):"]
+    base = modeled[0][1]
+    for count, throughput in modeled:
+        lines.append(f"  {count:>3} containers: {throughput:>10.0f} msg/s "
+                     f"({throughput / base:.2f}x vs 1 container, "
+                     f"linear would be {count}x)")
+    lines.extend(_measured_overlay_lines())
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    results_dir.mkdir(exist_ok=True)
+    write_result(results_dir, "claim_scaling", "\n".join(lines))
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Measured fig5a scaling sweep over worker processes.")
+    parser.add_argument("--real", action="store_true",
+                        help="run the real sweep (required; without it "
+                             "this file is a pytest-benchmark module)")
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4, 8])
+    parser.add_argument("--messages", type=int, default=20_000)
+    parser.add_argument("--partitions", type=int, default=8)
+    args = parser.parse_args(argv)
+    if not args.real:
+        parser.error("pass --real to run the measured sweep "
+                     "(or run this file under pytest for the model)")
+    payload = run_real_sweep(args.workers, args.messages, args.partitions)
+    base = payload["measured"][0]["msgs_per_s"]
+    for point in payload["measured"]:
+        print(f"  {point['workers']} workers: "
+              f"{point['msgs_per_s']:,.0f} msgs/s "
+              f"({point['msgs_per_s'] / base:.2f}x)")
+    print(f"wrote {BENCH_SCALING_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -450,16 +450,23 @@ def main(argv: list[str] | None = None) -> int:
     * window state maintenance — the fig6 sliding window's split-layout
       write-behind state path must be at least ``--window-threshold``
       times faster per message than the legacy monolithic-blob
-      write-through maintenance it replaced.
+      write-through maintenance it replaced;
+    * parallel scaling — with ``--scaling-threshold`` set, the
+      process-backed mode (``cluster.parallel.execution=true``) at two
+      workers must reach at least that multiple of its own 1-worker
+      throughput.  Wall-clock, real processes; skipped (with a loud
+      warning, not a fake pass) when the host exposes a single CPU,
+      where a multi-core speedup is not measurable.
 
     All use GC-suspended process-time runs, interleaved modes, per-mode
     minima, and a best-of-``--attempts`` noise guard.  Exit 1 when any
     gate fails.
 
     Run:  python -m repro.bench.micro [--threshold 5] [--batch-threshold 1.5]
-          [--window-threshold 2.0]
+          [--window-threshold 2.0] [--scaling-threshold 1.4]
     """
     import argparse
+    import os
 
     from repro.bench.calibration import (measure_batch_speedup,
                                          measure_metrics_overhead)
@@ -475,6 +482,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="min fig6 state-maintenance speedup of the "
                              "write-behind layout over the legacy blob "
                              "path (default 2.0; 0 disables the gate)")
+    parser.add_argument("--scaling-threshold", type=float, default=0.0,
+                        help="min parallel-mode 2-worker/1-worker "
+                             "throughput ratio (0, the default, disables "
+                             "the gate)")
     parser.add_argument("--messages", type=int, default=4000)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--attempts", type=int, default=3,
@@ -551,6 +562,36 @@ def main(argv: list[str] | None = None) -> int:
         if window["speedup"] < args.window_threshold:
             print("FAIL: window state-maintenance speedup below threshold")
             failed = True
+
+    if args.scaling_threshold > 0:
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            print(f"parallel scaling gate SKIPPED: host exposes {cores} "
+                  "CPU(s); a multi-core speedup cannot be measured here "
+                  "(threshold not waived silently — run on a >=2 core "
+                  "host to enforce it)")
+        else:
+            from repro.bench.parallel_scaling import measure_scaling_speedup
+
+            scaling = None
+            for attempt in range(max(args.attempts, 1)):
+                measured = measure_scaling_speedup(
+                    workers=2, messages=max(args.messages, 10_000))
+                if scaling is None or measured["speedup"] > scaling["speedup"]:
+                    scaling = measured
+                if scaling["speedup"] >= args.scaling_threshold:
+                    break
+                print(f"attempt {attempt + 1}: parallel scaling "
+                      f"{measured['speedup']:.2f}x under threshold; "
+                      f"re-measuring...")
+            print(f"parallel execution scaling ({cores} CPUs):")
+            print(f"  1 worker:  {scaling['base_msgs_per_s']:,.0f} msgs/s")
+            print(f"  2 workers: {scaling['scaled_msgs_per_s']:,.0f} msgs/s")
+            print(f"  speedup:   {scaling['speedup']:.2f}x "
+                  f"(threshold {args.scaling_threshold:.1f}x)")
+            if scaling["speedup"] < args.scaling_threshold:
+                print("FAIL: parallel 2-worker scaling below threshold")
+                failed = True
 
     if failed:
         return 1

@@ -36,6 +36,7 @@ LATENCY = "latency"
 PARTITION_UNAVAILABLE = "partition_unavailable"
 CONTAINER_CRASH = "container_crash"
 ZK_EXPIRE = "zk_expire"
+WORKER_KILL = "worker_kill"
 
 #: Fault kinds that model recoverable broker-side errors.
 TRANSIENT_KINDS = (FETCH_ERROR, PRODUCE_ERROR, PARTITION_UNAVAILABLE)
@@ -74,6 +75,7 @@ class FaultSchedule:
     crash_points: tuple[int, ...] = ()              # processed-message counts
     zk_expiries: tuple[int, ...] = ()               # supervisor iterations
     unavailable_windows: tuple[UnavailabilityWindow, ...] = ()
+    worker_kills: tuple[int, ...] = ()              # supervisor iterations (SIGKILL)
 
     # -- construction --------------------------------------------------------
 
@@ -85,12 +87,17 @@ class FaultSchedule:
                   crash_range: tuple[int, int] = (25, 140),
                   zk_expiry_range: tuple[int, int] = (2, 6),
                   latency_range_ms: tuple[int, int] = (5, 50),
-                  window_length_ops: tuple[int, int] = (3, 6)) -> "FaultSchedule":
+                  window_length_ops: tuple[int, int] = (3, 6),
+                  worker_kills: int = 0,
+                  worker_kill_range: tuple[int, int] = (2, 10)) -> "FaultSchedule":
         """Draw a schedule from a seeded RNG.
 
         All choices are made up front from ``random.Random(seed)``, so the
         plan — and therefore the injected fault sequence against a fixed
-        workload — is a pure function of the seed.
+        workload — is a pure function of the seed.  Worker-kill draws (for
+        the parallel execution mode) come last and only when requested, so
+        legacy schedules for a given seed are byte-identical to what they
+        were before the fault kind existed.
         """
         if transient_faults < 0 or crashes < 0 or zk_expiries < 0:
             raise ConfigError("fault counts must be non-negative")
@@ -113,10 +120,14 @@ class FaultSchedule:
             windows.append(UnavailabilityWindow(
                 first_op=start, last_op=start + length - 1,
                 partition=rng.randrange(partitions)))
+        kills_at = tuple(sorted(
+            rng.randint(*worker_kill_range)
+            for _ in range(worker_kills))) if worker_kills > 0 else ()
         return FaultSchedule(
             fetch_faults=fetch_faults, produce_faults=produce_faults,
             latency_ms=latency, crash_points=crashes_at,
-            zk_expiries=expiries_at, unavailable_windows=tuple(windows))
+            zk_expiries=expiries_at, unavailable_windows=tuple(windows),
+            worker_kills=kills_at)
 
     @staticmethod
     def script() -> "FaultSchedule":
@@ -143,6 +154,10 @@ class FaultSchedule:
         self.zk_expiries = tuple(sorted(self.zk_expiries + iterations))
         return self
 
+    def add_worker_kill(self, *iterations: int) -> "FaultSchedule":
+        self.worker_kills = tuple(sorted(self.worker_kills + iterations))
+        return self
+
     def add_unavailability(self, first_op: int, last_op: int,
                            partition: int) -> "FaultSchedule":
         self.unavailable_windows = self.unavailable_windows + (
@@ -161,6 +176,7 @@ class FaultSchedule:
             "unavailable_windows": [
                 [w.first_op, w.last_op, w.partition]
                 for w in self.unavailable_windows],
+            "worker_kills": list(self.worker_kills),
         }
 
     def planned_transient_faults(self) -> int:
@@ -186,6 +202,7 @@ class FaultInjector:
         self.events: list[FaultEvent] = []
         self._pending_crashes = sorted(schedule.crash_points)
         self._pending_zk = sorted(schedule.zk_expiries)
+        self._pending_worker_kills = sorted(schedule.worker_kills)
 
     # -- activation ----------------------------------------------------------
 
@@ -275,6 +292,19 @@ class FaultInjector:
         self._record(ZK_EXPIRE, iteration,
                      ",".join(str(s) for s in session_ids),
                      f"{len(session_ids)} sessions")
+
+    def worker_kill_due(self, iteration: int) -> bool:
+        """True when the supervisor should SIGKILL a worker this round
+        (parallel execution only)."""
+        if not self.active:
+            return False
+        if self._pending_worker_kills and iteration >= self._pending_worker_kills[0]:
+            self._pending_worker_kills.pop(0)
+            return True
+        return False
+
+    def record_worker_kill(self, iteration: int, container_id: str) -> None:
+        self._record(WORKER_KILL, iteration, container_id, "SIGKILL")
 
     # -- replay record -------------------------------------------------------
 

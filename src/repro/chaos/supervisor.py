@@ -34,6 +34,9 @@ class ChaosSupervisor:
         self.iterations = 0
         self.restarts = 0
         self.zk_expirations = 0
+        self.worker_kills = 0
+        # Relaunches already counted into self.restarts, per coordinator.
+        self._seen_relaunches: dict[int, int] = {}
 
     # -- one cooperative round -----------------------------------------------
 
@@ -41,9 +44,21 @@ class ChaosSupervisor:
         """Advance every container once; repair whatever the chaos broke."""
         self.iterations += 1
         self._maybe_expire_zk_sessions()
+        self._maybe_kill_worker()
         processed = 0
         for master in self.runner.masters():
             if master.finished:
+                continue
+            coordinator = getattr(master, "parallel_coordinator", None)
+            if coordinator is not None:
+                # Process-backed job: the coordinator pumps frames, reaps
+                # dead workers and relaunches through the same YARN
+                # recovery path; fold its relaunch count into ours.
+                processed += coordinator.pump()
+                seen = self._seen_relaunches.get(id(coordinator), 0)
+                if coordinator.relaunches > seen:
+                    self.restarts += coordinator.relaunches - seen
+                    self._seen_relaunches[id(coordinator)] = coordinator.relaunches
                 continue
             for yarn_cid, samza_container in list(master.samza_containers.items()):
                 if samza_container.shutdown_requested:
@@ -71,6 +86,21 @@ class ChaosSupervisor:
         self.zk_expirations += 1
         self.injector.record_zk_expiry(self.iterations, expired)
 
+    def _maybe_kill_worker(self) -> None:
+        """SIGKILL one live worker process when the schedule says so
+        (parallel execution only — no-op for in-process jobs)."""
+        if not self.injector.worker_kill_due(self.iterations):
+            return
+        for master in self.runner.masters():
+            coordinator = getattr(master, "parallel_coordinator", None)
+            if master.finished or coordinator is None:
+                continue
+            victim = coordinator.kill_worker()
+            if victim is not None:
+                self.worker_kills += 1
+                self.injector.record_worker_kill(self.iterations, victim)
+                return
+
     # -- driving to completion -------------------------------------------------
 
     def run_until_quiescent(self, max_iterations: int = 10_000,
@@ -91,6 +121,7 @@ class ChaosSupervisor:
                     for m in self.runner.masters() if not m.finished):
                 idle += 1
                 if idle >= settle_rounds:
+                    self.runner.finalize_parallel_jobs()
                     return total
             else:
                 idle = 0
@@ -104,6 +135,7 @@ class ChaosSupervisor:
             "iterations": self.iterations,
             "container_restarts": self.restarts,
             "zk_expirations": self.zk_expirations,
+            "worker_kills": self.worker_kills,
             "fault_counts": self.injector.fault_counts(),
             "fingerprint": self.injector.fingerprint(),
         }

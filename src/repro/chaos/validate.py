@@ -28,12 +28,13 @@ from dataclasses import dataclass, field
 
 from repro.chaos.faults import (
     CONTAINER_CRASH,
+    WORKER_KILL,
     ZK_EXPIRE,
     FaultInjector,
     FaultSchedule,
 )
 from repro.chaos.supervisor import ChaosSupervisor
-from repro.common.clock import VirtualClock
+from repro.common.clock import SystemClock, VirtualClock
 from repro.kafka.producer import Producer
 from repro.samzasql.environment import SamzaSqlEnvironment
 from repro.serde.avro import AvroSerde
@@ -72,6 +73,13 @@ class ValidationReport:
     fingerprint: str
     events_blob: bytes = field(repr=False)
     snapshot_counters: dict[str, float] = field(default_factory=dict)
+    worker_kills: int = 0
+    # Canonical serialization of the *distinct* output rows.  The
+    # worker-kill replay check compares this instead of the event log:
+    # under real SIGKILL on a SystemClock the kill victims and relaunch
+    # timing are nondeterministic, but the at-least-once output content
+    # must not be.
+    outputs_blob: bytes = field(default=b"", repr=False)
 
     @property
     def at_least_once(self) -> bool:
@@ -105,6 +113,7 @@ class ValidationReport:
             "fingerprint": self.fingerprint,
             "at_least_once": self.at_least_once,
             "snapshot_counters": self.snapshot_counters,
+            "worker_kills": self.worker_kills,
         }
 
     def summary(self) -> str:
@@ -127,6 +136,9 @@ class ValidationReport:
             f"{self.iterations} supervisor iterations",
             f"  schedule fingerprint: {self.fingerprint[:16]}…",
         ]
+        if self.worker_kills:
+            lines.insert(-1, f"  worker SIGKILLs: {self.worker_kills} "
+                             "(process-backed execution)")
         if self.snapshot_counters:
             lines.append(
                 "  __metrics counters: "
@@ -135,6 +147,14 @@ class ValidationReport:
                 f"{self.snapshot_counters.get('checkpoint.reset', 0):.0f}, "
                 f"commits={self.snapshot_counters.get('commits', 0):.0f}")
         return "\n".join(lines)
+
+
+def _outputs_blob(emissions: dict[int, list[dict]]) -> bytes:
+    """Canonical bytes for the distinct output rows (duplicates folded)."""
+    rows = sorted(
+        {json.dumps(copy, sort_keys=True, separators=(",", ":"))
+         for copies in emissions.values() for copy in copies})
+    return "\n".join(rows).encode("utf-8")
 
 
 def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
@@ -221,6 +241,101 @@ def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
         fingerprint=injector.fingerprint(),
         events_blob=injector.events_blob(),
         snapshot_counters=snapshot_counters,
+        outputs_blob=_outputs_blob(emissions),
+    )
+
+
+def run_worker_kill_validation(seed: int = 42, orders: int = 300,
+                               containers: int = 2, partitions: int = 4,
+                               units_threshold: int = 10,
+                               kills: int = 2) -> ValidationReport:
+    """One chaos run against the process-backed execution mode.
+
+    The only scheduled fault is the new one: SIGKILL a live worker
+    process mid-run and require the supervisor/coordinator to relaunch
+    it from the mirrored changelog + checkpoint, with the same
+    at-least-once audit as the in-process run.  Broker faults stay
+    disarmed — the process boundary is the system under test here.
+    """
+    import random
+
+    clock = SystemClock()
+    rng = random.Random(seed)
+    schedule = FaultSchedule.script().add_worker_kill(
+        *sorted(rng.randint(2, 8) for _ in range(kills)))
+    injector = FaultInjector(schedule, clock=clock)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=2,
+                              node_mem_mb=61_000, clock=clock,
+                              metrics_interval_ms=1_000,
+                              config={"cluster.parallel.execution": "true"})
+    cluster, runner, shell, zk = env.cluster, env.runner, env.shell, env.zk
+
+    shell.register_stream("Orders", ORDERS_SCHEMA, partitions=partitions)
+    serde = AvroSerde(ORDERS_SCHEMA)
+    producer = Producer(cluster)
+    inputs: list[dict] = []
+    for i in range(orders):
+        record = {"rowtime": 1_000_000 + i * 1_000, "productId": i % 10,
+                  "orderId": i, "units": (i * 7) % 100}
+        producer.send("Orders", serde.to_bytes(record),
+                      key=str(record["productId"]).encode(),
+                      timestamp_ms=record["rowtime"])
+        inputs.append(record)
+
+    sql = VALIDATION_SQL.format(threshold=units_threshold)
+    handle = shell.execute(sql, containers=containers, config_overrides={
+        "task.checkpoint.interval.messages": 40,
+        "task.poll.batch.size": 25,
+    })
+    supervisor = ChaosSupervisor(runner, injector, zk=zk)
+    try:
+        supervisor.run_until_quiescent(max_iterations=1_000_000)
+
+        results = handle.results()
+        snapshot_counters: dict[str, float] = {}
+        for record in shell.latest_snapshots(job=handle.query_id, force=True):
+            if record["kind"] == "counter":
+                snapshot_counters[record["metric"]] = (
+                    snapshot_counters.get(record["metric"], 0.0)
+                    + record["value"])
+    finally:
+        # Reap the worker processes before anything else runs (a replay
+        # pass would otherwise inherit idle forks).
+        env.close()
+
+    expected = {r["orderId"]: r for r in inputs if r["units"] > units_threshold}
+    emissions: dict[int, list[dict]] = {}
+    for record in results:
+        emissions.setdefault(record["orderId"], []).append(record)
+
+    lost = sorted(set(expected) - set(emissions))
+    inconsistent = sorted(
+        order_id for order_id, copies in emissions.items()
+        if len({(c["rowtime"], c["productId"], c["units"]) for c in copies}) > 1
+    )
+    dup_counts = [len(copies) for copies in emissions.values()]
+    return ValidationReport(
+        seed=seed,
+        sql=sql,
+        input_count=len(inputs),
+        expected_count=len(expected),
+        output_records=len(results),
+        distinct_outputs=len(emissions),
+        lost_order_ids=lost,
+        duplicated_order_ids=sum(1 for n in dup_counts if n > 1),
+        duplicate_records=sum(n - 1 for n in dup_counts),
+        max_duplication=max(dup_counts, default=0),
+        inconsistent_order_ids=inconsistent,
+        fault_counts=injector.fault_counts(),
+        transient_faults=injector.transient_fault_count(),
+        container_restarts=supervisor.restarts,
+        zk_expirations=supervisor.zk_expirations,
+        iterations=supervisor.iterations,
+        fingerprint=injector.fingerprint(),
+        events_blob=injector.events_blob(),
+        snapshot_counters=snapshot_counters,
+        worker_kills=supervisor.worker_kills,
+        outputs_blob=_outputs_blob(emissions),
     )
 
 
@@ -234,34 +349,56 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--partitions", type=int, default=4)
     parser.add_argument("--replay-check", action="store_true",
                         help="run the schedule twice and require "
-                             "byte-identical fault logs")
+                             "byte-identical fault logs (distinct-output "
+                             "blobs under --worker-kill)")
+    parser.add_argument("--worker-kill", action="store_true",
+                        help="validate the process-backed execution mode: "
+                             "SIGKILL workers mid-run, require relaunch "
+                             "and at-least-once output")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     args = parser.parse_args(argv)
 
-    report = run_validation(seed=args.seed, orders=args.orders,
-                            containers=args.containers,
-                            partitions=args.partitions)
-    ok = report.at_least_once and report.meets_criteria()
+    if args.worker_kill:
+        run = lambda: run_worker_kill_validation(  # noqa: E731
+            seed=args.seed, orders=args.orders,
+            containers=args.containers, partitions=args.partitions)
+    else:
+        run = lambda: run_validation(  # noqa: E731
+            seed=args.seed, orders=args.orders,
+            containers=args.containers, partitions=args.partitions)
+
+    report = run()
+    if args.worker_kill:
+        meets = (report.fault_counts.get(WORKER_KILL, 0) >= 1
+                 and report.container_restarts >= 1)
+        criteria_bar = ">=1 worker SIGKILL fired, >=1 relaunch"
+    else:
+        meets = report.meets_criteria()
+        criteria_bar = ">=5 transient, >=1 crash, >=1 zk expiry"
+    ok = report.at_least_once and meets
 
     replay_ok = True
     if args.replay_check:
-        second = run_validation(seed=args.seed, orders=args.orders,
-                                containers=args.containers,
-                                partitions=args.partitions)
-        replay_ok = second.events_blob == report.events_blob
+        second = run()
+        if args.worker_kill:
+            # Kill timing is real-time nondeterministic; the *content*
+            # of the distinct outputs is what must replay identically.
+            replay_ok = second.outputs_blob == report.outputs_blob
+        else:
+            replay_ok = second.events_blob == report.events_blob
 
     if args.json:
         payload = report.to_dict()
-        payload["meets_criteria"] = report.meets_criteria()
+        payload["meets_criteria"] = meets
         if args.replay_check:
             payload["replay_identical"] = replay_ok
         print(json.dumps(payload, indent=2))
     else:
         print(report.summary())
-        if not report.meets_criteria():
+        if not meets:
             print("  WARNING: schedule fired fewer faults than the "
-                  "acceptance bar (>=5 transient, >=1 crash, >=1 zk expiry)")
+                  f"acceptance bar ({criteria_bar})")
         if args.replay_check:
             print(f"  replay determinism: "
                   f"{'byte-identical' if replay_ok else 'MISMATCH'}")

@@ -57,6 +57,7 @@ class Consumer:
         self._retry = retry_policy
         self._positions: dict[TopicPartition, int] = {}
         self._paused: set[TopicPartition] = set()
+        self._priority: set[TopicPartition] = set()
         self._rr_cursor = 0
         self.poll_count = 0
 
@@ -74,6 +75,7 @@ class Consumer:
         unknown topic) halfway through.
         """
         self._paused.clear()
+        self._priority.clear()
         self._rr_cursor = 0
         positions: dict[TopicPartition, int] = {}
         for tp in partitions:
@@ -128,6 +130,21 @@ class Consumer:
     def paused(self) -> set[TopicPartition]:
         return set(self._paused)
 
+    def set_priority(self, partitions: set[TopicPartition]) -> None:
+        """Mark partitions that every poll must visit *before* the fair
+        round-robin pass over the rest.
+
+        Kafka's Samza consumer gives bootstrap streams the highest priority
+        permanently — not just until catch-up — so a relation's changelog
+        update that is already in the log is always applied before stream
+        records fetched in the same poll.  Priority partitions are exempt
+        from the round-robin cursor; within the set they are visited in
+        (topic, partition) order.
+        """
+        for tp in partitions:
+            self._check_assigned(tp)
+        self._priority = set(partitions)
+
     # -- the poll loop ----------------------------------------------------------------------
 
     def _fetch(self, tp: TopicPartition, offset: int, max_records: int):
@@ -169,12 +186,18 @@ class Consumer:
         order = self.assignment()
         if not order:
             return []
+        # Priority partitions (bootstrap streams) come first in every poll
+        # and are exempt from the fairness cursor; the cursor rotates over
+        # the remainder only, so with no priorities set the visit order is
+        # unchanged.
+        rest = [tp for tp in order if tp not in self._priority]
+        visit = [tp for tp in order if tp in self._priority]
+        n = len(rest)
+        visit.extend(rest[(self._rr_cursor + i) % n] for i in range(n))
         groups: list[tuple[TopicPartition, list[ConsumerRecord]]] = []
-        n = len(order)
-        for i in range(n):
+        for tp in visit:
             if budget <= 0:
                 break
-            tp = order[(self._rr_cursor + i) % n]
             if tp in self._paused:
                 continue
             try:
@@ -197,7 +220,8 @@ class Consumer:
             ]))
             self._positions[tp] = messages[-1].offset + 1
             budget -= len(messages)
-        self._rr_cursor = (self._rr_cursor + 1) % n
+        if n:
+            self._rr_cursor = (self._rr_cursor + 1) % n
         return groups
 
     # -- commit -------------------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""Process-backed parallel execution (``cluster.parallel.execution=true``).
+
+The in-process runtime executes every container cooperatively on one
+thread — perfect for determinism, useless for multi-core throughput.
+This package adds a second execution mode in which each
+:class:`~repro.samza.container.SamzaContainer` runs in its own forked OS
+process hosting a *shared-nothing broker shard*: the fork inherits the
+whole in-process object graph (cluster, ZooKeeper, config, serdes), so
+the partitions a container consumes, its changelog partitions and its
+checkpoint log are all served by broker objects living in the worker's
+own address space.  The hot consume→DAG→produce loop therefore never
+crosses a process boundary.
+
+Cross-partition traffic — repartition topics, ``__metrics``, output
+streams the shell reads — travels over framed ``multiprocessing`` pipes
+carrying already-serialized record batches (:mod:`repro.parallel.frames`),
+one frame per poll iteration, so IPC cost is amortized exactly like fetch
+cost in the batched path.  A control pipe per worker carries the
+spawn/shutdown/commit-barrier/metrics-snapshot/fault protocol
+(:mod:`repro.parallel.coordinator`), and the parent's copy of every
+mirrored topic is the durable store a relaunched worker restores from —
+at-least-once across SIGKILL, verified by ``repro.chaos.validate
+--worker-kill``.
+"""
+
+from repro.parallel.coordinator import ParallelJobCoordinator
+from repro.parallel.frames import decode_frame, encode_frame
+
+__all__ = ["ParallelJobCoordinator", "encode_frame", "decode_frame"]

@@ -1,0 +1,453 @@
+"""Parent-side control plane for process-backed containers.
+
+The coordinator owns one :class:`WorkerHandle` per live container: a
+forked worker process, the command pipe the parent writes, and a daemon
+reader thread that drains the worker's data pipe into an inbox the
+moment bytes arrive.  The reader threads are what make the pipe protocol
+deadlock-free — a worker's data sends can never block indefinitely on a
+parent that is itself blocked sending a command, because the parent is
+always consuming.
+
+Responsibilities:
+
+* **spawn** — fork a worker for every container the master has started
+  but no process serves yet (initial launch and relaunch share this
+  path: a replacement container restores from the parent's mirrored
+  changelog/checkpoint *before* the fork, so the fork ships restored
+  state);
+* **mirror** — apply the record frames workers send (outputs, changelogs,
+  checkpoints, metrics) to the parent cluster, the durable copy;
+* **route** — sequence records produced to a job's own input topics and
+  forward them — plus anything the parent or other jobs produced — to
+  whichever worker owns the destination partition;
+* **supervise** — detect dead workers (pipe EOF, liveness, error
+  reports), fail them through the YARN resource manager so the
+  application master's normal recovery path builds a replacement, and
+  fork a fresh worker for it;
+* **barrier** — drive the commit/metrics/shutdown control protocol.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+from repro.kafka.message import TopicPartition
+from repro.parallel.frames import (
+    MSG_ACK_COMMIT,
+    MSG_ACK_METRICS,
+    MSG_ACK_SHUTDOWN,
+    MSG_COMMIT,
+    MSG_DATA,
+    MSG_ERROR,
+    MSG_INPUT,
+    MSG_METRICS,
+    MSG_SHUTDOWN,
+    MSG_STATUS,
+    MSG_STATUS_REQ,
+    decode_frame,
+    encode_frame,
+    parse_msg,
+    send_msg,
+)
+from repro.parallel.worker import worker_main
+from repro.yarn.launcher import ProcessLauncher
+
+#: Ceiling on how long the parent waits for one control-protocol reply.
+AWAIT_TIMEOUT_S = 60.0
+#: Records per forwarded input frame (bounds single pipe messages).
+FORWARD_CHUNK = 2048
+
+
+class WorkerHandle:
+    """One worker process plus its pipes and reader thread."""
+
+    def __init__(self, yarn_container_id: str, process, cmd_conn, data_conn):
+        self.yarn_container_id = yarn_container_id
+        self.process = process
+        self.cmd_conn = cmd_conn
+        self.inbox: collections.deque[bytes] = collections.deque()
+        self.cond = threading.Condition()
+        self.eof = False
+        self.error: dict | None = None
+        self.stopped = False            # graceful shutdown acked
+        self.last_processed = 0
+        self.last_lag = 0
+        self.last_shutdown = False
+        # Next parent offset to forward per owned input partition.
+        self.forward_pos: dict[TopicPartition, int] = {}
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(data_conn,), daemon=True,
+            name=f"worker-reader-{yarn_container_id}")
+        self._reader.start()
+
+    def _read_loop(self, conn) -> None:
+        try:
+            while True:
+                raw = conn.recv_bytes()
+                with self.cond:
+                    self.inbox.append(raw)
+                    self.cond.notify_all()
+        except (EOFError, OSError):
+            with self.cond:
+                self.eof = True
+                self.cond.notify_all()
+
+    @property
+    def dead(self) -> bool:
+        return self.eof or self.error is not None or not self.process.is_alive()
+
+    def close(self) -> None:
+        try:
+            self.cmd_conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.kill()
+            self.process.join(timeout=5)
+        self._reader.join(timeout=5)
+
+
+class ParallelJobCoordinator:
+    """Drives one job's containers as forked worker processes."""
+
+    def __init__(self, master, runner, max_relaunches: int = 8):
+        self.master = master
+        self.runner = runner
+        self.cluster = runner.cluster
+        self.max_relaunches = max_relaunches
+        self.relaunches = 0
+        self.handles: dict[str, WorkerHandle] = {}
+        self._mp = multiprocessing.get_context("fork")
+        self._shutdown = False
+        self._worker_seq = 0
+        self._routed_topics = sorted(
+            ss.stream for ss in master.job.input_streams())
+        # Relation changelogs and other bootstrap inputs must reach a
+        # worker before the stream records that expect to see their
+        # effects — forwarded first within each (atomic) input frame.
+        self._bootstrap_topics = {
+            ss.stream for ss in master.job.input_streams()
+            if master.job.config.get_bool(
+                f"systems.{ss.system}.streams.{ss.stream}.samza.bootstrap",
+                False)
+        }
+        if runner.rm.process_launcher is None:
+            runner.rm.process_launcher = ProcessLauncher()
+        self._launcher = runner.rm.process_launcher
+
+    # -- spawning --------------------------------------------------------------
+
+    def ensure_workers(self) -> None:
+        for yarn_cid, container in sorted(self.master.samza_containers.items()):
+            if yarn_cid not in self.handles:
+                self._spawn(yarn_cid, container)
+
+    def _spawn(self, yarn_cid: str, container) -> None:
+        cmd_recv, cmd_send = self._mp.Pipe(duplex=False)
+        data_recv, data_send = self._mp.Pipe(duplex=False)
+        # Forward positions start at the parent's current watermarks: the
+        # fork below inherits everything up to here, so forwarding begins
+        # exactly where inheritance ends.
+        forward_pos = {
+            ssp.topic_partition: self.cluster.latest_offset(ssp.topic_partition)
+            for instance in container.tasks.values()
+            for ssp in instance.ssps
+        }
+        self._worker_seq += 1
+        process = self._mp.Process(
+            target=worker_main,
+            args=(container, cmd_recv, data_send, self._routed_topics),
+            daemon=True,
+            name=f"samza-worker-{self.master.job.name}-{self._worker_seq}",
+        )
+        process.start()
+        # Close the parent's copies of the child-side pipe ends so a dead
+        # worker yields EOF on the reader thread instead of a silent hang.
+        cmd_recv.close()
+        data_send.close()
+        handle = WorkerHandle(yarn_cid, process, cmd_send, data_recv)
+        handle.forward_pos = forward_pos
+        self.handles[yarn_cid] = handle
+        self._launcher.register(yarn_cid, process)
+
+    # -- frame application -----------------------------------------------------
+
+    def _apply_frame(self, payload: bytes) -> None:
+        for topic, partition, partition_count, records in decode_frame(payload):
+            if not self.cluster.has_topic(topic):
+                self.cluster.create_topic(topic, partitions=partition_count,
+                                          if_not_exists=True)
+            tp = TopicPartition(topic, partition)
+            for _offset, timestamp_ms, key, value in records:
+                self.cluster.produce(tp, key, value, timestamp_ms)
+
+    def _dispatch(self, handle: WorkerHandle, raw: bytes) -> tuple[bytes, bytes]:
+        tag, payload = parse_msg(raw)
+        if tag == MSG_DATA:
+            self._apply_frame(payload)
+        elif tag == MSG_ERROR:
+            handle.error = json.loads(payload.decode("utf-8"))
+        return tag, payload
+
+    def _drain(self, handle: WorkerHandle) -> None:
+        while True:
+            with handle.cond:
+                if not handle.inbox:
+                    return
+                raw = handle.inbox.popleft()
+            self._dispatch(handle, raw)
+
+    def _await(self, handle: WorkerHandle, wanted: bytes,
+               timeout_s: float = AWAIT_TIMEOUT_S) -> bytes | None:
+        """Drain the handle's inbox until ``wanted`` arrives (frames and
+        errors seen on the way are applied); None on death or timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with handle.cond:
+                raw = handle.inbox.popleft() if handle.inbox else None
+                if raw is None:
+                    if handle.eof or handle.error is not None:
+                        return None
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    handle.cond.wait(timeout=min(remaining, 0.05))
+                    continue
+            tag, payload = self._dispatch(handle, raw)
+            if tag == wanted:
+                return payload
+
+    # -- death detection and relaunch ------------------------------------------
+
+    def _reap_dead(self) -> None:
+        for yarn_cid, handle in list(self.handles.items()):
+            if not handle.dead:
+                continue
+            # Mirror whatever the reader thread received before the EOF —
+            # frames flushed before the kill are durable by contract.
+            self._drain(handle)
+            self._launcher.unregister(yarn_cid)
+            handle.close()
+            del self.handles[yarn_cid]
+            if handle.stopped or self._shutdown or self.master.finished:
+                continue
+            self.relaunches += 1
+            if self.relaunches > self.max_relaunches:
+                detail = handle.error or {"error": "worker died"}
+                raise RuntimeError(
+                    f"worker for {yarn_cid} exceeded {self.max_relaunches} "
+                    f"relaunches; last error: {detail}")
+            if yarn_cid in self.master.samza_containers:
+                reason = (handle.error or {}).get(
+                    "error", "worker process died")
+                # FAILED -> the master re-requests, the RM schedules, and
+                # on_containers_allocated builds + starts a replacement
+                # container in the parent, restoring state from the
+                # mirrored changelog and checkpoint topics.  The next
+                # ensure_workers() forks it.
+                self.runner.rm.fail_container(yarn_cid, reason)
+
+    # -- input forwarding ------------------------------------------------------
+
+    def _forward_input(self) -> None:
+        """Ship everything a worker is owed as ONE frame per round.
+
+        A single multi-group frame is applied atomically by the worker
+        (one ``recv_bytes``, one ``handle_command``), so its container
+        can never run an iteration having seen only part of this round's
+        input.  Bootstrap topics (relation changelogs) order first in
+        the frame: an update produced before a stream record is always
+        visible to the task by the time that record is processed —
+        matching the in-process mode, where production order alone
+        decides visibility.
+        """
+        for handle in self.handles.values():
+            if handle.dead:
+                continue
+            groups = []
+            new_pos: dict[TopicPartition, int] = {}
+            ordered = sorted(
+                handle.forward_pos.items(),
+                key=lambda item: (item[0].topic not in self._bootstrap_topics,
+                                  item[0].topic, item[0].partition))
+            for tp, pos in ordered:
+                end = self.cluster.latest_offset(tp)
+                while pos < end:
+                    records = [
+                        (m.offset, m.timestamp_ms, m.key, m.value)
+                        for m in self.cluster.fetch(
+                            tp, pos, min(FORWARD_CHUNK, end - pos))
+                    ]
+                    if not records:  # pragma: no cover - defensive
+                        break
+                    groups.append((
+                        tp.topic, tp.partition,
+                        self.cluster.topic(tp.topic).partition_count,
+                        records))
+                    pos = records[-1][0] + 1
+                if pos != handle.forward_pos[tp]:
+                    new_pos[tp] = pos
+            if not groups:
+                continue
+            try:
+                send_msg(handle.cmd_conn, MSG_INPUT, encode_frame(groups))
+            except (BrokenPipeError, OSError):
+                with handle.cond:
+                    handle.eof = True
+                continue
+            handle.forward_pos.update(new_pos)
+
+    def _pending_forwards(self) -> int:
+        backlog = 0
+        for handle in self.handles.values():
+            for tp, pos in handle.forward_pos.items():
+                backlog += max(0, self.cluster.latest_offset(tp) - pos)
+        return backlog
+
+    # -- the pump: one cooperative parent-side round ---------------------------
+
+    def pump(self) -> int:
+        """Mirror, reap, spawn, forward, and collect one status round.
+
+        Returns the number of records workers report processing since the
+        previous round — the parallel counterpart of the processed count
+        :meth:`SamzaApplicationMaster.run_iteration` returns.
+        """
+        if self._shutdown:
+            return 0
+        for handle in list(self.handles.values()):
+            self._drain(handle)
+        self._reap_dead()
+        self.ensure_workers()
+        self._forward_input()
+        return self._status_round()
+
+    def _status_round(self) -> int:
+        delta = 0
+        for handle in list(self.handles.values()):
+            if handle.dead:
+                continue
+            try:
+                send_msg(handle.cmd_conn, MSG_STATUS_REQ)
+            except (BrokenPipeError, OSError):
+                with handle.cond:
+                    handle.eof = True
+                continue
+            payload = self._await(handle, MSG_STATUS)
+            if payload is None:
+                continue
+            status = json.loads(payload.decode("utf-8"))
+            delta += status["processed"] - handle.last_processed
+            handle.last_processed = status["processed"]
+            handle.last_lag = status["lag"]
+            handle.last_shutdown = status["shutdown"]
+        return delta
+
+    # -- introspection ---------------------------------------------------------
+
+    def total_lag(self) -> int:
+        if self._shutdown:
+            return 0
+        lag = sum(h.last_lag for h in self.handles.values())
+        lag += self._pending_forwards()
+        # Containers with no worker yet can't be quiescent.
+        lag += sum(1 for yarn_cid in self.master.samza_containers
+                   if yarn_cid not in self.handles)
+        return lag
+
+    def all_shutdown(self) -> bool:
+        return bool(self.handles) and all(
+            h.last_shutdown for h in self.handles.values())
+
+    def container_metrics(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for yarn_cid, handle in self.handles.items():
+            container = self.master.samza_containers.get(yarn_cid)
+            container_id = container.container_id if container else yarn_cid
+            out[container_id] = {
+                "processed": float(handle.last_processed),
+                "lag": float(handle.last_lag),
+                "bootstrapping": 0.0,
+            }
+        return out
+
+    def live_worker_ids(self) -> list[str]:
+        return sorted(yarn_cid for yarn_cid, handle in self.handles.items()
+                      if not handle.dead)
+
+    # -- control barriers ------------------------------------------------------
+
+    def _barrier(self, request: bytes, ack: bytes) -> None:
+        pending = []
+        for handle in list(self.handles.values()):
+            if handle.dead:
+                continue
+            try:
+                send_msg(handle.cmd_conn, request)
+            except (BrokenPipeError, OSError):
+                with handle.cond:
+                    handle.eof = True
+                continue
+            pending.append(handle)
+        for handle in pending:
+            self._await(handle, ack)
+
+    def commit_barrier(self) -> None:
+        """Every live worker commits (state flush + checkpoint) and mirrors
+        the result before this returns — run_until_quiescent's guarantee
+        that 'quiescent' includes durable."""
+        if self._shutdown:
+            return
+        self._barrier(MSG_COMMIT, MSG_ACK_COMMIT)
+
+    def force_metrics(self) -> None:
+        """Out-of-cycle metrics snapshot from every live worker, mirrored."""
+        if self._shutdown:
+            return
+        self._barrier(MSG_METRICS, MSG_ACK_METRICS)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown_all(self) -> None:
+        """Gracefully stop every worker (final commit + snapshot mirrored)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for handle in list(self.handles.values()):
+            if handle.dead:
+                continue
+            try:
+                send_msg(handle.cmd_conn, MSG_SHUTDOWN)
+            except (BrokenPipeError, OSError):
+                with handle.cond:
+                    handle.eof = True
+        for yarn_cid, handle in list(self.handles.items()):
+            if not handle.dead:
+                if self._await(handle, MSG_ACK_SHUTDOWN) is not None:
+                    handle.stopped = True
+            self._drain(handle)
+            self._launcher.unregister(yarn_cid)
+            handle.close()
+            del self.handles[yarn_cid]
+
+    def kill_worker(self, index: int = 0) -> str | None:
+        """SIGKILL the index-th live worker (chaos hook); returns its
+        container id, or None when no worker is live."""
+        live = self.live_worker_ids()
+        if not live:
+            return None
+        yarn_cid = live[index % len(live)]
+        handle = self.handles[yarn_cid]
+        try:
+            os.kill(handle.process.pid, signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - already gone
+            pass
+        handle.process.join(timeout=5)
+        return yarn_cid

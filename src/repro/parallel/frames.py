@@ -1,0 +1,135 @@
+"""Wire protocol between the coordinator and worker processes.
+
+Two ``duplex=False`` pipes connect each worker to the parent: a command
+pipe (parent → worker) and a data pipe (worker → parent).  Every message
+is one ``send_bytes`` payload — a 1-byte type tag followed by either a
+varint-encoded *record frame* or a canonical-JSON control payload.  No
+pickling: records cross the boundary as the already-serialized key/value
+bytes the batched execution path produced, so IPC cost per message is a
+memcpy, not a re-serialization.
+
+A record frame groups records per (topic, partition) exactly like
+``Consumer.poll_batches`` groups fetches::
+
+    varint n_groups
+    per group:
+        varint len(topic)  topic_utf8
+        varint partition
+        varint partition_count          # so the receiver can create the topic
+        varint n_records
+        per record:
+            varint offset               # producer-side offset (informational)
+            0x00 | 0x01 zigzag ts_ms    # timestamp presence + value
+            varint 0 | len(key)+1  key_bytes       # 0 encodes None
+            varint 0 | len(value)+1  value_bytes
+
+Frames are applied atomically by the receiver: ``Connection.recv_bytes``
+delivers whole messages or nothing, so a SIGKILLed worker can never leave
+a half-applied frame in the parent — the at-least-once argument for
+worker kills rests on this.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SerdeError
+from repro.common.varint import encode_varint, encode_zigzag, read_varint, read_zigzag
+
+# -- message type tags ---------------------------------------------------------
+# parent -> worker
+MSG_INPUT = b"I"         # record frame: input forwarded to partitions this worker owns
+MSG_STATUS_REQ = b"S"    # request a status reply (flushes pending frames first)
+MSG_COMMIT = b"C"        # commit barrier: commit every task, flush, ack
+MSG_METRICS = b"M"       # force an out-of-cycle metrics snapshot, flush, ack
+MSG_SHUTDOWN = b"Q"      # stop the container, flush, ack, exit
+
+# worker -> parent
+MSG_DATA = b"D"          # record frame: records produced beyond the fork baseline
+MSG_STATUS = b"s"        # JSON {processed, lag, shutdown}
+MSG_ACK_COMMIT = b"c"
+MSG_ACK_METRICS = b"m"
+MSG_ACK_SHUTDOWN = b"q"
+MSG_ERROR = b"E"         # JSON {kind, error} — worker is about to exit nonzero
+
+#: (topic, partition, partition_count, records); records are
+#: (offset, timestamp_ms | None, key_bytes | None, value_bytes | None).
+RecordGroup = tuple[str, int, int, list[tuple]]
+
+
+def _encode_optional_bytes(out: bytearray, data: bytes | None) -> None:
+    if data is None:
+        out += b"\x00"
+    else:
+        out += encode_varint(len(data) + 1)
+        out += data
+
+
+def _read_optional_bytes(buf: bytes, pos: int) -> tuple[bytes | None, int]:
+    length, pos = read_varint(buf, pos)
+    if length == 0:
+        return None, pos
+    end = pos + length - 1
+    if end > len(buf):
+        raise SerdeError("truncated frame: optional bytes run past the buffer")
+    return buf[pos:end], end
+
+
+def encode_frame(groups: list[RecordGroup]) -> bytes:
+    out = bytearray()
+    out += encode_varint(len(groups))
+    for topic, partition, partition_count, records in groups:
+        topic_bytes = topic.encode("utf-8")
+        out += encode_varint(len(topic_bytes))
+        out += topic_bytes
+        out += encode_varint(partition)
+        out += encode_varint(partition_count)
+        out += encode_varint(len(records))
+        for offset, timestamp_ms, key, value in records:
+            out += encode_varint(offset)
+            if timestamp_ms is None:
+                out += b"\x00"
+            else:
+                out += b"\x01"
+                out += encode_zigzag(timestamp_ms)
+            _encode_optional_bytes(out, key)
+            _encode_optional_bytes(out, value)
+    return bytes(out)
+
+
+def decode_frame(buf: bytes) -> list[RecordGroup]:
+    groups: list[RecordGroup] = []
+    n_groups, pos = read_varint(buf, 0)
+    for _ in range(n_groups):
+        topic_len, pos = read_varint(buf, pos)
+        topic = buf[pos:pos + topic_len].decode("utf-8")
+        pos += topic_len
+        partition, pos = read_varint(buf, pos)
+        partition_count, pos = read_varint(buf, pos)
+        n_records, pos = read_varint(buf, pos)
+        records = []
+        for _ in range(n_records):
+            offset, pos = read_varint(buf, pos)
+            if pos >= len(buf):
+                raise SerdeError("truncated frame: missing timestamp flag")
+            has_ts = buf[pos]
+            pos += 1
+            timestamp_ms = None
+            if has_ts:
+                timestamp_ms, pos = read_zigzag(buf, pos)
+            key, pos = _read_optional_bytes(buf, pos)
+            value, pos = _read_optional_bytes(buf, pos)
+            records.append((offset, timestamp_ms, key, value))
+        groups.append((topic, partition, partition_count, records))
+    if pos != len(buf):
+        raise SerdeError(f"trailing bytes after frame: {len(buf) - pos}")
+    return groups
+
+
+def send_msg(conn, tag: bytes, payload: bytes = b"") -> None:
+    """One tagged message down a pipe (atomic on the receiving side)."""
+    conn.send_bytes(tag + payload)
+
+
+def parse_msg(raw: bytes) -> tuple[bytes, bytes]:
+    if not raw:
+        raise SerdeError("empty pipe message")
+    return raw[:1], raw[1:]

@@ -1,0 +1,220 @@
+"""The worker process: one container, one broker shard, two pipes.
+
+Workers are created with ``fork``: the child inherits the parent's whole
+in-process object graph — Kafka cluster, ZooKeeper, config, serdes, task
+factories — and that inherited copy *is* the shared-nothing broker shard.
+Nothing is pickled; the fork is the state transfer.  After forking, the
+worker finishes task initialization (``SamzaContainer.finish_task_init``),
+which is where :class:`~repro.samzasql.task.SamzaSqlTask` reads the
+physical-plan JSON back from the forked ZooKeeper and recompiles its
+operators — the paper's two-step planning, now genuinely per-process.
+
+Everything the worker produces beyond the fork-time watermarks is
+mirrored to the parent as record frames (the parent's cluster is the
+durable copy a relaunched worker restores from).  Topics that are inputs
+of the worker's own job are *routed* instead: a produce to one of them is
+diverted to an outbox and never applied locally, because input partitions
+need a single sequencer — the parent applies the outbox and forwards each
+record back to whichever worker owns the destination partition.  That
+keeps input-partition offsets identical in parent and worker, which is
+what lets a checkpoint written in one worker incarnation seek correctly
+in the next.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import nullcontext
+
+from repro.common.errors import ContainerCrashError, RetryExhaustedError
+from repro.kafka.message import TopicPartition
+from repro.parallel.frames import (
+    MSG_ACK_COMMIT,
+    MSG_ACK_METRICS,
+    MSG_ACK_SHUTDOWN,
+    MSG_COMMIT,
+    MSG_DATA,
+    MSG_ERROR,
+    MSG_INPUT,
+    MSG_METRICS,
+    MSG_SHUTDOWN,
+    MSG_STATUS,
+    MSG_STATUS_REQ,
+    RecordGroup,
+    decode_frame,
+    encode_frame,
+    parse_msg,
+    send_msg,
+)
+
+#: Seconds the idle worker blocks on the command pipe between iterations.
+IDLE_POLL_S = 0.002
+
+
+class ClusterTap:
+    """Watermark tracker over the worker's local cluster copy.
+
+    ``collect`` returns every record appended past the last collection as
+    record groups, and advances the watermarks.  Partitions the parent
+    forwards input into are advanced with :meth:`mark_forwarded` so the
+    forwarded records are not mirrored straight back.
+    """
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+        self._positions: dict[TopicPartition, int] = {}
+        for topic in cluster.topics():
+            for tp in cluster.partitions_for(topic):
+                self._positions[tp] = cluster.latest_offset(tp)
+
+    def mark_forwarded(self, tp: TopicPartition, offset: int) -> None:
+        self._positions[tp] = offset
+
+    def collect(self) -> list[RecordGroup]:
+        cluster = self._cluster
+        groups: list[RecordGroup] = []
+        # The tap is observation, not the system under test: freeze the
+        # fault injector so these fetches don't consume scheduled faults.
+        injector = cluster.fault_injector
+        guard = injector.suspended() if injector is not None else nullcontext()
+        with guard:
+            for topic in cluster.topics():
+                partition_count = cluster.topic(topic).partition_count
+                for tp in cluster.partitions_for(topic):
+                    pos = self._positions.get(tp)
+                    if pos is None:  # topic created after the fork
+                        pos = cluster.earliest_offset(tp)
+                    end = cluster.latest_offset(tp)
+                    if end <= pos:
+                        continue
+                    records = [
+                        (m.offset, m.timestamp_ms, m.key, m.value)
+                        for m in cluster.fetch(tp, pos, end - pos)
+                    ]
+                    groups.append((topic, tp.partition, partition_count, records))
+                    self._positions[tp] = end
+        return groups
+
+
+def worker_main(container, cmd_conn, data_conn, routed_topics: list[str]) -> None:
+    """Run one container to shutdown inside a forked process."""
+    cluster = container.cluster
+    routed = set(routed_topics)
+    outbox: list[tuple[TopicPartition, bytes | None, bytes | None, int | None]] = []
+
+    # Redirect produces to routed topics (this job's own inputs) into the
+    # outbox; the parent is their single sequencer.  Bound methods shadow
+    # at the instance level, so only this process is affected.
+    original_produce = type(cluster).produce.__get__(cluster)
+
+    def redirecting_produce(tp, key, value, timestamp_ms=None):
+        if tp.topic in routed:
+            outbox.append((tp, key, value, timestamp_ms))
+            return -1
+        return original_produce(tp, key, value, timestamp_ms)
+
+    cluster.produce = redirecting_produce
+
+    container.finish_task_init()
+    tap = ClusterTap(cluster)
+
+    def flush() -> None:
+        groups = tap.collect()
+        if outbox:
+            routed_groups: dict[TopicPartition, list[tuple]] = {}
+            for tp, key, value, timestamp_ms in outbox:
+                routed_groups.setdefault(tp, []).append(
+                    (0, timestamp_ms, key, value))
+            outbox.clear()
+            for tp, records in routed_groups.items():
+                groups.append((tp.topic, tp.partition,
+                               cluster.topic(tp.topic).partition_count, records))
+        if groups:
+            send_msg(data_conn, MSG_DATA, encode_frame(groups))
+
+    def apply_input(payload: bytes) -> None:
+        for topic, partition, partition_count, records in decode_frame(payload):
+            if not cluster.has_topic(topic):
+                cluster.create_topic(topic, partitions=partition_count,
+                                     if_not_exists=True)
+            tp = TopicPartition(topic, partition)
+            for _offset, timestamp_ms, key, value in records:
+                original_produce(tp, key, value, timestamp_ms)
+            tap.mark_forwarded(tp, cluster.latest_offset(tp))
+
+    stopping = False
+
+    def handle_command(raw: bytes) -> None:
+        nonlocal stopping
+        tag, payload = parse_msg(raw)
+        if tag == MSG_INPUT:
+            apply_input(payload)
+        elif tag == MSG_STATUS_REQ:
+            flush()
+            status = {"processed": container.processed_count,
+                      "lag": container.total_lag(),
+                      "shutdown": container.shutdown_requested}
+            send_msg(data_conn, MSG_STATUS,
+                     json.dumps(status, sort_keys=True).encode("utf-8"))
+        elif tag == MSG_COMMIT:
+            if not container.shutdown_requested:
+                container.commit()
+            flush()
+            send_msg(data_conn, MSG_ACK_COMMIT)
+        elif tag == MSG_METRICS:
+            if (container.metrics_reporter is not None
+                    and not container.shutdown_requested):
+                container.metrics_reporter.report()
+            flush()
+            send_msg(data_conn, MSG_ACK_METRICS)
+        elif tag == MSG_SHUTDOWN:
+            if not container.shutdown_requested:
+                container.stop()
+            flush()
+            send_msg(data_conn, MSG_ACK_SHUTDOWN,
+                     json.dumps({"processed": container.processed_count},
+                                sort_keys=True).encode("utf-8"))
+            stopping = True
+
+    try:
+        while not stopping:
+            while cmd_conn.poll(0):
+                handle_command(cmd_conn.recv_bytes())
+                if stopping:
+                    break
+            if stopping:
+                break
+            handled = container.run_iteration()
+            flush()
+            if handled == 0:
+                # Idle: block briefly on the command pipe instead of spinning.
+                cmd_conn.poll(IDLE_POLL_S)
+    except (EOFError, BrokenPipeError, OSError):
+        # Parent went away; nothing to report to.
+        raise SystemExit(2)
+    except (ContainerCrashError, RetryExhaustedError) as err:
+        _report_error(data_conn, flush, err)
+        raise SystemExit(1)
+    except Exception as err:  # pragma: no cover - defensive
+        _report_error(data_conn, flush, err)
+        raise SystemExit(3)
+    finally:
+        try:
+            data_conn.close()
+            cmd_conn.close()
+        except OSError:
+            pass
+
+
+def _report_error(data_conn, flush, err: BaseException) -> None:
+    """Best-effort: mirror surviving records, then describe the failure."""
+    try:
+        flush()
+    except Exception:
+        pass
+    try:
+        send_msg(data_conn, MSG_ERROR,
+                 json.dumps({"kind": type(err).__name__, "error": str(err)},
+                            sort_keys=True).encode("utf-8"))
+    except (BrokenPipeError, OSError):
+        pass

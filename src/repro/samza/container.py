@@ -142,6 +142,11 @@ class SamzaContainer:
         # whole per-partition record batches.  task.batch.execution=false
         # selects the per-message loop for A/B comparison.
         self._batch_execution = config.get_bool("task.batch.execution", True)
+        # Under parallel execution, task init (and with it the SQL task's
+        # plan fetch + operator codegen) is deferred to the worker process
+        # so compilation happens per-process from the shared plan JSON.
+        self._parallel_execution = config.get_bool("cluster.parallel.execution", False)
+        self._tasks_initialized = False
         self._messages_since_commit = 0
         self._last_window_ms = 0
         self._started = False
@@ -259,18 +264,38 @@ class SamzaContainer:
                     self.config, ssp.system, ssp.stream)
 
         # Bootstrap handling: pause everything that is not a bootstrap input.
+        # Bootstrap streams also keep *poll priority* permanently (as in
+        # Samza): after catch-up, a changelog record already in the log is
+        # always consumed before stream records fetched in the same poll, so
+        # relation-cache updates are never reordered behind the round-robin
+        # cursor.
         self._bootstrap_ssps = {ssp for ssp in all_ssps if self._is_bootstrap(ssp)}
         if self._bootstrap_ssps:
             self._bootstrap_active = True
+            self._consumer.set_priority(
+                {ssp.topic_partition for ssp in self._bootstrap_ssps})
             for ssp in all_ssps - self._bootstrap_ssps:
                 self._consumer.pause(ssp.topic_partition)
 
-        for instance in self.tasks.values():
-            instance.init(self.config)
+        if not self._parallel_execution:
+            for instance in self.tasks.values():
+                instance.init(self.config)
+            self._tasks_initialized = True
 
         self._last_window_ms = self.clock.now_ms()
         self._started = True
         del tp_to_ssp  # documentation of intent only
+
+    def finish_task_init(self) -> None:
+        """Second half of startup under parallel execution, run inside the
+        forked worker: initialize every task there, so the SQL task reads
+        the plan from the (forked) ZooKeeper and compiles its operators in
+        the process that will run them."""
+        if self._tasks_initialized:
+            return
+        for instance in self.tasks.values():
+            instance.init(self.config)
+        self._tasks_initialized = True
 
     def _build_stores(self, model: TaskModel) -> dict[str, KeyValueStore]:
         stores: dict[str, KeyValueStore] = {}
@@ -399,6 +424,11 @@ class SamzaContainer:
         """Process one poll batch; returns the number of records handled."""
         if not self._started:
             raise ConfigError(f"container {self.container_id} not started")
+        if not self._tasks_initialized:
+            raise ConfigError(
+                f"container {self.container_id} tasks not initialized — "
+                f"parallel containers must run inside a worker process "
+                f"(finish_task_init)")
         if self.shutdown_requested:
             return 0
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.chaos.retry import RetryPolicy
-from repro.common.clock import Clock, SystemClock
+from repro.common.clock import Clock, SystemClock, VirtualClock
 from repro.common.config import Config
 from repro.common.errors import ConfigError
 from repro.kafka.cluster import KafkaCluster
@@ -114,6 +114,11 @@ class SamzaApplicationMaster(ApplicationMaster):
         self._rm = None
         self._next_samza_container = 0
         self.finished = False
+        # Set by JobRunner.submit under cluster.parallel.execution=true:
+        # a repro.parallel.ParallelJobCoordinator that runs this job's
+        # containers in forked worker processes.  When present, driving,
+        # lag accounting and shutdown delegate to it.
+        self.parallel_coordinator = None
 
     # -- ApplicationMaster protocol --------------------------------------------------
 
@@ -170,6 +175,8 @@ class SamzaApplicationMaster(ApplicationMaster):
     # -- driving -------------------------------------------------------------------------
 
     def run_iteration(self) -> int:
+        if self.parallel_coordinator is not None:
+            return self.parallel_coordinator.pump()
         processed = 0
         for samza_container in list(self.samza_containers.values()):
             if not samza_container.shutdown_requested:
@@ -177,9 +184,13 @@ class SamzaApplicationMaster(ApplicationMaster):
         return processed
 
     def total_lag(self) -> int:
+        if self.parallel_coordinator is not None:
+            return self.parallel_coordinator.total_lag()
         return sum(c.total_lag() for c in self.samza_containers.values())
 
     def all_shutdown(self) -> bool:
+        if self.parallel_coordinator is not None:
+            return self.parallel_coordinator.all_shutdown()
         return bool(self.samza_containers) and all(
             c.shutdown_requested for c in self.samza_containers.values())
 
@@ -187,9 +198,19 @@ class SamzaApplicationMaster(ApplicationMaster):
         if self.finished:
             return
         self.finished = True
-        for samza_container in self.samza_containers.values():
-            if not samza_container.shutdown_requested:
-                samza_container.stop()
+        if self.parallel_coordinator is not None:
+            # Workers own the real state: stop them gracefully (final
+            # commit + metrics mirrored to the parent cluster).  The
+            # parent-side containers never initialized their tasks and
+            # must NOT commit — a parent-side checkpoint would append
+            # stale offsets after the workers' final checkpoints.
+            self.parallel_coordinator.shutdown_all()
+            for samza_container in self.samza_containers.values():
+                samza_container.shutdown_requested = True
+        else:
+            for samza_container in self.samza_containers.values():
+                if not samza_container.shutdown_requested:
+                    samza_container.stop()
         self._rm.finish_application(self.application_id, succeeded)
 
 
@@ -211,6 +232,14 @@ class JobRunner:
         self._masters: dict[str, SamzaApplicationMaster] = {}
 
     def submit(self, job: SamzaJob) -> SamzaApplicationMaster:
+        parallel = job.config.get_bool("cluster.parallel.execution", False)
+        if parallel and isinstance(self.clock, VirtualClock):
+            raise ConfigError(
+                "cluster.parallel.execution=true cannot share a VirtualClock "
+                "across worker processes (each fork would advance its own "
+                "copy); construct the runtime with a SystemClock — "
+                "SamzaSqlEnvironment selects one automatically when no "
+                "clock is passed")
         # Checkpoint IO rides the same transient-error retry as the data
         # plane — a dropped checkpoint write must not widen the replay
         # window, and a dropped read must not fail a container restart.
@@ -221,6 +250,11 @@ class JobRunner:
                                         self.clock, self.fault_injector)
         app_id = self.rm.submit_application(job.name, master)
         self._masters[app_id] = master
+        if parallel:
+            # Imported lazily: repro.parallel sits above the samza layer.
+            from repro.parallel.coordinator import ParallelJobCoordinator
+
+            master.parallel_coordinator = ParallelJobCoordinator(master, self)
         return master
 
     def masters(self) -> list[SamzaApplicationMaster]:
@@ -250,11 +284,22 @@ class JobRunner:
                     m.total_lag() == 0 for m in self._masters.values() if not m.finished):
                 idle += 1
                 if idle >= settle_rounds:
+                    self.finalize_parallel_jobs()
                     return total
             else:
                 idle = 0
         raise RuntimeError(
             f"jobs did not quiesce within {max_iterations} iterations")
+
+    def finalize_parallel_jobs(self) -> None:
+        """Commit barrier on every process-backed job: quiescence must
+        leave worker state durable in the parent's mirrored topics (the
+        in-process path commits inside run_iteration; workers only commit
+        on their own interval unless told)."""
+        for master in self._masters.values():
+            coordinator = master.parallel_coordinator
+            if coordinator is not None and not master.finished:
+                coordinator.commit_barrier()
 
     def kill_container(self, master: SamzaApplicationMaster, index: int = 0) -> str:
         """Fail the index-th live container of a job (fault injection)."""

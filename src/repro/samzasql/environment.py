@@ -19,8 +19,9 @@ is itself queryable with ``SELECT STREAM``.
 
 from __future__ import annotations
 
-from repro.common.clock import Clock, VirtualClock
+from repro.common.clock import Clock, SystemClock, VirtualClock
 from repro.common.config import Config
+from repro.common.errors import ConfigError
 from repro.kafka.cluster import KafkaCluster
 from repro.samza.job import JobRunner
 from repro.samzasql.shell import SamzaSQLShell
@@ -42,7 +43,22 @@ class SamzaSqlEnvironment:
                  start_ms: int = 1_000_000,
                  fault_injector=None,
                  catalog: Catalog | None = None):
-        self.clock = clock or VirtualClock(start_ms)
+        overrides_preview = dict(config) if config is not None else {}
+        parallel = Config(overrides_preview).get_bool(
+            "cluster.parallel.execution", False)
+        if clock is None:
+            # A VirtualClock cannot be shared across forked workers (each
+            # process would advance its own copy), so parallel mode runs
+            # on real time.
+            self.clock = SystemClock() if parallel else VirtualClock(start_ms)
+        else:
+            if parallel and isinstance(clock, VirtualClock):
+                raise ConfigError(
+                    "cluster.parallel.execution=true is incompatible with a "
+                    "VirtualClock: virtual time cannot advance across worker "
+                    "processes.  Pass clock=None (a SystemClock is selected "
+                    "automatically) or an explicit SystemClock.")
+            self.clock = clock
         self.cluster = KafkaCluster(broker_count=broker_count, clock=self.clock)
         self.zk = ZkServer()
         self.rm = ResourceManager()
@@ -82,3 +98,19 @@ class SamzaSqlEnvironment:
     def metrics(self, job: str | None = None, force: bool = True) -> list[dict]:
         """Latest snapshot records per (job, container) from ``__metrics``."""
         return self.shell.latest_snapshots(job=job, force=force)
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Finish every running job.  Under parallel execution this stops
+        the worker processes (final commit + snapshot mirrored); idle
+        workers otherwise outlive the test or benchmark that forked them."""
+        for master in self.runner.masters():
+            if not master.finished:
+                master.finish()
+
+    def __enter__(self) -> "SamzaSqlEnvironment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -149,6 +149,11 @@ class QueryHandle:
 
     def metrics(self) -> dict[str, dict[str, float]]:
         """Per-container runtime counters (processed, sent, commits, lag)."""
+        coordinator = self.master.parallel_coordinator
+        if coordinator is not None:
+            # Parent-side container objects are idle shells in parallel
+            # mode; the coordinator's status rounds are the live numbers.
+            return coordinator.container_metrics()
         out: dict[str, dict[str, float]] = {}
         for samza_container in self.master.samza_containers.values():
             out[samza_container.container_id] = {
@@ -438,6 +443,14 @@ class SamzaSQLShell:
         """
         if force:
             for master in self._masters:
+                coordinator = master.parallel_coordinator
+                if coordinator is not None:
+                    # Reporters live in the worker processes; ask them for
+                    # an out-of-cycle snapshot, mirrored back before the
+                    # barrier returns.
+                    if not master.finished:
+                        coordinator.force_metrics()
+                    continue
                 for container in master.samza_containers.values():
                     reporter = getattr(container, "metrics_reporter", None)
                     if reporter is not None:

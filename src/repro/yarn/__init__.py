@@ -22,6 +22,7 @@ testable in-process.
 from repro.yarn.resources import Resource
 from repro.yarn.node import NodeManager
 from repro.yarn.container import Container, ContainerState
+from repro.yarn.launcher import ProcessLauncher
 from repro.yarn.rm import ApplicationReport, ResourceManager
 from repro.yarn.app import ApplicationMaster
 
@@ -33,4 +34,5 @@ __all__ = [
     "ResourceManager",
     "ApplicationReport",
     "ApplicationMaster",
+    "ProcessLauncher",
 ]

@@ -51,6 +51,10 @@ class ResourceManager(ResourceManagerProtocol):
         self._pending: list[_PendingRequest] = []
         self._next_app = 1
         self._next_container = 1
+        # Under parallel execution, containers are backed by OS processes;
+        # the launcher (repro.yarn.launcher) turns logical kills into real
+        # SIGKILLs.  None in the default in-process mode.
+        self.process_launcher = None
 
     # -- cluster membership ----------------------------------------------------
 
@@ -176,6 +180,8 @@ class ResourceManager(ResourceManagerProtocol):
     def _kill_container(self, container: Container, state: ContainerState,
                         message: str) -> None:
         self._nodes[container.node_id].kill(container.container_id, state, message)
+        if self.process_launcher is not None:
+            self.process_launcher.on_container_killed(container.container_id)
 
     def fail_container(self, container_id: str, message: str = "container crashed") -> None:
         """Mark one container FAILED and notify its application master."""

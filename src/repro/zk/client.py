@@ -92,9 +92,16 @@ class ZkClient:
     # -- JSON conveniences (used for plan/config metadata) ---------------------------
 
     def write_json(self, path: str, payload: Any) -> None:
-        """Create-or-set ``path`` with a JSON payload, creating ancestors."""
+        """Create-or-set ``path`` with a JSON payload, creating ancestors.
+
+        The serialization is canonical — sorted keys, no whitespace — so
+        the same payload always produces the same bytes.  The physical
+        plans the shell shares through here depend on this: every worker
+        process must recompile identical operator source from the plan.
+        """
         self._check_open()
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        data = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
         if self._server.exists(path) is None:
             self._server.ensure_path(path)
         self._server.set(path, data)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.common import VirtualClock
+from repro.common import SystemClock, VirtualClock
 from repro.kafka import KafkaCluster, Producer
 from repro.samza import JobRunner
 from repro.samzasql import SamzaSQLShell
@@ -32,7 +32,11 @@ class Deployment:
     default_overrides: dict[str, str] = {}
 
     def __init__(self, partitions: int = 4, nodes: int = 2):
-        self.clock = VirtualClock(0)
+        if self.default_overrides.get("cluster.parallel.execution") == "true":
+            # Virtual time cannot advance across forked worker processes.
+            self.clock = SystemClock()
+        else:
+            self.clock = VirtualClock(0)
         self.cluster = KafkaCluster(broker_count=3, clock=self.clock)
         self.rm = ResourceManager()
         for i in range(nodes):

@@ -102,6 +102,40 @@ class TestConsumer:
                 seen_partitions.add(r.partition)
         assert 1 in seen_partitions
 
+    def test_priority_partitions_served_first(self, cluster):
+        """Priority partitions (bootstrap streams) lead every poll, in
+        (topic, partition) order, regardless of the round-robin cursor."""
+        producer = Producer(cluster)
+        for p in range(4):
+            producer.send("orders", f"p{p}".encode(), partition=p)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_for("orders"))
+        consumer.set_priority({TopicPartition("orders", 3)})
+        # Advance the cursor a few times so partition 3 would not lead the
+        # rotation naturally.
+        for _ in range(2):
+            consumer.poll(max_records=0)
+        records = consumer.poll()
+        assert records[0].partition == 3
+        assert {r.partition for r in records} == {0, 1, 2, 3}
+        # Fresh records keep the same precedence on later polls.
+        producer.send("orders", b"late0", partition=0)
+        producer.send("orders", b"late3", partition=3)
+        assert [r.partition for r in consumer.poll()] == [3, 0]
+
+    def test_priority_requires_assignment(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("orders", 0)])
+        with pytest.raises(KafkaError):
+            consumer.set_priority({TopicPartition("orders", 1)})
+        # Reassignment clears flow-control state, priority included.
+        consumer.set_priority({TopicPartition("orders", 0)})
+        consumer.assign(cluster.partitions_for("orders"))
+        producer = Producer(cluster)
+        for p in range(4):
+            producer.send("orders", f"p{p}".encode(), partition=p)
+        assert [r.partition for r in consumer.poll()] == [0, 1, 2, 3]
+
     def test_seek_and_position(self, cluster):
         self._fill(cluster)
         consumer = Consumer(cluster)
