@@ -1,0 +1,282 @@
+"""Heavy-traffic load generator for the multi-tenant SQL front door.
+
+Drives hundreds of concurrent named sessions — mixed query templates,
+disjoint per-tenant ACLs, one deliberately over-quota tenant — through
+:class:`repro.serving.FrontDoor` onto shared containers, and writes the
+top-line "heavy traffic" numbers to ``BENCH_frontdoor.json``:
+
+* admitted / queued / rejected streaming submissions (rejections by
+  structured error code);
+* per-statement front-door latency percentiles (parse + validate +
+  admit + plan + submit, measured at the session);
+* end-to-end throughput (messages processed per wall second) while all
+  admitted queries share the cluster;
+* the concurrent named-session count the process sustained.
+
+Run:  python -m repro.bench.frontdoor [--sessions 240] [--smoke]
+
+``--smoke`` shrinks the run for CI and *gates*: admission control must
+reject the over-quota tenant with ``QUOTA_EXCEEDED``, ACLs must reject
+denied tables with ``SECURITY_VIOLATION``, and admitted-query
+throughput must stay above ``--min-throughput``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.samzasql.environment import SamzaSqlEnvironment
+from repro.serving import (FrontDoor, PendingQuery, PipelineError,
+                           TenantPolicy, TenantQuota)
+from repro.workloads.orders import OrdersGenerator, padded_orders_schema
+from repro.workloads.products import PRODUCTS_SCHEMA, ProductsGenerator
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parents[3] / "BENCH_frontdoor.json"
+
+#: Mixed statement templates, cycled per session.  ``{units}`` varies by
+#: session so compiled-plan caching (if any) cannot collapse the mix.
+STREAMING_TEMPLATES = (
+    "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > {units}",
+    "SELECT STREAM rowtime, orderId FROM Orders",
+    "SELECT STREAM rowtime, productId, units * 2 AS twice FROM Orders "
+    "WHERE productId = {product}",
+)
+BATCH_TEMPLATES = (
+    "SELECT productId, COUNT(*) AS c FROM Orders GROUP BY productId",
+    "SELECT orderId, units FROM Orders WHERE units > {units}",
+)
+#: Probe a table only even-numbered tenants may read: odd tenants draw
+#: SECURITY_VIOLATION rejections, the realistic "oops, wrong namespace"
+#: traffic every shared deployment sees.
+DENIED_PROBE = "SELECT name FROM Products"
+
+#: The deliberately over-quota tenant: one slot, no queue.
+HOG_QUOTA = TenantQuota(max_concurrent_queries=1, max_queue_depth=0)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def build_environment(tenants: int, quota: TenantQuota,
+                      messages: int) -> tuple[SamzaSqlEnvironment, FrontDoor]:
+    """A shared cluster sized so *admitted* load fits: the admission
+    quota, not YARN exhaustion, is what bounds each tenant."""
+    slots = tenants * quota.max_concurrent_queries + 4
+    node_count = max(2, (slots + 7) // 8)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=node_count,
+                              node_mem_mb=16_384, node_cores=8,
+                              metrics_interval_ms=1_000)
+    front_door = env.front_door(default_quota=quota)
+    catalog = front_door.catalog
+    catalog.add_data_source("retail", "shared Kafka cluster, retail topics")
+    catalog.create("Orders", "retail", padded_orders_schema(),
+                   kind="stream", partitions=4)
+    catalog.create("Products", "retail", PRODUCTS_SCHEMA, kind="table",
+                   key_field="productId", partitions=4)
+    OrdersGenerator(product_count=20).produce(
+        env.cluster, "Orders", messages, partitions=4)
+    ProductsGenerator(product_count=20).produce(
+        env.cluster, "Products-changelog", partitions=4)
+    return env, front_door
+
+
+def register_tenants(front_door: FrontDoor, tenants: int,
+                     quota: TenantQuota) -> list[str]:
+    """Tenant 0 is the over-quota hog; even tenants read everything in
+    ``retail``, odd tenants only ``retail.Orders`` (disjoint ACLs)."""
+    names = []
+    for i in range(tenants):
+        tenant = f"tenant-{i:03d}"
+        if i % 2 == 0:
+            allowed = frozenset({"retail.*"})
+        else:
+            allowed = frozenset({"retail.Orders"})
+        front_door.register_tenant(
+            tenant, TenantPolicy(tenant, allowed),
+            quota=HOG_QUOTA if i == 0 else quota)
+        names.append(tenant)
+    return names
+
+
+def run(sessions: int = 240, tenants: int = 24, messages: int = 2000,
+        statements_per_session: int = 2,
+        quota: TenantQuota | None = None) -> dict:
+    """Drive the whole scenario; returns the JSON payload."""
+    quota = quota or TenantQuota(max_concurrent_queries=2, max_queue_depth=2,
+                                 max_state_bytes=256 * 1024 * 1024)
+    env, front_door = build_environment(tenants, quota, messages)
+    tenant_names = register_tenants(front_door, tenants, quota)
+
+    latencies: list[float] = []
+    outcomes = {"streaming_started": 0, "streaming_queued": 0,
+                "batch_rows": 0, "batch_statements": 0}
+    rejected: dict[str, int] = {}
+    opened: list = []
+
+    def submit(session, sql: str):
+        start = time.perf_counter()
+        try:
+            return front_door.execute(session, sql)
+        except PipelineError as exc:
+            rejected[exc.code.value] = rejected.get(exc.code.value, 0) + 1
+            return exc
+        finally:
+            latencies.append((time.perf_counter() - start) * 1e3)
+
+    for i in range(sessions):
+        tenant = tenant_names[i % len(tenant_names)]
+        session = front_door.connect(tenant, f"session-{i:04d}")
+        session.set_variable("template_seed", str(i))
+        opened.append(session)
+        for statement_index in range(statements_per_session):
+            if statement_index == 0:
+                sql = STREAMING_TEMPLATES[i % len(STREAMING_TEMPLATES)].format(
+                    units=30 + (i % 50), product=i % 20)
+                result = submit(session, sql)
+                if isinstance(result, PendingQuery):
+                    outcomes["streaming_queued"] += 1
+                elif not isinstance(result, PipelineError):
+                    outcomes["streaming_started"] += 1
+            else:
+                sql = BATCH_TEMPLATES[i % len(BATCH_TEMPLATES)].format(
+                    units=30 + (i % 50))
+                result = submit(session, sql)
+                if isinstance(result, list):
+                    outcomes["batch_statements"] += 1
+                    outcomes["batch_rows"] += len(result)
+        # every session probes the namespaced table; odd tenants draw
+        # SECURITY_VIOLATION before any planning happens, even tenants
+        # read it legitimately
+        result = submit(session, DENIED_PROBE)
+        if isinstance(result, list):
+            outcomes["batch_statements"] += 1
+            outcomes["batch_rows"] += len(result)
+
+    concurrent_sessions = len(front_door.sessions)
+    running_peak = len(front_door.running_queries())
+
+    # Drain: every admitted query processes the shared input.
+    drive_start = time.perf_counter()
+    processed = env.run_until_quiescent(max_iterations=100_000)
+    drive_wall_s = time.perf_counter() - drive_start
+
+    # Stop everything; queued submissions admit as slots free, so keep
+    # stopping until the admission queues are dry.
+    stopped = 0
+    for _round in range(64):
+        running = front_door.running_queries()
+        if not running:
+            break
+        for handle in running:
+            handle.stop()
+            handle.stop()  # idempotence under eviction races, exercised
+            stopped += 1
+        env.run_until_quiescent(max_iterations=100_000)
+
+    latencies.sort()
+    stats = front_door.admission.stats
+    payload = {
+        "sessions": sessions,
+        "concurrent_sessions": concurrent_sessions,
+        "tenants": tenants,
+        "messages": messages,
+        "statements": sum(s.statements for s in opened),
+        "admission": {
+            "admitted": stats.admitted,
+            "queued": stats.queued,
+            "rejected": dict(sorted(stats.rejected.items())),
+            "running_peak": running_peak,
+        },
+        "errors": dict(sorted(rejected.items())),
+        "outcomes": outcomes,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p95": round(_percentile(latencies, 0.95), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+            "statements_measured": len(latencies),
+        },
+        "throughput": {
+            "processed_msgs": processed,
+            "drive_wall_s": round(drive_wall_s, 3),
+            "msgs_per_s": round(processed / drive_wall_s, 1)
+            if drive_wall_s > 0 else 0.0,
+        },
+        "quota": {
+            "max_concurrent_queries": quota.max_concurrent_queries,
+            "max_queue_depth": quota.max_queue_depth,
+            "max_state_bytes": quota.max_state_bytes,
+        },
+    }
+    env.close()
+    return payload
+
+
+def check_gates(payload: dict, min_throughput: float) -> list[str]:
+    """CI gates; returns human-readable failures (empty = pass)."""
+    failures = []
+    rejected = payload["admission"]["rejected"]
+    if rejected.get("QUOTA_EXCEEDED", 0) < 1:
+        failures.append(
+            "admission control never rejected the over-quota tenant "
+            "with QUOTA_EXCEEDED")
+    if payload["errors"].get("SECURITY_VIOLATION", 0) < 1:
+        failures.append(
+            "ACL enforcement never rejected a denied-table probe "
+            "with SECURITY_VIOLATION")
+    if payload["admission"]["admitted"] < 1:
+        failures.append("no streaming query was admitted at all")
+    msgs_per_s = payload["throughput"]["msgs_per_s"]
+    if msgs_per_s < min_throughput:
+        failures.append(
+            f"admitted-query throughput {msgs_per_s} msgs/s is below the "
+            f"floor {min_throughput}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=240)
+    parser.add_argument("--tenants", type=int, default=24)
+    parser.add_argument("--messages", type=int, default=2000)
+    parser.add_argument("--statements-per-session", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small run + hard gates (CI)")
+    parser.add_argument("--min-throughput", type=float, default=200.0,
+                        help="msgs/s floor the smoke gate enforces")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run(sessions=24, tenants=4, messages=500,
+                      statements_per_session=args.statements_per_session)
+    else:
+        payload = run(sessions=args.sessions, tenants=args.tenants,
+                      messages=args.messages,
+                      statements_per_session=args.statements_per_session)
+    payload["mode"] = "smoke" if args.smoke else "full"
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failures = check_gates(payload, args.min_throughput)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    if not failures:
+        print(f"gates passed: QUOTA_EXCEEDED rejections="
+              f"{payload['admission']['rejected'].get('QUOTA_EXCEEDED', 0)}, "
+              f"SECURITY_VIOLATION={payload['errors'].get('SECURITY_VIOLATION', 0)}, "
+              f"throughput={payload['throughput']['msgs_per_s']} msgs/s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ from repro.metrics.snapshot import (
     SNAPSHOT_VERSION,
     latest_by_container,
     snapshot_records,
+    state_bytes_by_job,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "operator_group",
     "latest_by_container",
     "snapshot_records",
+    "state_bytes_by_job",
 ]

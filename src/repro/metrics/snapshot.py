@@ -119,3 +119,17 @@ def latest_by_container(records: list[dict[str, Any]],
     return [r for r in records
             if (job is None or r["job"] == job)
             and r["rowtime"] == newest[(r["job"], r["container"])]]
+
+
+def state_bytes_by_job(records: list[dict[str, Any]]) -> dict[str, int]:
+    """Aggregate ``window-state-size`` gauges per job, latest snapshot only.
+
+    The serving layer's admission controller charges each tenant the sum
+    over its running queries; feeding it the *latest* snapshot per
+    container (not the history) keeps the charge current.
+    """
+    totals: dict[str, int] = {}
+    for r in latest_by_container(records):
+        if r["kind"] == "gauge" and r["metric"] == "window-state-size":
+            totals[r["job"]] = totals.get(r["job"], 0) + int(r["value"])
+    return totals

@@ -4,8 +4,11 @@
 SqlLine library and a custom SamzaSQL specific JDBC driver implementation.
 SamzaSQL shell is a command line application that runs on users' desktop."
 
-This REPL runs against the in-process reproduction stack.  Statements end
-with ``;``.  Bang-commands:
+This REPL runs against the in-process reproduction stack, through the
+multi-tenant front door (:mod:`repro.serving`): every statement is
+policy-validated and admission-controlled before planning, and errors
+carry structured codes plus source positions.  Statements end with
+``;``.  Bang-commands:
 
 * ``!tables`` — list catalog objects
 * ``!explain <query>`` — logical plan
@@ -14,6 +17,14 @@ with ``;``.  Bang-commands:
 * ``!metrics [n]`` — latest operator metrics snapshots (all jobs, or query *n*)
 * ``!run`` — drive the cluster until idle
 * ``!demo`` — load the paper's Orders/Products demo data
+* ``!connect <tenant> [session]`` — switch to a named persistent session
+* ``!session`` — show the current session (tenant, variables, queries)
+* ``!set <name> <value>`` — set a session variable
+* ``!vt list`` — list virtual tables (deterministic order)
+* ``!vt sources`` / ``!vt source <name>`` — list / add data sources
+* ``!vt create <source> <name> <schema> [stream|table] [key]`` — map a
+  topic to a virtual table (``<schema>``: orders, products or packets)
+* ``!vt drop <name> [force]`` — drop a virtual table
 * ``!quit``
 
 Run:  python -m repro.samzasql.cli
@@ -28,12 +39,26 @@ from repro.common import ReproError
 from repro.samza import JobRunner
 from repro.samzasql.environment import SamzaSqlEnvironment
 from repro.samzasql.shell import QueryHandle, SamzaSQLShell
+from repro.serving import FrontDoor, PendingQuery, PipelineError
 from repro.workloads import (
     OrdersGenerator,
     ProductsGenerator,
+    PACKETS_SCHEMA,
     PRODUCTS_SCHEMA,
     padded_orders_schema,
 )
+
+#: Schemas the ``!vt create`` command can map topics with.  A real
+#: deployment reads these from the schema registry; the REPL ships the
+#: paper's workload schemas.
+VT_SCHEMAS = {
+    "orders": padded_orders_schema,
+    "products": lambda: PRODUCTS_SCHEMA,
+    "packets": lambda: PACKETS_SCHEMA,
+}
+
+#: The implicit tenant a bare REPL runs as: legacy single-user powers.
+LOCAL_TENANT = "local"
 
 
 def build_default_shell() -> tuple[SamzaSQLShell, JobRunner]:
@@ -50,12 +75,17 @@ class SamzaSQLCli:
 
     def __init__(self, shell: SamzaSQLShell | None = None,
                  runner: JobRunner | None = None,
-                 out: IO[str] = sys.stdout):
+                 out: IO[str] = sys.stdout,
+                 front_door: FrontDoor | None = None):
         if shell is None:
             shell, runner = build_default_shell()
         self.shell = shell
         self.runner = runner if runner is not None else shell.runner
         self.out = out
+        self.front_door = front_door or FrontDoor(shell)
+        if LOCAL_TENANT not in self.front_door._policies:
+            self.front_door.register_tenant(LOCAL_TENANT)
+        self.session = self.front_door.connect(LOCAL_TENANT, "main")
         self.handles: list[QueryHandle] = []
         self._buffer: list[str] = []
         self.done = False
@@ -102,12 +132,21 @@ class SamzaSQLCli:
 
     def _execute(self, statement: str) -> None:
         try:
-            result = self.shell.execute(statement)
+            result = self.front_door.execute(self.session, statement)
+        except PipelineError as exc:
+            # Structured: code + position, e.g.
+            # ERROR: [TABLE_NOT_FOUND] unknown ... at line 1, column 22
+            self._print(f"ERROR: {exc}")
+            return
         except ReproError as exc:
             self._print(f"ERROR: {exc}")
             return
         if result is None:
             self._print("view created.")
+            return
+        if isinstance(result, PendingQuery):
+            self._print("queued by admission control; the query starts "
+                        "when a slot frees (!queries to check)")
             return
         if isinstance(result, list):
             self._print_rows(result)
@@ -194,8 +233,96 @@ class SamzaSQLCli:
             self._print(f"processed {processed} messages; cluster idle.")
         elif command == "!demo":
             self._load_demo()
+        elif command == "!connect":
+            self._connect(args)
+        elif command == "!session":
+            self._show_session()
+        elif command == "!sessions":
+            for session in self.front_door.sessions.list_sessions():
+                self._print(f"{session.session_id}: "
+                            f"{session.statements} statement(s), "
+                            f"{len(session.running_handles())} running")
+        elif command == "!set":
+            if len(args) < 2:
+                self._print("usage: !set <name> <value>")
+                return
+            self.session.set_variable(args[0], " ".join(args[1:]))
+            self._print(f"{args[0]} = {self.session.get_variable(args[0])}")
+        elif command == "!vt":
+            self._vt_command(args)
         else:
             self._print(f"unknown command {command}; try !help")
+
+    # -- serving-layer commands ---------------------------------------------
+
+    def _connect(self, args: list[str]) -> None:
+        if not args:
+            self._print("usage: !connect <tenant> [session]")
+            return
+        tenant = args[0]
+        name = args[1] if len(args) > 1 else "main"
+        if tenant not in self.front_door._policies:
+            self.front_door.register_tenant(tenant)
+        self.session = self.front_door.connect(tenant, name)
+        self._print(f"connected: session {self.session.session_id} "
+                    f"({len(self.session.running_handles())} running "
+                    f"quer{'y' if len(self.session.running_handles()) == 1 else 'ies'})")
+
+    def _show_session(self) -> None:
+        session = self.session
+        self._print(f"session {session.session_id}")
+        self._print(f"  default datasource: {session.default_datasource}")
+        self._print(f"  statements: {session.statements}")
+        self._print(f"  running queries: "
+                    f"{[h.query_id for h in session.running_handles()]}")
+        for key in sorted(session.variables):
+            self._print(f"  {key} = {session.variables[key]}")
+
+    def _vt_command(self, args: list[str]) -> None:
+        catalog = self.front_door.catalog
+        sub = args[0].lower() if args else "list"
+        try:
+            if sub == "list":
+                tables = catalog.list_tables()
+                if not tables:
+                    self._print("(no virtual tables)")
+                for vt in tables:
+                    self._print(f"{vt.qualified_name}: {vt.kind} over topic "
+                                f"'{vt.topic}' ({vt.serde})")
+            elif sub == "sources":
+                for source in catalog.list_data_sources():
+                    self._print(source.name)
+            elif sub == "source":
+                if len(args) < 2:
+                    self._print("usage: !vt source <name>")
+                    return
+                catalog.add_data_source(args[1])
+                self._print(f"data source '{args[1]}' registered.")
+            elif sub == "create":
+                if len(args) < 4 or args[3].lower() not in VT_SCHEMAS:
+                    self._print("usage: !vt create <source> <name> <schema> "
+                                f"[stream|table] [key]; schemas: "
+                                f"{sorted(VT_SCHEMAS)}")
+                    return
+                kind = args[4].lower() if len(args) > 4 else "stream"
+                key_field = args[5] if len(args) > 5 else ""
+                vt = catalog.create(
+                    args[2], args[1], VT_SCHEMAS[args[3].lower()](),
+                    kind=kind, key_field=key_field)
+                self._print(f"created {vt.qualified_name} ({vt.kind}) "
+                            f"over topic '{vt.topic}'")
+            elif sub == "drop":
+                if len(args) < 2:
+                    self._print("usage: !vt drop <name> [force]")
+                    return
+                force = len(args) > 2 and args[2].lower() == "force"
+                vt = catalog.drop(args[1], force=force)
+                self._print(f"dropped {vt.qualified_name}")
+            else:
+                self._print(f"unknown !vt subcommand {sub!r}; "
+                            "try list/sources/source/create/drop")
+        except PipelineError as exc:
+            self._print(f"ERROR: {exc}")
 
     def _load_demo(self) -> None:
         if self.shell.catalog.stream("Orders") is not None:

@@ -78,6 +78,21 @@ class SamzaSqlEnvironment:
     def catalog(self) -> Catalog:
         return self.shell.catalog
 
+    def front_door(self, default_quota=None):
+        """The multi-tenant serving layer over this environment's shell.
+
+        Lazily constructed and cached: every caller shares one
+        :class:`~repro.serving.frontdoor.FrontDoor` (sessions, virtual
+        tables, quotas are global to the environment, like the cluster).
+        """
+        if getattr(self, "_front_door", None) is None:
+            # Imported lazily: repro.serving sits above the samzasql layer.
+            from repro.serving.frontdoor import FrontDoor
+
+            self._front_door = FrontDoor(self.shell,
+                                         default_quota=default_quota)
+        return self._front_door
+
     # -- drive -----------------------------------------------------------------
 
     def run_until_quiescent(self, max_iterations: int = 10_000,

@@ -120,6 +120,8 @@ class QueryHandle:
     output_serde: Any
     warnings: list[str] = field(default_factory=list)
     _shell: "SamzaSQLShell" = field(repr=False, default=None)
+    _stop_listeners: list = field(repr=False, default_factory=list)
+    _stop_fired: bool = field(repr=False, default=False)
 
     def results(self) -> list[dict]:
         """All records currently in the output stream (deserialized)."""
@@ -163,8 +165,30 @@ class QueryHandle:
             }
         return out
 
+    @property
+    def stopped(self) -> bool:
+        """True once the query's job has finished (stopped or torn down)."""
+        return self.master.finished
+
+    def add_stop_listener(self, listener) -> None:
+        """Register ``listener(handle)`` to fire once on the first stop.
+
+        The serving layer uses this to release admission-control slots
+        and catalog pins when a query ends — including ends driven by
+        admission eviction rather than the owning session.
+        """
+        self._stop_listeners.append(listener)
+
     def stop(self) -> None:
+        """Stop the query.  Idempotent: double-stop (user + admission
+        eviction racing) must not raise, and stop listeners fire exactly
+        once."""
         self.master.finish()
+        if self._stop_fired:
+            return
+        self._stop_fired = True
+        for listener in list(self._stop_listeners):
+            listener(self)
 
     def snapshots(self, force: bool = True) -> list[dict]:
         """Latest operator-level metrics snapshot records for this query,

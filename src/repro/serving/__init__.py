@@ -1,0 +1,51 @@
+"""The multi-tenant SQL front door (serving layer).
+
+The paper positions SamzaSQL as the streaming-SQL layer through which
+*many* analysts run ad-hoc continuous queries against shared fast-data
+infrastructure.  The shell in :mod:`repro.samzasql` is a single-user
+REPL wired straight into the planner; this package is the front door
+that sits between users and that runtime:
+
+* :class:`~repro.serving.session.SessionManager` — persistent named
+  sessions holding per-tenant state (default data source, session
+  variables, running query handles), survivable across shell reconnects;
+* :class:`~repro.serving.catalog.VirtualTableCatalog` — named virtual
+  tables mapping (topic, Avro schema, serde, data-source namespace),
+  the SQL Stream Builder shape, layered over :mod:`repro.sql.catalog`;
+* :class:`~repro.serving.policy.PolicyValidator` — a validation/policy
+  node that runs *between parse and plan*: read-only enforcement,
+  table/column/join validation against the catalog, per-tenant table
+  ACLs with strict datasource namespacing, structured
+  :class:`~repro.serving.errors.PipelineError` codes;
+* :class:`~repro.serving.admission.AdmissionController` — per-tenant
+  budgets for concurrent streaming queries and aggregate window-state
+  bytes, with a bounded admission queue and graceful rejection;
+* :class:`~repro.serving.frontdoor.FrontDoor` — the facade wiring all
+  of the above over one shared :class:`~repro.samzasql.shell.SamzaSQLShell`.
+"""
+
+from repro.serving.admission import (AdmissionController, AdmissionStats,
+                                     TenantQuota)
+from repro.serving.catalog import (DataSource, VirtualTable,
+                                   VirtualTableCatalog)
+from repro.serving.errors import ErrorCode, PipelineError
+from repro.serving.frontdoor import FrontDoor, PendingQuery
+from repro.serving.policy import PolicyValidator, TenantPolicy
+from repro.serving.session import Session, SessionManager
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "DataSource",
+    "ErrorCode",
+    "FrontDoor",
+    "PendingQuery",
+    "PipelineError",
+    "PolicyValidator",
+    "Session",
+    "SessionManager",
+    "TenantPolicy",
+    "TenantQuota",
+    "VirtualTable",
+    "VirtualTableCatalog",
+]

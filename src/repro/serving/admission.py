@@ -1,0 +1,174 @@
+"""Admission control: per-tenant budgets for queries and window state.
+
+Shared containers mean one tenant's runaway fan-out starves everyone
+else's queries (and the YARN cluster has finite vcores), so streaming
+submissions pass through this gate:
+
+* **concurrent-query budget** — at most ``max_concurrent_queries``
+  running streaming queries per tenant; excess submissions park in a
+  bounded FIFO admission queue (``max_queue_depth``) and are admitted
+  as slots free up; a full queue rejects gracefully with
+  ``QUOTA_EXCEEDED`` (``details["reason"] = "admission_queue_full"``);
+* **state-byte budget** — the tenant's *aggregate* window-state bytes,
+  read from the existing :mod:`repro.metrics` ``window-state-size``
+  gauges via the ``__metrics`` stream, must stay under
+  ``max_state_bytes``; a tenant over budget is rejected with
+  ``QUOTA_EXCEEDED`` until state drains or queries stop.
+
+Rejection is an error *to the one submission*, never to the tenant's
+running queries — eviction only happens through the explicit
+:meth:`AdmissionController.evict` path, which uses the now-idempotent
+``QueryHandle.stop``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ReproError
+from repro.serving.errors import ErrorCode, PipelineError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission budgets."""
+
+    max_concurrent_queries: int = 4
+    max_state_bytes: int = 64 * 1024 * 1024
+    max_queue_depth: int = 8
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the load generator and CI gates read."""
+
+    admitted: int = 0
+    queued: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    def reject(self, code: ErrorCode) -> None:
+        self.rejected[code.value] = self.rejected.get(code.value, 0) + 1
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+
+class AdmissionController:
+    """Slots + a bounded FIFO queue per tenant.
+
+    ``state_bytes_fn(tenant, query_ids)`` is injected by the front door
+    and returns the tenant's aggregate window-state bytes for its
+    running queries (from the metrics stream); tests substitute a stub.
+    """
+
+    def __init__(self, default_quota: TenantQuota | None = None,
+                 state_bytes_fn: Callable[[str, list[str]], int] | None = None):
+        self._default_quota = default_quota or TenantQuota()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._running: dict[str, list[str]] = {}  # tenant -> query_ids
+        self._queues: dict[str, deque] = {}       # tenant -> submit thunks
+        self._state_bytes_fn = state_bytes_fn or (lambda tenant, ids: 0)
+        self.stats = AdmissionStats()
+
+    # -- configuration --------------------------------------------------------
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        self._quotas[tenant] = quota
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default_quota)
+
+    # -- introspection --------------------------------------------------------
+
+    def running(self, tenant: str) -> list[str]:
+        return list(self._running.get(tenant, ()))
+
+    def queue_depth(self, tenant: str) -> int:
+        return len(self._queues.get(tenant, ()))
+
+    def state_bytes(self, tenant: str) -> int:
+        return self._state_bytes_fn(tenant, self.running(tenant))
+
+    # -- the gate -------------------------------------------------------------
+
+    def admit(self, tenant: str, query_id: str) -> bool:
+        """Try to take a slot for a streaming query.
+
+        Returns True when the query may start now, False when it should
+        be queued (the caller parks the submission thunk via
+        :meth:`enqueue`).  Raises ``QUOTA_EXCEEDED`` when the tenant's
+        state-byte budget is blown, and ``ADMISSION_QUEUE_FULL`` when
+        both the slots and the queue are full.
+        """
+        quota = self.quota_for(tenant)
+        running = self._running.setdefault(tenant, [])
+        state_bytes = self._state_bytes_fn(tenant, list(running))
+        if state_bytes >= quota.max_state_bytes:
+            self.stats.reject(ErrorCode.QUOTA_EXCEEDED)
+            raise PipelineError(
+                ErrorCode.QUOTA_EXCEEDED,
+                f"tenant {tenant!r} holds {state_bytes} window-state bytes "
+                f"(budget {quota.max_state_bytes}); stop queries or wait "
+                f"for windows to drain",
+                details={"tenant": tenant, "reason": "state_bytes",
+                         "state_bytes": state_bytes,
+                         "max_state_bytes": quota.max_state_bytes})
+        if len(running) < quota.max_concurrent_queries:
+            running.append(query_id)
+            self.stats.admitted += 1
+            return True
+        if self.queue_depth(tenant) >= quota.max_queue_depth:
+            self.stats.reject(ErrorCode.QUOTA_EXCEEDED)
+            raise PipelineError(
+                ErrorCode.QUOTA_EXCEEDED,
+                f"tenant {tenant!r} has {len(running)} running queries "
+                f"(budget {quota.max_concurrent_queries}) and a full "
+                f"admission queue (depth {quota.max_queue_depth})",
+                details={"tenant": tenant, "reason": "admission_queue_full",
+                         "running": len(running),
+                         "queue_depth": quota.max_queue_depth})
+        return False
+
+    def enqueue(self, tenant: str, submit: Callable[[], object]) -> None:
+        """Park a submission thunk; run when a slot frees (FIFO)."""
+        self._queues.setdefault(tenant, deque()).append(submit)
+        self.stats.queued += 1
+
+    def release(self, tenant: str, query_id: str) -> None:
+        """Free a slot (query stopped or finished); drain the queue.
+
+        Queued submissions re-enter through :meth:`admit` inside their
+        thunk, so state-byte budgets are re-checked at actual start time.
+        """
+        running = self._running.get(tenant, [])
+        if query_id in running:
+            running.remove(query_id)
+        queue = self._queues.get(tenant)
+        while queue and len(running) < self.quota_for(
+                tenant).max_concurrent_queries:
+            submit = queue.popleft()
+            try:
+                submit()
+            except ReproError:
+                # Budget re-check failed, or the world changed while the
+                # submission waited (table dropped, planner rejection):
+                # the queued query is abandoned, the next one gets its try.
+                continue
+            break
+
+    def evict(self, tenant: str, handles: list) -> list[str]:
+        """Stop every running query of one tenant (operator action).
+
+        Relies on ``QueryHandle.stop`` being idempotent: a handle the
+        user already stopped is skipped without raising, and the slot
+        release below is driven by the handle's stop listeners.
+        """
+        evicted = []
+        for handle in handles:
+            if not handle.stopped:
+                evicted.append(handle.query_id)
+            handle.stop()  # idempotent either way
+        return evicted

@@ -1,0 +1,239 @@
+"""The virtual-table catalog: named tables over (topic, schema, serde, namespace).
+
+The SQL Stream Builder shape: before anyone can query a Kafka topic, an
+operator registers the cluster as a *data source* and maps topics to
+*virtual tables* — a name, an Avro schema, a serde, and the data-source
+namespace the per-tenant ACLs key on.  This catalog layers that model
+over :class:`repro.sql.catalog.Catalog`: creating a virtual table
+registers the stream/table with the planner's catalog (and creates the
+backing topic), dropping it unregisters both, and running queries *pin*
+the tables they scan so a drop cannot yank metadata out from under a
+live job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.serde.avro import AvroSchema
+from repro.serving.errors import ErrorCode, PipelineError
+
+#: Namespace assumed for catalog objects registered outside this layer
+#: (demo data, ``__metrics``, legacy ``register_stream`` callers).
+DEFAULT_DATASOURCE = "default"
+
+
+@dataclass(frozen=True)
+class DataSource:
+    """A registered data provider (one Kafka cluster namespace)."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class VirtualTable:
+    """A named virtual table: topic + Avro schema + serde + namespace."""
+
+    name: str
+    datasource: str
+    topic: str
+    kind: str  # "stream" | "table"
+    avro_schema: AvroSchema | None = None
+    serde: str = "avro"  # "avro" | "json"
+    rowtime_field: str = "rowtime"
+    key_field: str = ""
+    partitions: int = 4
+
+    @property
+    def qualified_name(self) -> str:
+        """The ACL key: ``<datasource>.<table>`` (strict namespacing)."""
+        return f"{self.datasource}.{self.name}"
+
+
+class VirtualTableCatalog:
+    """Data sources + virtual tables, layered over the planner catalog.
+
+    Listing order is deterministic — ``(datasource, lower(name))`` — so
+    shells, tests and the load generator all see the same sequence.
+    """
+
+    def __init__(self, shell):
+        self._shell = shell
+        self._sources: dict[str, DataSource] = {
+            DEFAULT_DATASOURCE: DataSource(
+                DEFAULT_DATASOURCE, "implicit namespace for legacy objects"),
+        }
+        self._tables: dict[str, VirtualTable] = {}  # lower(name) -> vt
+        self._pins: dict[str, tuple[str, ...]] = {}  # query_id -> table names
+
+    # -- data sources ---------------------------------------------------------
+
+    def add_data_source(self, name: str, description: str = "") -> DataSource:
+        """Register a data provider; re-adding the same name is a no-op."""
+        existing = self._sources.get(name.lower())
+        if existing is not None:
+            return existing
+        source = DataSource(name, description)
+        self._sources[name.lower()] = source
+        return source
+
+    def data_source(self, name: str) -> DataSource | None:
+        return self._sources.get(name.lower())
+
+    def list_data_sources(self) -> list[DataSource]:
+        return sorted(self._sources.values(), key=lambda s: s.name.lower())
+
+    # -- virtual tables -------------------------------------------------------
+
+    def create(self, name: str, datasource: str, schema: AvroSchema,
+               kind: str = "stream", topic: str = "",
+               rowtime_field: str = "rowtime", key_field: str = "",
+               partitions: int = 4) -> VirtualTable:
+        """Create a virtual table and register it with the planner catalog.
+
+        The backing topic is created if missing (compacted for tables).
+        Raises ``DATASOURCE_NOT_FOUND`` for an unknown namespace and
+        ``DUPLICATE_TABLE`` when the name is taken — either by another
+        virtual table or by a legacy catalog object.
+        """
+        if self.data_source(datasource) is None:
+            raise PipelineError(
+                ErrorCode.DATASOURCE_NOT_FOUND,
+                f"unknown data source {datasource!r}; known: "
+                f"{[s.name for s in self.list_data_sources()]}",
+                details={"datasource": datasource})
+        key = name.lower()
+        if key in self._tables:
+            raise PipelineError(
+                ErrorCode.DUPLICATE_TABLE,
+                f"virtual table {name!r} already exists in data source "
+                f"{self._tables[key].datasource!r}",
+                details={"table": name})
+        if self._shell.catalog.resolvable(name):
+            raise PipelineError(
+                ErrorCode.DUPLICATE_TABLE,
+                f"name {name!r} is already bound in the planner catalog",
+                details={"table": name})
+        if kind not in ("stream", "table"):
+            raise PipelineError(
+                ErrorCode.INVALID_PLAN_STRUCTURE,
+                f"virtual table kind must be 'stream' or 'table', got {kind!r}")
+        vt = VirtualTable(
+            name=name, datasource=datasource, topic=topic or name,
+            kind=kind, avro_schema=schema,
+            rowtime_field=rowtime_field, key_field=key_field,
+            partitions=partitions)
+        if kind == "stream":
+            definition = self._shell.register_stream(
+                name, schema, partitions=partitions,
+                rowtime_field=rowtime_field)
+            vt = dataclasses.replace(vt, topic=definition.topic)
+        else:
+            definition = self._shell.register_table(
+                name, schema, key_field=key_field, partitions=partitions)
+            vt = dataclasses.replace(vt, topic=definition.changelog_topic)
+        self._tables[key] = vt
+        return vt
+
+    def adopt(self, name: str, datasource: str = DEFAULT_DATASOURCE,
+              kind: str = "stream") -> VirtualTable:
+        """Claim an already-registered planner-catalog object into a
+        namespace, so ACLs can govern legacy streams (demo data,
+        ``__metrics``) without re-registering their schemas."""
+        if self.data_source(datasource) is None:
+            raise PipelineError(
+                ErrorCode.DATASOURCE_NOT_FOUND,
+                f"unknown data source {datasource!r}",
+                details={"datasource": datasource})
+        key = name.lower()
+        if key in self._tables:
+            raise PipelineError(
+                ErrorCode.DUPLICATE_TABLE,
+                f"virtual table {name!r} already exists",
+                details={"table": name})
+        stream = self._shell.catalog.stream(name)
+        table = self._shell.catalog.table(name)
+        if stream is None and table is None:
+            raise PipelineError(
+                ErrorCode.TABLE_NOT_FOUND,
+                f"no planner-catalog stream/table {name!r} to adopt",
+                details={"table": name})
+        if stream is not None:
+            vt = VirtualTable(
+                name=stream.name, datasource=datasource, topic=stream.topic,
+                kind="stream", avro_schema=stream.avro_schema,
+                serde="avro" if stream.avro_schema is not None else "json",
+                rowtime_field=stream.rowtime_field)
+        else:
+            vt = VirtualTable(
+                name=table.name, datasource=datasource,
+                topic=table.changelog_topic, kind="table",
+                avro_schema=table.avro_schema,
+                serde="avro" if table.avro_schema is not None else "json",
+                key_field=table.key_field)
+        self._tables[key] = vt
+        return vt
+
+    def drop(self, name: str, force: bool = False) -> VirtualTable:
+        """Drop a virtual table (and its planner-catalog registration).
+
+        A table pinned by a running query refuses to drop unless
+        ``force=True`` — the topic itself is never deleted, so a forced
+        drop strands the query's metadata but not its data.
+        """
+        key = name.lower()
+        vt = self._tables.get(key)
+        if vt is None:
+            raise PipelineError(
+                ErrorCode.TABLE_NOT_FOUND,
+                f"no virtual table {name!r}", details={"table": name})
+        users = self.queries_using(name)
+        if users and not force:
+            raise PipelineError(
+                ErrorCode.TABLE_IN_USE,
+                f"virtual table {name!r} is scanned by running "
+                f"queries {users}; stop them or drop with force",
+                details={"table": name, "queries": users})
+        del self._tables[key]
+        self._shell.catalog.unregister(vt.name)
+        return vt
+
+    def get(self, name: str) -> VirtualTable | None:
+        return self._tables.get(name.lower())
+
+    def list_tables(self, datasource: str | None = None) -> list[VirtualTable]:
+        """Deterministic listing: sorted by (datasource, name)."""
+        tables = [vt for vt in self._tables.values()
+                  if datasource is None
+                  or vt.datasource.lower() == datasource.lower()]
+        return sorted(tables, key=lambda vt: (vt.datasource.lower(),
+                                              vt.name.lower()))
+
+    def namespace_of(self, name: str) -> str | None:
+        """The ACL namespace a table name resolves to.
+
+        Virtual tables carry their data source; planner-catalog objects
+        registered outside this layer fall back to ``default``; unknown
+        names resolve to None.
+        """
+        vt = self.get(name)
+        if vt is not None:
+            return vt.datasource
+        if self._shell.catalog.resolvable(name):
+            return DEFAULT_DATASOURCE
+        return None
+
+    # -- pins (drop-while-running protection) ---------------------------------
+
+    def pin(self, query_id: str, table_names: list[str]) -> None:
+        """Record that a running query scans these tables."""
+        self._pins[query_id] = tuple(n.lower() for n in table_names)
+
+    def unpin(self, query_id: str) -> None:
+        self._pins.pop(query_id, None)
+
+    def queries_using(self, name: str) -> list[str]:
+        key = name.lower()
+        return sorted(q for q, names in self._pins.items() if key in names)

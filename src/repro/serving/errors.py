@@ -1,0 +1,110 @@
+"""Structured front-door errors: stable codes plus source positions.
+
+Everything the serving layer rejects is reported as a
+:class:`PipelineError` carrying a machine-readable :class:`ErrorCode`,
+the offending source position when one is known, and a details map —
+the ``LogicalValidatorNode`` error contract (``TABLE_NOT_FOUND``,
+``SECURITY_VIOLATION``, ``QUOTA_EXCEEDED``, ...) rather than bare
+exception strings.  Shells and load generators switch on ``code``;
+humans read ``str(error)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.common.errors import ReproError, SqlParseError
+from repro.sql.lexer import TokenType, tokenize
+
+
+class ErrorCode(enum.Enum):
+    """Stable identifiers for every front-door rejection reason."""
+
+    PARSE_ERROR = "PARSE_ERROR"
+    INVALID_PLAN_STRUCTURE = "INVALID_PLAN_STRUCTURE"
+    TABLE_NOT_FOUND = "TABLE_NOT_FOUND"
+    COLUMN_NOT_FOUND = "COLUMN_NOT_FOUND"
+    AMBIGUOUS_COLUMN = "AMBIGUOUS_COLUMN"
+    JOIN_TABLE_NOT_IN_SCOPE = "JOIN_TABLE_NOT_IN_SCOPE"
+    DATASOURCE_NOT_FOUND = "DATASOURCE_NOT_FOUND"
+    DUPLICATE_TABLE = "DUPLICATE_TABLE"
+    TABLE_IN_USE = "TABLE_IN_USE"
+    READ_ONLY_VIOLATION = "READ_ONLY_VIOLATION"
+    SECURITY_VIOLATION = "SECURITY_VIOLATION"
+    QUOTA_EXCEEDED = "QUOTA_EXCEEDED"
+    SESSION_NOT_FOUND = "SESSION_NOT_FOUND"
+    TENANT_NOT_FOUND = "TENANT_NOT_FOUND"
+    VALIDATOR_CRASH = "VALIDATOR_CRASH"
+
+    def __str__(self) -> str:  # "TABLE_NOT_FOUND", not "ErrorCode.TABLE..."
+        return self.value
+
+
+class PipelineError(ReproError):
+    """A structured rejection from the serving pipeline.
+
+    ``line``/``column`` are 1-based source positions into the statement
+    text when the error anchors to a token (parse errors always do;
+    validation errors do whenever the offending identifier can be found
+    in the source).  ``details`` carries code-specific context — the
+    denied table, the exceeded budget, the known object list — for
+    programmatic consumers.
+    """
+
+    def __init__(self, code: ErrorCode, message: str,
+                 line: int | None = None, column: int | None = None,
+                 details: dict[str, Any] | None = None):
+        location = (f" at line {line}, column {column}"
+                    if line is not None else "")
+        super().__init__(f"[{code}] {message}{location}")
+        self.code = code
+        self.reason = message
+        self.line = line
+        self.column = column
+        self.details = dict(details or {})
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-able shape for logs and load-generator reports."""
+        return {
+            "code": self.code.value,
+            "message": self.reason,
+            "line": self.line,
+            "column": self.column,
+            "details": self.details,
+        }
+
+
+def position_of(sql: str, identifier: str,
+                occurrence: int = 1) -> tuple[int | None, int | None]:
+    """Best-effort (line, column) of an identifier in the statement text.
+
+    Validation runs over the AST, which carries no positions; this
+    re-tokenizes the source and finds the *n*-th case-insensitive match,
+    so structured errors can still point at the offending name.  Returns
+    ``(None, None)`` when the text does not tokenize or has no match.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SqlParseError:
+        return None, None
+    want = identifier.lower()
+    seen = 0
+    for token in tokens:
+        if (token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+                and token.value.lower() == want):
+            seen += 1
+            if seen == occurrence:
+                return token.line, token.column
+    return None, None
+
+
+def from_parse_error(exc: SqlParseError) -> PipelineError:
+    """Wrap the parser's positioned exception in the structured shape."""
+    message = str(exc)
+    if exc.line is not None:
+        # SqlParseError bakes the location into its message; strip it so
+        # the structured wrapper doesn't render it twice.
+        message = message.rsplit(" at line ", 1)[0]
+    return PipelineError(ErrorCode.PARSE_ERROR, message,
+                         line=exc.line, column=exc.column)

@@ -1,0 +1,200 @@
+"""The front door: one facade between many tenants and one runtime.
+
+Statement flow (the pipeline the package exists for)::
+
+    text --parse--> AST --policy/validate--> admission --plan+submit--> handle
+           |                 |                   |
+       PARSE_ERROR    TABLE_NOT_FOUND /     QUOTA_EXCEEDED /
+       (line, col)    SECURITY_VIOLATION    ADMISSION_QUEUE_FULL
+
+Validation and admission happen *before* any planning work, so a denied
+or over-quota statement costs the shared cluster nothing.  Statements
+that pass are handed verbatim to the wrapped single-user
+:class:`~repro.samzasql.shell.SamzaSQLShell`, which keeps front-door
+results byte-identical to the legacy shell path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import SqlParseError
+from repro.metrics import state_bytes_by_job
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.serving.admission import AdmissionController, TenantQuota
+from repro.serving.catalog import VirtualTableCatalog
+from repro.serving.errors import (ErrorCode, PipelineError, from_parse_error)
+from repro.serving.policy import PolicyValidator, TenantPolicy
+from repro.serving.session import Session, SessionManager
+
+
+class PendingQuery:
+    """A streaming submission parked in the admission queue.
+
+    ``handle`` flips from None to the live
+    :class:`~repro.samzasql.shell.QueryHandle` when a slot frees and the
+    queued submission is admitted.
+    """
+
+    def __init__(self, session: Session, sql: str):
+        self.session = session
+        self.sql = sql
+        self.handle = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.handle is not None
+
+
+class FrontDoor:
+    """Sessions + virtual-table catalog + policy + admission over one shell."""
+
+    def __init__(self, shell, default_quota: TenantQuota | None = None):
+        self.shell = shell
+        self.catalog = VirtualTableCatalog(shell)
+        self.sessions = SessionManager()
+        self.validator = PolicyValidator(self.catalog)
+        self.admission = AdmissionController(
+            default_quota, state_bytes_fn=self._tenant_state_bytes)
+        self._policies: dict[str, TenantPolicy] = {}
+        self._admission_tokens: dict[str, tuple[str, str]] = {}
+        self._token_counter = 0
+        self.error_counts: dict[str, int] = {}
+
+    # -- tenants and sessions -------------------------------------------------
+
+    def register_tenant(self, tenant: str,
+                        policy: TenantPolicy | None = None,
+                        quota: TenantQuota | None = None) -> TenantPolicy:
+        """Register a tenant.  Without an explicit policy the tenant gets
+        the legacy single-user powers (all tables, writes allowed) — the
+        compatibility mode the CLI's implicit local tenant uses."""
+        if policy is None:
+            policy = TenantPolicy(tenant=tenant, allow_all=True,
+                                  read_only=False)
+        if policy.tenant != tenant:
+            raise PipelineError(
+                ErrorCode.TENANT_NOT_FOUND,
+                f"policy is for tenant {policy.tenant!r}, not {tenant!r}")
+        self._policies[tenant] = policy
+        if quota is not None:
+            self.admission.set_quota(tenant, quota)
+        return policy
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        policy = self._policies.get(tenant)
+        if policy is None:
+            raise PipelineError(
+                ErrorCode.TENANT_NOT_FOUND,
+                f"tenant {tenant!r} is not registered with the front door",
+                details={"tenant": tenant,
+                         "known": sorted(self._policies)})
+        return policy
+
+    def connect(self, tenant: str, session: str = "main") -> Session:
+        """Open (or re-attach to) a persistent named session."""
+        policy = self.policy_for(tenant)
+        return self.sessions.connect(
+            tenant, session, default_datasource=policy.default_datasource)
+
+    # -- statement execution --------------------------------------------------
+
+    def execute(self, session: Session, sql: str, **shell_kwargs: Any):
+        """Validate, admit and execute one statement for a session.
+
+        Returns whatever the legacy shell returns (row list, handle,
+        None) — or a :class:`PendingQuery` when the statement was queued
+        by admission control.  Raises :class:`PipelineError` with a
+        structured code otherwise.
+        """
+        policy = self.policy_for(session.tenant)
+        session.statements += 1
+        try:
+            statement = parse_statement(sql)
+        except SqlParseError as exc:
+            raise self._count(from_parse_error(exc))
+        try:
+            tables = self.validator.validate(statement, sql, policy)
+        except PipelineError as exc:
+            raise self._count(exc)
+        query = (statement.query
+                 if isinstance(statement, (ast.InsertInto, ast.CreateView))
+                 else statement)
+        streaming = isinstance(statement, (ast.SelectStmt, ast.InsertInto)) \
+            and query.stream
+        if not streaming:
+            # Batch SELECTs and CREATE VIEW run synchronously and hold no
+            # cluster resources; they bypass streaming admission.
+            return self.shell.execute(sql, **shell_kwargs)
+        return self._admit_and_submit(session, sql, tables, shell_kwargs)
+
+    def _admit_and_submit(self, session: Session, sql: str,
+                          tables: list[str], shell_kwargs: dict):
+        tenant = session.tenant
+        self._token_counter += 1
+        token = f"admission-{self._token_counter}"
+        try:
+            admitted = self.admission.admit(tenant, token)
+        except PipelineError as exc:
+            raise self._count(exc)
+        if not admitted:
+            pending = PendingQuery(session, sql)
+
+            def submit():
+                pending.handle = self._admit_and_submit(
+                    session, sql, tables, shell_kwargs)
+                return pending.handle
+
+            self.admission.enqueue(tenant, submit)
+            return pending
+        try:
+            handle = self.shell.execute(sql, **shell_kwargs)
+        except Exception:
+            self.admission.release(tenant, token)
+            raise
+        self._admission_tokens[handle.query_id] = (tenant, token)
+        self.catalog.pin(handle.query_id, tables)
+        handle.add_stop_listener(self._on_query_stopped)
+        session.handles.append(handle)
+        return handle
+
+    def _on_query_stopped(self, handle) -> None:
+        self.catalog.unpin(handle.query_id)
+        tenant_token = self._admission_tokens.pop(handle.query_id, None)
+        if tenant_token is not None:
+            tenant, token = tenant_token
+            self.admission.release(tenant, token)
+
+    def _count(self, exc: PipelineError) -> PipelineError:
+        code = exc.code.value
+        self.error_counts[code] = self.error_counts.get(code, 0) + 1
+        return exc
+
+    # -- budgets --------------------------------------------------------------
+
+    def _tenant_state_bytes(self, tenant: str, tokens: list[str]) -> int:
+        """Aggregate window-state bytes across the tenant's running
+        queries, fed by the ``window-state-size`` gauges on ``__metrics``."""
+        if not tokens:
+            return 0
+        query_ids = {query_id
+                     for query_id, (t, token) in self._admission_tokens.items()
+                     if t == tenant and token in tokens}
+        if not query_ids:
+            return 0
+        totals = state_bytes_by_job(self.shell.latest_snapshots(force=False))
+        return sum(totals.get(query_id, 0) for query_id in query_ids)
+
+    # -- operator actions -----------------------------------------------------
+
+    def evict_tenant(self, tenant: str) -> list[str]:
+        """Stop every running query of one tenant (graceful: relies on
+        idempotent ``QueryHandle.stop`` + stop listeners for cleanup)."""
+        handles = [h for s in self.sessions.list_sessions(tenant)
+                   for h in s.running_handles()]
+        return self.admission.evict(tenant, handles)
+
+    def running_queries(self, tenant: str | None = None) -> list:
+        return [h for s in self.sessions.list_sessions(tenant)
+                for h in s.running_handles()]

@@ -1,0 +1,293 @@
+"""The validation/policy node: runs between parse and plan.
+
+Modeled on the ``LogicalValidatorNode`` pipeline: the AST is checked
+against the catalog and the tenant's policy *before* any planning work
+happens, and every rejection is a structured
+:class:`~repro.serving.errors.PipelineError` with a stable code and a
+source position.  Checks, in order:
+
+1. **read-only enforcement** — ``INSERT INTO`` requires write permission;
+2. **table validation** — every referenced stream/table/view must exist
+   (``TABLE_NOT_FOUND``);
+3. **ACL enforcement with strict datasource namespacing** — the tenant's
+   allow-list holds ``datasource.table`` entries (or ``datasource.*``);
+   a table resolving to a namespace the tenant cannot read is a
+   ``SECURITY_VIOLATION``;
+4. **join/column validation** — qualified references must name a table
+   binding actually in scope (``JOIN_TABLE_NOT_IN_SCOPE``), column names
+   must exist in a referenced table (``COLUMN_NOT_FOUND``) and resolve
+   to exactly one (``AMBIGUOUS_COLUMN``).
+
+The validator never mutates anything; a statement that passes proceeds
+to the planner exactly as written, so front-door results stay
+byte-identical to the legacy single-user shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql import ast
+from repro.serving.catalog import VirtualTableCatalog
+from repro.serving.errors import ErrorCode, PipelineError, position_of
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """What one tenant may do.
+
+    ``allowed_tables`` entries are *always* datasource-qualified:
+    ``"retail.Orders"`` or the wildcard ``"retail.*"``.  An unqualified
+    entry would silently match across namespaces, so construction
+    rejects it (strict datasource namespacing).  ``allow_all`` bypasses
+    the ACL entirely — the legacy single-user mode.
+    """
+
+    tenant: str
+    allowed_tables: frozenset[str] = frozenset()
+    read_only: bool = True
+    allow_all: bool = False
+    default_datasource: str = "default"
+
+    def __post_init__(self) -> None:
+        for entry in self.allowed_tables:
+            if "." not in entry:
+                raise PipelineError(
+                    ErrorCode.SECURITY_VIOLATION,
+                    f"ACL entry {entry!r} for tenant {self.tenant!r} is not "
+                    f"datasource-qualified; use '<datasource>.<table>' or "
+                    f"'<datasource>.*'")
+        object.__setattr__(self, "allowed_tables",
+                           frozenset(e.lower() for e in self.allowed_tables))
+
+    def may_read(self, qualified_name: str) -> bool:
+        if self.allow_all:
+            return True
+        name = qualified_name.lower()
+        if name in self.allowed_tables:
+            return True
+        namespace = name.split(".", 1)[0]
+        return f"{namespace}.*" in self.allowed_tables
+
+
+@dataclass
+class _Scope:
+    """Table bindings visible to a statement: alias -> field names."""
+
+    bindings: dict[str, list[str] | None] = field(default_factory=dict)
+    has_opaque: bool = False  # a binding whose columns are unknown
+
+
+class PolicyValidator:
+    """Validates a parsed statement for one tenant, pre-plan."""
+
+    def __init__(self, catalog: VirtualTableCatalog):
+        self._vt = catalog
+        self._sql_catalog = catalog._shell.catalog
+
+    # -- entry point ----------------------------------------------------------
+
+    def validate(self, statement: ast.Statement, sql: str,
+                 policy: TenantPolicy) -> list[str]:
+        """Raise the first :class:`PipelineError`; return scanned tables.
+
+        The returned (deduplicated, source-ordered) table list is what
+        the front door pins in the virtual-table catalog for
+        drop-while-running protection.
+        """
+        if isinstance(statement, ast.InsertInto):
+            if policy.read_only:
+                raise PipelineError(
+                    ErrorCode.READ_ONLY_VIOLATION,
+                    f"tenant {policy.tenant!r} is read-only; INSERT INTO "
+                    f"{statement.target!r} denied",
+                    *position_of(sql, statement.target),
+                    details={"tenant": policy.tenant,
+                             "target": statement.target})
+            query = statement.query
+        elif isinstance(statement, ast.CreateView):
+            query = statement.query
+        else:
+            query = statement
+        tables: list[str] = []
+        self._validate_select(query, sql, policy, tables)
+        return tables
+
+    # -- static + policy checks ----------------------------------------------
+
+    def _validate_select(self, query: ast.SelectStmt, sql: str,
+                         policy: TenantPolicy, tables: list[str]) -> None:
+        scope = _Scope()
+        self._collect_tables(query.from_clause, sql, policy, tables, scope)
+        # HAVING and ORDER BY also resolve against select-list output
+        # aliases (the converter resolves aliases first) — admit those.
+        aliases = {item.alias.lower() for item in query.items
+                   if item.alias is not None}
+        for expr, where, allow_aliases in self._expressions_of(query):
+            self._validate_expr(expr, sql, scope, where,
+                                aliases if allow_aliases else frozenset())
+
+    def _collect_tables(self, ref: ast.TableRef, sql: str,
+                        policy: TenantPolicy, tables: list[str],
+                        scope: _Scope) -> None:
+        if isinstance(ref, ast.NamedTable):
+            self._check_table(ref, sql, policy, tables, scope)
+        elif isinstance(ref, ast.DerivedTable):
+            inner: list[str] = []
+            self._validate_select(ref.query, sql, policy, inner)
+            tables.extend(n for n in inner if n not in tables)
+            # The subquery's output columns are its select aliases when
+            # they are all plain; otherwise the binding is opaque.
+            columns = self._derived_columns(ref.query)
+            binding = (ref.alias or "").lower()
+            if binding:
+                scope.bindings[binding] = columns
+            if columns is None:
+                scope.has_opaque = True
+        elif isinstance(ref, ast.JoinRef):
+            self._collect_tables(ref.left, sql, policy, tables, scope)
+            self._collect_tables(ref.right, sql, policy, tables, scope)
+            self._validate_expr(ref.condition, sql, scope, "join condition")
+
+    def _check_table(self, ref: ast.NamedTable, sql: str,
+                     policy: TenantPolicy, tables: list[str],
+                     scope: _Scope) -> None:
+        name = ref.name
+        namespace = self._vt.namespace_of(name)
+        view = self._sql_catalog.view(name)
+        if namespace is None and view is None:
+            known = sorted(vt.qualified_name for vt in self._vt.list_tables())
+            raise PipelineError(
+                ErrorCode.TABLE_NOT_FOUND,
+                f"unknown stream/table/view {name!r}; known virtual tables: "
+                f"{known}",
+                *position_of(sql, name),
+                details={"table": name, "known": known})
+        if view is not None:
+            # Views are tenant-defined named queries; their *bodies* are
+            # validated against the ACL when the view is created through
+            # the front door.  Their output columns are opaque here.
+            binding = ref.binding.lower()
+            scope.bindings[binding] = None
+            scope.has_opaque = True
+            if name not in tables:
+                tables.append(name)
+            return
+        qualified = f"{namespace}.{name}"
+        if not policy.may_read(qualified):
+            raise PipelineError(
+                ErrorCode.SECURITY_VIOLATION,
+                f"tenant {policy.tenant!r} may not read {qualified}",
+                *position_of(sql, name),
+                details={"tenant": policy.tenant, "table": qualified})
+        columns = self._columns_of(name)
+        scope.bindings[ref.binding.lower()] = columns
+        if columns is None:
+            scope.has_opaque = True
+        if name not in tables:
+            tables.append(name)
+
+    def _columns_of(self, name: str) -> list[str] | None:
+        stream = self._sql_catalog.stream(name)
+        if stream is not None:
+            return [f.lower() for f in stream.row_type.field_names]
+        table = self._sql_catalog.table(name)
+        if table is not None:
+            return [f.lower() for f in table.row_type.field_names]
+        return None
+
+    @staticmethod
+    def _derived_columns(query: ast.SelectStmt) -> list[str] | None:
+        columns: list[str] = []
+        for item in query.items:
+            if item.alias is not None:
+                columns.append(item.alias.lower())
+            elif isinstance(item.expr, ast.ColumnRef):
+                columns.append(item.expr.name.lower())
+            else:
+                return None  # Star or unnamed expression: opaque
+        return columns
+
+    # -- column / join-scope checks ------------------------------------------
+
+    @staticmethod
+    def _expressions_of(query: ast.SelectStmt):
+        for item in query.items:
+            if not isinstance(item.expr, ast.Star):
+                yield item.expr, "select list", False
+        if query.where is not None:
+            yield query.where, "WHERE clause", False
+        for expr in query.group_by:
+            yield expr, "GROUP BY", False
+        if query.having is not None:
+            yield query.having, "HAVING", True
+        for expr, _asc in query.order_by:
+            yield expr, "ORDER BY", True
+
+    def _validate_expr(self, expr, sql: str, scope: _Scope, where: str,
+                       aliases: frozenset[str] | set[str] = frozenset()) -> None:
+        for ref in self._column_refs(expr):
+            if ref.qualifier is None and ref.name.lower() in aliases:
+                continue
+            self._check_column(ref, sql, scope, where)
+
+    def _column_refs(self, expr):
+        if isinstance(expr, ast.ColumnRef):
+            yield expr
+            return
+        if isinstance(expr, (ast.Literal, ast.IntervalLit, ast.TimeLit,
+                             ast.Star)):
+            return
+        if isinstance(expr, ast.SelectStmt):
+            return  # nested queries validated on their own scope
+        for field_name in getattr(expr, "__dataclass_fields__", ()):
+            value = getattr(expr, field_name)
+            children = value if isinstance(value, (tuple, list)) else (value,)
+            for child in children:
+                if isinstance(child, (tuple, list)):
+                    for grandchild in child:
+                        if hasattr(grandchild, "__dataclass_fields__"):
+                            yield from self._column_refs(grandchild)
+                elif hasattr(child, "__dataclass_fields__"):
+                    yield from self._column_refs(child)
+
+    def _check_column(self, ref: ast.ColumnRef, sql: str, scope: _Scope,
+                      where: str) -> None:
+        if ref.qualifier is not None:
+            binding = scope.bindings.get(ref.qualifier.lower())
+            if binding is None and ref.qualifier.lower() not in scope.bindings:
+                raise PipelineError(
+                    ErrorCode.JOIN_TABLE_NOT_IN_SCOPE,
+                    f"{where}: qualifier {ref.qualifier!r} in {ref} does not "
+                    f"name a table in the FROM clause "
+                    f"(in scope: {sorted(scope.bindings)})",
+                    *position_of(sql, ref.qualifier),
+                    details={"qualifier": ref.qualifier,
+                             "in_scope": sorted(scope.bindings)})
+            if binding is not None and ref.name.lower() not in binding:
+                raise PipelineError(
+                    ErrorCode.COLUMN_NOT_FOUND,
+                    f"{where}: {ref.qualifier}.{ref.name} — no column "
+                    f"{ref.name!r} in {ref.qualifier!r}",
+                    *position_of(sql, ref.name),
+                    details={"column": ref.name, "table": ref.qualifier})
+            return
+        if scope.has_opaque:
+            return  # cannot prove absence against an opaque binding
+        owners = [alias for alias, columns in scope.bindings.items()
+                  if columns is not None and ref.name.lower() in columns]
+        if not owners:
+            raise PipelineError(
+                ErrorCode.COLUMN_NOT_FOUND,
+                f"{where}: unknown column {ref.name!r} "
+                f"(tables in scope: {sorted(scope.bindings)})",
+                *position_of(sql, ref.name),
+                details={"column": ref.name,
+                         "in_scope": sorted(scope.bindings)})
+        if len(owners) > 1:
+            raise PipelineError(
+                ErrorCode.AMBIGUOUS_COLUMN,
+                f"{where}: column {ref.name!r} exists in multiple tables "
+                f"{sorted(owners)}; qualify it",
+                *position_of(sql, ref.name),
+                details={"column": ref.name, "owners": sorted(owners)})

@@ -1,0 +1,90 @@
+"""Persistent named sessions: per-tenant state across shell reconnects.
+
+A session is the unit of user state in the front door: a tenant plus a
+session name resolve to the *same* :class:`Session` object no matter
+how many times the user's shell process reconnects — default data
+source, session variables and the handles of still-running queries all
+survive the disconnect (the shell "runs on users' desktops"; the
+queries run in the shared cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serving.errors import ErrorCode, PipelineError
+
+
+@dataclass
+class Session:
+    """One named session: tenant identity plus mutable per-session state."""
+
+    tenant: str
+    name: str
+    default_datasource: str = "default"
+    variables: dict[str, str] = field(default_factory=dict)
+    handles: list = field(default_factory=list)
+    statements: int = 0
+    closed: bool = False
+
+    @property
+    def session_id(self) -> str:
+        return f"{self.tenant}/{self.name}"
+
+    def set_variable(self, key: str, value: str) -> None:
+        self.variables[key] = value
+
+    def get_variable(self, key: str, default: str = "") -> str:
+        return self.variables.get(key, default)
+
+    def running_handles(self) -> list:
+        """Handles of queries still running (stopped ones drop out)."""
+        return [h for h in self.handles if not h.stopped]
+
+
+class SessionManager:
+    """Registry of persistent named sessions, keyed by (tenant, name)."""
+
+    def __init__(self):
+        self._sessions: dict[tuple[str, str], Session] = {}
+
+    def connect(self, tenant: str, name: str = "main",
+                default_datasource: str = "default") -> Session:
+        """Get-or-create: reconnecting by the same name re-attaches to
+        the live session (running queries and variables intact)."""
+        key = (tenant, name)
+        session = self._sessions.get(key)
+        if session is None or session.closed:
+            session = Session(tenant=tenant, name=name,
+                              default_datasource=default_datasource)
+            self._sessions[key] = session
+        return session
+
+    def get(self, tenant: str, name: str = "main") -> Session:
+        session = self._sessions.get((tenant, name))
+        if session is None or session.closed:
+            raise PipelineError(
+                ErrorCode.SESSION_NOT_FOUND,
+                f"no live session {name!r} for tenant {tenant!r}",
+                details={"tenant": tenant, "session": name})
+        return session
+
+    def close(self, tenant: str, name: str = "main",
+              stop_queries: bool = True) -> Session:
+        """End a session; optionally stop its still-running queries."""
+        session = self.get(tenant, name)
+        if stop_queries:
+            for handle in session.running_handles():
+                handle.stop()
+        session.closed = True
+        del self._sessions[(tenant, name)]
+        return session
+
+    def list_sessions(self, tenant: str | None = None) -> list[Session]:
+        """Deterministic listing: sorted by (tenant, session name)."""
+        sessions = [s for (t, _n), s in self._sessions.items()
+                    if tenant is None or t == tenant]
+        return sorted(sessions, key=lambda s: (s.tenant, s.name))
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -144,5 +144,23 @@ class Catalog:
         known = sorted([*self._streams, *self._tables, *self._views])
         raise SqlValidationError(f"unknown stream/table/view {name!r}; known: {known}")
 
+    def resolvable(self, name: str) -> bool:
+        """True when the name is bound to a stream, table or view."""
+        key = name.lower()
+        return key in self._streams or key in self._tables or key in self._views
+
+    def unregister(self, name: str) -> bool:
+        """Remove a stream/table/view binding (virtual-table DROP).
+
+        Returns whether anything was removed.  Backing topics are left
+        alone — the catalog owns metadata, not data.
+        """
+        key = name.lower()
+        removed = False
+        for registry in (self._streams, self._tables, self._views):
+            if registry.pop(key, None) is not None:
+                removed = True
+        return removed
+
     def object_names(self) -> list[str]:
         return sorted([*self._streams, *self._tables, *self._views])

@@ -1,0 +1,40 @@
+"""The front-door load generator: payload shape and CI gates."""
+
+import json
+
+from repro.bench import frontdoor
+
+
+def test_small_run_payload_and_gates(tmp_path):
+    payload = frontdoor.run(sessions=12, tenants=3, messages=200,
+                            statements_per_session=2)
+    # every named session stayed open concurrently
+    assert payload["concurrent_sessions"] == 12
+    admission = payload["admission"]
+    assert admission["admitted"] >= 1
+    assert admission["rejected"].get("QUOTA_EXCEEDED", 0) >= 1  # the hog tenant
+    assert payload["errors"].get("SECURITY_VIOLATION", 0) >= 1  # odd tenants
+    assert payload["throughput"]["processed_msgs"] > 0
+    assert payload["latency_ms"]["p50"] > 0
+    json.dumps(payload)  # JSON-able end to end
+    assert frontdoor.check_gates(payload, min_throughput=0.0) == []
+
+
+def test_gates_catch_missing_rejections():
+    payload = {
+        "admission": {"admitted": 0, "rejected": {}},
+        "errors": {},
+        "throughput": {"msgs_per_s": 0.0},
+    }
+    failures = frontdoor.check_gates(payload, min_throughput=100.0)
+    assert len(failures) == 4
+
+
+def test_main_smoke_writes_json(tmp_path):
+    out = tmp_path / "BENCH_frontdoor.json"
+    code = frontdoor.main(["--smoke", "--min-throughput", "0",
+                           "--out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "smoke"
+    assert payload["admission"]["rejected"]["QUOTA_EXCEEDED"] >= 1

@@ -104,3 +104,75 @@ class TestCommands:
         cli.process_line("SELECT STREAM orderId FROM Orders;")
         assert "WARNING" in output_of(cli)
         assert "rowtime" in output_of(cli)
+
+
+class TestServingCommands:
+    """The front-door surface: sessions, virtual tables, structured errors."""
+
+    def test_errors_carry_code_and_position(self, cli):
+        cli.process_line("SELECT * FROM Missing;")
+        text = output_of(cli)
+        assert "[TABLE_NOT_FOUND]" in text
+        assert "line 1" in text
+
+    def test_parse_error_structured(self, cli):
+        cli.process_line("SELEC oops;")
+        text = output_of(cli)
+        assert "[PARSE_ERROR]" in text
+        assert "column 1" in text
+
+    def test_vt_create_list_drop(self, cli):
+        cli.process_line("!vt source retail")
+        cli.process_line("!vt create retail Clicks orders")
+        cli.process_line("!vt list")
+        text = output_of(cli)
+        assert "created retail.Clicks" in text
+        assert "retail.Clicks: stream over topic 'Clicks'" in text
+        cli.process_line("!vt drop Clicks")
+        assert "dropped retail.Clicks" in output_of(cli)
+
+    def test_vt_create_table_kind_with_key(self, cli):
+        cli.process_line("!vt source retail")
+        cli.process_line("!vt create retail Prods products table productId")
+        assert "created retail.Prods (table)" in output_of(cli)
+
+    def test_vt_duplicate_reports_structured_error(self, cli):
+        cli.process_line("!vt source retail")
+        cli.process_line("!vt create retail Clicks orders")
+        cli.process_line("!vt create retail Clicks orders")
+        assert "[DUPLICATE_TABLE]" in output_of(cli)
+
+    def test_vt_unknown_source_reports_structured_error(self, cli):
+        cli.process_line("!vt create nowhere Clicks orders")
+        assert "[DATASOURCE_NOT_FOUND]" in output_of(cli)
+
+    def test_vt_drop_while_query_running_refused(self, cli):
+        cli.process_line("!vt source retail")
+        cli.process_line("!vt create retail Clicks orders")
+        cli.process_line("SELECT STREAM rowtime FROM Clicks;")
+        cli.process_line("!vt drop Clicks")
+        assert "[TABLE_IN_USE]" in output_of(cli)
+
+    def test_connect_switches_session_and_set_persists(self, cli):
+        cli.process_line("!connect alice etl")
+        assert "connected: session alice/etl" in output_of(cli)
+        cli.process_line("!set region emea")
+        cli.process_line("!connect bob")
+        cli.process_line("!connect alice etl")  # reconnect: same session
+        cli.process_line("!session")
+        text = output_of(cli)
+        assert "region = emea" in text
+
+    def test_sessions_listing(self, cli):
+        cli.process_line("!connect alice one")
+        cli.process_line("!connect bob two")
+        cli.process_line("!sessions")
+        text = output_of(cli)
+        assert "alice/one" in text
+        assert "bob/two" in text
+        assert "local/main" in text
+
+    def test_queries_still_run_through_front_door(self, cli):
+        cli.process_line("!demo")
+        cli.process_line("SELECT STREAM * FROM Orders WHERE units > 50;")
+        assert "started streaming query #1" in output_of(cli)

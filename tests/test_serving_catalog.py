@@ -1,0 +1,143 @@
+"""Virtual-table catalog: registration, namespacing, drops, pins."""
+
+import pytest
+
+from repro.samzasql.environment import SamzaSqlEnvironment
+from repro.serving import (PipelineError, TenantPolicy, VirtualTableCatalog)
+from repro.serving.errors import ErrorCode
+
+from tests.samzasql_fixtures import ORDERS_SCHEMA, PRODUCTS_SCHEMA
+
+
+@pytest.fixture
+def env():
+    with SamzaSqlEnvironment(metrics_interval_ms=0) as env:
+        yield env
+
+
+@pytest.fixture
+def catalog(env):
+    catalog = env.front_door().catalog
+    catalog.add_data_source("retail")
+    return catalog
+
+
+class TestDataSources:
+    def test_default_source_exists(self, catalog):
+        assert catalog.data_source("default") is not None
+
+    def test_add_is_idempotent(self, catalog):
+        first = catalog.add_data_source("iot", "edge cluster")
+        second = catalog.add_data_source("iot")
+        assert first is second
+
+    def test_listing_sorted(self, catalog):
+        catalog.add_data_source("zeta")
+        catalog.add_data_source("alpha")
+        names = [s.name for s in catalog.list_data_sources()]
+        assert names == sorted(names, key=str.lower)
+
+
+class TestCreate:
+    def test_create_registers_planner_catalog_and_topic(self, env, catalog):
+        vt = catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        assert vt.qualified_name == "retail.Orders"
+        assert env.catalog.stream("Orders") is not None
+        assert env.cluster.has_topic("Orders")
+
+    def test_create_table_kind(self, env, catalog):
+        vt = catalog.create("Products", "retail", PRODUCTS_SCHEMA,
+                            kind="table", key_field="productId")
+        assert vt.topic == "Products-changelog"
+        assert env.catalog.table("Products") is not None
+
+    def test_unknown_datasource_rejected(self, catalog):
+        with pytest.raises(PipelineError) as err:
+            catalog.create("Orders", "nope", ORDERS_SCHEMA)
+        assert err.value.code is ErrorCode.DATASOURCE_NOT_FOUND
+
+    def test_duplicate_registration_rejected(self, catalog):
+        catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        with pytest.raises(PipelineError) as err:
+            catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        assert err.value.code is ErrorCode.DUPLICATE_TABLE
+
+    def test_duplicate_against_legacy_catalog_object(self, env, catalog):
+        env.shell.register_stream("Legacy", ORDERS_SCHEMA)
+        with pytest.raises(PipelineError) as err:
+            catalog.create("Legacy", "retail", ORDERS_SCHEMA)
+        assert err.value.code is ErrorCode.DUPLICATE_TABLE
+
+    def test_bad_kind_rejected(self, catalog):
+        with pytest.raises(PipelineError):
+            catalog.create("Orders", "retail", ORDERS_SCHEMA, kind="blob")
+
+
+class TestAdopt:
+    def test_adopt_legacy_stream_into_namespace(self, env, catalog):
+        env.shell.register_stream("Clicks", ORDERS_SCHEMA)
+        vt = catalog.adopt("Clicks", "retail")
+        assert vt.qualified_name == "retail.Clicks"
+        assert catalog.namespace_of("Clicks") == "retail"
+
+    def test_adopt_unknown_object_rejected(self, catalog):
+        with pytest.raises(PipelineError) as err:
+            catalog.adopt("Ghost", "retail")
+        assert err.value.code is ErrorCode.TABLE_NOT_FOUND
+
+
+class TestNamespaces:
+    def test_legacy_objects_fall_back_to_default(self, env, catalog):
+        env.shell.register_stream("Legacy", ORDERS_SCHEMA)
+        assert catalog.namespace_of("Legacy") == "default"
+
+    def test_unknown_name_has_no_namespace(self, catalog):
+        assert catalog.namespace_of("Ghost") is None
+
+    def test_listing_deterministic_by_datasource_then_name(self, catalog):
+        catalog.add_data_source("alpha")
+        catalog.create("Zed", "retail", ORDERS_SCHEMA)
+        catalog.create("Ann", "retail", ORDERS_SCHEMA, topic="ann-topic")
+        catalog.create("Mid", "alpha", ORDERS_SCHEMA, topic="mid-topic")
+        names = [vt.qualified_name for vt in catalog.list_tables()]
+        assert names == ["alpha.Mid", "retail.Ann", "retail.Zed"]
+
+
+class TestDrop:
+    def test_drop_removes_both_layers(self, env, catalog):
+        catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        catalog.drop("Orders")
+        assert catalog.get("Orders") is None
+        assert env.catalog.stream("Orders") is None
+
+    def test_drop_unknown_rejected(self, catalog):
+        with pytest.raises(PipelineError) as err:
+            catalog.drop("Ghost")
+        assert err.value.code is ErrorCode.TABLE_NOT_FOUND
+
+    def test_drop_while_query_running_refused_then_allowed(self, env, catalog):
+        catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        front_door = env.front_door()
+        front_door.register_tenant("t", TenantPolicy("t", frozenset({"retail.*"})))
+        session = front_door.connect("t")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime, units FROM Orders")
+        with pytest.raises(PipelineError) as err:
+            catalog.drop("Orders")
+        assert err.value.code is ErrorCode.TABLE_IN_USE
+        assert err.value.details["queries"] == [handle.query_id]
+        handle.stop()
+        assert catalog.drop("Orders").name == "Orders"
+
+    def test_force_drop_overrides_pin(self, env, catalog):
+        catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        front_door = env.front_door()
+        front_door.register_tenant("t", TenantPolicy("t", frozenset({"retail.*"})))
+        session = front_door.connect("t")
+        front_door.execute(session, "SELECT STREAM rowtime FROM Orders")
+        assert catalog.drop("Orders", force=True).name == "Orders"
+
+    def test_recreate_after_drop(self, catalog):
+        catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        catalog.drop("Orders")
+        assert catalog.create("Orders", "retail", ORDERS_SCHEMA) is not None

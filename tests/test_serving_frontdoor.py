@@ -1,0 +1,123 @@
+"""The scripted multi-tenant acceptance scenario, end to end.
+
+Two tenants with disjoint ACLs share one environment; tenant A's query
+over a denied table is rejected with SECURITY_VIOLATION *before
+planning*, tenant B's admitted queries produce byte-identical results
+to the same queries run through the legacy single-user shell, and a
+third over-quota tenant is rejected with QUOTA_EXCEEDED while existing
+queries keep running.
+"""
+
+import pytest
+
+from repro.kafka.producer import Producer
+from repro.samzasql.environment import SamzaSqlEnvironment
+from repro.serde.avro import AvroSerde
+from repro.serving import PipelineError, TenantPolicy, TenantQuota
+from repro.serving.errors import ErrorCode
+
+from tests.samzasql_fixtures import ORDERS_SCHEMA, PRODUCTS_SCHEMA
+
+QUERIES = (
+    "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 40",
+    "SELECT STREAM rowtime, orderId, units * 2 AS twice FROM Orders",
+)
+
+
+def feed_orders(env, count=60):
+    serde = AvroSerde(ORDERS_SCHEMA)
+    producer = Producer(env.cluster)
+    for i in range(count):
+        producer.send("Orders", key=str(i % 4).encode(),
+                      value=serde.to_bytes({
+                          "rowtime": 1_000_000 + i * 1_000,
+                          "productId": i % 7, "orderId": i,
+                          "units": (i * 13) % 100}))
+
+
+def output_bytes(env, topic):
+    """Raw output bytes per partition, in offset order."""
+    out = {}
+    for tp in sorted(env.cluster.partitions_for(topic),
+                     key=lambda tp: tp.partition):
+        out[tp.partition] = [
+            (message.key, message.value)
+            for message in env.cluster.fetch(tp, env.cluster.earliest_offset(tp))
+        ]
+    return out
+
+
+def test_multi_tenant_scenario_end_to_end():
+    # -- the legacy single-user baseline --------------------------------------
+    legacy = SamzaSqlEnvironment(metrics_interval_ms=0)
+    legacy.shell.register_stream("Orders", ORDERS_SCHEMA)
+    feed_orders(legacy)
+    legacy_handles = [legacy.shell.execute(q) for q in QUERIES]
+    legacy.run_until_quiescent()
+    legacy_outputs = [output_bytes(legacy, h.output_stream)
+                      for h in legacy_handles]
+    legacy.close()
+
+    # -- the shared multi-tenant environment ----------------------------------
+    env = SamzaSqlEnvironment(metrics_interval_ms=0)
+    front_door = env.front_door()
+    front_door.catalog.add_data_source("retail")
+    front_door.catalog.create("Orders", "retail", ORDERS_SCHEMA)
+    front_door.catalog.create("Products", "retail", PRODUCTS_SCHEMA,
+                              kind="table", key_field="productId")
+    feed_orders(env)
+
+    front_door.register_tenant(
+        "tenant-a", TenantPolicy("tenant-a", frozenset({"retail.Orders"})))
+    front_door.register_tenant(
+        "tenant-b", TenantPolicy("tenant-b", frozenset({"retail.*"})))
+    front_door.register_tenant(
+        "tenant-c", TenantPolicy("tenant-c", frozenset({"retail.*"})),
+        quota=TenantQuota(max_concurrent_queries=1, max_queue_depth=0))
+
+    # Tenant A: denied table rejected before planning (no query started).
+    session_a = front_door.connect("tenant-a")
+    with pytest.raises(PipelineError) as err:
+        front_door.execute(session_a, "SELECT name FROM Products")
+    assert err.value.code is ErrorCode.SECURITY_VIOLATION
+    assert front_door.admission.stats.admitted == 0
+
+    # Tenant B: admitted queries, byte-identical to the legacy shell.
+    session_b = front_door.connect("tenant-b")
+    b_handles = [front_door.execute(session_b, q) for q in QUERIES]
+
+    # Tenant C: first query takes its only slot, second is rejected with
+    # QUOTA_EXCEEDED — while A's and B's (and C's first) keep running.
+    session_c = front_door.connect("tenant-c")
+    c_handle = front_door.execute(
+        session_c, "SELECT STREAM rowtime, units FROM Orders")
+    with pytest.raises(PipelineError) as err:
+        front_door.execute(session_c, "SELECT STREAM orderId FROM Orders")
+    assert err.value.code is ErrorCode.QUOTA_EXCEEDED
+    assert not c_handle.stopped
+    assert all(not h.stopped for h in b_handles)
+
+    env.run_until_quiescent()
+    for legacy_output, handle in zip(legacy_outputs, b_handles):
+        assert output_bytes(env, handle.output_stream) == legacy_output
+
+    assert len(c_handle.results()) == 60  # C's admitted query ran to completion
+    env.close()
+
+
+def test_front_door_results_match_legacy_values():
+    """Same environment, same query, front door vs direct shell call."""
+    env = SamzaSqlEnvironment(metrics_interval_ms=0)
+    front_door = env.front_door()
+    front_door.catalog.add_data_source("retail")
+    front_door.catalog.create("Orders", "retail", ORDERS_SCHEMA)
+    feed_orders(env, count=30)
+    front_door.register_tenant("t", TenantPolicy("t", frozenset({"retail.*"})))
+    session = front_door.connect("t")
+
+    via_front_door = front_door.execute(
+        session, "SELECT productId, COUNT(*) AS c FROM Orders GROUP BY productId")
+    via_shell = env.shell.execute(
+        "SELECT productId, COUNT(*) AS c FROM Orders GROUP BY productId")
+    assert via_front_door == via_shell
+    env.close()

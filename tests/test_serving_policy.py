@@ -1,0 +1,151 @@
+"""The validation/policy node: structured pre-plan rejection."""
+
+import pytest
+
+from repro.samzasql.environment import SamzaSqlEnvironment
+from repro.serving import PipelineError, TenantPolicy
+from repro.serving.errors import ErrorCode, position_of
+
+from tests.samzasql_fixtures import ORDERS_SCHEMA, PRODUCTS_SCHEMA
+
+
+@pytest.fixture
+def front_door():
+    with SamzaSqlEnvironment(metrics_interval_ms=0) as env:
+        fd = env.front_door()
+        fd.catalog.add_data_source("retail")
+        fd.catalog.add_data_source("iot")
+        fd.catalog.create("Orders", "retail", ORDERS_SCHEMA)
+        fd.catalog.create("Products", "retail", PRODUCTS_SCHEMA,
+                          kind="table", key_field="productId")
+        fd.register_tenant(
+            "orders-only",
+            TenantPolicy("orders-only", frozenset({"retail.Orders"})))
+        fd.register_tenant(
+            "retail-all",
+            TenantPolicy("retail-all", frozenset({"retail.*"}),
+                         read_only=False))
+        yield fd
+
+
+def reject(front_door, tenant, sql) -> PipelineError:
+    session = front_door.connect(tenant)
+    with pytest.raises(PipelineError) as err:
+        front_door.execute(session, sql)
+    return err.value
+
+
+class TestPolicyShape:
+    def test_unqualified_acl_entry_rejected_at_construction(self):
+        with pytest.raises(PipelineError) as err:
+            TenantPolicy("t", frozenset({"Orders"}))
+        assert err.value.code is ErrorCode.SECURITY_VIOLATION
+
+    def test_wildcard_matches_namespace(self):
+        policy = TenantPolicy("t", frozenset({"retail.*"}))
+        assert policy.may_read("retail.Orders")
+        assert not policy.may_read("iot.Sensors")
+
+    def test_exact_entry_is_case_insensitive(self):
+        policy = TenantPolicy("t", frozenset({"Retail.Orders"}))
+        assert policy.may_read("retail.orders")
+
+
+class TestTableValidation:
+    def test_unknown_table(self, front_door):
+        err = reject(front_door, "retail-all", "SELECT STREAM x FROM Ghost")
+        assert err.code is ErrorCode.TABLE_NOT_FOUND
+        assert (err.line, err.column) == position_of(
+            "SELECT STREAM x FROM Ghost", "Ghost")
+
+    def test_acl_denied_table(self, front_door):
+        err = reject(front_door, "orders-only", "SELECT name FROM Products")
+        assert err.code is ErrorCode.SECURITY_VIOLATION
+        assert err.details["table"] == "retail.Products"
+        assert err.line == 1 and err.column is not None
+
+    def test_acl_denied_inside_join(self, front_door):
+        err = reject(front_door, "orders-only",
+                     "SELECT STREAM o.rowtime FROM Orders AS o "
+                     "JOIN Products AS p ON o.productId = p.productId")
+        assert err.code is ErrorCode.SECURITY_VIOLATION
+
+    def test_allowed_table_passes_and_runs(self, front_door):
+        session = front_door.connect("orders-only")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime, units FROM Orders")
+        assert handle.query_id
+        handle.stop()
+
+
+class TestColumnValidation:
+    def test_unknown_column(self, front_door):
+        err = reject(front_door, "retail-all", "SELECT STREAM bogus FROM Orders")
+        assert err.code is ErrorCode.COLUMN_NOT_FOUND
+        assert err.column == len("SELECT STREAM ") + 1
+
+    def test_unknown_qualified_column(self, front_door):
+        err = reject(front_door, "retail-all",
+                     "SELECT STREAM o.bogus FROM Orders AS o")
+        assert err.code is ErrorCode.COLUMN_NOT_FOUND
+
+    def test_out_of_scope_qualifier_in_join_condition(self, front_door):
+        err = reject(front_door, "retail-all",
+                     "SELECT STREAM o.rowtime FROM Orders AS o "
+                     "JOIN Products AS p ON o.productId = x.productId")
+        assert err.code is ErrorCode.JOIN_TABLE_NOT_IN_SCOPE
+        assert err.details["in_scope"] == ["o", "p"]
+
+    def test_ambiguous_column_must_be_qualified(self, front_door):
+        err = reject(front_door, "retail-all",
+                     "SELECT STREAM productId FROM Orders AS o "
+                     "JOIN Products AS p ON o.productId = p.productId")
+        assert err.code is ErrorCode.AMBIGUOUS_COLUMN
+
+    def test_output_alias_allowed_in_order_by(self, front_door):
+        session = front_door.connect("retail-all")
+        rows = front_door.execute(
+            session, "SELECT productId, COUNT(*) AS c FROM Orders "
+                     "GROUP BY productId ORDER BY c DESC")
+        assert rows == []  # no data fed; validation is what's under test
+
+
+class TestReadOnly:
+    def test_read_only_tenant_cannot_insert(self, front_door):
+        err = reject(front_door, "orders-only",
+                     "INSERT INTO out1 SELECT STREAM rowtime, units FROM Orders")
+        assert err.code is ErrorCode.READ_ONLY_VIOLATION
+
+    def test_writer_tenant_can_insert(self, front_door):
+        session = front_door.connect("retail-all")
+        handle = front_door.execute(
+            session, "INSERT INTO out1 SELECT STREAM rowtime, units FROM Orders")
+        assert handle.output_stream == "out1"
+        handle.stop()
+
+
+class TestStructuredErrors:
+    def test_parse_error_carries_position_and_code(self, front_door):
+        err = reject(front_door, "retail-all", "SELECT STREAM FROM WHERE")
+        assert err.code is ErrorCode.PARSE_ERROR
+        assert err.line == 1 and err.column is not None
+        assert "[PARSE_ERROR]" in str(err)
+        assert str(err).count("at line") == 1
+
+    def test_to_dict_is_flat_and_jsonable(self, front_door):
+        import json
+
+        err = reject(front_door, "orders-only", "SELECT name FROM Products")
+        payload = err.to_dict()
+        assert payload["code"] == "SECURITY_VIOLATION"
+        json.dumps(payload)
+
+    def test_unregistered_tenant(self, front_door):
+        with pytest.raises(PipelineError) as err:
+            front_door.connect("ghost-tenant")
+        assert err.value.code is ErrorCode.TENANT_NOT_FOUND
+
+    def test_error_counts_accumulate(self, front_door):
+        reject(front_door, "orders-only", "SELECT name FROM Products")
+        reject(front_door, "orders-only", "SELECT name FROM Products")
+        assert front_door.error_counts["SECURITY_VIOLATION"] >= 2

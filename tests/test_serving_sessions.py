@@ -1,0 +1,102 @@
+"""Persistent named sessions and idempotent query stop."""
+
+import pytest
+
+from repro.samzasql.environment import SamzaSqlEnvironment
+from repro.serving import PipelineError, TenantPolicy, TenantQuota
+from repro.serving.errors import ErrorCode
+
+from tests.samzasql_fixtures import ORDERS_SCHEMA
+
+
+@pytest.fixture
+def env():
+    with SamzaSqlEnvironment(metrics_interval_ms=0) as env:
+        yield env
+
+
+@pytest.fixture
+def front_door(env):
+    fd = env.front_door()
+    fd.catalog.add_data_source("retail")
+    fd.catalog.create("Orders", "retail", ORDERS_SCHEMA)
+    fd.register_tenant("t", TenantPolicy("t", frozenset({"retail.*"})),
+                       quota=TenantQuota(max_concurrent_queries=4))
+    return fd
+
+
+class TestSessionPersistence:
+    def test_reconnect_returns_same_session(self, front_door):
+        first = front_door.connect("t", "etl")
+        first.set_variable("region", "emea")
+        again = front_door.connect("t", "etl")
+        assert again is first
+        assert again.get_variable("region") == "emea"
+
+    def test_sessions_isolated_by_name_and_tenant(self, front_door):
+        front_door.register_tenant("u", TenantPolicy("u", frozenset({"retail.*"})))
+        a = front_door.connect("t", "one")
+        b = front_door.connect("t", "two")
+        c = front_door.connect("u", "one")
+        assert len({id(a), id(b), id(c)}) == 3
+
+    def test_running_queries_survive_reconnect(self, env, front_door):
+        session = front_door.connect("t", "etl")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime, units FROM Orders")
+        reconnected = front_door.connect("t", "etl")
+        assert [h.query_id for h in reconnected.running_handles()] == \
+            [handle.query_id]
+
+    def test_close_stops_queries_and_forgets_session(self, front_door):
+        session = front_door.connect("t", "etl")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime FROM Orders")
+        front_door.sessions.close("t", "etl")
+        assert handle.stopped
+        with pytest.raises(PipelineError) as err:
+            front_door.sessions.get("t", "etl")
+        assert err.value.code is ErrorCode.SESSION_NOT_FOUND
+
+    def test_listing_deterministic(self, front_door):
+        front_door.connect("t", "zz")
+        front_door.connect("t", "aa")
+        names = [s.name for s in front_door.sessions.list_sessions("t")]
+        assert names == ["aa", "zz"]
+
+
+class TestIdempotentStop:
+    def test_double_stop_does_not_raise(self, front_door):
+        session = front_door.connect("t")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime FROM Orders")
+        handle.stop()
+        handle.stop()  # admission-control eviction racing the user
+        assert handle.stopped
+
+    def test_stop_listener_fires_exactly_once(self, front_door):
+        session = front_door.connect("t")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime FROM Orders")
+        fired = []
+        handle.add_stop_listener(lambda h: fired.append(h.query_id))
+        handle.stop()
+        handle.stop()
+        assert fired == [handle.query_id]
+
+    def test_stop_releases_admission_slot(self, front_door):
+        session = front_door.connect("t")
+        handle = front_door.execute(
+            session, "SELECT STREAM rowtime FROM Orders")
+        assert front_door.admission.running("t")
+        handle.stop()
+        assert not front_door.admission.running("t")
+
+    def test_eviction_uses_idempotent_stop(self, front_door):
+        session = front_door.connect("t")
+        first = front_door.execute(session, "SELECT STREAM rowtime FROM Orders")
+        second = front_door.execute(session, "SELECT STREAM units FROM Orders")
+        first.stop()  # user stopped one; evict must not raise on it
+        evicted = front_door.evict_tenant("t")
+        assert evicted == [second.query_id]
+        assert first.stopped and second.stopped
