@@ -28,6 +28,7 @@ from repro.common.errors import (
     ZkError,
     ZkSessionExpiredError,
 )
+from repro.common.execution import ExecutionConfig
 from repro.common.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.common.varint import (
     decode_varint,
@@ -43,6 +44,7 @@ __all__ = [
     "SystemClock",
     "VirtualClock",
     "Config",
+    "ExecutionConfig",
     "ReproError",
     "ConfigError",
     "SerdeError",

@@ -1,0 +1,109 @@
+"""Unified execution-mode configuration.
+
+The runtime grew four independent mode flags, each read ad hoc wherever
+it was needed: ``task.batch.execution`` (container + task),
+``stores.write.behind`` (container store specs), ``cluster.parallel.execution``
+(container, job runner, environment) and now ``task.compile.execution``
+(task).  :class:`ExecutionConfig` is the one typed surface over all of
+them: construct it directly, thread it through
+:class:`~repro.samzasql.environment.SamzaSqlEnvironment`, or recover it
+from a flat :class:`~repro.common.config.Config` with
+:meth:`ExecutionConfig.from_config`.
+
+Canonical keys are ``execution.batch`` / ``execution.write.behind`` /
+``execution.parallel`` / ``execution.compile``.  The historical flat
+keys keep working as a deprecation shim — :meth:`from_config` falls back
+to them, and :meth:`to_overrides` *emits* them so that every existing
+consumer (per-store ``write.behind`` overrides, benchmarks, chaos
+harnesses) observes the same values without a dual-key conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, VirtualClock
+from repro.common.config import Config
+from repro.common.errors import ConfigError
+
+#: canonical key -> (legacy key, default); order matters for to_overrides().
+KEY_MAP: dict[str, tuple[str, bool]] = {
+    "execution.batch": ("task.batch.execution", True),
+    "execution.write.behind": ("stores.write.behind", True),
+    "execution.parallel": ("cluster.parallel.execution", False),
+    "execution.compile": ("task.compile.execution", True),
+}
+
+_FIELD_BY_CANONICAL = {
+    "execution.batch": "batch",
+    "execution.write.behind": "write_behind",
+    "execution.parallel": "parallel",
+    "execution.compile": "compile",
+}
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """The four execution-mode knobs, as one typed value.
+
+    ``batch``        -- vectorized per-operator ``process_batch`` path.
+    ``write_behind`` -- buffered changelog writes for window state.
+    ``parallel``     -- process-backed containers (forked workers).
+    ``compile``      -- whole-plan ``exec``-compilation of the stateless
+                        operator prefix (requires ``batch`` to take
+                        effect on the hot path; harmless otherwise).
+    """
+
+    batch: bool = True
+    write_behind: bool = True
+    parallel: bool = False
+    compile: bool = True
+
+    @classmethod
+    def from_config(cls, config: Config | dict | None) -> "ExecutionConfig":
+        """Recover the knobs from a flat config map.
+
+        Canonical ``execution.*`` keys win; the legacy flat keys are the
+        deprecation shim and are consulted only when the canonical key is
+        absent.
+        """
+        cfg = config if isinstance(config, Config) else Config(config or {})
+        values: dict[str, bool] = {}
+        for canonical, (legacy, default) in KEY_MAP.items():
+            field = _FIELD_BY_CANONICAL[canonical]
+            if canonical in cfg:
+                values[field] = cfg.get_bool(canonical)
+            else:
+                values[field] = cfg.get_bool(legacy, default)
+        return cls(**values)
+
+    def to_overrides(self) -> dict[str, str]:
+        """Flat config entries carrying these knobs.
+
+        Deliberately emits the *legacy* keys only: every runtime consumer
+        (container, task, job runner, per-store ``write.behind``
+        overrides) reads through them, so a single key namespace keeps
+        override merging unambiguous.
+        """
+        out: dict[str, str] = {}
+        for canonical, (legacy, _default) in KEY_MAP.items():
+            value = getattr(self, _FIELD_BY_CANONICAL[canonical])
+            out[legacy] = "true" if value else "false"
+        return out
+
+    def validate(self, clock: Clock | None = None) -> "ExecutionConfig":
+        """Reject illegal knob combinations; returns self for chaining."""
+        if self.parallel and isinstance(clock, VirtualClock):
+            raise ConfigError(
+                "cluster.parallel.execution=true is incompatible with a "
+                "VirtualClock: virtual time cannot advance across worker "
+                "processes.  Pass clock=None (a SystemClock is selected "
+                "automatically) or an explicit SystemClock.")
+        return self
+
+    def describe(self) -> str:
+        """One-line human summary, used by ``EXPLAIN``."""
+        return (f"batch={'on' if self.batch else 'off'} "
+                f"write_behind={'on' if self.write_behind else 'off'} "
+                f"parallel={'on' if self.parallel else 'off'} "
+                f"compile={'on' if self.compile else 'off'}")

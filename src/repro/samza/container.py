@@ -23,6 +23,7 @@ from repro.chaos.retry import RetryPolicy
 from repro.common.clock import Clock, SystemClock
 from repro.common.config import Config
 from repro.common.errors import ConfigError
+from repro.common.execution import ExecutionConfig
 from repro.common.metrics import MetricsRegistry
 from repro.kafka.cluster import KafkaCluster
 from repro.kafka.consumer import Consumer
@@ -138,14 +139,16 @@ class SamzaContainer:
         self._window_ms = config.get_int("task.window.ms", -1)
         self._commit_interval = config.get_int("task.checkpoint.interval.messages", 500)
         self._batch_size = config.get_int("task.poll.batch.size", 200)
+        execution = ExecutionConfig.from_config(config)
         # Batch-at-a-time execution (default): decode, dispatch and process
-        # whole per-partition record batches.  task.batch.execution=false
-        # selects the per-message loop for A/B comparison.
-        self._batch_execution = config.get_bool("task.batch.execution", True)
+        # whole per-partition record batches.  execution.batch=false (legacy
+        # task.batch.execution) selects the per-message loop for A/B
+        # comparison.
+        self._batch_execution = execution.batch
         # Under parallel execution, task init (and with it the SQL task's
         # plan fetch + operator codegen) is deferred to the worker process
         # so compilation happens per-process from the shared plan JSON.
-        self._parallel_execution = config.get_bool("cluster.parallel.execution", False)
+        self._parallel_execution = execution.parallel
         self._tasks_initialized = False
         self._messages_since_commit = 0
         self._last_window_ms = 0
@@ -191,7 +194,7 @@ class SamzaContainer:
             if key.startswith("stores.") and len(key.split(".")) >= 3
             and key != "stores.write.behind"
         }
-        write_behind_default = config.get_bool("stores.write.behind", True)
+        write_behind_default = ExecutionConfig.from_config(config).write_behind
         for name in sorted(names):
             prefix = f"stores.{name}."
             changelog = config.get(prefix + "changelog")

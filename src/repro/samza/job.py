@@ -21,6 +21,7 @@ from repro.chaos.retry import RetryPolicy
 from repro.common.clock import Clock, SystemClock, VirtualClock
 from repro.common.config import Config
 from repro.common.errors import ConfigError
+from repro.common.execution import ExecutionConfig
 from repro.kafka.cluster import KafkaCluster
 from repro.samza.checkpoint import CheckpointManager
 from repro.samza.container import SamzaContainer, TaskModel
@@ -232,7 +233,7 @@ class JobRunner:
         self._masters: dict[str, SamzaApplicationMaster] = {}
 
     def submit(self, job: SamzaJob) -> SamzaApplicationMaster:
-        parallel = job.config.get_bool("cluster.parallel.execution", False)
+        parallel = ExecutionConfig.from_config(job.config).parallel
         if parallel and isinstance(self.clock, VirtualClock):
             raise ConfigError(
                 "cluster.parallel.execution=true cannot share a VirtualClock "

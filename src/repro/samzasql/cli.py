@@ -11,7 +11,7 @@ carry structured codes plus source positions.  Statements end with
 ``;``.  Bang-commands:
 
 * ``!tables`` — list catalog objects
-* ``!explain <query>`` — logical plan
+* ``!explain <query>`` — logical + physical plan, compiled/interpreted status
 * ``!queries`` — running streaming queries
 * ``!results <n>`` — sample output of query *n*
 * ``!metrics [n]`` — latest operator metrics snapshots (all jobs, or query *n*)
@@ -148,6 +148,9 @@ class SamzaSQLCli:
             self._print("queued by admission control; the query starts "
                         "when a slot frees (!queries to check)")
             return
+        if isinstance(result, str):
+            self._print(result)  # EXPLAIN report
+            return
         if isinstance(result, list):
             self._print_rows(result)
             return
@@ -192,10 +195,10 @@ class SamzaSQLCli:
             names = self.shell.catalog.object_names()
             self._print("\n".join(names) if names else "(empty catalog)")
         elif command == "!explain":
-            try:
-                self._print(self.shell.explain(" ".join(args).rstrip(";")))
-            except ReproError as exc:
-                self._print(f"ERROR: {exc}")
+            # Routed through the front door so policy validation applies
+            # (an EXPLAIN may not see tables the tenant cannot read).
+            query = " ".join(args).rstrip(";")
+            self._execute(f"EXPLAIN {query};")
         elif command == "!queries":
             if not self.handles:
                 self._print("(no streaming queries)")

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.common.clock import Clock, SystemClock, VirtualClock
 from repro.common.config import Config
-from repro.common.errors import ConfigError
+from repro.common.execution import ExecutionConfig
 from repro.kafka.cluster import KafkaCluster
 from repro.samza.job import JobRunner
 from repro.samzasql.shell import SamzaSQLShell
@@ -42,22 +42,21 @@ class SamzaSqlEnvironment:
                  metrics_interval_ms: int = DEFAULT_METRICS_INTERVAL_MS,
                  start_ms: int = 1_000_000,
                  fault_injector=None,
-                 catalog: Catalog | None = None):
-        overrides_preview = dict(config) if config is not None else {}
-        parallel = Config(overrides_preview).get_bool(
-            "cluster.parallel.execution", False)
+                 catalog: Catalog | None = None,
+                 execution: ExecutionConfig | None = None):
+        overrides = dict(config) if config is not None else {}
+        if execution is not None:
+            # The typed knobs win over any flat-key duplicates in `config`.
+            overrides.update(execution.to_overrides())
+        self.execution = ExecutionConfig.from_config(overrides)
         if clock is None:
             # A VirtualClock cannot be shared across forked workers (each
             # process would advance its own copy), so parallel mode runs
             # on real time.
-            self.clock = SystemClock() if parallel else VirtualClock(start_ms)
+            self.clock = (SystemClock() if self.execution.parallel
+                          else VirtualClock(start_ms))
         else:
-            if parallel and isinstance(clock, VirtualClock):
-                raise ConfigError(
-                    "cluster.parallel.execution=true is incompatible with a "
-                    "VirtualClock: virtual time cannot advance across worker "
-                    "processes.  Pass clock=None (a SystemClock is selected "
-                    "automatically) or an explicit SystemClock.")
+            self.execution.validate(clock)
             self.clock = clock
         self.cluster = KafkaCluster(broker_count=broker_count, clock=self.clock)
         self.zk = ZkServer()
@@ -68,7 +67,6 @@ class SamzaSqlEnvironment:
         self.runner = JobRunner(self.cluster, self.rm, self.clock,
                                 fault_injector=fault_injector)
         self.metrics_interval_ms = metrics_interval_ms
-        overrides = dict(config) if config is not None else {}
         self.shell = SamzaSQLShell(
             self.cluster, self.runner, zk=self.zk, catalog=catalog,
             metrics_interval_ms=metrics_interval_ms,

@@ -91,6 +91,24 @@ class InsertOperator(Operator):
             for message, ts, key in entries:
                 send(message, ts, key)
 
+    def deliver(self, entries: list) -> None:
+        """Accept pre-built ``(message, timestamp_ms, key)`` entries.
+
+        The whole-plan compiler produces finished entries directly (the
+        ArrayToAvro step is fused into the generated function); they join
+        the same buffer / batched-send path as interpreted output, so
+        flush and checkpoint semantics are identical.  Counters are
+        maintained by the caller.
+        """
+        if self._buffer is not None:
+            self._buffer.extend(entries)
+        elif self._send_batch is not None:
+            self._send_batch(entries)
+        else:
+            send = self._send
+            for message, ts, key in entries:
+                send(message, ts, key)
+
     def flush(self) -> None:
         """Send buffered output, resolving the sink once for the batch."""
         buffer = self._buffer

@@ -123,15 +123,36 @@ class QueryHandle:
     _stop_listeners: list = field(repr=False, default_factory=list)
     _stop_fired: bool = field(repr=False, default=False)
 
+    def _ensure_running(self, what: str) -> None:
+        """Reject live-observation calls on a stopped query with a
+        structured error instead of whatever internal exception the
+        stale lookup happens to hit."""
+        if self.master.finished:
+            # Imported lazily: repro.serving sits above the samzasql layer.
+            from repro.serving.errors import ErrorCode, PipelineError
+
+            raise PipelineError(
+                ErrorCode.QUERY_STOPPED,
+                f"query {self.query_id} is stopped; {what} requires a "
+                f"running query (use results() to read its final output)",
+                details={"query_id": self.query_id, "operation": what})
+
+    def _cursor(self, from_earliest: bool = True) -> ResultCursor:
+        return ResultCursor(self._shell.cluster, self.output_stream,
+                            self.output_serde, from_earliest=from_earliest)
+
     def results(self) -> list[dict]:
-        """All records currently in the output stream (deserialized)."""
-        return self.iter_results().poll()
+        """All records currently in the output stream (deserialized).
+        Works on stopped queries too — the output topic outlives the job."""
+        return self._cursor().poll()
 
     def iter_results(self, from_earliest: bool = True) -> ResultCursor:
         """Cursor over the output stream; each ``poll()`` yields only
-        records produced since the previous poll."""
-        return ResultCursor(self._shell.cluster, self.output_stream,
-                            self.output_serde, from_earliest=from_earliest)
+        records produced since the previous poll.  Raises a structured
+        ``QUERY_STOPPED`` :class:`~repro.serving.errors.PipelineError`
+        once the query has been stopped."""
+        self._ensure_running("iter_results()")
+        return self._cursor(from_earliest=from_earliest)
 
     def relation(self) -> dict[str, dict]:
         """Latest record per key — the relation a relation-stream output
@@ -182,18 +203,29 @@ class QueryHandle:
     def stop(self) -> None:
         """Stop the query.  Idempotent: double-stop (user + admission
         eviction racing) must not raise, and stop listeners fire exactly
-        once."""
+        once.  A raising listener no longer masks the stop or starves the
+        listeners after it: every listener fires, then the first failure
+        is re-raised."""
         self.master.finish()
         if self._stop_fired:
             return
         self._stop_fired = True
+        errors: list[Exception] = []
         for listener in list(self._stop_listeners):
-            listener(self)
+            try:
+                listener(self)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
 
     def snapshots(self, force: bool = True) -> list[dict]:
         """Latest operator-level metrics snapshot records for this query,
         read back from the ``__metrics`` stream (requires the shell's
-        metrics reporting to be enabled)."""
+        metrics reporting to be enabled).  Raises a structured
+        ``QUERY_STOPPED`` error once the query has been stopped — there
+        are no live containers left to snapshot."""
+        self._ensure_running("snapshots()")
         return self._shell.latest_snapshots(job=self.query_id, force=force)
 
     def explain(self) -> str:
@@ -291,11 +323,63 @@ class SamzaSQLShell:
         planned = self.planner.plan_statement(sql)
         if planned.kind == "view":
             return None
+        if planned.kind == "explain":
+            return self._explain_report(planned, containers,
+                                        config_overrides or {}, fuse_scans,
+                                        relation_key)
         if not planned.is_streaming:
             return self._execute_batch(planned)
         return self._submit_streaming(sql, planned, containers, window_ms,
                                       config_overrides or {}, fuse_scans,
                                       relation_key)
+
+    # -- EXPLAIN ------------------------------------------------------------------------
+
+    def _explain_report(self, planned, containers: int, overrides: dict,
+                        fuse_scans: bool,
+                        relation_key: list[str] | None) -> str:
+        """The EXPLAIN report: logical plan, physical operator chain, and
+        per-task compiled/interpreted status with the fallback reason.
+
+        Runs the exact planning pipeline a submission would — including
+        the physical lowering and the compile decision — but writes
+        nothing to ZooKeeper and submits no job.
+        """
+        from repro.common.execution import ExecutionConfig
+        from repro.samzasql.compile import analyze_plan
+
+        lines = ["logical plan:"]
+        lines += ["  " + line for line in planned.plan.explain().splitlines()]
+        if not planned.is_streaming:
+            lines.append("execution: batch query over retained history "
+                         "(no job submitted)")
+            return "\n".join(lines)
+
+        output_stream = planned.output_stream or "<query>-output"
+        builder = PhysicalPlanBuilder(self.catalog, fuse_scans=fuse_scans)
+        plan = builder.build(planned.plan, output_stream,
+                             relation_key=relation_key)
+        lines.append("physical plan:")
+        lines += ["  " + line for line in plan.explain().splitlines()]
+
+        merged = Config(self._default_overrides).merge(overrides)
+        execution = ExecutionConfig.from_config(merged)
+        lines.append(f"execution: {execution.describe()}")
+
+        # One task per input partition (GroupByPartitionId), like the job
+        # would get; fall back to the container count for unknown topics.
+        try:
+            tasks = max(self.cluster.topic(s).partition_count
+                        for s in plan.input_streams)
+        except Exception:  # noqa: BLE001 - unregistered topic
+            tasks = containers
+        decision = analyze_plan(plan)
+        if not execution.compile and decision.supported:
+            status = "interpreted (fallback: disabled by execution.compile=false)"
+        else:
+            status = decision.status
+        lines.append(f"tasks: {tasks} × {status}")
+        return "\n".join(lines)
 
     # -- batch path ---------------------------------------------------------------------
 

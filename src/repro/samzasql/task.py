@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.common.config import Config
 from repro.common.errors import ZkSessionExpiredError
+from repro.common.execution import ExecutionConfig
 from repro.samza.system import OutgoingMessageEnvelope, SystemStream
 from repro.samza.task import (
     InitableTask,
@@ -23,6 +24,7 @@ from repro.samza.task import (
     TaskCoordinator,
     WindowableTask,
 )
+from repro.samzasql.compile import CompiledExecutor, analyze_plan
 from repro.samzasql.operators.base import OperatorContext
 from repro.samzasql.operators.group_window import GroupWindowAggOperator
 from repro.samzasql.operators.router import build_router
@@ -78,6 +80,8 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         self._sink = None
         self._early_emit = False
         self._buffered_sinks = False
+        self._executor = None
+        self._compile_decision = None
 
     def init(self, config: Config, context: TaskContext) -> None:
         try:
@@ -89,6 +93,7 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
             self._zk.reconnect()
             payload = self._zk.read_json(self._plan_path)
         plan = PhysicalPlan.from_dict(payload)
+        execution = ExecutionConfig.from_config(config)
         self._sink = _CollectorSink(plan.output_stream)
         stores = {name: context.get_store(name) for name in plan.store_names}
         op_context = OperatorContext(
@@ -98,17 +103,29 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         self._router = build_router(plan, op_context)
         self._route = self._router.route
         self._route_batch = self._router.route_batch
+        self._compile_decision = analyze_plan(plan)
+        if execution.compile and self._compile_decision.supported:
+            # Whole-plan compilation: one generated function replaces the
+            # per-operator dispatch for the full stateless chain.  The
+            # interpreted router stays built — its operators carry the
+            # counters and it serves the metrics sampler's timed path.
+            self._executor = CompiledExecutor(plan, self._router)
+            self._route = self._executor.route
+            self._route_batch = self._executor.route_batch
         if (context.metrics is not None
                 and config.get_int("metrics.reporter.interval.ms", 0) > 0):
             from repro.metrics.instrument import TimingSampler, instrument_operators
 
             instrument_operators(self._router.operators, context.metrics,
                                  context.partition_id)
+            # Sampled messages go through the interpreted router with timed
+            # bindings (per-operator latency needs per-operator dispatch);
+            # unsampled spans flow through the compiled path when present.
             sampler = TimingSampler(self._router.route, self._router.operators,
-                                    route_batch=self._router.route_batch)
+                                    route_batch=self._route_batch)
             self._route = sampler.route
             self._route_batch = sampler.route_batch
-        if config.get_bool("task.batch.execution", True):
+        if execution.batch:
             # Batched container loop: buffer insert output and flush it once
             # per task callback (topic + partitioner resolved per flush).
             from repro.samzasql.operators.insert import InsertOperator
@@ -160,3 +177,18 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
     @property
     def router(self):
         return self._router
+
+    @property
+    def compiled(self) -> bool:
+        """True when this task runs the exec-compiled whole-plan function."""
+        return self._executor is not None
+
+    @property
+    def compile_decision(self):
+        """The per-task :class:`~repro.samzasql.compile.CompileDecision`."""
+        return self._compile_decision
+
+    @property
+    def executor(self):
+        """The :class:`~repro.samzasql.compile.CompiledExecutor`, or None."""
+        return self._executor

@@ -35,6 +35,7 @@ class ErrorCode(enum.Enum):
     QUOTA_EXCEEDED = "QUOTA_EXCEEDED"
     SESSION_NOT_FOUND = "SESSION_NOT_FOUND"
     TENANT_NOT_FOUND = "TENANT_NOT_FOUND"
+    QUERY_STOPPED = "QUERY_STOPPED"
     VALIDATOR_CRASH = "VALIDATOR_CRASH"
 
     def __str__(self) -> str:  # "TABLE_NOT_FOUND", not "ErrorCode.TABLE..."

@@ -118,6 +118,10 @@ class FrontDoor:
             tables = self.validator.validate(statement, sql, policy)
         except PipelineError as exc:
             raise self._count(exc)
+        if isinstance(statement, ast.ExplainStmt):
+            # EXPLAIN is validated like the statement it wraps (above) but
+            # submits nothing — it returns a report string from the shell.
+            return self.shell.execute(sql, **shell_kwargs)
         query = (statement.query
                  if isinstance(statement, (ast.InsertInto, ast.CreateView))
                  else statement)

@@ -95,6 +95,11 @@ class PolicyValidator:
         the front door pins in the virtual-table catalog for
         drop-while-running protection.
         """
+        if isinstance(statement, ast.ExplainStmt):
+            # EXPLAIN gets the full validation of the statement it wraps —
+            # including read-only enforcement: explaining a denied INSERT
+            # leaks nothing but still signals the denial.
+            statement = statement.statement
         if isinstance(statement, ast.InsertInto):
             if policy.read_only:
                 raise PipelineError(

@@ -207,4 +207,11 @@ class InsertInto:
     query: SelectStmt
 
 
-Statement = Union[SelectStmt, CreateView, InsertInto]
+@dataclass(frozen=True)
+class ExplainStmt:
+    """EXPLAIN <select | insert>: report plans without submitting a job."""
+
+    statement: Union[SelectStmt, InsertInto]
+
+
+Statement = Union[SelectStmt, CreateView, InsertInto, ExplainStmt]

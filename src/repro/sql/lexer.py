@@ -21,7 +21,7 @@ KEYWORDS = {
     "PARTITION", "ORDER", "RANGE", "ROWS", "PRECEDING", "FOLLOWING",
     "CURRENT", "ROW", "UNBOUNDED", "CREATE", "VIEW", "INSERT", "INTO",
     "VALUES", "DISTINCT", "ALL", "LIKE", "ASC", "DESC", "LIMIT", "UNION",
-    "EXISTS", "SECOND", "MINUTE", "HOUR", "DAY", "MILLISECOND",
+    "EXISTS", "SECOND", "MINUTE", "HOUR", "DAY", "MILLISECOND", "EXPLAIN",
 }
 
 MULTI_CHAR_OPS = ("<>", "<=", ">=", "!=", "||")

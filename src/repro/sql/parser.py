@@ -77,8 +77,10 @@ class _Parser:
     # -- statements -------------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
-        if self.current.matches_keyword("CREATE"):
-            stmt: ast.Statement = self.parse_create_view()
+        if self.current.matches_keyword("EXPLAIN"):
+            stmt: ast.Statement = self.parse_explain()
+        elif self.current.matches_keyword("CREATE"):
+            stmt = self.parse_create_view()
         elif self.current.matches_keyword("INSERT"):
             stmt = self.parse_insert()
         else:
@@ -87,6 +89,16 @@ class _Parser:
         if self.current.type is not TokenType.EOF:
             raise self.error("unexpected trailing input")
         return stmt
+
+    def parse_explain(self) -> ast.ExplainStmt:
+        self.expect_keyword("EXPLAIN")
+        if self.current.matches_keyword("CREATE"):
+            raise self.error("EXPLAIN supports SELECT and INSERT statements")
+        if self.current.matches_keyword("INSERT"):
+            inner: ast.SelectStmt | ast.InsertInto = self.parse_insert()
+        else:
+            inner = self.parse_select()
+        return ast.ExplainStmt(statement=inner)
 
     def parse_create_view(self) -> ast.CreateView:
         self.expect_keyword("CREATE")

@@ -21,7 +21,7 @@ from repro.sql.rel.optimizer import Optimizer
 
 @dataclass
 class PlannedStatement:
-    kind: str  # "select" | "view" | "insert"
+    kind: str  # "select" | "view" | "insert" | "explain"
     plan: Optional[RelNode] = None
     is_streaming: bool = False
     output_stream: Optional[str] = None
@@ -61,6 +61,22 @@ class QueryPlanner:
 
     def plan_statement(self, text: str) -> PlannedStatement:
         statement = parse_statement(text)
+        if isinstance(statement, ast.ExplainStmt):
+            # Plan the wrapped statement exactly as if it were submitted —
+            # same validation, same optimization — but mark it kind
+            # "explain" so the shell reports instead of running a job.
+            inner = statement.statement
+            query = (inner.query if isinstance(inner, ast.InsertInto)
+                     else inner)
+            plan = self._plan_select(query)
+            return PlannedStatement(
+                kind="explain", plan=plan,
+                is_streaming=_plan_is_streaming(query),
+                output_stream=(inner.target
+                               if isinstance(inner, ast.InsertInto) else None),
+                statement=statement,
+                warnings=self._collect_warnings(plan,
+                                                _plan_is_streaming(query)))
         if isinstance(statement, ast.CreateView):
             # Validate the view body eagerly so errors surface at CREATE time.
             body = Converter(self.catalog).convert_query(statement.query)

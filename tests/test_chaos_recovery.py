@@ -180,6 +180,40 @@ class TestSqlQueryRecovery:
         expected = {i for i in range(80) if (i * 7) % 100 > 50}
         assert {r["orderId"] for r in rows} == expected
 
+    def test_compiled_filter_crash_mid_batch_matches_interpreted(self):
+        """A crash landing *inside* a poll batch while the task runs the
+        compiled whole-plan function must recover exactly like the
+        interpreted chain: the uncommitted suffix replays through the
+        freshly recompiled plan on the replacement container, and the
+        surviving output set is identical either way."""
+        outputs = {}
+        for mode, flag in (("compiled", "true"), ("interpreted", "false")):
+            # crash at message 25 with batch 8 / checkpoint 10: mid-batch
+            # and mid-checkpoint-interval, so a suffix is always replayed
+            schedule = FaultSchedule.script().add_crash(25)
+            dep, injector = chaos_sql_deployment(schedule)
+            handle = dep.shell.execute(FILTER_SQL, containers=2,
+                                       config_overrides={
+                                           "task.checkpoint.interval.messages": 10,
+                                           "task.poll.batch.size": 8,
+                                           "task.compile.execution": flag,
+                                       })
+            supervisor = ChaosSupervisor(dep.runner, injector,
+                                         zk=dep.shell.zk)
+            supervisor.run_until_quiescent()
+            assert supervisor.restarts == 1
+            # the replacement container re-read the plan and made the same
+            # compile decision the original did
+            for container in handle.master.samza_containers.values():
+                for instance in container.tasks.values():
+                    assert instance.task.compiled is (mode == "compiled")
+            with injector.suspended():
+                outputs[mode] = {r["orderId"] for r in handle.results()}
+
+        expected = {i for i in range(80) if (i * 7) % 100 > 50}
+        assert outputs["compiled"] == expected
+        assert outputs["compiled"] == outputs["interpreted"]
+
     def test_windowed_aggregate_survives_crash_and_zk_expiry(self):
         schedule = (FaultSchedule.script()
                     .add_crash(35)

@@ -1,0 +1,339 @@
+"""Whole-plan compilation: plan analysis, byte equivalence, ExecutionConfig
+mapping, EXPLAIN reporting, and the QueryHandle stopped-query contract.
+
+The integration suite already drives every end-to-end scenario through
+all four batch × compile modes; this module pins the *seams* — which
+plans compile and why others don't, that the compiled path's rows AND
+per-operator counters match the interpreted path's exactly, that the
+canonical/legacy config key mapping stays stable, and that EXPLAIN
+reports the per-task decision the runtime actually makes.
+"""
+
+import pytest
+
+from repro.common import VirtualClock
+from repro.common.config import Config
+from repro.common.errors import ConfigError
+from repro.common.execution import KEY_MAP, ExecutionConfig
+from repro.samzasql.compile import analyze_plan, compile_chain
+from repro.serving.errors import ErrorCode, PipelineError
+
+from tests.samzasql_fixtures import Deployment
+
+FILTER_SQL = ("SELECT STREAM rowtime, productId, orderId, units "
+              "FROM Orders WHERE units > 50")
+WINDOW_SQL = (
+    "SELECT STREAM rowtime, productId, units, "
+    "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+    "RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes "
+    "FROM Orders")
+
+
+def sql_tasks(handle):
+    """Every SamzaSqlTask behind a handle (one per partition group)."""
+    return [instance.task
+            for container in handle.master.samza_containers.values()
+            for instance in container.tasks.values()]
+
+
+def operator_counters(handle):
+    """{op_id: (processed, emitted)} summed across the handle's tasks."""
+    totals = {}
+    for task in sql_tasks(handle):
+        for op in task.router.operators:
+            processed, emitted = totals.get(op.op_id, (0, 0))
+            totals[op.op_id] = (processed + op.processed,
+                                emitted + op.emitted)
+    return totals
+
+
+def run_modes(sql, count=40, **kwargs):
+    """The same query compiled and interpreted, over identical input."""
+    handles = {}
+    for mode, flag in (("compiled", "true"), ("interpreted", "false")):
+        dep = Deployment().with_orders(count)
+        handles[mode] = dep.run(
+            sql, config_overrides={"task.compile.execution": flag}, **kwargs)
+    return handles
+
+
+class TestCompileDecision:
+    def test_filter_chain_compiles(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run(FILTER_SQL)
+        for task in sql_tasks(handle):
+            assert task.compiled
+            assert task.compile_decision.supported
+            assert task.compile_decision.status == "compiled"
+
+    def test_projection_chain_compiles(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run("SELECT STREAM rowtime, orderId, units * 2 AS twice "
+                         "FROM Orders")
+        assert all(task.compiled for task in sql_tasks(handle))
+
+    def test_window_falls_back_with_reason(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run(WINDOW_SQL)
+        for task in sql_tasks(handle):
+            assert not task.compiled
+            decision = task.compile_decision
+            assert not decision.supported
+            assert decision.reason == "stateful operator: sliding_window"
+            assert decision.status == (
+                "interpreted (fallback: stateful operator: sliding_window)")
+
+    def test_join_falls_back_with_reason(self):
+        dep = Deployment().with_orders(5).with_products()
+        handle = dep.run(
+            "SELECT STREAM o.rowtime, o.orderId, p.name "
+            "FROM Orders o JOIN Products p ON o.productId = p.productId")
+        for task in sql_tasks(handle):
+            assert not task.compiled
+            assert "join operator" in task.compile_decision.reason
+
+    def test_udf_falls_back_with_reason(self):
+        from repro.sql.udf import UDF_REGISTRY, register_scalar_udf
+
+        UDF_REGISTRY.clear()
+        register_scalar_udf("PLAN_COMPILE_T", lambda x: x)
+        try:
+            dep = Deployment().with_orders(5)
+            handle = dep.run("SELECT STREAM orderId, "
+                             "PLAN_COMPILE_T(units) AS u FROM Orders")
+            for task in sql_tasks(handle):
+                assert not task.compiled
+                assert "UDF" in task.compile_decision.reason
+        finally:
+            UDF_REGISTRY.clear()
+
+    def test_compile_flag_off_keeps_interpreted_router(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run(FILTER_SQL,
+                         config_overrides={"task.compile.execution": "false"})
+        for task in sql_tasks(handle):
+            # the plan is compilable, but the knob vetoes it per task
+            assert task.compile_decision.supported
+            assert not task.compiled
+            assert task.executor is None
+
+    def test_analyze_plan_on_built_physical_plan(self):
+        dep = Deployment().with_orders(1)
+        decisions = {}
+        for sql in (FILTER_SQL, WINDOW_SQL):
+            handle = dep.shell.execute(sql)
+            decisions[sql] = analyze_plan(handle.plan)
+            handle.stop()
+        assert decisions[FILTER_SQL].supported
+        assert not decisions[WINDOW_SQL].supported
+
+
+class TestByteEquivalence:
+    def test_filter_rows_and_counters_identical(self):
+        handles = run_modes(FILTER_SQL)
+        rows = {mode: sorted((r["orderId"], r["units"])
+                             for r in handle.results())
+                for mode, handle in handles.items()}
+        assert rows["compiled"] == rows["interpreted"]
+        assert len(rows["compiled"]) == sum(
+            1 for i in range(40) if (i * 7) % 100 > 50)
+        # metric parity: every operator's processed/emitted counts match,
+        # so snapshots are indistinguishable between the two paths
+        counters = {mode: operator_counters(handle)
+                    for mode, handle in handles.items()}
+        assert counters["compiled"] == counters["interpreted"]
+        assert any(op.startswith("filter") for op in counters["compiled"])
+
+    def test_projection_rows_identical(self):
+        handles = run_modes("SELECT STREAM rowtime, orderId, "
+                            "units * units + 1 AS poly FROM Orders")
+        rows = {mode: sorted((r["orderId"], r["poly"])
+                             for r in handle.results())
+                for mode, handle in handles.items()}
+        assert rows["compiled"] == rows["interpreted"]
+        assert rows["compiled"][3] == (3, ((3 * 7) % 100) ** 2 + 1)
+
+    def test_multi_filter_staged_counters_identical(self):
+        # two filter stages force the compiler's counting-loop shape;
+        # per-stage emitted counts must still match the interpreted chain
+        sql = ("SELECT STREAM orderId, units FROM "
+               "(SELECT STREAM orderId, units FROM Orders WHERE units > 20) "
+               "WHERE units < 80")
+        handles = run_modes(sql)
+        rows = {mode: sorted(r["orderId"] for r in handle.results())
+                for mode, handle in handles.items()}
+        assert rows["compiled"] == rows["interpreted"]
+        counters = {mode: operator_counters(handle)
+                    for mode, handle in handles.items()}
+        assert counters["compiled"] == counters["interpreted"]
+
+    def test_generated_source_is_one_function(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run(FILTER_SQL)
+        [task] = [t for t in sql_tasks(handle) if t.executor is not None][:1]
+        source = task.executor.source
+        assert source.count("def ") == 1
+        assert "process_batch" not in source
+        # and it is the same source compile_chain produces from the plan —
+        # the task rebuilt it from the plan JSON the shell wrote to ZK
+        assert compile_chain(handle.plan).source == source
+
+
+class TestExecutionConfigMapping:
+    def test_defaults(self):
+        config = ExecutionConfig.from_config(Config({}))
+        assert config == ExecutionConfig(batch=True, write_behind=True,
+                                         parallel=False, compile=True)
+
+    def test_legacy_keys_still_work(self):
+        config = ExecutionConfig.from_config(Config({
+            "task.batch.execution": "false",
+            "stores.write.behind": "false",
+            "cluster.parallel.execution": "true",
+            "task.compile.execution": "false",
+        }))
+        assert config == ExecutionConfig(batch=False, write_behind=False,
+                                         parallel=True, compile=False)
+
+    def test_canonical_keys_win_over_legacy(self):
+        config = ExecutionConfig.from_config(Config({
+            "execution.batch": "false",
+            "task.batch.execution": "true",
+            "execution.compile": "false",
+            "task.compile.execution": "true",
+        }))
+        assert config.batch is False
+        assert config.compile is False
+
+    def test_key_map_pin(self):
+        # the deprecation shim's exact mapping, pinned in both directions
+        assert KEY_MAP == {
+            "execution.batch": ("task.batch.execution", True),
+            "execution.write.behind": ("stores.write.behind", True),
+            "execution.parallel": ("cluster.parallel.execution", False),
+            "execution.compile": ("task.compile.execution", True),
+        }
+        overrides = ExecutionConfig(batch=False, write_behind=True,
+                                    parallel=True, compile=False).to_overrides()
+        assert overrides == {
+            "task.batch.execution": "false",
+            "stores.write.behind": "true",
+            "cluster.parallel.execution": "true",
+            "task.compile.execution": "false",
+        }
+        # round trip: overrides reconstruct the same value
+        assert ExecutionConfig.from_config(Config(overrides)) == \
+            ExecutionConfig(batch=False, write_behind=True,
+                            parallel=True, compile=False)
+
+    def test_parallel_with_virtual_clock_rejected(self):
+        config = ExecutionConfig(parallel=True)
+        with pytest.raises(ConfigError, match="VirtualClock"):
+            config.validate(VirtualClock(0))
+        assert config.validate(None) is config
+
+    def test_describe(self):
+        assert ExecutionConfig().describe() == \
+            "batch=on write_behind=on parallel=off compile=on"
+
+
+class TestExplain:
+    def test_streaming_filter_reports_compiled(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(f"EXPLAIN {FILTER_SQL}")
+        assert isinstance(report, str)
+        assert "logical plan:" in report
+        assert "physical plan:" in report
+        assert ("execution: batch=on write_behind=on parallel=off compile=on"
+                in report)
+        assert "tasks: 4 × compiled" in report  # one per Orders partition
+
+    def test_window_reports_fallback_reason(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(f"EXPLAIN {WINDOW_SQL}")
+        assert ("interpreted (fallback: stateful operator: sliding_window)"
+                in report)
+
+    def test_compile_disabled_reports_why(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(
+            f"EXPLAIN {FILTER_SQL}",
+            config_overrides={"task.compile.execution": "false"})
+        assert "compile=off" in report
+        assert ("interpreted (fallback: disabled by execution.compile=false)"
+                in report)
+
+    def test_batch_query_reports_no_job(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(
+            "EXPLAIN SELECT productId, SUM(units) AS total FROM Orders "
+            "GROUP BY productId")
+        assert "batch query over retained history (no job submitted)" in report
+        assert "physical plan:" not in report
+
+    def test_explain_submits_nothing(self):
+        dep = Deployment().with_orders(5)
+        dep.shell.execute(f"EXPLAIN {FILTER_SQL}")
+        assert dep.shell._masters == []  # no job was submitted
+
+    def test_explain_through_front_door_applies_policy(self):
+        from repro.samzasql.environment import SamzaSqlEnvironment
+        from repro.serving import TenantPolicy
+
+        from tests.samzasql_fixtures import ORDERS_SCHEMA
+
+        env = SamzaSqlEnvironment(metrics_interval_ms=0)
+        try:
+            env.shell.register_stream("Orders", ORDERS_SCHEMA)
+            door = env.front_door()
+            door.register_tenant("analyst", TenantPolicy(
+                tenant="analyst", allowed_tables=frozenset({"default.*"}),
+                read_only=True))
+            session = door.connect("analyst")
+            report = door.execute(session, f"EXPLAIN {FILTER_SQL}")
+            assert "tasks:" in report
+            # EXPLAIN is validated like the statement it wraps: explaining
+            # a write a read-only tenant could not run is denied too
+            with pytest.raises(PipelineError) as excinfo:
+                door.execute(
+                    session,
+                    f"EXPLAIN INSERT INTO Elsewhere {FILTER_SQL}")
+            assert excinfo.value.code is ErrorCode.READ_ONLY_VIOLATION
+        finally:
+            env.close()
+
+
+class TestStoppedQueryHandle:
+    def test_iter_results_and_snapshots_raise_after_stop(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run(FILTER_SQL)
+        handle.stop()
+        for method in (handle.iter_results, handle.snapshots):
+            with pytest.raises(PipelineError) as excinfo:
+                method()
+            assert excinfo.value.code is ErrorCode.QUERY_STOPPED
+            assert excinfo.value.details["query_id"] == handle.query_id
+        # results() still reads the surviving output topic
+        assert len(handle.results()) == sum(
+            1 for i in range(5) if (i * 7) % 100 > 50)
+
+    def test_raising_stop_listener_does_not_mask_stop(self):
+        dep = Deployment().with_orders(5)
+        handle = dep.run(FILTER_SQL)
+        fired = []
+        handle.add_stop_listener(lambda h: fired.append("a"))
+
+        def boom(h):
+            fired.append("boom")
+            raise RuntimeError("listener exploded")
+
+        handle.add_stop_listener(boom)
+        handle.add_stop_listener(lambda h: fired.append("b"))
+        with pytest.raises(RuntimeError, match="listener exploded"):
+            handle.stop()
+        # the stop itself took effect and every listener fired
+        assert handle.stopped
+        assert fired == ["a", "boom", "b"]
+        # idempotent: a second stop neither raises nor re-fires listeners
+        handle.stop()
+        assert fired == ["a", "boom", "b"]

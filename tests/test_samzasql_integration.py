@@ -11,17 +11,24 @@ from repro.common import PlannerError
 from tests.samzasql_fixtures import Deployment
 
 
-@pytest.fixture(autouse=True, params=["true", "false"],
-                ids=["batched", "single-message"])
+@pytest.fixture(autouse=True,
+                params=[("true", "true"), ("true", "false"),
+                        ("false", "true"), ("false", "false")],
+                ids=["batched-compiled", "batched-interpreted",
+                     "single-message-compiled", "single-message-interpreted"])
 def execution_mode(request, monkeypatch):
-    """Run every end-to-end scenario down both execution paths.
+    """Run every end-to-end scenario down all four execution paths.
 
     The batched container loop must be observationally identical to the
     single-message one — same outputs, same offsets, same checkpoints —
-    so the whole module is parametrized over ``task.batch.execution``.
+    and the exec-compiled whole-plan path must be byte-identical to the
+    interpreted operator DAG, so the whole module is parametrized over
+    the (``task.batch.execution`` × ``task.compile.execution``) product.
     """
+    batch, compile_flag = request.param
     monkeypatch.setattr(Deployment, "default_overrides",
-                        {"task.batch.execution": request.param})
+                        {"task.batch.execution": batch,
+                         "task.compile.execution": compile_flag})
     return request.param
 
 
