@@ -73,12 +73,12 @@ def test_claim_sublinear_with_fixed_partitions(benchmark, results_dir):
                            messages_per_partition=1000)
 
     series = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    lines = ["Claim S3 — throughput vs containers (32 fixed partitions):"]
+    lines = ["Claim S3 — modeled throughput vs workers (32 fixed partitions):"]
     base = series[0][1]
     for count, throughput in series:
         speedup = throughput / base
-        lines.append(f"  {count:>3} containers: {throughput:>10.0f} msg/s "
-                     f"({speedup:.2f}x vs 1 container, linear would be {count}x)")
+        lines.append(f"  {count:>3} workers: {throughput:>10.0f} msg/s "
+                     f"({speedup:.2f}x vs 1 worker, linear would be {count}x)")
     lines.extend(_measured_overlay_lines())
     write_result(results_dir, "claim_scaling", "\n".join(lines))
 
@@ -120,6 +120,9 @@ def run_real_sweep(worker_counts: list[int], messages: int,
     model = ScalingModel(ClusterParameters(partitions=32))
     modeled = model.sweep([1, 2, 4, 8, 16, 32], CPU_MS,
                           messages_per_partition=1000)
+    # Both series use the same "workers" key: the model's container count
+    # and the measured sweep's process count name the same axis, and a
+    # mismatched schema made downstream tooling special-case one side.
     payload = {
         "benchmark": "fig5a filter, process-backed scaling",
         "cpu_count": os.cpu_count() or 1,
@@ -127,22 +130,61 @@ def run_real_sweep(worker_counts: list[int], messages: int,
         "partitions": partitions,
         "measured": [{"workers": count, "msgs_per_s": throughput}
                      for count, throughput in measured],
-        "modeled": [{"containers": count, "msgs_per_s": throughput}
+        "modeled": [{"workers": count, "msgs_per_s": throughput}
                     for count, throughput in modeled],
     }
     BENCH_SCALING_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
-    lines = ["Claim S3 — throughput vs containers (32 fixed partitions):"]
+    lines = ["Claim S3 — modeled throughput vs workers (32 fixed partitions):"]
     base = modeled[0][1]
     for count, throughput in modeled:
-        lines.append(f"  {count:>3} containers: {throughput:>10.0f} msg/s "
-                     f"({throughput / base:.2f}x vs 1 container, "
+        lines.append(f"  {count:>3} workers: {throughput:>10.0f} msg/s "
+                     f"({throughput / base:.2f}x vs 1 worker, "
                      f"linear would be {count}x)")
     lines.extend(_measured_overlay_lines())
     results_dir = REPO_ROOT / "benchmarks" / "results"
     results_dir.mkdir(exist_ok=True)
     write_result(results_dir, "claim_scaling", "\n".join(lines))
     return payload
+
+
+def check_scaling(payload: dict, min_speedup_at_4: float = 1.8) -> int:
+    """Multi-core scaling gate over a measured sweep.
+
+    On hosts with >= 4 CPUs the measured curve must be monotonically
+    non-decreasing through 4 workers and the 4-worker point must beat the
+    1-worker point by ``min_speedup_at_4``.  Smaller hosts cannot exhibit
+    process-level speedup, so the gate loud-skips there instead of
+    pretending a 1-CPU number validates the scaling claim.
+    """
+    cpus = payload["cpu_count"]
+    by_workers = {p["workers"]: p["msgs_per_s"] for p in payload["measured"]}
+    if cpus < 4:
+        print(f"SKIP scaling gate: only {cpus} CPU(s); need >= 4 to "
+              f"observe multi-worker speedup (sweep still recorded)")
+        return 0
+    missing = [w for w in (1, 2, 4) if w not in by_workers]
+    if missing:
+        print(f"FAIL scaling gate: sweep missing worker counts {missing}")
+        return 1
+    curve = [(w, by_workers[w]) for w in sorted(by_workers) if w <= 4]
+    failures = []
+    for (w_lo, t_lo), (w_hi, t_hi) in zip(curve, curve[1:]):
+        if t_hi < t_lo:
+            failures.append(f"{w_hi} workers ({t_hi:,.0f} msgs/s) slower "
+                            f"than {w_lo} workers ({t_lo:,.0f} msgs/s)")
+    speedup = by_workers[4] / by_workers[1]
+    if speedup < min_speedup_at_4:
+        failures.append(f"4-worker speedup {speedup:.2f}x < "
+                        f"{min_speedup_at_4}x over 1 worker")
+    if failures:
+        for failure in failures:
+            print(f"FAIL scaling gate: {failure}")
+        return 1
+    print(f"PASS scaling gate: monotonic through 4 workers, "
+          f"4-worker speedup {speedup:.2f}x >= {min_speedup_at_4}x "
+          f"({cpus} CPUs)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -157,6 +199,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=[1, 2, 4, 8])
     parser.add_argument("--messages", type=int, default=20_000)
     parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument("--check", action="store_true",
+                        help="after the sweep, gate on multi-core scaling: "
+                             "monotonic through 4 workers and 4-worker >= "
+                             "1.8x 1-worker (loud-skipped below 4 CPUs)")
+    parser.add_argument("--min-speedup-at-4", type=float, default=1.8)
     args = parser.parse_args(argv)
     if not args.real:
         parser.error("pass --real to run the measured sweep "
@@ -168,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
               f"{point['msgs_per_s']:,.0f} msgs/s "
               f"({point['msgs_per_s'] / base:.2f}x)")
     print(f"wrote {BENCH_SCALING_JSON}")
+    if args.check:
+        return check_scaling(payload, args.min_speedup_at_4)
     return 0
 
 

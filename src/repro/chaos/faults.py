@@ -158,6 +158,16 @@ class FaultSchedule:
         self.worker_kills = tuple(sorted(self.worker_kills + iterations))
         return self
 
+    def add_worker_kill_burst(self, start: int, count: int = 2,
+                              spacing: int = 2) -> "FaultSchedule":
+        """``count`` SIGKILLs ``spacing`` supervisor iterations apart,
+        starting at ``start`` — the elastic-rebalance stress: later kills
+        land while the mesh is still settling from the earlier ones."""
+        if count < 1 or spacing < 1:
+            raise ConfigError("kill burst needs count >= 1 and spacing >= 1")
+        return self.add_worker_kill(
+            *(start + i * spacing for i in range(count)))
+
     def add_unavailability(self, first_op: int, last_op: int,
                            partition: int) -> "FaultSchedule":
         self.unavailable_windows = self.unavailable_windows + (

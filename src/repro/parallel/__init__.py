@@ -11,19 +11,34 @@ checkpoint log are all served by broker objects living in the worker's
 own address space.  The hot consume→DAG→produce loop therefore never
 crosses a process boundary.
 
-Cross-partition traffic — repartition topics, ``__metrics``, output
-streams the shell reads — travels over framed ``multiprocessing`` pipes
-carrying already-serialized record batches (:mod:`repro.parallel.frames`),
-one frame per poll iteration, so IPC cost is amortized exactly like fetch
-cost in the batched path.  A control pipe per worker carries the
-spawn/shutdown/commit-barrier/metrics-snapshot/fault protocol
-(:mod:`repro.parallel.coordinator`), and the parent's copy of every
-mirrored topic is the durable store a relaunched worker restores from —
-at-least-once across SIGKILL, verified by ``repro.chaos.validate
---worker-kill``.
+The data plane is decentralized.  Intermediate keyed traffic — topics
+that are one parallel job's input and another's declared output
+(``task.outputs``) — is *owner-sequenced*: each partition is owned by the
+worker group that consumes it, and producers send record frames directly
+worker↔worker over ``AF_UNIX`` peer links (:mod:`repro.parallel.peer`)
+with credit-based backpressure.  The parent process keeps only control
+plane duties — bootstrap ordering, route-table pushes, commit barriers,
+status rounds, relaunch (:mod:`repro.parallel.coordinator`) — plus the
+two flows that still need a single sequencer: source-topic input
+forwarding and parent-origin ingress, both under a credit window.
+Worker output is mirrored to the parent as framed batches
+(:mod:`repro.parallel.frames`) whose headers carry apply watermarks, and
+that mirrored copy is the durable store a relaunched worker restores
+from: a SIGKILLed worker's partitions reassign to a replacement
+incarnation, surviving workers retarget their peer links from the
+re-pushed route table, and the job keeps running — at-least-once across
+SIGKILL, verified by ``repro.chaos.validate --worker-kill``.
 """
 
-from repro.parallel.coordinator import ParallelJobCoordinator
+from repro.parallel.coordinator import ParallelJobCoordinator, RunnerMesh
 from repro.parallel.frames import decode_frame, encode_frame
+from repro.parallel.peer import PeerEndpoint, PeerLink
 
-__all__ = ["ParallelJobCoordinator", "encode_frame", "decode_frame"]
+__all__ = [
+    "ParallelJobCoordinator",
+    "RunnerMesh",
+    "PeerEndpoint",
+    "PeerLink",
+    "encode_frame",
+    "decode_frame",
+]

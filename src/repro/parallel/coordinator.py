@@ -8,22 +8,39 @@ deadlock-free — a worker's data sends can never block indefinitely on a
 parent that is itself blocked sending a command, because the parent is
 always consuming.
 
+Since the decentralized data plane, the parent is *control plane only*
+in steady state.  A :class:`RunnerMesh` (one per
+:class:`~repro.samza.job.JobRunner`, shared by every coordinator) decides
+which topics are **owner-sequenced** — intermediate topics that are both
+a parallel job's input and another parallel job's declared output
+(``task.outputs``) — and publishes a
+:class:`~repro.kafka.routing.RouteTable` mapping each of their partitions
+to the worker group that hosts the partition's shard.  Keyed traffic to
+those topics flows worker↔worker over
+:class:`~repro.parallel.peer.PeerLink` sockets with credit backpressure;
+the parent sees the bytes only as the owner's mirror echo.  Everything
+else keeps the PR 5 contract: source inputs are parent-sequenced and
+forwarded, worker output is mirrored.
+
 Responsibilities:
 
 * **spawn** — fork a worker for every container the master has started
-  but no process serves yet (initial launch and relaunch share this
-  path: a replacement container restores from the parent's mirrored
-  changelog/checkpoint *before* the fork, so the fork ships restored
-  state);
-* **mirror** — apply the record frames workers send (outputs, changelogs,
-  checkpoints, metrics) to the parent cluster, the durable copy;
-* **route** — sequence records produced to a job's own input topics and
-  forward them — plus anything the parent or other jobs produced — to
-  whichever worker owns the destination partition;
-* **supervise** — detect dead workers (pipe EOF, liveness, error
-  reports), fail them through the YARN resource manager so the
-  application master's normal recovery path builds a replacement, and
-  fork a fresh worker for it;
+  but no process serves yet.  Initial launch and elastic rebalance share
+  this path: a replacement restores from the parent's mirrored
+  changelog/checkpoint *before* the fork, gets a bumped incarnation and
+  a fresh mesh address, and the route-table push (``MSG_ROUTES``, acked
+  after a flush — the fence) retargets every surviving sender without
+  restarting it;
+* **mirror** — apply the record frames workers send; frame headers carry
+  the worker's peer/ingress apply watermarks, atomically with the echo
+  records, so a replacement's restored dedup state always matches its
+  restored shard;
+* **sequence** — only what still needs a single sequencer: source-topic
+  input (forwarded under a credit window) and parent-origin produces to
+  owner-sequenced topics (diverted to the owner as ``MSG_INGRESS``,
+  retained until echoed);
+* **supervise** — detect dead workers, fail them through the YARN
+  resource manager, and fork replacements;
 * **barrier** — drive the commit/metrics/shutdown control protocol.
 """
 
@@ -33,11 +50,16 @@ import collections
 import json
 import multiprocessing
 import os
+import re
+import shutil
 import signal
+import tempfile
 import threading
 import time
 
+from repro.common.varint import encode_varint
 from repro.kafka.message import TopicPartition
+from repro.kafka.routing import RouteEntry, RouteTable
 from repro.parallel.frames import (
     MSG_ACK_COMMIT,
     MSG_ACK_METRICS,
@@ -45,16 +67,24 @@ from repro.parallel.frames import (
     MSG_COMMIT,
     MSG_DATA,
     MSG_ERROR,
+    MSG_INGRESS,
     MSG_INPUT,
     MSG_METRICS,
+    MSG_MULTI,
+    MSG_ROUTED,
+    MSG_ROUTES,
+    MSG_ROUTES_ACK,
     MSG_SHUTDOWN,
     MSG_STATUS,
     MSG_STATUS_REQ,
+    decode_data_payload,
     decode_frame,
     encode_frame,
+    pack_msgs,
     parse_msg,
     send_msg,
 )
+from repro.parallel.peer import DEFAULT_CREDIT_BYTES
 from repro.parallel.worker import worker_main
 from repro.yarn.launcher import ProcessLauncher
 
@@ -79,6 +109,16 @@ class WorkerHandle:
         self.last_processed = 0
         self.last_lag = 0
         self.last_shutdown = False
+        # Mesh identity: worker group id and incarnation (sender epoch).
+        self.gid = ""
+        self.incarnation = 1
+        self.routes_epoch = 0           # highest route-table epoch acked
+        # Forward credit: cumulative payload bytes sent down the command
+        # pipe (INPUT + INGRESS) vs cumulative bytes the worker reports
+        # applied — their difference is bounded by the credit window.
+        self.fwd_sent = 0
+        self.fwd_acked = 0
+        self.peer_stats: dict = {}      # last status round's peer-link stats
         # Next parent offset to forward per owned input partition.
         self.forward_pos: dict[TopicPartition, int] = {}
         self._reader = threading.Thread(
@@ -102,6 +142,10 @@ class WorkerHandle:
     def dead(self) -> bool:
         return self.eof or self.error is not None or not self.process.is_alive()
 
+    @property
+    def fwd_inflight(self) -> int:
+        return max(0, self.fwd_sent - self.fwd_acked)
+
     def close(self) -> None:
         try:
             self.cmd_conn.close()
@@ -112,6 +156,259 @@ class WorkerHandle:
             self.process.kill()
             self.process.join(timeout=5)
         self._reader.join(timeout=5)
+
+
+class _IngressLink:
+    """Parent-origin records diverted to one owner group, retained until
+    the owner's echo (``ia`` header) confirms they are back in the parent
+    log — the resend buffer for elastic rebalance."""
+
+    def __init__(self):
+        self.pending: dict[TopicPartition, list[tuple]] = {}
+        self.pending_records = 0
+        # (seq, frame, n_records); seqs are global per gid, never reset.
+        self.retained: collections.deque[tuple[int, bytes, int]] = (
+            collections.deque())
+        self.next_seq = 1
+        self.sent_seq = 0   # highest seq written to the current incarnation
+        self.acked_seq = 0  # highest seq echoed back into the parent log
+
+    def backlog_records(self) -> int:
+        return self.pending_records + sum(
+            n for seq, _f, n in self.retained if seq > self.acked_seq)
+
+
+class RunnerMesh:
+    """Shared route/ownership state for every coordinator of one runner."""
+
+    def __init__(self, runner):
+        self.runner = runner
+        self.cluster = runner.cluster
+        # The unhooked produce: every parent-side mirror/echo apply MUST
+        # use this, or the ingress divert hook would re-route echoes.
+        self.direct_produce = type(runner.cluster).produce.__get__(
+            runner.cluster)
+        self.routes = RouteTable(epoch=0)
+        self.coordinators: list[ParallelJobCoordinator] = []
+        self.declared_outputs: dict[str, set[str]] = {}
+        self.input_consumers: dict[str, list] = {}
+        self.owner_sequenced: set[str] = set()
+        self.gid_incarnation: dict[str, int] = {}
+        self.ingress: dict[str, _IngressLink] = {}
+        self.receiver_watermarks: dict[str, dict[str, list]] = {}
+        self.ingress_watermark: dict[str, int] = {}
+        # Data-path accounting.  ``routed_data_bytes`` is the tentpole
+        # counter: bytes of worker-produced routed traffic the parent had
+        # to sequence (the legacy outbox path).  A fully peer-routed
+        # pipeline pins it to 0.
+        self.routed_data_bytes = 0
+        self.forwarded_input_bytes = 0
+        self.ingress_data_bytes = 0
+        self.mirror_data_bytes = 0
+        self.meshdir = tempfile.mkdtemp(prefix="samza-mesh-")
+        self._hooked = False
+
+    @classmethod
+    def attach(cls, runner) -> "RunnerMesh":
+        mesh = getattr(runner, "_parallel_mesh", None)
+        if mesh is None:
+            mesh = cls(runner)
+            runner._parallel_mesh = mesh
+        return mesh
+
+    # -- registration / ownership ----------------------------------------------
+
+    def register_job(self, coordinator: "ParallelJobCoordinator") -> None:
+        job = coordinator.master.job
+        self.coordinators.append(coordinator)
+        outputs = set()
+        for text in job.config.get_list("task.outputs", []):
+            outputs.add(text.split(".", 1)[1] if "." in text else text)
+        self.declared_outputs[job.name] = outputs
+        for ss in job.input_streams():
+            self.input_consumers.setdefault(ss.stream, []).append(coordinator)
+        self._recompute_ownership()
+
+    def _recompute_ownership(self) -> None:
+        all_outputs: set[str] = set()
+        for outputs in self.declared_outputs.values():
+            all_outputs |= outputs
+        for topic, consumers in self.input_consumers.items():
+            if topic in self.owner_sequenced or topic.startswith("__"):
+                continue
+            if len(consumers) != 1 or topic not in all_outputs:
+                continue
+            consumer = consumers[0]
+            if consumer.spawned_ever:
+                # Too late to flip safely: the consumer's workers forked
+                # with a parent-sequenced baseline for this topic, and
+                # peer appends would misalign their local offsets against
+                # the parent log.  The topic stays parent-sequenced.
+                continue
+            self._activate(topic, consumer)
+
+    def _activate(self, topic: str,
+                  consumer: "ParallelJobCoordinator") -> None:
+        partition_count = self.cluster.topic(topic).partition_count
+        for group in consumer.task_groups():
+            pids = sorted(model.partition_id for model in group)
+            gid = f"{consumer.master.job.name}:g{pids[0]}"
+            incarnation = self.gid_incarnation.setdefault(gid, 1)
+            address = self.address_for(gid, incarnation)
+            for pid in pids:
+                if pid < partition_count:
+                    self.routes.set_owner(
+                        topic, pid, RouteEntry(gid, address, incarnation))
+        self.owner_sequenced.add(topic)
+        self.routes.epoch += 1
+        self._ensure_hook()
+        # Fence: live producers flush under the old routes and ack before
+        # any owner forks, so every pre-flip record is in the parent log
+        # (the owners' fork baseline) before peer routing begins.
+        self.sync_routes()
+
+    def address_for(self, gid: str, incarnation: int) -> str:
+        name = re.sub(r"[^A-Za-z0-9_.-]", "-", gid)
+        return os.path.join(self.meshdir, f"{name}.{incarnation}")
+
+    def _ensure_hook(self) -> None:
+        if self._hooked:
+            return
+        self._hooked = True
+
+        def diverting_produce(tp, key, value, timestamp_ms=None):
+            if tp.topic in self.owner_sequenced:
+                entry = self.routes.owner(tp.topic, tp.partition)
+                if entry is not None:
+                    self._enqueue_ingress(entry.gid, tp, key, value,
+                                          timestamp_ms)
+                    return -1
+            return self.direct_produce(tp, key, value, timestamp_ms)
+
+        self.cluster.produce = diverting_produce
+
+    def _enqueue_ingress(self, gid: str, tp, key, value, timestamp_ms) -> None:
+        link = self.ingress.setdefault(gid, _IngressLink())
+        link.pending.setdefault(tp, []).append((0, timestamp_ms, key, value))
+        link.pending_records += 1
+
+    # -- incarnations ----------------------------------------------------------
+
+    def begin_incarnation(self, gid: str, first: bool) -> int:
+        if first:
+            return self.gid_incarnation.setdefault(gid, 1)
+        incarnation = self.gid_incarnation.get(gid, 0) + 1
+        self.gid_incarnation[gid] = incarnation
+        address = self.address_for(gid, incarnation)
+        changed = False
+        for by_partition in self.routes.entries.values():
+            for partition, entry in list(by_partition.items()):
+                if entry.gid == gid:
+                    by_partition[partition] = RouteEntry(
+                        gid, address, incarnation)
+                    changed = True
+        if changed:
+            self.routes.epoch += 1
+        link = self.ingress.get(gid)
+        if link is not None:
+            # Resend the unacknowledged tail to the new incarnation; its
+            # restored ingress watermark dedups anything already echoed.
+            link.sent_seq = link.acked_seq
+        return incarnation
+
+    def listen_address(self, gid: str) -> str | None:
+        entry = self.routes.entries_for_gid(gid)
+        return entry.address if entry is not None else None
+
+    def sync_routes(self) -> None:
+        """Push the current route table to every live worker that has not
+        acked this epoch; draining frames on the way to the ack is the
+        fence that makes ownership changes and retargets consistent."""
+        epoch = self.routes.epoch
+        payload: bytes | None = None
+        for coordinator in self.coordinators:
+            for handle in list(coordinator.handles.values()):
+                if handle.dead or handle.routes_epoch >= epoch:
+                    continue
+                if payload is None:
+                    payload = json.dumps(
+                        self.routes.to_payload(),
+                        sort_keys=True).encode("utf-8")
+                try:
+                    send_msg(handle.cmd_conn, MSG_ROUTES, payload)
+                except (BrokenPipeError, OSError):
+                    with handle.cond:
+                        handle.eof = True
+                    continue
+                if coordinator._await(handle, MSG_ROUTES_ACK) is not None:
+                    handle.routes_epoch = epoch
+
+    # -- worker watermark intake -----------------------------------------------
+
+    def note_worker_watermarks(self, gid: str, header: dict) -> None:
+        if not gid:
+            return
+        peer_applied = header.get("pa")
+        if peer_applied:
+            self.receiver_watermarks[gid] = peer_applied
+        ingress_applied = header.get("ia")
+        if ingress_applied:
+            link = self.ingress.get(gid)
+            if link is not None and ingress_applied > link.acked_seq:
+                link.acked_seq = ingress_applied
+                while (link.retained
+                       and link.retained[0][0] <= ingress_applied):
+                    link.retained.popleft()
+            if ingress_applied > self.ingress_watermark.get(gid, 0):
+                self.ingress_watermark[gid] = ingress_applied
+
+    # -- ingress delivery ------------------------------------------------------
+
+    def ingress_msgs(self, handle: WorkerHandle, credit: int) -> list[bytes]:
+        link = self.ingress.get(handle.gid)
+        if link is None:
+            return []
+        if link.pending:
+            groups = [
+                (tp.topic, tp.partition,
+                 self.cluster.topic(tp.topic).partition_count, records)
+                for tp, records in sorted(
+                    link.pending.items(),
+                    key=lambda item: (item[0].topic, item[0].partition))]
+            frame = encode_frame(groups)
+            link.retained.append((link.next_seq, frame, link.pending_records))
+            link.next_seq += 1
+            link.pending.clear()
+            link.pending_records = 0
+        msgs: list[bytes] = []
+        for seq, frame, _n in link.retained:
+            if seq <= link.sent_seq:
+                continue
+            if handle.fwd_inflight > 0 and (
+                    handle.fwd_inflight + len(frame) > credit):
+                break
+            payload = encode_varint(seq) + frame
+            msgs.append(MSG_INGRESS + payload)
+            handle.fwd_sent += len(payload)
+            self.ingress_data_bytes += len(frame)
+            link.sent_seq = seq
+        return msgs
+
+    def control_backlog(self, coordinator: "ParallelJobCoordinator") -> int:
+        prefix = f"{coordinator.master.job.name}:g"
+        return sum(link.backlog_records()
+                   for gid, link in self.ingress.items()
+                   if gid.startswith(prefix))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def maybe_cleanup(self) -> None:
+        if any(not c._shutdown for c in self.coordinators):
+            return
+        if self._hooked:
+            self.cluster.produce = self.direct_produce
+            self._hooked = False
+        shutil.rmtree(self.meshdir, ignore_errors=True)
 
 
 class ParallelJobCoordinator:
@@ -127,8 +424,11 @@ class ParallelJobCoordinator:
         self._mp = multiprocessing.get_context("fork")
         self._shutdown = False
         self._worker_seq = 0
-        self._routed_topics = sorted(
+        self._gid_spawned: set[str] = set()
+        self._input_topics = sorted(
             ss.stream for ss in master.job.input_streams())
+        self._credit_bytes = master.job.config.get_int(
+            "cluster.parallel.link.credit.bytes", DEFAULT_CREDIT_BYTES)
         # Relation changelogs and other bootstrap inputs must reach a
         # worker before the stream records that expect to see their
         # effects — forwarded first within each (atomic) input frame.
@@ -141,6 +441,40 @@ class ParallelJobCoordinator:
         if runner.rm.process_launcher is None:
             runner.rm.process_launcher = ProcessLauncher()
         self._launcher = runner.rm.process_launcher
+        self._task_groups = None
+        self.mesh = RunnerMesh.attach(runner)
+        self.mesh.register_job(self)
+
+    # -- mesh derivations ------------------------------------------------------
+
+    @property
+    def spawned_ever(self) -> bool:
+        return self._worker_seq > 0
+
+    def task_groups(self):
+        """The deterministic GroupByPartitionId grouping — identical to
+        what the application master built at submit, so partition
+        ownership can be derived without waiting for containers."""
+        if self._task_groups is None:
+            job = self.master.job
+            self._task_groups = job.group_tasks(
+                job.build_task_models(self.cluster))
+        return self._task_groups
+
+    def _gid_for(self, container) -> str:
+        first = min(
+            instance.partition_id for instance in container.tasks.values())
+        return f"{self.master.job.name}:g{first}"
+
+    def _routed_topics(self) -> list[str]:
+        return sorted(t for t in self._input_topics
+                      if t not in self.mesh.owner_sequenced)
+
+    def handle_for_gid(self, gid: str) -> WorkerHandle | None:
+        for handle in self.handles.values():
+            if handle.gid == gid and not handle.dead:
+                return handle
+        return None
 
     # -- spawning --------------------------------------------------------------
 
@@ -150,20 +484,45 @@ class ParallelJobCoordinator:
                 self._spawn(yarn_cid, container)
 
     def _spawn(self, yarn_cid: str, container) -> None:
+        mesh = self.mesh
+        gid = self._gid_for(container)
+        first = gid not in self._gid_spawned
+        self._gid_spawned.add(gid)
+        incarnation = mesh.begin_incarnation(gid, first=first)
+        # Fence before computing the fork baseline: survivors flush any
+        # frames addressed to the dead incarnation (or produced under
+        # pre-flip routes) and retarget; only then is the parent log the
+        # complete baseline for this fork.
+        mesh.sync_routes()
         cmd_recv, cmd_send = self._mp.Pipe(duplex=False)
         data_recv, data_send = self._mp.Pipe(duplex=False)
         # Forward positions start at the parent's current watermarks: the
         # fork below inherits everything up to here, so forwarding begins
-        # exactly where inheritance ends.
-        forward_pos = {
-            ssp.topic_partition: self.cluster.latest_offset(ssp.topic_partition)
-            for instance in container.tasks.values()
-            for ssp in instance.ssps
+        # exactly where inheritance ends.  Owner-sequenced partitions this
+        # group hosts are excluded — the worker receives that traffic over
+        # the mesh (peers + ingress) and its own echoes must not bounce.
+        forward_pos = {}
+        for instance in container.tasks.values():
+            for ssp in instance.ssps:
+                tp = ssp.topic_partition
+                entry = mesh.routes.owner(tp.topic, tp.partition)
+                if entry is not None and entry.gid == gid:
+                    continue
+                forward_pos[tp] = self.cluster.latest_offset(tp)
+        mesh_spec = {
+            "gid": gid,
+            "epoch": incarnation,
+            "listen_address": mesh.listen_address(gid),
+            "routes": mesh.routes.to_payload(),
+            "credit_bytes": self._credit_bytes,
+            "receiver_watermarks": mesh.receiver_watermarks.get(gid, {}),
+            "ingress_seq": mesh.ingress_watermark.get(gid, 0),
+            "routed_topics": self._routed_topics(),
         }
         self._worker_seq += 1
         process = self._mp.Process(
             target=worker_main,
-            args=(container, cmd_recv, data_send, self._routed_topics),
+            args=(container, cmd_recv, data_send, mesh_spec),
             daemon=True,
             name=f"samza-worker-{self.master.job.name}-{self._worker_seq}",
         )
@@ -173,25 +532,41 @@ class ParallelJobCoordinator:
         cmd_recv.close()
         data_send.close()
         handle = WorkerHandle(yarn_cid, process, cmd_send, data_recv)
+        handle.gid = gid
+        handle.incarnation = incarnation
+        handle.routes_epoch = mesh.routes.epoch
         handle.forward_pos = forward_pos
         self.handles[yarn_cid] = handle
         self._launcher.register(yarn_cid, process)
 
     # -- frame application -----------------------------------------------------
 
-    def _apply_frame(self, payload: bytes) -> None:
+    def _apply_frame(self, payload: bytes, sequenced: bool = False) -> None:
+        produce = (self.cluster.produce if sequenced
+                   else self.mesh.direct_produce)
         for topic, partition, partition_count, records in decode_frame(payload):
             if not self.cluster.has_topic(topic):
                 self.cluster.create_topic(topic, partitions=partition_count,
                                           if_not_exists=True)
             tp = TopicPartition(topic, partition)
             for _offset, timestamp_ms, key, value in records:
-                self.cluster.produce(tp, key, value, timestamp_ms)
+                produce(tp, key, value, timestamp_ms)
 
     def _dispatch(self, handle: WorkerHandle, raw: bytes) -> tuple[bytes, bytes]:
         tag, payload = parse_msg(raw)
         if tag == MSG_DATA:
-            self._apply_frame(payload)
+            header, frame = decode_data_payload(payload)
+            # Mirror echoes bypass the ingress divert hook — they ARE the
+            # parent-side application of already-sequenced records.
+            self._apply_frame(frame)
+            self.mesh.mirror_data_bytes += len(frame)
+            if header:
+                self.mesh.note_worker_watermarks(handle.gid, header)
+        elif tag == MSG_ROUTED:
+            # The legacy outbox: the parent is still the sequencer for
+            # this worker's own source-input topics.
+            self._apply_frame(payload, sequenced=True)
+            self.mesh.routed_data_bytes += len(payload)
         elif tag == MSG_ERROR:
             handle.error = json.loads(payload.decode("utf-8"))
         return tag, payload
@@ -251,58 +626,74 @@ class ParallelJobCoordinator:
                 # on_containers_allocated builds + starts a replacement
                 # container in the parent, restoring state from the
                 # mirrored changelog and checkpoint topics.  The next
-                # ensure_workers() forks it.
+                # ensure_workers() forks it with a bumped incarnation;
+                # the route push retargets surviving senders — elastic
+                # rebalance, not a job restart.
                 self.runner.rm.fail_container(yarn_cid, reason)
+                # The kill freed the dead container's slot; if the
+                # replacement request still queued AND no node could place
+                # it, the rebalance would hang short of quiescent — fail
+                # fast with the reason instead.
+                resource = self.master.job.container_resource()
+                if (self.runner.rm.pending_request_count() > 0
+                        and not self.runner.rm.can_allocate(resource)):
+                    raise RuntimeError(
+                        f"worker for {yarn_cid} died ({reason}) and no "
+                        f"node can fit a replacement {resource} — elastic "
+                        f"rebalance needs cluster headroom")
 
     # -- input forwarding ------------------------------------------------------
 
-    def _forward_input(self) -> None:
-        """Ship everything a worker is owed as ONE frame per round.
+    def _build_input_msg(self, handle: WorkerHandle) -> bytes | None:
+        """One atomic multi-group input frame for this handle, capped by
+        the forward-credit window.
 
-        A single multi-group frame is applied atomically by the worker
-        (one ``recv_bytes``, one ``handle_command``), so its container
-        can never run an iteration having seen only part of this round's
-        input.  Bootstrap topics (relation changelogs) order first in
-        the frame: an update produced before a stream record is always
-        visible to the task by the time that record is processed —
-        matching the in-process mode, where production order alone
-        decides visibility.
+        A single frame is applied atomically by the worker (one
+        ``recv_bytes``), so its container can never run an iteration
+        having seen only part of this round's input.  Bootstrap topics
+        (relation changelogs) order first in the frame: an update
+        produced before a stream record is always visible to the task by
+        the time that record is processed — matching the in-process mode,
+        where production order alone decides visibility.
         """
-        for handle in self.handles.values():
-            if handle.dead:
-                continue
-            groups = []
-            new_pos: dict[TopicPartition, int] = {}
-            ordered = sorted(
-                handle.forward_pos.items(),
-                key=lambda item: (item[0].topic not in self._bootstrap_topics,
-                                  item[0].topic, item[0].partition))
-            for tp, pos in ordered:
-                end = self.cluster.latest_offset(tp)
-                while pos < end:
-                    records = [
-                        (m.offset, m.timestamp_ms, m.key, m.value)
-                        for m in self.cluster.fetch(
-                            tp, pos, min(FORWARD_CHUNK, end - pos))
-                    ]
-                    if not records:  # pragma: no cover - defensive
-                        break
-                    groups.append((
-                        tp.topic, tp.partition,
-                        self.cluster.topic(tp.topic).partition_count,
-                        records))
-                    pos = records[-1][0] + 1
-                if pos != handle.forward_pos[tp]:
-                    new_pos[tp] = pos
-            if not groups:
-                continue
-            try:
-                send_msg(handle.cmd_conn, MSG_INPUT, encode_frame(groups))
-            except (BrokenPipeError, OSError):
-                with handle.cond:
-                    handle.eof = True
-                continue
-            handle.forward_pos.update(new_pos)
+        budget = self._credit_bytes - handle.fwd_inflight
+        if budget <= 0:
+            return None
+        groups = []
+        new_pos: dict[TopicPartition, int] = {}
+        size = 0
+        ordered = sorted(
+            handle.forward_pos.items(),
+            key=lambda item: (item[0].topic not in self._bootstrap_topics,
+                              item[0].topic, item[0].partition))
+        for tp, pos in ordered:
+            end = self.cluster.latest_offset(tp)
+            while pos < end and size < budget:
+                records = [
+                    (m.offset, m.timestamp_ms, m.key, m.value)
+                    for m in self.cluster.fetch(
+                        tp, pos, min(FORWARD_CHUNK, end - pos))
+                ]
+                if not records:  # pragma: no cover - defensive
+                    break
+                groups.append((
+                    tp.topic, tp.partition,
+                    self.cluster.topic(tp.topic).partition_count,
+                    records))
+                size += sum(len(r[2] or b"") + len(r[3] or b"") + 16
+                            for r in records)
+                pos = records[-1][0] + 1
+            if pos != handle.forward_pos[tp]:
+                new_pos[tp] = pos
+            if size >= budget:
+                break
+        if not groups:
+            return None
+        frame = encode_frame(groups)
+        handle.forward_pos.update(new_pos)
+        handle.fwd_sent += len(frame)
+        self.mesh.forwarded_input_bytes += len(frame)
+        return MSG_INPUT + frame
 
     def _pending_forwards(self) -> int:
         backlog = 0
@@ -326,16 +717,27 @@ class ParallelJobCoordinator:
             self._drain(handle)
         self._reap_dead()
         self.ensure_workers()
-        self._forward_input()
         return self._status_round()
 
     def _status_round(self) -> int:
+        """Per live handle, pack this round's control traffic — input
+        frame, ingress frames, status request — into ONE pipe write
+        (``MSG_MULTI``): one syscall and one worker wakeup per pump."""
         delta = 0
         for handle in list(self.handles.values()):
             if handle.dead:
                 continue
+            msgs: list[bytes] = []
+            input_msg = self._build_input_msg(handle)
+            if input_msg is not None:
+                msgs.append(input_msg)
+            msgs.extend(self.mesh.ingress_msgs(handle, self._credit_bytes))
+            msgs.append(MSG_STATUS_REQ)
             try:
-                send_msg(handle.cmd_conn, MSG_STATUS_REQ)
+                if len(msgs) == 1:
+                    send_msg(handle.cmd_conn, MSG_STATUS_REQ)
+                else:
+                    send_msg(handle.cmd_conn, MSG_MULTI, pack_msgs(msgs))
             except (BrokenPipeError, OSError):
                 with handle.cond:
                     handle.eof = True
@@ -348,6 +750,8 @@ class ParallelJobCoordinator:
             handle.last_processed = status["processed"]
             handle.last_lag = status["lag"]
             handle.last_shutdown = status["shutdown"]
+            handle.fwd_acked = status.get("fwd", handle.fwd_acked)
+            handle.peer_stats = status.get("peer", handle.peer_stats)
         return delta
 
     # -- introspection ---------------------------------------------------------
@@ -357,6 +761,7 @@ class ParallelJobCoordinator:
             return 0
         lag = sum(h.last_lag for h in self.handles.values())
         lag += self._pending_forwards()
+        lag += self.mesh.control_backlog(self)
         # Containers with no worker yet can't be quiescent.
         lag += sum(1 for yarn_cid in self.master.samza_containers
                    if yarn_cid not in self.handles)
@@ -381,6 +786,11 @@ class ParallelJobCoordinator:
     def live_worker_ids(self) -> list[str]:
         return sorted(yarn_cid for yarn_cid, handle in self.handles.items()
                       if not handle.dead)
+
+    def peer_link_stats(self) -> dict[str, dict]:
+        """Last status round's per-worker peer stats, keyed by gid."""
+        return {handle.gid: handle.peer_stats
+                for handle in self.handles.values() if handle.peer_stats}
 
     # -- control barriers ------------------------------------------------------
 
@@ -436,6 +846,7 @@ class ParallelJobCoordinator:
             self._launcher.unregister(yarn_cid)
             handle.close()
             del self.handles[yarn_cid]
+        self.mesh.maybe_cleanup()
 
     def kill_worker(self, index: int = 0) -> str | None:
         """SIGKILL the index-th live worker (chaos hook); returns its

@@ -37,14 +37,21 @@ from repro.common.varint import encode_varint, encode_zigzag, read_varint, read_
 # -- message type tags ---------------------------------------------------------
 # parent -> worker
 MSG_INPUT = b"I"         # record frame: input forwarded to partitions this worker owns
+MSG_INGRESS = b"G"       # varint seq + frame: parent-origin records for owner-sequenced
+                         # partitions this worker owns (retained until echoed)
+MSG_ROUTES = b"R"        # JSON route table push (epoch + owner addresses); acked
 MSG_STATUS_REQ = b"S"    # request a status reply (flushes pending frames first)
 MSG_COMMIT = b"C"        # commit barrier: commit every task, flush, ack
 MSG_METRICS = b"M"       # force an out-of-cycle metrics snapshot, flush, ack
 MSG_SHUTDOWN = b"Q"      # stop the container, flush, ack, exit
+MSG_MULTI = b"B"         # writev-style envelope: several tagged messages, one pipe write
 
 # worker -> parent
-MSG_DATA = b"D"          # record frame: records produced beyond the fork baseline
-MSG_STATUS = b"s"        # JSON {processed, lag, shutdown}
+MSG_DATA = b"D"          # header + record frame: records produced beyond the fork baseline
+MSG_ROUTED = b"r"        # record frame: produces to parent-sequenced input topics (outbox)
+MSG_ROUTES_ACK = b"a"    # route table installed (sent after a flush, so every frame
+                         # produced under the old routes precedes it in the pipe)
+MSG_STATUS = b"s"        # JSON {processed, lag, shutdown, ...}
 MSG_ACK_COMMIT = b"c"
 MSG_ACK_METRICS = b"m"
 MSG_ACK_SHUTDOWN = b"q"
@@ -133,3 +140,64 @@ def parse_msg(raw: bytes) -> tuple[bytes, bytes]:
     if not raw:
         raise SerdeError("empty pipe message")
     return raw[:1], raw[1:]
+
+
+# -- data-frame headers --------------------------------------------------------
+# A MSG_DATA payload is varint(len(header_json)) + header_json + frame.  The
+# header carries the worker's durability watermarks — ``ia`` (highest ingress
+# seq applied) and ``pa`` (per-sender peer apply watermarks, {gid: [epoch,
+# seq]}) — in the SAME atomic pipe message as the frame that echoes the
+# applied records.  A replacement worker restored from the parent's mirror
+# therefore inherits dedup watermarks that exactly match the records in its
+# fork baseline; there is no window where a watermark promises data the
+# mirror does not have.
+
+def encode_data_payload(header: dict | None, frame: bytes) -> bytes:
+    if not header:
+        return b"\x00" + frame
+    import json
+
+    blob = json.dumps(header, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return encode_varint(len(blob)) + blob + frame
+
+
+def decode_data_payload(payload: bytes) -> tuple[dict, bytes]:
+    length, pos = read_varint(payload, 0)
+    if length == 0:
+        return {}, payload[pos:]
+    end = pos + length
+    if end > len(payload):
+        raise SerdeError("truncated data header")
+    import json
+
+    header = json.loads(payload[pos:end].decode("utf-8"))
+    return header, payload[end:]
+
+
+# -- writev-style message packing ----------------------------------------------
+# One pump's worth of parent->worker traffic (routes, forwarded input,
+# ingress frames, the status request) packs into a single MSG_MULTI pipe
+# write: one syscall, one wakeup, and the worker still applies each inner
+# message with the same atomicity — recv_bytes delivers the whole envelope
+# or nothing.
+
+def pack_msgs(messages: list[bytes]) -> bytes:
+    out = bytearray()
+    for raw in messages:
+        out += encode_varint(len(raw))
+        out += raw
+    return bytes(out)
+
+
+def unpack_msgs(payload: bytes) -> list[bytes]:
+    messages = []
+    pos = 0
+    while pos < len(payload):
+        length, pos = read_varint(payload, pos)
+        end = pos + length
+        if end > len(payload):
+            raise SerdeError("truncated multi-message envelope")
+        messages.append(payload[pos:end])
+        pos = end
+    return messages

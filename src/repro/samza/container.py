@@ -154,6 +154,11 @@ class SamzaContainer:
         self._last_window_ms = 0
         self._started = False
         self.shutdown_requested = False
+        # Invoked at the top of every commit().  Process-backed execution
+        # installs a gate here: a checkpoint must not be written while
+        # records this container produced are still in flight on peer
+        # links — a crash after the checkpoint would orphan them.
+        self.pre_commit_hook = None
 
         self._bootstrap_ssps: set[SystemStreamPartition] = set()
         self._bootstrap_active = False
@@ -551,6 +556,8 @@ class SamzaContainer:
     # -- durability / lifecycle --------------------------------------------------------------
 
     def commit(self) -> None:
+        if self.pre_commit_hook is not None:
+            self.pre_commit_hook()
         for instance in self.tasks.values():
             instance.commit()
         self._messages_since_commit = 0

@@ -82,6 +82,7 @@ def repartition_stream(cluster: KafkaCluster, runner: JobRunner,
         "job.name": f"repartition-{source_topic}-to-{target_topic}",
         "job.container.count": containers,
         "task.inputs": f"kafka.{source_topic}",
+        "task.outputs": f"kafka.{target_topic}",
         f"systems.kafka.streams.{source_topic}.samza.msg.serde": serde_name,
         f"systems.kafka.streams.{source_topic}.samza.key.serde": "string",
         f"systems.kafka.streams.{target_topic}.samza.msg.serde": serde_name,

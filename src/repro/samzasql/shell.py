@@ -483,6 +483,9 @@ class SamzaSQLShell:
             "job.name": query_id,
             "job.container.count": containers,
             "task.inputs": ",".join(f"kafka.{s}" for s in plan.input_streams),
+            # Declared so the parallel mesh can owner-sequence this topic
+            # when a later parallel job consumes it (peer-routed pipeline).
+            "task.outputs": f"kafka.{plan.output_stream}",
             "task.window.ms": window_ms,
             "samzasql.plan.path": f"/samza-sql/queries/{query_id}/plan",
         }

@@ -133,6 +133,24 @@ class ResourceManager(ResourceManagerProtocol):
     def pending_request_count(self) -> int:
         return sum(p.count for p in self._pending)
 
+    def can_allocate(self, resource: Resource, count: int = 1) -> bool:
+        """Whether ``count`` containers of ``resource`` would place *right
+        now*, honouring per-node bin packing (aggregate headroom alone can
+        lie when no single node fits the request).  Coordinators use this
+        to tell 'replacement is coming' from 'cluster is full' before
+        waiting out a rebalance."""
+        remaining = {node.node_id: node.available
+                     for node in self._nodes.values() if node.healthy}
+        for _ in range(count):
+            fits = [node_id for node_id, avail in remaining.items()
+                    if resource.fits_in(avail)]
+            if not fits:
+                return False
+            best = max(fits, key=lambda node_id: (
+                remaining[node_id].memory_mb, remaining[node_id].vcores))
+            remaining[best] = remaining[best] - resource
+        return True
+
     def _find_container(self, container_id: str) -> Container:
         for report in self._apps.values():
             if container_id in report.containers:

@@ -101,6 +101,17 @@ class TestCalibration:
         with pytest.raises(ValueError):
             measure("filter", "cpp")
 
+    def test_measure_frame_codec_sane(self):
+        from repro.bench.micro import measure_frame_codec
+
+        result = measure_frame_codec(records=400, groups=4, repeats=1)
+        assert result["records"] == 400
+        assert result["frame_bytes"] > 400 * 64  # payload plus framing
+        for key in ("encode_us_per_record", "decode_us_per_record",
+                    "encode_mb_per_s", "decode_mb_per_s",
+                    "header_us_per_frame", "pack_us_per_msg"):
+            assert result[key] > 0
+
     def test_all_queries_planable(self):
         """Every benchmark query must at least plan on the SQL side."""
         from repro.sql import QueryPlanner

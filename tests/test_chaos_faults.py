@@ -139,6 +139,19 @@ class TestFaultSchedule:
         assert schedule.zk_expiries == (2,)
         assert schedule.planned_transient_faults() == 3
 
+    def test_worker_kill_burst(self):
+        schedule = (FaultSchedule.script()
+                    .add_worker_kill(1)
+                    .add_worker_kill_burst(4, count=3, spacing=2))
+        assert schedule.worker_kills == (1, 4, 6, 8)
+        assert schedule.to_dict()["worker_kills"] == [1, 4, 6, 8]
+
+    def test_worker_kill_burst_rejects_bad_shape(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.script().add_worker_kill_burst(2, count=0)
+        with pytest.raises(ConfigError):
+            FaultSchedule.script().add_worker_kill_burst(2, spacing=0)
+
     def test_negative_counts_rejected(self):
         with pytest.raises(ConfigError):
             FaultSchedule.from_seed(1, transient_faults=-1)

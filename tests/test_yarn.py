@@ -150,6 +150,27 @@ class TestScheduling:
         with pytest.raises(YarnError):
             rm.add_node(NodeManager("node-0", Resource(1, 1)))
 
+    def test_can_allocate_honours_per_node_packing(self):
+        # Two nodes with 2048 MB each: aggregate headroom is 4096 MB, but
+        # a single 3000 MB container fits nowhere.
+        rm = small_cluster(nodes=2, mem=2048)
+        assert rm.can_allocate(Resource(2048, 1))
+        assert rm.can_allocate(Resource(2048, 1), count=2)
+        assert not rm.can_allocate(Resource(3000, 1))
+        assert not rm.can_allocate(Resource(2048, 1), count=3)
+        # Placement consumes capacity: after one 2048 MB container lands,
+        # only one more fits.
+        am = RecordingMaster(initial=1, resource=Resource(2048, 1))
+        rm.submit_application("job", am)
+        assert rm.can_allocate(Resource(2048, 1))
+        assert not rm.can_allocate(Resource(2048, 1), count=2)
+
+    def test_can_allocate_ignores_unhealthy_nodes(self):
+        rm = small_cluster(nodes=2, mem=2048)
+        rm.fail_node("node-0")
+        assert rm.can_allocate(Resource(2048, 1))
+        assert not rm.can_allocate(Resource(2048, 1), count=2)
+
 
 class TestLifecycleAndFailure:
     def test_finish_application_completes_containers(self):
