@@ -1,0 +1,53 @@
+"""Figure 7 (new to the repro) — multi-way stream join vs pairwise cascade.
+
+ROADMAP item: N-way windowed joins should run as one shared-state
+operator instead of a cascade of binary joins materializing every
+intermediate stream.  The claim under test: on the long-window 3-way
+market scenario the collapsed operator beats the cascade on *both* axes
+— throughput (it never pays serde/routing/store-rebuild for Bids-Asks
+intermediates) and peak retained state (base rows only, no intermediate
+buffering) — while producing the identical output set.
+"""
+
+import pytest
+
+from repro.bench.fig7_json import SCENARIOS, measure_scenario
+from repro.bench.micro import measure_join_probe
+
+from benchmarks.conftest import write_result
+
+
+def test_join_probe_micro(benchmark, results_dir):
+    """Operator-isolated probe cost (no router/serde/container loop)."""
+    probe = benchmark.pedantic(measure_join_probe, rounds=1, iterations=1)
+    write_result(
+        results_dir, "fig7_join_probe",
+        f"3-way join probe micro: multiway "
+        f"{probe['multiway_us_per_msg']:.2f} us/arrival, cascade "
+        f"{probe['cascade_us_per_msg']:.2f} us/arrival "
+        f"({probe['speedup']:.2f}x), {probe['multiway_outputs']} rows out")
+    assert probe["multiway_outputs"] == probe["cascade_outputs"]
+    assert probe["speedup"] > 1.3
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_fig7_series(benchmark, results_dir, scenario):
+    result = benchmark.pedantic(
+        lambda: measure_scenario(SCENARIOS[scenario], messages=800, repeats=1),
+        rounds=1, iterations=1)
+    write_result(
+        results_dir, f"fig7_{scenario}",
+        f"fig7 {scenario}: cascade {result['cascade']['msgs_per_s']:,.0f} "
+        f"msgs/s (peak {result['cascade']['peak_state_rows']:,.0f} rows), "
+        f"multiway {result['multiway']['msgs_per_s']:,.0f} msgs/s "
+        f"(peak {result['multiway']['peak_state_rows']:,.0f} rows) -> "
+        f"{result['throughput_ratio']:.2f}x throughput, "
+        f"{result['state_ratio']:.2f}x state")
+    # The two plans must agree row-for-row before speed means anything.
+    assert (result["cascade"]["output_rows"]
+            == result["multiway"]["output_rows"])
+    if scenario == "3way_market":
+        # Same axes the fig7_json --check CI gate enforces, with slack for
+        # the smaller message count used here.
+        assert result["throughput_ratio"] > 1.1
+        assert result["state_ratio"] < 0.75

@@ -26,7 +26,8 @@ from repro.workloads.products import PRODUCTS_SCHEMA, ProductsGenerator
 
 _STORE_NAMES = (
     "sql-window-messages", "sql-window-state", "sql-group-windows",
-    "sql-join-left", "sql-join-right", "sql-relation-products",
+    "sql-join-left", "sql-join-right", "sql-join-left-2", "sql-join-right-2",
+    "sql-relation-products", "sql-mjoin-0", "sql-mjoin-1", "sql-mjoin-2",
 )
 
 
@@ -537,6 +538,150 @@ def measure_window_state_speedup(messages: int = 15_000,
     }
 
 
+def measure_join_probe(messages: int = 4000, repeats: int = 3,
+                       keys: int = 256, window_ms: int = 2_000,
+                       long_window_ms: int = 600_000) -> dict[str, float]:
+    """Per-arrival probe cost: collapsed 3-way join vs the pairwise cascade.
+
+    Feeds one interleaved 3-port workload (two dense quote-like ports
+    joined within ±``window_ms``, one sparse port within the long
+    ±``long_window_ms``, ``keys`` distinct join keys) straight into the
+    operators — no router, serde, or container loop around them — so the
+    ratio isolates exactly what the collapse changes: one shared-state
+    probe sequence with cheapest-side short-circuiting versus two binary
+    operators materializing and re-buffering every intermediate pair.
+    The long third-side window keeps the two plans' output sets equal
+    (nothing expires between an intermediate forming and its probe).
+
+    Methodology matches :func:`measure_compile_speedup`: GC-suspended
+    process-time runs, modes interleaved with alternating order, per-mode
+    minimum.  Returns microseconds per arrival per mode, the speedup, and
+    each mode's output-row count (they must agree).
+    """
+    import gc
+    import random
+    import time
+
+    from repro.samzasql.operators.multi_way_join import MultiWayStreamJoinOperator
+    from repro.samzasql.operators.stream_stream_join import StreamStreamJoinOperator
+
+    rng = random.Random(7)
+    key_names = [f"K{i:02d}" for i in range(keys)]
+    events = []
+    ts = 1_000_000
+    for i in range(messages):
+        ts += 5
+        port = 2 if rng.random() < 1 / 16 else i % 2  # sparse third side
+        events.append((port, [ts, key_names[rng.randrange(keys)]], ts))
+
+    class _DiscardSink:
+        def __init__(self):
+            self.count = 0
+
+        def receive(self, _port, _row, _ts):
+            self.count += 1
+
+        def receive_batch(self, _port, rows, _timestamps):
+            self.count += len(rows)
+
+    class _Port:
+        """Feeds a parent operator's output into a fixed downstream port."""
+
+        def __init__(self, operator, port):
+            self._operator = operator
+            self._port = port
+
+        def receive(self, _port, row, ts):
+            self._operator.process(self._port, row, ts)
+
+        def receive_batch(self, _port, rows, timestamps):
+            self._operator.process_batch(self._port, rows, timestamps)
+
+    derived = long_window_ms + window_ms  # transitive B-C bound
+
+    def build_multiway():
+        operator = MultiWayStreamJoinOperator(
+            widths=[2, 2, 2], time_indexes=[0, 0, 0],
+            key_sources=["r[1]"] * 3,
+            upper_bounds_ms=[[0, window_ms, long_window_ms],
+                             [window_ms, 0, derived],
+                             [long_window_ms, derived, 0]],
+            probe_orders=[[2, 1], [2, 0], [0, 1]],
+            # Like the planner's lowering, the residual condition carries
+            # the time conjuncts too: candidate windows are relative to
+            # the arriving row, so bounds between the two *other* ports
+            # are only enforced here.
+            condition_source=(
+                "((p0[1] == p1[1]) and (p1[1] == p2[1])"
+                f" and (p0[0] - p1[0] <= {window_ms})"
+                f" and (p1[0] - p0[0] <= {window_ms})"
+                f" and (p0[0] - p2[0] <= {long_window_ms})"
+                f" and (p2[0] - p0[0] <= {long_window_ms}))"),
+            bucket_ms=max(derived // 8, 1),
+            field_names=["ts0", "k0", "ts1", "k1", "ts2", "k2"])
+        sink = _DiscardSink()
+        operator.downstream = sink
+        operator.setup(OperatorContext(_make_stores(), lambda *_: None))
+
+        def feed():
+            for port, row, arrival in events:
+                operator.process(port, row, arrival)
+        return feed, sink
+
+    def build_cascade():
+        first = StreamStreamJoinOperator(
+            2, 2, "(l[1] == r[1])", 0, 0, window_ms, window_ms,
+            "r[1]", "r[1]", ["ts0", "k0", "ts1", "k1"])
+        second = StreamStreamJoinOperator(
+            4, 2, "(l[1] == r[1])", 0, 0, long_window_ms, long_window_ms,
+            "r[1]", "r[1]", ["ts0", "k0", "ts1", "k1", "ts2", "k2"],
+            left_store="sql-join-left-2", right_store="sql-join-right-2")
+        sink = _DiscardSink()
+        first.downstream = _Port(second, 0)
+        second.downstream = sink
+        stores = _make_stores()
+        context = OperatorContext(stores, lambda *_: None)
+        first.setup(context)
+        second.setup(context)
+
+        def feed():
+            for port, row, arrival in events:
+                if port == 2:
+                    second.process(1, row, arrival)
+                else:
+                    first.process(port, row, arrival)
+        return feed, sink
+
+    def timed(build):
+        feed, sink = build()
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.process_time_ns()
+            feed()
+            return (time.process_time_ns() - started) / 1e9, sink.count
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    best = {"multiway": (float("inf"), 0), "cascade": (float("inf"), 0)}
+    modes = [("multiway", build_multiway), ("cascade", build_cascade)]
+    for round_no in range(max(repeats, 1)):
+        order = modes if round_no % 2 == 0 else modes[::-1]
+        for mode, build in order:
+            elapsed, outputs = timed(build)
+            if elapsed < best[mode][0]:
+                best[mode] = (elapsed, outputs)
+    return {
+        "multiway_us_per_msg": best["multiway"][0] / messages * 1e6,
+        "cascade_us_per_msg": best["cascade"][0] / messages * 1e6,
+        "speedup": best["cascade"][0] / max(best["multiway"][0], 1e-9),
+        "multiway_outputs": best["multiway"][1],
+        "cascade_outputs": best["cascade"][1],
+    }
+
+
 def measure_frame_codec(records: int = 20_000, record_bytes: int = 64,
                         groups: int = 8, repeats: int = 3) -> dict[str, float]:
     """Peer-mesh frame codec cost: encode/decode + the writev-style pack.
@@ -682,6 +827,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--frame-codec", action="store_true",
                         help="print peer-mesh frame codec micro-costs "
                              "(informational, no gate)")
+    parser.add_argument("--join-probe", action="store_true",
+                        help="print 3-way join probe micro-costs, collapsed "
+                             "operator vs pairwise cascade (informational, "
+                             "no gate; the gated comparison lives in "
+                             "repro.bench.fig7_json --check)")
     parser.add_argument("--messages", type=int, default=4000)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--attempts", type=int, default=3,
@@ -794,6 +944,19 @@ def main(argv: list[str] | None = None) -> int:
               f"{codec['header_us_per_frame']:.1f} us/frame")
         print(f"  MSG_MULTI pack+unpack: "
               f"{codec['pack_us_per_msg']:.3f} us/msg")
+
+    if args.join_probe:
+        probe = measure_join_probe(messages=args.messages)
+        print("3-way join probe (collapsed operator vs pairwise cascade, "
+              "operators in isolation):")
+        print(f"  multiway: {probe['multiway_us_per_msg']:.2f} us/arrival "
+              f"({probe['multiway_outputs']:,} output rows)")
+        print(f"  cascade:  {probe['cascade_us_per_msg']:.2f} us/arrival "
+              f"({probe['cascade_outputs']:,} output rows)")
+        print(f"  speedup:  {probe['speedup']:.2f}x")
+        if probe["multiway_outputs"] != probe["cascade_outputs"]:
+            print("FAIL: probe output mismatch between the two plans")
+            failed = True
 
     if args.scaling_threshold > 0:
         cores = os.cpu_count() or 1

@@ -38,7 +38,11 @@ from repro.common.clock import SystemClock, VirtualClock
 from repro.kafka.producer import Producer
 from repro.samzasql.environment import SamzaSqlEnvironment
 from repro.serde.avro import AvroSerde
-from repro.workloads.orders import ORDERS_SCHEMA
+from repro.workloads.orders import (
+    ORDERS_SCHEMA,
+    OrderLifecycleGenerator,
+    order_stage_schema,
+)
 
 #: Filter + sliding window — the paper's two single-stream benchmark
 #: shapes composed into one query.
@@ -47,6 +51,24 @@ VALIDATION_SQL = (
     "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
     "RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes "
     "FROM Orders WHERE units > {threshold}"
+)
+
+#: 3-way fulfilment reassembly — the multi-way join chaos shape.  Both
+#: windows anchor at the order row, so the planner collapses the chain
+#: into one shared-state operator with one changelog-backed store per
+#: input (sql-mjoin-0/1/2).
+MULTIWAY_SQL = (
+    "SELECT STREAM Orders.rowtime AS rowtime, Orders.orderId, "
+    "Orders.units, Shipments.rowtime - Orders.rowtime AS fulfilmentMs "
+    "FROM Orders "
+    "JOIN Fills ON Orders.rowtime BETWEEN "
+    "Fills.rowtime - INTERVAL '5' SECOND AND "
+    "Fills.rowtime + INTERVAL '5' SECOND "
+    "AND Orders.orderId = Fills.orderId "
+    "JOIN Shipments ON Orders.rowtime BETWEEN "
+    "Shipments.rowtime - INTERVAL '5' SECOND AND "
+    "Shipments.rowtime + INTERVAL '5' SECOND "
+    "AND Fills.orderId = Shipments.orderId"
 )
 
 
@@ -80,6 +102,10 @@ class ValidationReport:
     # timing are nondeterministic, but the at-least-once output content
     # must not be.
     outputs_blob: bytes = field(default=b"", repr=False)
+    # Multi-way join scenario only: did the planner collapse the chain,
+    # and how many changelog records back each of the K shared stores.
+    plan_collapsed: bool | None = None
+    join_store_changelogs: dict[str, int] = field(default_factory=dict)
 
     @property
     def at_least_once(self) -> bool:
@@ -114,6 +140,8 @@ class ValidationReport:
             "at_least_once": self.at_least_once,
             "snapshot_counters": self.snapshot_counters,
             "worker_kills": self.worker_kills,
+            "plan_collapsed": self.plan_collapsed,
+            "join_store_changelogs": self.join_store_changelogs,
         }
 
     def summary(self) -> str:
@@ -139,6 +167,13 @@ class ValidationReport:
         if self.worker_kills:
             lines.insert(-1, f"  worker SIGKILLs: {self.worker_kills} "
                              "(process-backed execution)")
+        if self.join_store_changelogs:
+            backing = ", ".join(f"{store}={count}" for store, count
+                                in sorted(self.join_store_changelogs.items()))
+            lines.insert(-1, "  multi-way join: plan "
+                         + ("collapsed" if self.plan_collapsed
+                            else "NOT COLLAPSED")
+                         + f", changelog records {backing}")
         if self.snapshot_counters:
             lines.append(
                 "  __metrics counters: "
@@ -242,6 +277,141 @@ def run_validation(seed: int = 42, orders: int = 300, containers: int = 2,
         events_blob=injector.events_blob(),
         snapshot_counters=snapshot_counters,
         outputs_blob=_outputs_blob(emissions),
+    )
+
+
+def run_multiway_join_validation(seed: int = 42, orders: int = 300,
+                                 containers: int = 2, partitions: int = 4,
+                                 schedule: FaultSchedule | None = None,
+                                 commit_interval: int = 40,
+                                 batch_size: int = 25) -> ValidationReport:
+    """Chaos run over the collapsed 3-way join (K shared stores).
+
+    Same seeded fault mix as :func:`run_validation`, but the job is the
+    order-fulfilment reassembly: Orders x Fills x Shipments joined on
+    ``orderId`` inside a rowtime window anchored at the order.  The
+    collapsed operator keeps one changelog-backed store per input, so a
+    container crash mid-run only recovers if *all three* stores restore
+    consistently from their changelogs plus the input checkpoint — a
+    buffered row lost on any one side silently drops that order's output
+    row, which the completeness audit catches (every order gains exactly
+    one fill and one shipment inside the window, so the expected output
+    is the full order set).
+    """
+    clock = VirtualClock(0)
+    if schedule is None:
+        schedule = FaultSchedule.from_seed(seed, partitions=partitions)
+    injector = FaultInjector(schedule, clock=clock)
+    env = SamzaSqlEnvironment(broker_count=3, node_count=2,
+                              node_mem_mb=61_000, clock=clock,
+                              fault_injector=injector,
+                              metrics_interval_ms=1_000)
+    cluster, runner, shell, zk = env.cluster, env.runner, env.shell, env.zk
+
+    shell.register_stream("Orders", ORDERS_SCHEMA, partitions=partitions)
+    for stage in ("Fills", "Shipments"):
+        shell.register_stream(stage, order_stage_schema(stage),
+                              partitions=partitions)
+
+    # Deterministic interleaved lifecycle feed, every topic keyed by
+    # orderId (co-partitioned join sides).  Track the expected joined row
+    # per order while producing.
+    generator = OrderLifecycleGenerator(seed=seed)
+    producer = Producer(cluster)
+    expected: dict[int, tuple[int, int, int]] = {}  # rowtime, units, lag
+    order_rows: dict[int, dict] = {}
+    input_count = 0
+    for name, record in generator.events(orders):
+        if name == "Invoices":
+            continue
+        producer.send(name, generator.serdes[name].to_bytes(record),
+                      key=str(record["orderId"]).encode(),
+                      timestamp_ms=record["rowtime"])
+        input_count += 1
+        if name == "Orders":
+            order_rows[record["orderId"]] = record
+        elif name == "Shipments":
+            order = order_rows[record["orderId"]]
+            expected[record["orderId"]] = (
+                order["rowtime"], order["units"],
+                record["rowtime"] - order["rowtime"])
+
+    # Plan inspection happens before the brokers are armed: EXPLAIN is
+    # part of the fixture setup, not the system under test.
+    plan_collapsed = "multi-way join: collapsed 3 inputs" in shell.execute(
+        "EXPLAIN " + MULTIWAY_SQL)
+    cluster.install_fault_injector(injector)
+
+    handle = shell.execute(MULTIWAY_SQL, containers=containers,
+                           config_overrides={
+                               "task.checkpoint.interval.messages":
+                                   commit_interval,
+                               "task.poll.batch.size": batch_size,
+                           })
+    supervisor = ChaosSupervisor(runner, injector, zk=zk)
+    supervisor.run_until_quiescent()
+
+    with injector.suspended():
+        results = handle.results()
+        snapshot_counters: dict[str, float] = {}
+        for record in shell.latest_snapshots(job=handle.query_id, force=True):
+            if record["kind"] == "counter":
+                snapshot_counters[record["metric"]] = (
+                    snapshot_counters.get(record["metric"], 0.0)
+                    + record["value"])
+        # Each of the K shared stores must be mirrored: an empty (or
+        # missing) changelog means crashes restored that side from
+        # nothing and completeness only held by luck.
+        join_store_changelogs: dict[str, int] = {}
+        for port in range(3):
+            store = f"sql-mjoin-{port}"
+            topic = f"{handle.query_id}-{store}-changelog"
+            records = 0
+            if cluster.has_topic(topic):
+                for tp in cluster.partitions_for(topic):
+                    records += (cluster.latest_offset(tp)
+                                - cluster.earliest_offset(tp))
+            join_store_changelogs[store] = records
+
+    emissions: dict[int, list[dict]] = {}
+    for record in results:
+        emissions.setdefault(record["orderId"], []).append(record)
+
+    def _fields(row: dict) -> tuple[int, int, int]:
+        return (row["rowtime"], row["units"], row["fulfilmentMs"])
+
+    lost = sorted(set(expected) - set(emissions))
+    # Inconsistent if duplicates disagree with each other *or* any copy
+    # disagrees with the independently computed join result.
+    inconsistent = sorted(
+        order_id for order_id, copies in emissions.items()
+        if len({_fields(c) for c in copies}) > 1
+        or (order_id in expected
+            and _fields(copies[0]) != expected[order_id]))
+    dup_counts = [len(copies) for copies in emissions.values()]
+    return ValidationReport(
+        seed=seed,
+        sql=MULTIWAY_SQL,
+        input_count=input_count,
+        expected_count=len(expected),
+        output_records=len(results),
+        distinct_outputs=len(emissions),
+        lost_order_ids=lost,
+        duplicated_order_ids=sum(1 for n in dup_counts if n > 1),
+        duplicate_records=sum(n - 1 for n in dup_counts),
+        max_duplication=max(dup_counts, default=0),
+        inconsistent_order_ids=inconsistent,
+        fault_counts=injector.fault_counts(),
+        transient_faults=injector.transient_fault_count(),
+        container_restarts=supervisor.restarts,
+        zk_expirations=supervisor.zk_expirations,
+        iterations=supervisor.iterations,
+        fingerprint=injector.fingerprint(),
+        events_blob=injector.events_blob(),
+        snapshot_counters=snapshot_counters,
+        outputs_blob=_outputs_blob(emissions),
+        plan_collapsed=plan_collapsed,
+        join_store_changelogs=join_store_changelogs,
     )
 
 
@@ -355,12 +525,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="validate the process-backed execution mode: "
                              "SIGKILL workers mid-run, require relaunch "
                              "and at-least-once output")
+    parser.add_argument("--multiway", action="store_true",
+                        help="validate the collapsed multi-way join: the "
+                             "3-way fulfilment join must survive the fault "
+                             "schedule with all K shared stores restored "
+                             "from changelog+checkpoint")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     args = parser.parse_args(argv)
+    if args.worker_kill and args.multiway:
+        parser.error("--worker-kill and --multiway are separate scenarios")
 
     if args.worker_kill:
         run = lambda: run_worker_kill_validation(  # noqa: E731
+            seed=args.seed, orders=args.orders,
+            containers=args.containers, partitions=args.partitions)
+    elif args.multiway:
+        run = lambda: run_multiway_join_validation(  # noqa: E731
             seed=args.seed, orders=args.orders,
             containers=args.containers, partitions=args.partitions)
     else:
@@ -373,6 +554,14 @@ def main(argv: list[str] | None = None) -> int:
         meets = (report.fault_counts.get(WORKER_KILL, 0) >= 1
                  and report.container_restarts >= 1)
         criteria_bar = ">=1 worker SIGKILL fired, >=1 relaunch"
+    elif args.multiway:
+        meets = (report.meets_criteria()
+                 and bool(report.plan_collapsed)
+                 and len(report.join_store_changelogs) == 3
+                 and all(n > 0
+                         for n in report.join_store_changelogs.values()))
+        criteria_bar = (">=5 transient, >=1 crash, >=1 zk expiry, "
+                        "collapsed plan, 3 non-empty join-store changelogs")
     else:
         meets = report.meets_criteria()
         criteria_bar = ">=5 transient, >=1 crash, >=1 zk expiry"
@@ -385,6 +574,11 @@ def main(argv: list[str] | None = None) -> int:
             # Kill timing is real-time nondeterministic; the *content*
             # of the distinct outputs is what must replay identically.
             replay_ok = second.outputs_blob == report.outputs_blob
+        elif args.multiway:
+            # Virtual clock: both the fault log and the restored-state
+            # outputs must replay byte-identically.
+            replay_ok = (second.events_blob == report.events_blob
+                         and second.outputs_blob == report.outputs_blob)
         else:
             replay_ok = second.events_blob == report.events_blob
 

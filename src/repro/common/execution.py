@@ -32,6 +32,7 @@ KEY_MAP: dict[str, tuple[str, bool]] = {
     "execution.write.behind": ("stores.write.behind", True),
     "execution.parallel": ("cluster.parallel.execution", False),
     "execution.compile": ("task.compile.execution", True),
+    "execution.multiway.join": ("plan.multiway.join", True),
 }
 
 _FIELD_BY_CANONICAL = {
@@ -39,6 +40,7 @@ _FIELD_BY_CANONICAL = {
     "execution.write.behind": "write_behind",
     "execution.parallel": "parallel",
     "execution.compile": "compile",
+    "execution.multiway.join": "multiway_join",
 }
 
 
@@ -52,12 +54,16 @@ class ExecutionConfig:
     ``compile``      -- whole-plan ``exec``-compilation of the stateless
                         operator prefix (requires ``batch`` to take
                         effect on the hot path; harmless otherwise).
+    ``multiway_join`` -- collapse left-deep windowed stream-join chains
+                        into one K-way operator at plan time (off =
+                        always plan the pairwise cascade).
     """
 
     batch: bool = True
     write_behind: bool = True
     parallel: bool = False
     compile: bool = True
+    multiway_join: bool = True
 
     @classmethod
     def from_config(cls, config: Config | dict | None) -> "ExecutionConfig":
@@ -106,4 +112,5 @@ class ExecutionConfig:
         return (f"batch={'on' if self.batch else 'off'} "
                 f"write_behind={'on' if self.write_behind else 'off'} "
                 f"parallel={'on' if self.parallel else 'off'} "
-                f"compile={'on' if self.compile else 'off'}")
+                f"compile={'on' if self.compile else 'off'} "
+                f"multiway_join={'on' if self.multiway_join else 'off'}")

@@ -47,7 +47,8 @@ from repro.sql.codegen import CODEGEN_NAMESPACE
 STATELESS_KINDS = frozenset({"scan", "fused_scan", "filter", "project", "insert"})
 
 _STATEFUL_KINDS = frozenset({"sliding_window", "group_window_agg"})
-_JOIN_KINDS = frozenset({"stream_stream_join", "stream_relation_join"})
+_JOIN_KINDS = frozenset(
+    {"stream_stream_join", "stream_relation_join", "multi_way_join"})
 
 
 @dataclass(frozen=True)

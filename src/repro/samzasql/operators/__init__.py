@@ -12,6 +12,7 @@ from repro.samzasql.operators.filter import FilterOperator
 from repro.samzasql.operators.project import ProjectOperator
 from repro.samzasql.operators.sliding_window import SlidingWindowOperator
 from repro.samzasql.operators.group_window import GroupWindowAggOperator
+from repro.samzasql.operators.multi_way_join import MultiWayStreamJoinOperator
 from repro.samzasql.operators.stream_relation_join import StreamRelationJoinOperator
 from repro.samzasql.operators.stream_stream_join import StreamStreamJoinOperator
 from repro.samzasql.operators.insert import InsertOperator
@@ -25,6 +26,7 @@ __all__ = [
     "ProjectOperator",
     "SlidingWindowOperator",
     "GroupWindowAggOperator",
+    "MultiWayStreamJoinOperator",
     "StreamRelationJoinOperator",
     "StreamStreamJoinOperator",
     "InsertOperator",

@@ -1,0 +1,295 @@
+"""K-way windowed stream join with one shared, time-bucketed state layout.
+
+The pairwise cascade pays for every intermediate stream twice: each
+``A ⋈ B`` match is routed as a fresh message into the next join *and*
+buffered in that join's window store, so K-way state duplicates every
+prefix of the chain.  This operator (arXiv 2411.15835's multi-way method,
+incremental per-arrival probing per Fegaras) keeps exactly one window
+store per *input* and assembles output rows by probing the other K−1
+sides directly, so state is linear in the inputs regardless of how many
+matches the windows hold.
+
+State layout (PR 4 style, per input port):
+
+* in memory, the live buffers: ``bucket_id → key → [(ts, seq, row)]``
+  where ``bucket_id = ts // bucket_ms``.  Monotonic timestamps mean
+  bucket ids are created in ascending order, so the dict's insertion
+  order doubles as the purge order;
+* in the write-behind store ``sql-mjoin-<port>``, small per-bucket index
+  records ``("b", bucket_id) → {"count", "seq"}`` plus one row entry
+  ``("r", bucket_id, seq) → [key, ts, row]`` per retained row — no
+  monolithic blob is ever rebuilt.
+
+Purge drops whole expired time buckets from the front of the dict:
+amortized O(1) per row (each row entry is deleted from the store exactly
+once, when its bucket expires).  A port's buffer is purged against the
+*other* ports' watermarks — row ``r`` at port *i* is dead only once every
+other port *j* has advanced past ``r.ts + upper[j][i]``, so a side whose
+consumption lags (e.g. topics drained one after another on catch-up)
+never loses rows it still has to probe.  ``state_size()`` reads O(1)
+per-port retained-row counters maintained on buffer/purge.
+
+On an arrival from port *i*, the other sides are probed in the
+planner-chosen order (smallest expected state first), short-circuiting
+as soon as one side has no candidate — an inner join cannot produce
+output then, so the larger sides are never touched.  The residual
+condition is compiled once, over per-input rows ``p0..p{K-1}``, and
+applied to each candidate combination.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.samzasql.operators.base import Operator, OperatorContext
+from repro.sql.codegen import compile_lambda
+
+STORE_PREFIX = "sql-mjoin-"
+
+
+def store_names(k: int, prefix: str = STORE_PREFIX) -> list[str]:
+    return [f"{prefix}{i}" for i in range(k)]
+
+
+class MultiWayStreamJoinOperator(Operator):
+    METRIC_KIND = "multi-join"
+
+    def __init__(self, widths: list[int], time_indexes: list[int],
+                 key_sources: list[str], upper_bounds_ms: list[list[int]],
+                 probe_orders: list[list[int]], condition_source: str,
+                 bucket_ms: int, field_names: list[str],
+                 store_prefix: str = STORE_PREFIX):
+        super().__init__()
+        self.k = len(widths)
+        self.store_prefix = store_prefix
+        self.widths = list(widths)
+        self.time_indexes = list(time_indexes)
+        self.upper_bounds_ms = [list(row) for row in upper_bounds_ms]
+        self.probe_orders = [list(order) for order in probe_orders]
+        self.condition_source = condition_source
+        self.bucket_ms = max(1, int(bucket_ms))
+        self.field_names = list(field_names)
+        params = ", ".join(f"p{i}" for i in range(self.k))
+        self._condition = compile_lambda(condition_source, params=params)
+        self._key_fns = [compile_lambda(source) for source in key_sources]
+        # Symmetric retention per port (see MultiJoinAnalysis.retention_ms).
+        self._retention_ms = [
+            max(0, *(max(self.upper_bounds_ms[j][i], self.upper_bounds_ms[i][j])
+                     for j in range(self.k) if j != i))
+            for i in range(self.k)
+        ]
+        self._stores = [None] * self.k
+        # port -> bucket_id -> key -> [(ts, seq, row)], ascending bucket ids
+        self._buckets: list[dict] = [dict() for _ in range(self.k)]
+        self._index: list[dict] = [dict() for _ in range(self.k)]
+        self._retained = [0] * self.k
+        self._watermarks: list[int | None] = [None] * self.k
+        self._seq = 0
+
+    # -- durability --------------------------------------------------------------
+
+    def setup(self, context: OperatorContext) -> None:
+        self._stores = [context.get_store(name)
+                        for name in store_names(self.k, self.store_prefix)]
+        self._buckets = [dict() for _ in range(self.k)]
+        self._index = [dict() for _ in range(self.k)]
+        self._retained = [0] * self.k
+        self._watermarks = [None] * self.k
+        self._seq = 0
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Reconstruct the live buffers from the (restored) stores.
+
+        Row entries with ``seq >= record["seq"]`` were flushed ahead of an
+        index record that never made it (crash mid-commit); they are
+        skipped and regenerated identically by at-least-once replay —
+        the same partial-flush guard the sliding-window operator uses.
+        """
+        for port in range(self.k):
+            index: dict[int, dict] = {}
+            rows: dict[int, list] = {}
+            for key, value in self._stores[port].all():
+                if key[0] == "b":
+                    index[key[1]] = value
+                else:
+                    rows.setdefault(key[1], []).append((key[2], value))
+            buckets = self._buckets[port]
+            for bucket_id in sorted(index):
+                record = index[bucket_id]
+                entries = sorted(e for e in rows.get(bucket_id, [])
+                                 if e[0] < record["seq"])
+                bucket: dict = {}
+                for seq, payload in entries:
+                    key, ts, row = payload
+                    bucket.setdefault(key, []).append((ts, seq, row))
+                buckets[bucket_id] = bucket
+                self._index[port][bucket_id] = record
+                self._retained[port] += len(entries)
+                self._seq = max(self._seq, record["seq"])
+
+    def state_size(self) -> int:
+        """Rows buffered across all K sides; backs ``window-state-size``."""
+        return sum(self._retained)
+
+    # -- probing -----------------------------------------------------------------
+
+    def _candidates(self, port: int, key, low: int, high: int) -> list:
+        """Rows of ``port``'s buffer for ``key`` with ts in [low, high].
+
+        Only the overlapping time buckets are visited; missing (empty)
+        buckets short-circuit on the dict lookup."""
+        out: list = []
+        buckets = self._buckets[port]
+        bucket_ms = self.bucket_ms
+        for bucket_id in range(low // bucket_ms, high // bucket_ms + 1):
+            bucket = buckets.get(bucket_id)
+            if not bucket:
+                continue
+            rows = bucket.get(key)
+            if not rows:
+                continue
+            out.extend(entry for entry in rows if low <= entry[0] <= high)
+        return out
+
+    def _matches(self, port: int, row: list, ts: int, key) -> list | None:
+        """Candidate rows per slot, or None when any probed side is empty."""
+        slots: list = [None] * self.k
+        slots[port] = [(ts, -1, row)]
+        upper = self.upper_bounds_ms
+        for j in self.probe_orders[port]:
+            low = ts - upper[port][j]
+            high = ts + upper[j][port]
+            candidates = self._candidates(j, key, low, high)
+            if not candidates:
+                return None  # inner join: short-circuit the probe
+            slots[j] = candidates
+        return slots
+
+    def _emit_combinations(self, slots: list, out_rows: list | None = None,
+                           out_ts: list | None = None) -> None:
+        condition = self._condition
+        for combo in product(*slots):
+            parts = [entry[2] for entry in combo]
+            if not condition(*parts):
+                continue
+            joined: list = []
+            for part in parts:
+                joined.extend(part)
+            ts = max(entry[0] for entry in combo)
+            if out_rows is None:
+                self.emit(joined, ts)
+            else:
+                out_rows.append(joined)
+                out_ts.append(ts)
+
+    # -- buffering + purge -------------------------------------------------------
+
+    def _buffer(self, port: int, key, ts: int, row: list) -> dict:
+        """Add one row to its side's buffers; returns the touched index
+        record (callers persist it: process per message, process_batch
+        once per touched bucket)."""
+        bucket_id = ts // self.bucket_ms
+        self._seq += 1
+        seq = self._seq
+        bucket = self._buckets[port].get(bucket_id)
+        if bucket is None:
+            bucket = {}
+            self._buckets[port][bucket_id] = bucket
+        bucket.setdefault(key, []).append((ts, seq, row))
+        record = self._index[port].get(bucket_id)
+        if record is None:
+            record = {"count": 0, "seq": 0}
+            self._index[port][bucket_id] = record
+        record["count"] += 1
+        record["seq"] = seq + 1
+        self._retained[port] += 1
+        self._stores[port].put(("r", bucket_id, seq), [key, ts, row])
+        return record
+
+    def _advance(self, port: int, ts: int) -> None:
+        """Advance ``port``'s watermark and purge the *other* ports.
+
+        A row at port *p* can still match a future arrival at port *j*
+        while ``watermark_j <= row.ts + upper[j][p]``, so port *p*'s safe
+        purge horizon is ``min over j != p of (watermark_j - upper[j][p])``
+        — no purge at all until every other port has seen traffic.  An
+        arrival only moves its own watermark, hence only the other ports'
+        horizons."""
+        if self._watermarks[port] is None or ts > self._watermarks[port]:
+            self._watermarks[port] = ts
+        for p in range(self.k):
+            if p != port:
+                self._purge(p)
+
+    def _purge(self, port: int) -> None:
+        """Drop whole expired buckets from the front of the bucket dict."""
+        horizon = None
+        for j in range(self.k):
+            if j == port:
+                continue
+            watermark = self._watermarks[j]
+            if watermark is None:
+                return
+            bound = watermark - self.upper_bounds_ms[j][port]
+            horizon = bound if horizon is None else min(horizon, bound)
+        cutoff = horizon // self.bucket_ms
+        buckets = self._buckets[port]
+        store = self._stores[port]
+        while buckets:
+            oldest = next(iter(buckets))
+            if oldest >= cutoff:
+                break
+            dropped = buckets.pop(oldest)
+            self._index[port].pop(oldest, None)
+            count = 0
+            for rows in dropped.values():
+                count += len(rows)
+                for _ts, seq, _row in rows:
+                    store.delete(("r", oldest, seq))
+            store.delete(("b", oldest))
+            self._retained[port] -= count
+
+    # -- processing --------------------------------------------------------------
+
+    def process(self, port: int, row: list, timestamp_ms: int) -> None:
+        self.processed += 1
+        ts = row[self.time_indexes[port]]
+        key = self._key_fns[port](row)
+        slots = self._matches(port, row, ts, key)
+        if slots is not None:
+            self._emit_combinations(slots)
+        record = self._buffer(port, key, ts, row)
+        self._stores[port].put(("b", ts // self.bucket_ms), record)
+        self._advance(port, ts)
+
+    def process_batch(self, port: int, rows: list, timestamps: list) -> None:
+        """Batch path: rows probe/buffer in input order (outputs and final
+        buffers identical to the single-message path), with each touched
+        (port, bucket) index record persisted once per batch instead of
+        once per row."""
+        self.processed += len(rows)
+        time_index = self.time_indexes[port]
+        key_fn = self._key_fns[port]
+        out_rows: list = []
+        out_ts: list = []
+        touched: dict[int, dict] = {}
+        last_ts = None
+        for row in rows:
+            ts = row[time_index]
+            key = key_fn(row)
+            slots = self._matches(port, row, ts, key)
+            if slots is not None:
+                self._emit_combinations(slots, out_rows, out_ts)
+            touched[ts // self.bucket_ms] = self._buffer(port, key, ts, row)
+            last_ts = ts
+        store_put = self._stores[port].put
+        for bucket_id, record in touched.items():
+            store_put(("b", bucket_id), record)
+        if last_ts is not None:
+            self._advance(port, last_ts)
+        self.emit_batch(out_rows, out_ts)
+
+    def describe(self) -> str:
+        windows = ", ".join(f"{ms}ms" for ms in self._retention_ms)
+        return f"MultiWayStreamJoin(k={self.k}, retention=[{windows}])"

@@ -25,6 +25,7 @@ from repro.samzasql.operators.stream_relation_join import (
     STREAM_PORT,
     StreamRelationJoinOperator,
 )
+from repro.samzasql.operators.multi_way_join import MultiWayStreamJoinOperator
 from repro.samzasql.operators.stream_stream_join import (
     LEFT_PORT,
     RIGHT_PORT,
@@ -36,6 +37,7 @@ from repro.samzasql.physical import (
     FusedScanNode,
     GroupWindowAggNode,
     InsertNode,
+    MultiWayStreamJoinNode,
     PhysicalNode,
     PhysicalPlan,
     ProjectNode,
@@ -146,6 +148,11 @@ def build_router(plan: PhysicalPlan, context: OperatorContext) -> MessageRouter:
             left.downstream = _PortAdapter(operator, LEFT_PORT)
             right.downstream = _PortAdapter(operator, RIGHT_PORT)
             return operator
+        if isinstance(node, MultiWayStreamJoinNode):
+            for port, child_node in enumerate(node.inputs):
+                child = build(child_node)
+                child.downstream = _PortAdapter(operator, port)
+            return operator
         if isinstance(node, StreamRelationJoinNode):
             stream_side = build(node.inputs[0])
             stream_side.downstream = _PortAdapter(operator, STREAM_PORT)
@@ -211,7 +218,13 @@ def _instantiate(node: PhysicalNode) -> Operator:
             node.left_width, node.right_width, node.condition_source,
             node.left_time_index, node.right_time_index,
             node.lower_bound_ms, node.upper_bound_ms,
-            node.left_key_source, node.right_key_source, node.field_names)
+            node.left_key_source, node.right_key_source, node.field_names,
+            node.left_store, node.right_store)
+    if isinstance(node, MultiWayStreamJoinNode):
+        return MultiWayStreamJoinOperator(
+            node.widths, node.time_indexes, node.key_sources,
+            node.upper_bounds_ms, node.probe_orders, node.condition_source,
+            node.bucket_ms, node.field_names, node.store_prefix)
     if isinstance(node, StreamRelationJoinNode):
         return StreamRelationJoinOperator(
             node.relation, node.relation_field_names, node.relation_key_index,

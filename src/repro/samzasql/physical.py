@@ -120,9 +120,50 @@ class StreamStreamJoinNode(PhysicalNode):
     left_key_source: Optional[str]  # equi-key of the left row, or None
     right_key_source: Optional[str]
     field_names: list[str]
+    # Store names are per join instance: a plan with several binary joins
+    # (the pairwise cascade) must not share window state between them.
+    left_store: str = "sql-join-left"
+    right_store: str = "sql-join-right"
 
     def __post_init__(self) -> None:
         self.kind = "stream_stream_join"
+
+
+@dataclass
+class MultiWayStreamJoinNode(PhysicalNode):
+    """One K-input windowed stream join (collapsed cascade, §3.8.1 scaled).
+
+    ``inputs[i]`` is the i-th stream subplan; output fields are the
+    concatenation of all inputs in order.  ``upper_bounds_ms[i][j]`` is
+    the transitively-closed max of ``rowtime_i - rowtime_j``, so an
+    arrival on port *i* probes port *j* for rows with
+    ``t_j ∈ [t_i - upper[i][j], t_i + upper[j][i]]``.  ``probe_orders[i]``
+    is the planner-chosen probe sequence for arrivals on port *i* —
+    smallest expected state first, so empty sides short-circuit the
+    probe before larger sides are touched.  ``condition_source`` is the
+    full residual condition over per-input rows ``p0..p{K-1}``.
+    """
+
+    widths: list[int]
+    time_indexes: list[int]          # per-input local rowtime index
+    key_sources: list[str]           # per-input equi-key source over r
+    upper_bounds_ms: list[list[int]]
+    probe_orders: list[list[int]]
+    condition_source: str            # over p0, p1, ... pK-1
+    bucket_ms: int
+    input_names: list[str]           # for EXPLAIN
+    input_weights: list[float]       # expected-state metric per input
+    order_metric: str                # "window_ms*rate" | "window_ms"
+    field_names: list[str]
+    store_prefix: str = "sql-mjoin-"  # per-instance: "<prefix><port>"
+
+    def __post_init__(self) -> None:
+        self.kind = "multi_way_join"
+
+    def state_order(self) -> list[int]:
+        """Input indexes ordered by expected state size (ascending)."""
+        return sorted(range(len(self.widths)),
+                      key=lambda i: (self.input_weights[i], i))
 
 
 @dataclass
@@ -206,6 +247,7 @@ _NODE_TYPES = {
     "sliding_window": SlidingWindowNode,
     "group_window_agg": GroupWindowAggNode,
     "stream_stream_join": StreamStreamJoinNode,
+    "multi_way_join": MultiWayStreamJoinNode,
     "stream_relation_join": StreamRelationJoinNode,
     "insert": InsertNode,
 }
@@ -271,6 +313,11 @@ class PhysicalPlan:
                 description += f"({node.output_stream})"
             elif isinstance(node, StreamRelationJoinNode):
                 description += f"(relation={node.relation})"
+            elif isinstance(node, MultiWayStreamJoinNode):
+                order = ", ".join(node.input_names[i]
+                                  for i in node.state_order())
+                description += (f"(k={len(node.widths)}, "
+                                f"order=[{order}] by {node.order_metric})")
             lines.append("  " * depth + description)
             for child in node.inputs:
                 walk(child, depth + 1)

@@ -18,6 +18,7 @@ from repro.samzasql.physical import (
     FusedScanNode,
     GroupWindowAggNode,
     InsertNode,
+    MultiWayStreamJoinNode,
     PhysicalNode,
     PhysicalPlan,
     ProjectNode,
@@ -28,11 +29,13 @@ from repro.samzasql.physical import (
 )
 from repro.sql.catalog import Catalog, StreamDefinition, TableDefinition
 from repro.sql.codegen import render, render_projection
+from repro.sql.rel.multi_join import analyze_multi_join, stream_scan_of
 from repro.sql.rel.nodes import (
     LogicalAggregate,
     LogicalDelta,
     LogicalFilter,
     LogicalJoin,
+    LogicalMultiJoin,
     LogicalProject,
     LogicalScan,
     LogicalSort,
@@ -81,6 +84,8 @@ class PhysicalPlanBuilder:
         self.input_streams: list[str] = []
         self.bootstrap_streams: list[str] = []
         self.store_names: list[str] = []
+        self._join_count = 0        # binary stream-stream joins lowered
+        self._multi_join_count = 0  # multi-way joins lowered
 
     def build(self, logical: RelNode, output_stream: str,
               relation_key: list[str] | None = None) -> PhysicalPlan:
@@ -156,6 +161,8 @@ class PhysicalPlanBuilder:
             return self._lower_aggregate(node)
         if isinstance(node, LogicalJoin):
             return self._lower_join(node)
+        if isinstance(node, LogicalMultiJoin):
+            return self._lower_multi_join(node)
         if isinstance(node, LogicalSort):
             raise PlannerError(
                 "ORDER BY / LIMIT is not defined over an unbounded stream; "
@@ -274,6 +281,10 @@ class PhysicalPlanBuilder:
             node.condition, left_time, left_width + right_time, left_width)
         left_key, right_key = self._extract_equi_keys(node.condition, left_width)
 
+        # Unique store pair per join instance; the first keeps the legacy
+        # names so single-join plans (and their changelogs) are unchanged.
+        self._join_count += 1
+        suffix = "" if self._join_count == 1 else f"-{self._join_count}"
         physical = StreamStreamJoinNode(
             left_width=left_width,
             right_width=right_width,
@@ -285,9 +296,85 @@ class PhysicalPlanBuilder:
             left_key_source=left_key,
             right_key_source=right_key,
             field_names=list(node.row_type.field_names),
+            left_store=f"sql-join-left{suffix}",
+            right_store=f"sql-join-right{suffix}",
         )
         physical.inputs = [self._lower(node.left), self._lower(node.right)]
-        self.store_names.extend(["sql-join-left", "sql-join-right"])
+        self.store_names.extend([physical.left_store, physical.right_store])
+        return physical
+
+    def _lower_multi_join(self, node: LogicalMultiJoin) -> PhysicalNode:
+        """Lower a collapsed join chain onto the K-way operator.
+
+        The probe order per arrival port is the other inputs sorted by
+        *expected state size*: each input's window span (its retention in
+        the shared layout) times its declared arrival rate when the
+        catalog knows every rate, the window span alone otherwise.
+        Smallest expected side first means an empty or sparse side
+        short-circuits the probe before the big sides are touched.
+        """
+        analysis = analyze_multi_join(node.join_inputs, node.condition)
+        if analysis is None:  # the collapse rule proved this; guard anyway
+            raise PlannerError("multi-join is not collapsible at lowering")
+        k = analysis.k
+
+        # Residual condition over per-input rows p0..p{K-1}.
+        ref_sources = []
+        for i in range(k):
+            ref_sources.extend(
+                f"p{i}[{local}]" for local in range(analysis.widths[i]))
+        condition_source = render(node.condition, ref_sources=ref_sources)
+
+        input_names: list[str] = []
+        rates: list[float | None] = []
+        for i, child in enumerate(node.join_inputs):
+            scan = stream_scan_of(child)
+            if scan is not None:
+                input_names.append(scan.source)
+                definition = self.catalog.stream(scan.source)
+                rates.append(None if definition is None
+                             else definition.rate_per_sec)
+            else:
+                input_names.append(f"input{i}")
+                rates.append(None)
+
+        spans = [analysis.retention_ms(i) for i in range(k)]
+        if all(rate is not None for rate in rates):
+            weights = [span * rate / 1000.0
+                       for span, rate in zip(spans, rates)]
+            order_metric = "window_ms*rate"
+        else:
+            weights = [float(span) for span in spans]
+            order_metric = "window_ms"
+        probe_orders = [
+            sorted((j for j in range(k) if j != i),
+                   key=lambda j: (weights[j], j))
+            for i in range(k)
+        ]
+
+        # Bucket granularity: a fraction of the longest retention, so a
+        # probe touches a handful of buckets and purge drops whole ones.
+        bucket_ms = max(1, max(spans) // 8) if max(spans) else 1
+
+        self._multi_join_count += 1
+        prefix = ("sql-mjoin-" if self._multi_join_count == 1
+                  else f"sql-mjoin{self._multi_join_count}-")
+        physical = MultiWayStreamJoinNode(
+            widths=list(analysis.widths),
+            time_indexes=list(analysis.rowtime_indexes),
+            key_sources=[f"r[{idx}]" for idx in analysis.key_indexes],
+            upper_bounds_ms=[list(row) for row in analysis.upper_ms],
+            probe_orders=probe_orders,
+            condition_source=condition_source,
+            bucket_ms=bucket_ms,
+            input_names=input_names,
+            input_weights=weights,
+            order_metric=order_metric,
+            field_names=list(node.row_type.field_names),
+            store_prefix=prefix,
+        )
+        physical.inputs = [self._lower(child) for child in node.join_inputs]
+        self.store_names.extend(f"{prefix}{i}" for i in range(k))
         return physical
 
     def _lower_stream_relation(self, node: LogicalJoin,

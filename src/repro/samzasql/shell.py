@@ -239,11 +239,19 @@ class SamzaSQLShell:
                  zk: ZkServer | None = None, catalog: Catalog | None = None,
                  metrics_interval_ms: int = 0,
                  default_overrides: dict | None = None):
+        from repro.sql.rel.optimizer import Optimizer
+        from repro.sql.rel.rules import default_rules
+
         self.cluster = cluster
         self.runner = runner
         self.zk = zk or ZkServer()
         self.catalog = catalog or Catalog()
         self.planner = QueryPlanner(self.catalog)
+        # Same catalog, multi-way collapse disabled: selected per statement
+        # when the merged config says execution.multiway.join=false.
+        self._cascade_planner = QueryPlanner(
+            self.catalog,
+            Optimizer(rules=default_rules(multiway_joins=False)))
         self._query_counter = 0
         self._masters: list[SamzaApplicationMaster] = []
         self._default_overrides = dict(default_overrides or {})
@@ -266,10 +274,16 @@ class SamzaSQLShell:
 
     def register_stream(self, name: str, schema: AvroSchema,
                         partitions: int = 4,
-                        rowtime_field: str = "rowtime") -> StreamDefinition:
-        """Register a stream and ensure its topic exists."""
+                        rowtime_field: str = "rowtime",
+                        rate_per_sec: float | None = None) -> StreamDefinition:
+        """Register a stream and ensure its topic exists.
+
+        ``rate_per_sec`` is an optional arrival-rate hint the multi-way
+        join planner uses to order join inputs by expected state size.
+        """
         definition = self.catalog.register_stream_from_avro(
-            name, schema, rowtime_field=rowtime_field)
+            name, schema, rowtime_field=rowtime_field,
+            rate_per_sec=rate_per_sec)
         self.cluster.create_topic(definition.topic, partitions=partitions,
                                   if_not_exists=True)
         return definition
@@ -320,7 +334,13 @@ class SamzaSQLShell:
         ``relation_key`` turns the output into a relation stream keyed by
         the named output columns (future-work item 3).
         """
-        planned = self.planner.plan_statement(sql)
+        from repro.common.execution import ExecutionConfig
+
+        merged = Config(self._default_overrides).merge(config_overrides or {})
+        execution = ExecutionConfig.from_config(merged)
+        planner = (self.planner if execution.multiway_join
+                   else self._cascade_planner)
+        planned = planner.plan_statement(sql)
         if planned.kind == "view":
             return None
         if planned.kind == "explain":
@@ -361,6 +381,7 @@ class SamzaSQLShell:
                              relation_key=relation_key)
         lines.append("physical plan:")
         lines += ["  " + line for line in plan.explain().splitlines()]
+        lines += self._describe_join_strategy(plan)
 
         merged = Config(self._default_overrides).merge(overrides)
         execution = ExecutionConfig.from_config(merged)
@@ -380,6 +401,37 @@ class SamzaSQLShell:
             status = decision.status
         lines.append(f"tasks: {tasks} × {status}")
         return "\n".join(lines)
+
+    @staticmethod
+    def _describe_join_strategy(plan: PhysicalPlan) -> list[str]:
+        """The multi-way collapse decision for EXPLAIN: which join chains
+        collapsed into one K-way operator (and the chosen probe order), or
+        that a chain is running as the pairwise cascade."""
+        from repro.samzasql.physical import (
+            MultiWayStreamJoinNode,
+            StreamStreamJoinNode,
+        )
+
+        lines: list[str] = []
+
+        def walk(node) -> None:
+            if isinstance(node, MultiWayStreamJoinNode):
+                order = [node.input_names[i] for i in node.state_order()]
+                lines.append(
+                    f"multi-way join: collapsed {len(node.widths)} inputs "
+                    f"[{', '.join(node.input_names)}]; probe order by "
+                    f"{node.order_metric}: [{', '.join(order)}]")
+            elif isinstance(node, StreamStreamJoinNode) and any(
+                    isinstance(child, StreamStreamJoinNode)
+                    for child in node.inputs):
+                lines.append(
+                    "multi-way join: not collapsed; running the pairwise "
+                    "cascade")
+            for child in node.inputs:
+                walk(child)
+
+        walk(plan.root)
+        return lines
 
     # -- batch path ---------------------------------------------------------------------
 

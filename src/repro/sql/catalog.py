@@ -19,13 +19,20 @@ from repro.sql.types import RowType, SqlType, row_type_from_avro
 
 @dataclass
 class StreamDefinition:
-    """A stream: ordered partitions of timestamped tuples (§3.1)."""
+    """A stream: ordered partitions of timestamped tuples (§3.1).
+
+    ``rate_per_sec`` is an optional declared/observed arrival-rate hint
+    (rows per second across the stream); the multi-way join planner uses
+    it to order join inputs by expected state size (window span × rate),
+    falling back to window span alone when any input lacks a rate.
+    """
 
     name: str
     row_type: RowType
     topic: str = ""
     rowtime_field: str = "rowtime"
     avro_schema: Optional[AvroSchema] = None
+    rate_per_sec: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.topic:
@@ -111,10 +118,13 @@ class Catalog:
         return view
 
     def register_stream_from_avro(self, name: str, schema: AvroSchema,
-                                  rowtime_field: str = "rowtime") -> StreamDefinition:
+                                  rowtime_field: str = "rowtime",
+                                  rate_per_sec: float | None = None,
+                                  ) -> StreamDefinition:
         return self.register_stream(StreamDefinition(
             name=name, row_type=row_type_from_avro(schema),
-            rowtime_field=rowtime_field, avro_schema=schema))
+            rowtime_field=rowtime_field, avro_schema=schema,
+            rate_per_sec=rate_per_sec))
 
     def register_table_from_avro(self, name: str, schema: AvroSchema,
                                  key_field: str = "",

@@ -89,7 +89,8 @@ _ARITH = {"+": "+", "-": "-", "*": "*", "%": "%"}
 
 def render(node: RexNode, var: str = "r", left_width: int | None = None,
            left_var: str = "l", right_var: str = "r",
-           ref_names: list[str] | None = None) -> str:
+           ref_names: list[str] | None = None,
+           ref_sources: list[str] | None = None) -> str:
     """Render a Rex tree to Python expression source.
 
     With ``left_width`` set, input refs below it read ``left_var`` and the
@@ -97,9 +98,14 @@ def render(node: RexNode, var: str = "r", left_width: int | None = None,
     With ``ref_names``, refs index the input by *field name* instead of
     position (``r['units']``) — the fused-scan convention, where ``r`` is
     the record dict and no array-tuple is materialized.
+    With ``ref_sources``, ref *i* renders as the pre-built source
+    ``ref_sources[i]`` verbatim — the multi-way join convention, where the
+    condition spans K per-input rows ``p0..p{K-1}``.
     """
 
     def ref(index: int) -> str:
+        if ref_sources is not None:
+            return ref_sources[index]
         if ref_names is not None:
             return f"{var}[{ref_names[index]!r}]"
         if left_width is None:

@@ -1,0 +1,232 @@
+"""Multi-way stream-join analysis (arXiv 2411.15835's planning step).
+
+A left-deep chain of windowed stream-stream joins is collapsible into one
+N-way operator when every conjunct of the combined join condition is either
+
+* an equi-join between two inputs' fields, with at least one equivalence
+  class (key family) touching *every* input — the shared partition key the
+  single state layout is bucketed by; or
+* a rowtime-window comparison between two inputs' timestamps
+  (``a.rowtime <= b.rowtime + c`` and friends).
+
+The analysis computes the pairwise time-offset matrix ``upper[i][j]`` =
+max allowed ``t_i - t_j`` and closes it transitively (Floyd–Warshall over
+``upper[i][j] <= upper[i][k] + upper[k][j]``): a 3-way query typically
+only states A–B and A–C windows, but the operator probes B from a C
+arrival too, so the derived B–C bound is what makes every probe finite.
+A chain whose closed matrix still has an unbounded pair would need
+infinite state on some side and is left to the pairwise cascade (which
+rejects it with the same planner error as before).
+
+The same analysis runs twice by design: once inside the optimizer rule as
+the collapse *decision* (returning ``None`` means "keep the cascade") and
+once in the physical planner as the *extraction* of key/time metadata for
+:class:`~repro.samzasql.physical.MultiWayStreamJoinNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.rel.nodes import LogicalScan, RelNode
+from repro.sql.rex import (
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    split_conjunction,
+)
+
+_COMPARISONS = ("<", "<=", ">", ">=")
+
+#: sentinel for "no bound yet" in the offset matrix.
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class MultiJoinAnalysis:
+    """Everything the planner needs to run K inputs as one join operator."""
+
+    widths: tuple[int, ...]          # fields per input
+    offsets: tuple[int, ...]         # global index of each input's field 0
+    rowtime_indexes: tuple[int, ...]  # per-input local rowtime index
+    key_indexes: tuple[int, ...]     # per-input local equi-key index
+    upper_ms: tuple[tuple[int, ...], ...]  # max(t_i - t_j), closed matrix
+
+    @property
+    def k(self) -> int:
+        return len(self.widths)
+
+    def retention_ms(self, port: int) -> int:
+        """How long a row buffered on ``port`` can still match a future
+        arrival on any other port.  Symmetric (like the binary operator's
+        ``max(lower, upper)``) so interleaved near-synchronous streams
+        never drop a row one direction of the window still needs."""
+        spans = [max(self.upper_ms[j][port], self.upper_ms[port][j])
+                 for j in range(self.k) if j != port]
+        return max(0, *spans) if spans else 0
+
+
+def input_offsets(inputs: tuple[RelNode, ...]) -> tuple[int, ...]:
+    offsets = []
+    total = 0
+    for node in inputs:
+        offsets.append(total)
+        total += len(node.row_type)
+    return tuple(offsets)
+
+
+def stream_scan_of(node: RelNode) -> LogicalScan | None:
+    """The unique stream scan inside a join input, or None."""
+    found: list[LogicalScan] = []
+
+    def walk(current: RelNode) -> None:
+        if isinstance(current, LogicalScan):
+            if current.is_stream:
+                found.append(current)
+            return
+        for child in current.inputs:
+            walk(child)
+
+    walk(node)
+    return found[0] if len(found) == 1 else None
+
+
+def _rowtime_global_indexes(inputs: tuple[RelNode, ...],
+                            offsets: tuple[int, ...]) -> list[int] | None:
+    out = []
+    for node, offset in zip(inputs, offsets):
+        local = None
+        for i, f in enumerate(node.row_type.fields):
+            if f.name.lower() == "rowtime":
+                local = i
+                break
+        if local is None:
+            return None
+        out.append(offset + local)
+    return out
+
+
+def analyze_multi_join(inputs: tuple[RelNode, ...],
+                       condition: RexNode) -> MultiJoinAnalysis | None:
+    """Classify a combined join condition; None means "not collapsible"."""
+    k = len(inputs)
+    if k < 3:
+        return None
+    offsets = input_offsets(inputs)
+    widths = tuple(len(node.row_type) for node in inputs)
+    total = offsets[-1] + widths[-1]
+    rowtimes = _rowtime_global_indexes(inputs, offsets)
+    if rowtimes is None:
+        return None
+
+    def input_of(index: int) -> int:
+        for i in range(k - 1, -1, -1):
+            if index >= offsets[i]:
+                return i
+        return 0
+
+    # Union-find over field indexes, fed by the equi conjuncts.
+    parent = list(range(total))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    def shifted_time(rex: RexNode) -> tuple[int, int] | None:
+        """Match ``t``, ``t + c``, ``t - c`` where t is an input's rowtime;
+        returns (input index, constant shift)."""
+        if isinstance(rex, RexInputRef) and rex.index in rowtimes:
+            return rowtimes.index(rex.index), 0
+        if (isinstance(rex, RexCall) and rex.op in ("+", "-")
+                and len(rex.operands) == 2):
+            base, delta = rex.operands
+            if (isinstance(base, RexInputRef) and base.index in rowtimes
+                    and isinstance(delta, RexLiteral)
+                    and isinstance(delta.value, (int, float))):
+                sign = 1 if rex.op == "+" else -1
+                return rowtimes.index(base.index), sign * int(delta.value)
+        return None
+
+    # upper[i][j]: max allowed t_i - t_j (None yet = unbounded).
+    upper = [[0 if i == j else _INF for j in range(k)] for i in range(k)]
+
+    def note_bound(op: str, a: tuple[int, int], b: tuple[int, int]) -> None:
+        (ia, ca), (ib, cb) = a, b
+        if ia == ib:
+            return
+        # t_a + ca (op) t_b + cb
+        if op in (">", ">="):
+            (ia, ca), (ib, cb) = (ib, cb), (ia, ca)
+        # now: t_a + ca <= t_b + cb  =>  t_a - t_b <= cb - ca
+        bound = cb - ca
+        upper[ia][ib] = min(upper[ia][ib], bound)
+
+    has_equi = False
+    for conjunct in split_conjunction(condition):
+        if not isinstance(conjunct, RexCall):
+            return None
+        if conjunct.op == "=" and len(conjunct.operands) == 2:
+            a, b = conjunct.operands
+            if not (isinstance(a, RexInputRef) and isinstance(b, RexInputRef)):
+                return None
+            if input_of(a.index) == input_of(b.index):
+                return None
+            union(a.index, b.index)
+            has_equi = True
+            continue
+        if conjunct.op in _COMPARISONS and len(conjunct.operands) == 2:
+            a = shifted_time(conjunct.operands[0])
+            b = shifted_time(conjunct.operands[1])
+            if a is None or b is None or a[0] == b[0]:
+                return None
+            note_bound(conjunct.op, a, b)
+            continue
+        return None
+    if not has_equi:
+        return None
+
+    # One key family must cover every input; pick the lowest field per input.
+    by_root: dict[int, list[int]] = {}
+    for index in range(total):
+        by_root.setdefault(find(index), []).append(index)
+    key_indexes: tuple[int, ...] | None = None
+    for members in by_root.values():
+        if len(members) < 2:
+            continue
+        per_input: dict[int, int] = {}
+        for member in members:
+            owner = input_of(member)
+            per_input.setdefault(owner, member)
+        if len(per_input) == k:
+            key_indexes = tuple(per_input[i] - offsets[i] for i in range(k))
+            break
+    if key_indexes is None:
+        return None
+
+    # Transitive closure: a bound through k tightens (or creates) i->j.
+    for mid in range(k):
+        for i in range(k):
+            for j in range(k):
+                via = upper[i][mid] + upper[mid][j]
+                if via < upper[i][j]:
+                    upper[i][j] = via
+    for i in range(k):
+        for j in range(k):
+            if upper[i][j] == _INF:
+                return None
+
+    return MultiJoinAnalysis(
+        widths=widths,
+        offsets=offsets,
+        rowtime_indexes=tuple(rowtimes[i] - offsets[i] for i in range(k)),
+        key_indexes=key_indexes,
+        upper_ms=tuple(tuple(int(v) for v in row) for row in upper),
+    )

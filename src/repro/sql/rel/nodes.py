@@ -285,3 +285,37 @@ class LogicalJoin(RelNode):
     def with_inputs(self, inputs: list[RelNode]) -> "LogicalJoin":
         left, right = inputs
         return LogicalJoin(left, right, self.kind, self.condition)
+
+
+@dataclass(frozen=True)
+class LogicalMultiJoin(RelNode):
+    """A collapsed left-deep chain of INNER windowed stream joins.
+
+    ``condition`` is the conjunction of every collapsed join's condition;
+    its input refs number the concatenation of all inputs' fields in
+    order, which is exactly the numbering the original nested joins used
+    (each outer condition already saw its left subtree's concatenated
+    row), so collapse requires no ref rewriting.  Produced only by
+    ``MultiJoinCollapseRule`` after the analysis in
+    :mod:`repro.sql.rel.multi_join` has proven the chain collapsible.
+    """
+
+    join_inputs: tuple[RelNode, ...]
+    condition: RexNode
+
+    @property
+    def inputs(self) -> tuple[RelNode, ...]:  # type: ignore[override]
+        return self.join_inputs
+
+    @property
+    def row_type(self) -> RowType:  # type: ignore[override]
+        result = self.join_inputs[0].row_type
+        for node in self.join_inputs[1:]:
+            result = result.concat(node.row_type)
+        return result
+
+    def _describe(self) -> str:
+        return f"LogicalMultiJoin(k={len(self.join_inputs)}, {self.condition})"
+
+    def with_inputs(self, inputs: list[RelNode]) -> "LogicalMultiJoin":
+        return LogicalMultiJoin(tuple(inputs), self.condition)

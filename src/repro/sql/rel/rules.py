@@ -16,11 +16,13 @@ streaming filter/project/join/window workload actually exercises:
 from __future__ import annotations
 
 from repro.sql.codegen import eval_constant
+from repro.sql.rel.multi_join import analyze_multi_join
 from repro.sql.rel.nodes import (
     LogicalAggregate,
     LogicalDelta,
     LogicalFilter,
     LogicalJoin,
+    LogicalMultiJoin,
     LogicalProject,
     LogicalScan,
     LogicalWindowAgg,
@@ -226,6 +228,42 @@ def _contains_stream_scan(node: RelNode) -> bool:
     return any(_contains_stream_scan(child) for child in node.inputs)
 
 
+class MultiJoinCollapseRule(Rule):
+    """Collapse a left-deep chain of windowed stream-stream INNER joins
+    into one :class:`LogicalMultiJoin` (arXiv 2411.15835).
+
+    Fires on a join whose left child is itself a join (or an already
+    collapsed multi-join), when the *combined* condition decomposes into
+    equi-key conjuncts sharing one key family across every input plus
+    finite pairwise rowtime windows — the shapes the N-way operator's
+    shared state layout can serve.  Everything else (stream-to-relation
+    joins, non-equi residuals, unbounded windows, binary joins) is left
+    alone and plans as the existing pairwise cascade.
+    """
+
+    name = "MultiJoinCollapse"
+
+    def apply(self, node: RelNode) -> RelNode | None:
+        if not (isinstance(node, LogicalJoin) and node.kind == "INNER"):
+            return None
+        left = node.left
+        if isinstance(left, LogicalMultiJoin):
+            inputs = left.join_inputs + (node.right,)
+            inner_condition = left.condition
+        elif isinstance(left, LogicalJoin) and left.kind == "INNER":
+            inputs = (left.left, left.right, node.right)
+            inner_condition = left.condition
+        else:
+            return None
+        if not all(_contains_stream_scan(child) for child in inputs):
+            return None  # a relation side: stays a stream-to-relation join
+        condition = make_conjunction(
+            split_conjunction(inner_condition) + split_conjunction(node.condition))
+        if analyze_multi_join(inputs, condition) is None:
+            return None
+        return LogicalMultiJoin(inputs, condition)
+
+
 class DeltaPushRule(Rule):
     """Push Delta toward the leaves; absorb it into stream scans.
 
@@ -260,16 +298,31 @@ class DeltaPushRule(Rule):
             if not left_stream and not right_stream:
                 return None  # fully relational join under a Delta: stuck
             return LogicalJoin(left, right, child.kind, child.condition)
+        if isinstance(child, LogicalMultiJoin):
+            # Every collapsed input is a stream side by construction.
+            return LogicalMultiJoin(
+                tuple(LogicalDelta(i) for i in child.join_inputs),
+                child.condition)
         return None
 
 
-DEFAULT_RULES: list[Rule] = [
-    ConstantFoldingRule(),
-    TrueFilterRemoveRule(),
-    FilterMergeRule(),
-    FilterProjectTransposeRule(),
-    FilterJoinPushRule(),
-    ProjectMergeRule(),
-    ProjectRemoveRule(),
-    DeltaPushRule(),
-]
+def default_rules(multiway_joins: bool = True) -> list[Rule]:
+    """The standard rule set; ``multiway_joins=False`` plans N-way join
+    chains as the pairwise cascade (used for A/B benchmarking and as the
+    ``execution.multiway.join=false`` escape hatch)."""
+    rules: list[Rule] = [
+        ConstantFoldingRule(),
+        TrueFilterRemoveRule(),
+        FilterMergeRule(),
+        FilterProjectTransposeRule(),
+        FilterJoinPushRule(),
+        ProjectMergeRule(),
+        ProjectRemoveRule(),
+        DeltaPushRule(),
+    ]
+    if multiway_joins:
+        rules.append(MultiJoinCollapseRule())
+    return rules
+
+
+DEFAULT_RULES: list[Rule] = default_rules()

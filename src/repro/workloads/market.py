@@ -21,7 +21,20 @@ ASKS_SCHEMA = AvroSchema.record(
      ("shares", "int"), ("price", "double")],
 )
 
+TRADES_SCHEMA = AvroSchema.record(
+    "Trades",
+    [("rowtime", "long"), ("tradeId", "long"), ("ticker", "string"),
+     ("shares", "int"), ("price", "double")],
+)
+
 _TICKERS = ["ACME", "GLOBX", "INIT", "UMBR", "WAYN", "STRK", "HOOLI", "PPER"]
+
+
+def ticker_universe(count: int) -> list[str]:
+    """A synthetic ticker list of arbitrary size (for fan-out control)."""
+    if count <= len(_TICKERS):
+        return _TICKERS[:count]
+    return _TICKERS + [f"SYN{i:03d}" for i in range(count - len(_TICKERS))]
 
 
 class MarketGenerator:
@@ -74,3 +87,40 @@ class MarketGenerator:
                               timestamp_ms=record["rowtime"])
                 asks += 1
         return bids, asks
+
+
+class TradesGenerator:
+    """Sparse executed-trade prints over the same ticker universe.
+
+    Trades arrive far less often than quotes (``interarrival_ms`` defaults
+    to 60ms vs the quote flow's 5ms), which is what makes them the cheap
+    side of a quotes-to-trades join.
+    """
+
+    def __init__(self, seed: int = 46, start_ts: int = 1_000_000,
+                 interarrival_ms: int = 60, tickers: list[str] | None = None):
+        self.rng = random.Random(seed)
+        self.start_ts = start_ts
+        self.interarrival_ms = interarrival_ms
+        self.tickers = list(tickers) if tickers is not None else list(_TICKERS)
+        self.serde = AvroSerde(TRADES_SCHEMA)
+
+    def records(self, count: int) -> Iterator[dict]:
+        for i in range(count):
+            yield {
+                "rowtime": self.start_ts + i * self.interarrival_ms,
+                "tradeId": i,
+                "ticker": self.rng.choice(self.tickers),
+                "shares": self.rng.choice([100, 200, 500]),
+                "price": round(50.0 + self.rng.uniform(-1.0, 1.0), 4),
+            }
+
+    def produce(self, cluster: KafkaCluster, topic: str, count: int,
+                partitions: int = 8) -> int:
+        cluster.create_topic(topic, partitions=partitions, if_not_exists=True)
+        producer = Producer(cluster)
+        for record in self.records(count):
+            producer.send(topic, self.serde.to_bytes(record),
+                          key=record["ticker"].encode(),
+                          timestamp_ms=record["rowtime"])
+        return count

@@ -106,3 +106,75 @@ class OrdersGenerator:
                                     target_message_bytes=self._padding_bytes and 100)
                     .encoded(sample))
         return total / sample
+
+
+ORDER_STAGES = ("Fills", "Shipments", "Invoices")
+
+
+def order_stage_schema(name: str) -> AvroSchema:
+    """Schema of one fulfilment-stage stream (same key family as Orders)."""
+    return AvroSchema.record(
+        name, [("rowtime", "long"), ("orderId", "long"), ("units", "int")])
+
+
+class OrderLifecycleGenerator:
+    """Each order observed again on Fills, Shipments and Invoices.
+
+    Every order is re-emitted on the downstream stage streams with a
+    growing jittered delay, all keyed by ``orderId`` — the K-way join
+    scenario: reassemble the fulfilment lifecycle inside a rowtime window
+    anchored at the original order.  Unlike :meth:`OrdersGenerator.produce`
+    (which keys by ``productId`` for the relation join), every topic here
+    is keyed by ``orderId`` so the join sides are co-partitioned.
+    """
+
+    def __init__(self, seed: int = 46, start_ts: int = 1_000_000,
+                 interarrival_ms: int = 5, product_count: int = 100,
+                 stage_delays_ms: tuple[int, ...] = (600, 1_600, 2_600),
+                 jitter_ms: int = 350):
+        self.rng = random.Random(seed)
+        self.start_ts = start_ts
+        self.interarrival_ms = interarrival_ms
+        self.product_count = product_count
+        self.stage_delays_ms = stage_delays_ms
+        self.jitter_ms = jitter_ms
+        self.serdes = {"Orders": AvroSerde(ORDERS_SCHEMA)}
+        for stage in ORDER_STAGES:
+            self.serdes[stage] = AvroSerde(order_stage_schema(stage))
+
+    def events(self, count: int) -> Iterator[tuple[str, dict]]:
+        """(stream_name, record) pairs, one order plus its stages at a time."""
+        for i in range(count):
+            ts = self.start_ts + i * self.interarrival_ms
+            order = make_order(i, ts, self.product_count, self.rng)
+            yield "Orders", order
+            for stage, delay in zip(ORDER_STAGES, self.stage_delays_ms):
+                yield stage, {
+                    "rowtime": ts + delay + self.rng.randrange(self.jitter_ms),
+                    "orderId": i,
+                    "units": order["units"],
+                }
+
+    def produce(self, cluster: KafkaCluster, count: int, partitions: int = 4,
+                streams: tuple[str, ...] | None = None) -> dict[str, int]:
+        """Write ``count`` orders (and their stage records) per stream.
+
+        ``streams`` limits which lifecycle streams are produced (always
+        includes Orders); topics are named after the streams.
+        """
+        wanted = set(streams) if streams is not None else (
+            {"Orders"} | set(ORDER_STAGES))
+        wanted.add("Orders")
+        for name in wanted:
+            cluster.create_topic(name, partitions=partitions,
+                                 if_not_exists=True)
+        producer = Producer(cluster)
+        written = {name: 0 for name in wanted}
+        for name, record in self.events(count):
+            if name not in wanted:
+                continue
+            producer.send(name, self.serdes[name].to_bytes(record),
+                          key=str(record["orderId"]).encode(),
+                          timestamp_ms=record["rowtime"])
+            written[name] += 1
+        return written

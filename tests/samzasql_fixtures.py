@@ -79,10 +79,13 @@ class Deployment:
                                key=str(pid).encode())
         return self
 
-    def with_packets(self):
-        for name in ("PacketsR1", "PacketsR2"):
-            self.shell.register_stream(name, PACKETS_SCHEMA,
-                                       partitions=self.partitions)
+    def with_packets(self, routers: int = 2,
+                     rates: dict[str, float] | None = None):
+        for i in range(1, routers + 1):
+            name = f"PacketsR{i}"
+            self.shell.register_stream(
+                name, PACKETS_SCHEMA, partitions=self.partitions,
+                rate_per_sec=(rates or {}).get(name))
         return self
 
     def feed_packet(self, stream: str, packet_id: int, rowtime: int,

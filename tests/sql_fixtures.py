@@ -17,7 +17,7 @@ def paper_catalog() -> Catalog:
     catalog.register_table(TableDefinition("Suppliers", RowType([
         ("supplierId", SqlType.INTEGER), ("name", SqlType.VARCHAR),
         ("location", SqlType.VARCHAR)]), key_field="supplierId"))
-    for name in ("PacketsR1", "PacketsR2"):
+    for name in ("PacketsR1", "PacketsR2", "PacketsR3", "PacketsR4"):
         catalog.register_stream(StreamDefinition(name, RowType([
             ("rowtime", SqlType.TIMESTAMP), ("sourcetime", SqlType.TIMESTAMP),
             ("packetId", SqlType.BIGINT)])))

@@ -316,6 +316,25 @@ class TestValidationHarness:
         assert payload["input_count"] == 120
         assert "chaos validation" in report.summary()
 
+    def test_multiway_join_recovers_all_three_stores(self):
+        """Crash mid-run over the collapsed 3-way join: every order must
+        still reassemble, which requires all K shared stores to restore
+        from their changelogs (a lost buffered row on any one side drops
+        that order's output)."""
+        from repro.chaos.validate import run_multiway_join_validation
+
+        report = run_multiway_join_validation(seed=42, orders=150)
+        assert report.plan_collapsed
+        assert report.at_least_once
+        assert report.lost_order_ids == []
+        assert report.inconsistent_order_ids == []
+        assert report.distinct_outputs == 150
+        assert report.container_restarts >= 1
+        assert sorted(report.join_store_changelogs) == [
+            "sql-mjoin-0", "sql-mjoin-1", "sql-mjoin-2"]
+        assert all(n > 0 for n in report.join_store_changelogs.values())
+        assert "multi-way join: plan collapsed" in report.summary()
+
 
 class TestMidBatchCrash:
     """A crash scheduled *inside* a poll batch must fire at exactly the

@@ -212,6 +212,7 @@ class TestExecutionConfigMapping:
             "execution.write.behind": ("stores.write.behind", True),
             "execution.parallel": ("cluster.parallel.execution", False),
             "execution.compile": ("task.compile.execution", True),
+            "execution.multiway.join": ("plan.multiway.join", True),
         }
         overrides = ExecutionConfig(batch=False, write_behind=True,
                                     parallel=True, compile=False).to_overrides()
@@ -220,6 +221,7 @@ class TestExecutionConfigMapping:
             "stores.write.behind": "true",
             "cluster.parallel.execution": "true",
             "task.compile.execution": "false",
+            "plan.multiway.join": "true",
         }
         # round trip: overrides reconstruct the same value
         assert ExecutionConfig.from_config(Config(overrides)) == \
@@ -234,7 +236,7 @@ class TestExecutionConfigMapping:
 
     def test_describe(self):
         assert ExecutionConfig().describe() == \
-            "batch=on write_behind=on parallel=off compile=on"
+            "batch=on write_behind=on parallel=off compile=on multiway_join=on"
 
 
 class TestExplain:

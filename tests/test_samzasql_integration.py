@@ -225,6 +225,88 @@ class TestStreamStreamJoin:
         assert results[0]["timeToTravel"] == 500
 
 
+class TestMultiWayStreamJoin:
+    """K-way windowed stream joins: the collapsed shared-state operator
+    must produce exactly the pairwise cascade's output set."""
+
+    @staticmethod
+    def _sql(k):
+        parts = ["SELECT STREAM PacketsR1.rowtime AS rowtime, "
+                 "PacketsR1.packetId, "
+                 f"PacketsR{k}.rowtime - PacketsR1.rowtime AS lag "
+                 "FROM PacketsR1"]
+        for i in range(2, k + 1):
+            parts.append(
+                f"JOIN PacketsR{i} ON PacketsR1.rowtime BETWEEN "
+                f"PacketsR{i}.rowtime - INTERVAL '2' SECOND AND "
+                f"PacketsR{i}.rowtime + INTERVAL '2' SECOND AND "
+                f"PacketsR{i - 1}.packetId = PacketsR{i}.packetId")
+        return " ".join(parts)
+
+    @staticmethod
+    def _feed(deployment, k):
+        for pid in range(8):
+            t0 = 1_000_000 + pid * 5_000
+            deployment.feed_packet("PacketsR1", pid, t0)
+            deployment.feed_packet("PacketsR2", pid, t0 + 400)
+            deployment.feed_packet("PacketsR2", pid, t0 + 700)  # fan-out
+            for i in range(3, k + 1):
+                deployment.feed_packet(f"PacketsR{i}", pid, t0 + 200 * i)
+        # never join: unmatched key, and an R1 row inside no window
+        deployment.feed_packet("PacketsR2", 999, 1_000_000)
+        deployment.feed_packet("PacketsR1", 500, 2_000_000)
+
+    def _run(self, k, overrides=None):
+        deployment = Deployment(partitions=2).with_packets(routers=k)
+        self._feed(deployment, k)
+        handle = deployment.run(self._sql(k),
+                                config_overrides=overrides or {})
+        return sorted(tuple(sorted(r.items())) for r in handle.results())
+
+    @pytest.mark.parametrize("routers", [3, 4])
+    def test_output_identical_to_cascade(self, routers):
+        multi = self._run(routers)
+        cascade = self._run(routers, {"execution.multiway.join": "false"})
+        assert multi == cascade
+        assert len(multi) == 16  # 8 packet ids x 2 matching R2 rows
+
+    def test_window_chain_needs_the_multiway_operator(self):
+        """Windows chained pairwise (R2-R3, not all anchored to R1) are
+        collapsible via the transitive closure, but the cascade cannot
+        derive a window for its outer join — the collapse is a net new
+        capability, not just a faster plan."""
+        sql = ("SELECT STREAM PacketsR1.packetId FROM PacketsR1 "
+               "JOIN PacketsR2 ON PacketsR1.rowtime BETWEEN "
+               "PacketsR2.rowtime - INTERVAL '2' SECOND AND "
+               "PacketsR2.rowtime + INTERVAL '2' SECOND AND "
+               "PacketsR1.packetId = PacketsR2.packetId "
+               "JOIN PacketsR3 ON PacketsR2.rowtime BETWEEN "
+               "PacketsR3.rowtime - INTERVAL '2' SECOND AND "
+               "PacketsR3.rowtime + INTERVAL '2' SECOND AND "
+               "PacketsR2.packetId = PacketsR3.packetId")
+        deployment = Deployment(partitions=1).with_packets(routers=3)
+        deployment.feed_packet("PacketsR1", 1, 1_000_000)
+        deployment.feed_packet("PacketsR2", 1, 1_000_500)
+        deployment.feed_packet("PacketsR3", 1, 1_000_900)
+        handle = deployment.run(sql)
+        assert len(handle.results()) == 1
+
+        cascade = Deployment(partitions=1).with_packets(routers=3)
+        with pytest.raises(PlannerError, match="time window"):
+            cascade.run(sql,
+                        config_overrides={"execution.multiway.join": "false"})
+
+    def test_explain_reports_collapse_and_order(self):
+        deployment = Deployment(partitions=1).with_packets(routers=3)
+        report = deployment.shell.execute("EXPLAIN " + self._sql(3))
+        assert "multi-way join: collapsed 3 inputs" in report
+        assert "probe order by window_ms" in report
+        cascade = deployment.shell.execute(
+            "EXPLAIN " + self._sql(3),
+            config_overrides={"execution.multiway.join": "false"})
+        assert "running the pairwise cascade" in cascade
+
+
 class TestGroupWindows:
     def test_tumbling_hourly_count(self):
         """Listing 4 — hourly order counts."""

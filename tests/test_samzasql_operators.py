@@ -7,6 +7,7 @@ from repro.samzasql.operators import (
     FilterOperator,
     GroupWindowAggOperator,
     InsertOperator,
+    MultiWayStreamJoinOperator,
     ProjectOperator,
     ScanOperator,
     SlidingWindowOperator,
@@ -403,6 +404,184 @@ class TestStreamStreamJoinOperator:
         # 1000 was purged by the 5000 arrival, so only in-window candidates
         # remain; 5000 is out of window for 1050
         assert sink.rows == []
+
+    def test_state_size_counter_tracks_buffer_and_purge(self):
+        operator, _ = self._operator(lower=100, upper=100)
+        operator.process(LEFT_PORT, [1000, "p"], 1000)
+        operator.process(RIGHT_PORT, [1050, "p"], 1050)
+        assert operator.state_size() == 2
+        operator.process(LEFT_PORT, [5000, "p"], 5000)  # purges left@1000
+        assert operator.state_size() == 2
+
+    def test_state_size_restored_after_restart(self):
+        stores = ("sql-join-left", "sql-join-right")
+        context, _ = make_context(stores)
+
+        def fresh():
+            operator = StreamStreamJoinOperator(
+                left_width=2, right_width=2,
+                condition_source="(l[1] == r[1])",
+                left_time_index=0, right_time_index=0,
+                lower_bound_ms=2000, upper_bound_ms=2000,
+                left_key_source="r[1]", right_key_source="r[1]",
+                field_names=["lt", "lid", "rt", "rid"])
+            operator.downstream = Sink()
+            operator.setup(context)
+            return operator
+
+        first = fresh()
+        first.process(LEFT_PORT, [1000, "p"], 1000)
+        first.process(LEFT_PORT, [1100, "q"], 1100)
+        first.process(RIGHT_PORT, [1200, "p"], 1200)
+        assert first.state_size() == 3
+        # a restart re-reads the same stores
+        assert fresh().state_size() == 3
+
+
+class TestMultiWayStreamJoinOperator:
+    STORES = ("sql-mjoin-0", "sql-mjoin-1", "sql-mjoin-2")
+
+    def _make(self, bound=2000, bucket_ms=500):
+        k = 3
+        upper = [[0 if i == j else bound for j in range(k)] for i in range(k)]
+        return MultiWayStreamJoinOperator(
+            widths=[2, 2, 2], time_indexes=[0, 0, 0],
+            key_sources=["r[1]", "r[1]", "r[1]"],
+            upper_bounds_ms=upper,
+            probe_orders=[[1, 2], [0, 2], [0, 1]],
+            condition_source="((p0[1] == p1[1]) and (p1[1] == p2[1]))",
+            bucket_ms=bucket_ms,
+            field_names=["t0", "k0", "t1", "k1", "t2", "k2"])
+
+    def _operator(self, **kwargs):
+        operator = self._make(**kwargs)
+        sink, _ = wire(operator, self.STORES)
+        return operator, sink
+
+    def test_emits_when_last_side_arrives(self):
+        operator, sink = self._operator()
+        operator.process(0, [1000, "p"], 1000)
+        operator.process(1, [1400, "p"], 1400)
+        assert sink.rows == []  # inner join: no output until all sides match
+        operator.process(2, [1800, "p"], 1800)
+        assert sink.rows == [([1000, "p", 1400, "p", 1800, "p"], 1800)]
+
+    def test_any_arrival_order_completes_the_match(self):
+        operator, sink = self._operator()
+        operator.process(2, [1800, "p"], 1800)
+        operator.process(0, [1000, "p"], 1000)
+        operator.process(1, [1400, "p"], 1400)
+        assert [row for row, _ in sink.rows] == [[1000, "p", 1400, "p",
+                                                  1800, "p"]]
+
+    def test_fan_out_emits_all_combinations(self):
+        operator, sink = self._operator()
+        operator.process(0, [1000, "p"], 1000)
+        operator.process(0, [1100, "p"], 1100)
+        operator.process(1, [1400, "p"], 1400)
+        operator.process(2, [1800, "p"], 1800)
+        assert len(sink.rows) == 2
+
+    def test_key_mismatch_blocks_match(self):
+        operator, sink = self._operator()
+        operator.process(0, [1000, "p"], 1000)
+        operator.process(1, [1400, "q"], 1400)
+        operator.process(2, [1800, "p"], 1800)
+        assert sink.rows == []
+
+    def test_out_of_window_side_blocks_match(self):
+        operator, sink = self._operator(bound=500)
+        operator.process(0, [1000, "p"], 1000)
+        operator.process(1, [1400, "p"], 1400)
+        operator.process(2, [5000, "p"], 5000)
+        assert sink.rows == []
+
+    def test_purge_waits_for_all_other_watermarks(self):
+        """A side whose consumers lag must not lose rows: port 0's buffer
+        only drains once BOTH other ports' watermarks pass the horizon."""
+        operator, sink = self._operator(bound=500, bucket_ms=100)
+        operator.process(0, [1000, "p"], 1000)
+        # port 1 races far ahead: still no purge (port 2 unseen)
+        operator.process(1, [50_000, "x"], 50_000)
+        assert operator.state_size() == 2
+        operator.process(2, [50_000, "y"], 50_000)  # now both passed
+        assert operator.state_size() == 2  # port 0's old row dropped
+        stored = [key for key, _ in operator._stores[0].all()]
+        assert stored == []  # store entries deleted with the bucket
+
+    def test_late_match_found_despite_own_side_racing_ahead(self):
+        """The failure mode of per-side purge: port 0 buffers a row, port
+        0's own stream races ahead, and the matching rows arrive later on
+        the other ports.  Watermark-based purge keeps the row alive."""
+        operator, sink = self._operator()
+        operator.process(0, [1000, "p"], 1000)
+        operator.process(0, [60_000, "z"], 60_000)  # own side far ahead
+        operator.process(1, [1400, "p"], 1400)
+        operator.process(2, [1800, "p"], 1800)
+        assert [row for row, _ in sink.rows] == [[1000, "p", 1400, "p",
+                                                  1800, "p"]]
+
+    def test_state_restored_after_restart(self):
+        context, _ = make_context(self.STORES)
+        first = self._make()
+        first.downstream = Sink()
+        first.setup(context)
+        first.process(0, [1000, "p"], 1000)
+        first.process(1, [1400, "p"], 1400)
+
+        second = self._make()
+        sink = Sink()
+        second.downstream = sink
+        second.setup(context)
+        assert second.state_size() == 2
+        second.process(2, [1800, "p"], 1800)  # matches pre-restart rows
+        assert [row for row, _ in sink.rows] == [[1000, "p", 1400, "p",
+                                                  1800, "p"]]
+
+    def test_partial_flush_guard_on_restore(self):
+        """A row entry flushed ahead of its bucket's index record (crash
+        mid-commit) is ignored on restore; replay regenerates it."""
+        context, _ = make_context(self.STORES)
+        first = self._make()
+        first.downstream = Sink()
+        first.setup(context)
+        first.process(0, [1000, "p"], 1000)
+        # simulate an orphan row entry past the index record's seq fence
+        bucket_id = 1000 // first.bucket_ms
+        context.get_store("sql-mjoin-0").put(
+            ("r", bucket_id, 999), ["p", 1010, [1010, "p"]])
+
+        second = self._make()
+        second.downstream = Sink()
+        second.setup(context)
+        assert second.state_size() == 1
+
+    def test_batch_path_equivalent_to_single(self):
+        arrivals = []
+        for pid in ("a", "b"):
+            base = 1000 if pid == "a" else 3000
+            arrivals += [(0, [base, pid]), (0, [base + 100, pid]),
+                         (1, [base + 400, pid]), (2, [base + 800, pid])]
+
+        single = self._make()
+        single_sink, _ = wire(single, self.STORES)
+        for port, row in arrivals:
+            single.process(port, row, row[0])
+
+        batched = self._make()
+        batch_sink, _ = wire(batched, self.STORES)
+        index = 0
+        while index < len(arrivals):  # one batch per run of same-port rows
+            port = arrivals[index][0]
+            run = []
+            while index < len(arrivals) and arrivals[index][0] == port:
+                run.append(arrivals[index][1])
+                index += 1
+            batched.process_batch(port, run, [row[0] for row in run])
+
+        assert batch_sink.rows == single_sink.rows
+        assert batched.state_size() == single.state_size()
+        assert batched.emitted == single.emitted
 
 
 class TestBatchEquivalence:

@@ -8,6 +8,7 @@ from repro.samzasql.physical import (
     FusedScanNode,
     GroupWindowAggNode,
     InsertNode,
+    MultiWayStreamJoinNode,
     PhysicalPlan,
     ProjectNode,
     ScanNode,
@@ -211,6 +212,139 @@ def _walk(node):
         yield from _walk(child)
 
 
+def build_cascade(catalog, sql):
+    """Build with the multi-way collapse rule disabled (the A/B planner
+    the shell selects for ``execution.multiway.join=false``)."""
+    from repro.sql.rel.optimizer import Optimizer
+    from repro.sql.rel.rules import default_rules
+
+    planner = QueryPlanner(catalog,
+                           Optimizer(rules=default_rules(multiway_joins=False)))
+    return PhysicalPlanBuilder(catalog).build(planner.plan_query(sql), "Out")
+
+
+def _window_join(i):
+    """One anchored JOIN clause: R1's rowtime within ±2s of R{i}'s."""
+    return (f"JOIN PacketsR{i} ON PacketsR1.rowtime BETWEEN "
+            f"PacketsR{i}.rowtime - INTERVAL '2' SECOND AND "
+            f"PacketsR{i}.rowtime + INTERVAL '2' SECOND AND "
+            f"PacketsR{i - 1}.packetId = PacketsR{i}.packetId")
+
+
+class TestMultiWayCollapse:
+    THREE_WAY = ("SELECT STREAM PacketsR1.packetId FROM PacketsR1 "
+                 + _window_join(2) + " " + _window_join(3))
+    FOUR_WAY = THREE_WAY + " " + _window_join(4)
+
+    def test_three_way_collapses(self, catalog):
+        plan = build(catalog, self.THREE_WAY)
+        [join] = [n for n in _walk(plan.root)
+                  if isinstance(n, MultiWayStreamJoinNode)]
+        assert join.widths == [3, 3, 3]
+        assert join.input_names == ["PacketsR1", "PacketsR2", "PacketsR3"]
+        assert plan.store_names == ["sql-mjoin-0", "sql-mjoin-1", "sql-mjoin-2"]
+        # stated bounds plus the transitively derived R2-R3 pair
+        assert join.upper_bounds_ms[0][1] == 2000
+        assert join.upper_bounds_ms[1][0] == 2000
+        assert join.upper_bounds_ms[1][2] == 4000
+        assert join.upper_bounds_ms[2][1] == 4000
+
+    def test_four_way_collapses(self, catalog):
+        plan = build(catalog, self.FOUR_WAY)
+        [join] = [n for n in _walk(plan.root)
+                  if isinstance(n, MultiWayStreamJoinNode)]
+        assert len(join.widths) == 4
+        assert not any(isinstance(n, StreamStreamJoinNode)
+                       for n in _walk(plan.root))
+
+    def test_cascade_planner_keeps_binary_chain(self, catalog):
+        plan = build_cascade(catalog, self.THREE_WAY)
+        joins = [n for n in _walk(plan.root)
+                 if isinstance(n, StreamStreamJoinNode)]
+        assert len(joins) == 2
+        # each join instance gets its own store pair
+        stores = sorted(plan.store_names)
+        assert stores == ["sql-join-left", "sql-join-left-2",
+                          "sql-join-right", "sql-join-right-2"]
+        assert {j.left_store for j in joins} == {"sql-join-left",
+                                                "sql-join-left-2"}
+
+    def test_two_way_not_collapsed(self, catalog):
+        plan = build(catalog, """
+            SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 ON
+            PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND
+              AND PacketsR2.rowtime + INTERVAL '2' SECOND
+            AND PacketsR1.packetId = PacketsR2.packetId""")
+        [join] = [n for n in _walk(plan.root)
+                  if isinstance(n, StreamStreamJoinNode)]
+        assert join.left_store == "sql-join-left"
+
+    def test_non_time_comparison_blocks_collapse(self, catalog):
+        sql = (self.THREE_WAY
+               + " AND PacketsR1.sourcetime < PacketsR2.sourcetime")
+        plan = build(catalog, sql)
+        assert not any(isinstance(n, MultiWayStreamJoinNode)
+                       for n in _walk(plan.root))
+        assert sum(isinstance(n, StreamStreamJoinNode)
+                   for n in _walk(plan.root)) == 2
+
+    def test_missing_key_family_blocks_collapse(self, catalog):
+        # R3 is windowed against R1 but shares no equi key with anyone.
+        sql = ("SELECT STREAM PacketsR1.packetId FROM PacketsR1 "
+               + _window_join(2) +
+               " JOIN PacketsR3 ON PacketsR1.rowtime BETWEEN "
+               "PacketsR3.rowtime - INTERVAL '2' SECOND AND "
+               "PacketsR3.rowtime + INTERVAL '2' SECOND")
+        plan = build(catalog, sql)
+        assert not any(isinstance(n, MultiWayStreamJoinNode)
+                       for n in _walk(plan.root))
+
+    def test_relation_input_blocks_collapse(self, catalog):
+        sql = ("SELECT STREAM PacketsR1.packetId FROM PacketsR1 "
+               + _window_join(2)
+               + " JOIN Products ON PacketsR1.packetId = Products.productId")
+        plan = build(catalog, sql)
+        assert not any(isinstance(n, MultiWayStreamJoinNode)
+                       for n in _walk(plan.root))
+        assert any(isinstance(n, StreamRelationJoinNode)
+                   for n in _walk(plan.root))
+
+
+class TestMultiWayProbeOrder:
+    def _catalog(self, rates):
+        from tests.sql_fixtures import paper_catalog
+
+        catalog = Catalog()
+        base = paper_catalog()
+        for i, rate in enumerate(rates, start=1):
+            name = f"PacketsR{i}"
+            definition = base.stream(name)
+            catalog.register_stream(StreamDefinition(
+                name, definition.row_type, rate_per_sec=rate))
+        return catalog
+
+    def test_probe_order_by_declared_rate(self):
+        catalog = self._catalog([100.0, 1.0, 10.0])
+        plan = build(catalog, TestMultiWayCollapse.THREE_WAY)
+        [join] = [n for n in _walk(plan.root)
+                  if isinstance(n, MultiWayStreamJoinNode)]
+        assert join.order_metric == "window_ms*rate"
+        # retention spans are [2000, 4000, 4000] (anchored windows close
+        # R2-R3 at 4s), so weights are [200, 4, 40] rows of expected state
+        assert join.input_weights == [200.0, 4.0, 40.0]
+        assert join.state_order() == [1, 2, 0]
+        assert join.probe_orders == [[1, 2], [2, 0], [1, 0]]
+
+    def test_unknown_rate_falls_back_to_window_span(self):
+        catalog = self._catalog([100.0, None, 10.0])
+        plan = build(catalog, TestMultiWayCollapse.THREE_WAY)
+        [join] = [n for n in _walk(plan.root)
+                  if isinstance(n, MultiWayStreamJoinNode)]
+        assert join.order_metric == "window_ms"
+        assert join.input_weights == [2000.0, 4000.0, 4000.0]
+        assert join.state_order() == [0, 1, 2]
+
+
 class TestSerialization:
     QUERIES = [
         "SELECT STREAM * FROM Orders WHERE units > 50",
@@ -225,6 +359,15 @@ class TestSerialization:
          "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
          "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
          "AND PacketsR1.packetId = PacketsR2.packetId"),
+        ("SELECT STREAM PacketsR1.packetId FROM PacketsR1 "
+         "JOIN PacketsR2 ON PacketsR1.rowtime BETWEEN "
+         "PacketsR2.rowtime - INTERVAL '2' SECOND AND "
+         "PacketsR2.rowtime + INTERVAL '2' SECOND "
+         "AND PacketsR1.packetId = PacketsR2.packetId "
+         "JOIN PacketsR3 ON PacketsR1.rowtime BETWEEN "
+         "PacketsR3.rowtime - INTERVAL '2' SECOND AND "
+         "PacketsR3.rowtime + INTERVAL '2' SECOND "
+         "AND PacketsR2.packetId = PacketsR3.packetId"),
     ]
 
     @pytest.mark.parametrize("sql", QUERIES)
