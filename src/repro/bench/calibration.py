@@ -149,8 +149,13 @@ def measure_metrics_overhead(query: str = "filter", messages: int = 4000,
     so anything that grows over the process lifetime (heap size, interned
     state) taxes both modes equally, and keeps the per-mode minimum —
     scheduler noise and GC only ever *add* time, so the minima are the
-    cleanest estimate of each mode's true cost.  Returns best elapsed
-    seconds per mode, keyed ``{"off": ..., "on": ..., "overhead_percent": ...}``.
+    cleanest estimate of each mode's true cost.  Serde fusion is pinned
+    off in both modes: a sampled task always runs the full-decode path
+    (the timing sampler needs decoded messages), so leaving fusion at its
+    default would let the uninstrumented run take the fused fast path and
+    the comparison would measure fusion loss, not instrumentation cost.
+    Returns best elapsed seconds per mode, keyed
+    ``{"off": ..., "on": ..., "overhead_percent": ...}``.
     """
     best: dict[str, float] = {}
     modes = [("off", 0), ("on", metrics_interval_ms)]
@@ -159,7 +164,8 @@ def measure_metrics_overhead(query: str = "filter", messages: int = 4000,
         for mode, interval in order:
             elapsed = _measure_once(query, "samzasql", messages, partitions,
                                     containers=1, warmup=200,
-                                    metrics_interval_ms=interval)
+                                    metrics_interval_ms=interval,
+                                    extra_config={"task.serde.fusion": "false"})
             if mode not in best or elapsed < best[mode]:
                 best[mode] = elapsed
     best["overhead_percent"] = (best["on"] / best["off"] - 1.0) * 100.0
@@ -192,6 +198,37 @@ def measure_batch_speedup(query: str = "filter", messages: int = 4000,
     best["single_msgs_per_s"] = messages / max(best["single"], 1e-9)
     best["batch_msgs_per_s"] = messages / max(best["batch"], 1e-9)
     best["speedup"] = best["single"] / max(best["batch"], 1e-9)
+    return best
+
+
+def measure_serde_speedup(query: str = "filter", messages: int = 4000,
+                          partitions: int = 32, repeats: int = 3,
+                          containers: int = 1) -> dict[str, float]:
+    """Throughput ratio of serde-fused vs full-decode batched execution.
+
+    Both modes run batched + whole-plan-compiled; only ``task.serde.fusion``
+    is toggled, so the ratio isolates the serde bound — column-pruned
+    skip-scan decode, re-encode elision, and the fused decode→chain→encode
+    function versus full per-record decode and re-encode.  Same noise
+    discipline as :func:`measure_batch_speedup`: GC-suspended process-time
+    runs, modes interleaved with alternating order, per-mode minimum.
+    Returns ``{"plain": ..., "fused": ..., "plain_msgs_per_s": ...,
+    "fused_msgs_per_s": ..., "speedup": ...}``.
+    """
+    best: dict[str, float] = {}
+    modes = [("plain", "false"), ("fused", "true")]
+    for round_no in range(max(repeats, 1)):
+        order = modes if round_no % 2 == 0 else modes[::-1]
+        for mode, flag in order:
+            elapsed = _measure_once(
+                query, "samzasql", messages, partitions,
+                containers=containers, warmup=200,
+                extra_config={"task.serde.fusion": flag})
+            if mode not in best or elapsed < best[mode]:
+                best[mode] = elapsed
+    best["plain_msgs_per_s"] = messages / max(best["plain"], 1e-9)
+    best["fused_msgs_per_s"] = messages / max(best["fused"], 1e-9)
+    best["speedup"] = best["plain"] / max(best["fused"], 1e-9)
     return best
 
 

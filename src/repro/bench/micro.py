@@ -18,7 +18,7 @@ from repro.samzasql.operators.router import MessageRouter, build_router
 from repro.samzasql.plan_builder import PhysicalPlanBuilder
 from repro.serde.avro import AvroSerde
 from repro.serde.object_serde import ObjectSerde
-from repro.bench.calibration import SQL_QUERIES
+from repro.bench.calibration import SQL_QUERIES, measure_serde_speedup
 from repro.sql.catalog import Catalog
 from repro.sql.planner import QueryPlanner
 from repro.workloads.orders import OrdersGenerator, padded_orders_schema
@@ -773,6 +773,11 @@ def main(argv: list[str] | None = None) -> int:
       interpreted per-operator chain's throughput, measured on the
       chain in isolation (pre-decoded records, discard sink) where
       dispatch elimination actually acts;
+    * serde fusion — with ``--serde-threshold`` set, the serde-fused
+      path (column-pruned compiled decode, re-encode elision, one
+      generated decode→chain→encode function per task) must be at
+      least that multiple of the full decode/encode batched path's
+      end-to-end throughput;
     * window state maintenance — the fig6 sliding window's split-layout
       write-behind state path must be at least ``--window-threshold``
       times faster per message than the legacy monolithic-blob
@@ -796,8 +801,8 @@ def main(argv: list[str] | None = None) -> int:
     gate fails.
 
     Run:  python -m repro.bench.micro [--threshold 5] [--batch-threshold 1.5]
-          [--compile-threshold 1.5] [--window-threshold 2.0]
-          [--scaling-threshold 1.4]
+          [--compile-threshold 1.5] [--serde-threshold 1.5]
+          [--window-threshold 2.0] [--scaling-threshold 1.4]
     """
     import argparse
     import os
@@ -814,6 +819,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 1.5; 0 disables the gate)")
     parser.add_argument("--compile-threshold", type=float, default=0.0,
                         help="min compiled/interpreted operator-chain "
+                             "throughput ratio (0, the default, disables "
+                             "the gate)")
+    parser.add_argument("--serde-threshold", type=float, default=0.0,
+                        help="min serde-fused/full-serde end-to-end "
                              "throughput ratio (0, the default, disables "
                              "the gate)")
     parser.add_argument("--window-threshold", type=float, default=2.0,
@@ -909,6 +918,28 @@ def main(argv: list[str] | None = None) -> int:
               f"(threshold {args.compile_threshold:.1f}x)")
         if compiled["speedup"] < args.compile_threshold:
             print("FAIL: whole-plan compilation speedup below threshold")
+            failed = True
+
+    if args.serde_threshold > 0:
+        fused = None
+        for attempt in range(max(args.attempts, 1)):
+            measured = measure_serde_speedup(
+                query="filter", messages=args.messages,
+                repeats=min(args.repeats, 3))
+            if fused is None or measured["speedup"] > fused["speedup"]:
+                fused = measured
+            if fused["speedup"] >= args.serde_threshold:
+                break
+            print(f"attempt {attempt + 1}: serde fusion speedup "
+                  f"{measured['speedup']:.2f}x under threshold; "
+                  f"re-measuring...")
+        print("serde fusion (task.serde.fusion=true vs false, batched):")
+        print(f"  full serde:  {fused['plain_msgs_per_s']:,.0f} msgs/s")
+        print(f"  fused:       {fused['fused_msgs_per_s']:,.0f} msgs/s")
+        print(f"  speedup:     {fused['speedup']:.2f}x "
+              f"(threshold {args.serde_threshold:.1f}x)")
+        if fused["speedup"] < args.serde_threshold:
+            print("FAIL: serde fusion speedup below threshold")
             failed = True
 
     if args.window_threshold > 0:

@@ -33,6 +33,7 @@ KEY_MAP: dict[str, tuple[str, bool]] = {
     "execution.parallel": ("cluster.parallel.execution", False),
     "execution.compile": ("task.compile.execution", True),
     "execution.multiway.join": ("plan.multiway.join", True),
+    "execution.serde.fusion": ("task.serde.fusion", True),
 }
 
 _FIELD_BY_CANONICAL = {
@@ -41,6 +42,7 @@ _FIELD_BY_CANONICAL = {
     "execution.parallel": "parallel",
     "execution.compile": "compile",
     "execution.multiway.join": "multiway_join",
+    "execution.serde.fusion": "serde_fusion",
 }
 
 
@@ -57,6 +59,10 @@ class ExecutionConfig:
     ``multiway_join`` -- collapse left-deep windowed stream-join chains
                         into one K-way operator at plan time (off =
                         always plan the pairwise cascade).
+    ``serde_fusion`` -- plan-aware serde: column-pruned decode,
+                        re-encode elision, and decode→chain→encode
+                        fusion for compiled stateless chains (requires
+                        ``batch`` and ``compile`` to take effect).
     """
 
     batch: bool = True
@@ -64,6 +70,7 @@ class ExecutionConfig:
     parallel: bool = False
     compile: bool = True
     multiway_join: bool = True
+    serde_fusion: bool = True
 
     @classmethod
     def from_config(cls, config: Config | dict | None) -> "ExecutionConfig":
@@ -113,4 +120,5 @@ class ExecutionConfig:
                 f"write_behind={'on' if self.write_behind else 'off'} "
                 f"parallel={'on' if self.parallel else 'off'} "
                 f"compile={'on' if self.compile else 'off'} "
-                f"multiway_join={'on' if self.multiway_join else 'off'}")
+                f"multiway_join={'on' if self.multiway_join else 'off'} "
+                f"serde_fusion={'on' if self.serde_fusion else 'off'}")

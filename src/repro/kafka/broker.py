@@ -65,6 +65,28 @@ class Broker:
         ts = timestamp_ms if timestamp_ms is not None else self.clock.now_ms()
         return self._log(tp).append(key, value, ts)
 
+    def produce_batch(self, tp: TopicPartition, records: list[tuple]) -> int:
+        """Append many ``(key, value, timestamp_ms)`` records to one
+        partition; returns the first offset (contiguous from there).
+
+        With fault injection active this falls back to per-record
+        :meth:`produce`, so the injector sees one produce op per record —
+        the same op stream sequential sends give it.  A fault raised
+        mid-batch leaves the earlier records appended; a batch-level retry
+        then re-appends them (bounded duplication, still at-least-once).
+        """
+        if self.fault_injector is not None:
+            base = None
+            for key, value, timestamp_ms in records:
+                offset = self.produce(tp, key, value, timestamp_ms)
+                if base is None:
+                    base = offset
+            return base if base is not None else self._log(tp).end_offset
+        n = len(records)
+        self._produce_requests.inc(n)
+        self._messages_in.inc(n)
+        return self._log(tp).append_batch(records, self.clock.now_ms)
+
     def fetch(self, tp: TopicPartition, from_offset: int,
               max_records: int | None = None) -> list[Message]:
         """Serve one fetch request for one partition."""

@@ -107,6 +107,11 @@ class KafkaCluster:
                 timestamp_ms: int | None = None) -> int:
         return self.leader(tp).produce(tp, key, value, timestamp_ms)
 
+    def produce_batch(self, tp: TopicPartition, records: list[tuple]) -> int:
+        """Append many ``(key, value, timestamp_ms)`` records to one
+        partition's leader; returns the first offset."""
+        return self.leader(tp).produce_batch(tp, records)
+
     def fetch(self, tp: TopicPartition, from_offset: int,
               max_records: int | None = None):
         return self.leader(tp).fetch(tp, from_offset, max_records)

@@ -16,7 +16,6 @@ class TopicPartition:
         return f"{self.topic}-{self.partition}"
 
 
-@dataclass(frozen=True, slots=True)
 class Message:
     """One record in a partition log.
 
@@ -26,12 +25,37 @@ class Message:
     serialization is entirely the concern of the serde layer, exactly as
     in Kafka ("messages ... can be in any format as long as it is wrapped
     in a Kafka binary format").
+
+    A hand-written ``__slots__`` class rather than a frozen dataclass:
+    one is built per appended record, and the frozen constructor's
+    ``object.__setattr__`` calls are several times the cost of direct
+    slot stores — measurable at fig5 message rates.  Treat instances as
+    immutable all the same; the log hands out its internal objects on
+    the batched fetch path.
     """
 
-    offset: int
-    key: bytes | None
-    value: bytes | None
-    timestamp_ms: int
+    __slots__ = ("offset", "key", "value", "timestamp_ms")
+
+    def __init__(self, offset: int, key: bytes | None, value: bytes | None,
+                 timestamp_ms: int):
+        self.offset = offset
+        self.key = key
+        self.value = value
+        self.timestamp_ms = timestamp_ms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.offset == other.offset and self.key == other.key
+                and self.value == other.value
+                and self.timestamp_ms == other.timestamp_ms)
+
+    def __hash__(self) -> int:
+        return hash((self.offset, self.key, self.value, self.timestamp_ms))
+
+    def __repr__(self) -> str:
+        return (f"Message(offset={self.offset}, key={self.key!r}, "
+                f"value={self.value!r}, timestamp_ms={self.timestamp_ms})")
 
     @property
     def size_bytes(self) -> int:

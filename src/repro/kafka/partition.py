@@ -42,6 +42,33 @@ class PartitionLog:
         self._next_offset += 1
         return offset
 
+    def append_batch(self, records: list[tuple], default_ts_fn=None) -> int:
+        """Append many ``(key, value, timestamp_ms)`` records in order;
+        returns the offset of the first (offsets are contiguous).
+
+        ``default_ts_fn`` supplies the timestamp for records carrying
+        ``None`` (the broker passes its clock), called only when needed.
+        """
+        base = self._next_offset
+        offset = base
+        messages = self._messages
+        offsets = self._offsets
+        for key, value, timestamp_ms in records:
+            if key is not None and not isinstance(key, (bytes, bytearray)):
+                raise KafkaError(
+                    f"message key must be bytes, got {type(key).__name__}")
+            if value is not None and not isinstance(value, (bytes, bytearray)):
+                raise KafkaError(
+                    f"message value must be bytes, got {type(value).__name__}")
+            if timestamp_ms is None and default_ts_fn is not None:
+                timestamp_ms = default_ts_fn()
+            messages.append(Message(offset=offset, key=key, value=value,
+                                    timestamp_ms=timestamp_ms))
+            offsets.append(offset)
+            offset += 1
+        self._next_offset = offset
+        return base
+
     # -- read path -------------------------------------------------------------
 
     def read(self, from_offset: int, max_records: int | None = None) -> list[Message]:

@@ -111,18 +111,24 @@ class Producer:
 
         Each entry is ``(value, key, partition, timestamp_ms)`` with the
         same selection rules as :meth:`send`.  The topic's partition count
-        and the partitioner are resolved once for the whole batch; produce
-        requests (and their retry semantics) stay per record, so broker
-        fault injection sees the same op stream as sequential sends.
+        and the partitioner are resolved once for the whole batch; records
+        are grouped per partition (input order preserved within each) and
+        appended through one produce-batch request per partition.  Under
+        fault injection the broker unrolls a batch back into per-record
+        produce ops, so the injector still sees one op per record; a fault
+        mid-batch retries that partition's whole group (bounded
+        duplication, still at-least-once).
         """
         count = self._partition_count(topic)
         tps = self._tps[topic]
         partitioner = self._partitioner
-        produce = self._cluster.produce
+        produce_batch = self._cluster.produce_batch
         retry = self._retry
-        results: list[tuple[int, int]] = []
+        results: list[tuple[int, int] | None] = [None] * len(entries)
         rr_cursor: int | None = None
-        for value, key, partition, timestamp_ms in entries:
+        # partition -> (entry indexes, (key, value, ts) records), in order.
+        groups: dict[int, tuple[list[int], list[tuple]]] = {}
+        for index, (value, key, partition, timestamp_ms) in enumerate(entries):
             if partition is None:
                 if key is not None:
                     partition = partitioner(key, count)
@@ -135,14 +141,20 @@ class Producer:
                 raise KafkaError(
                     f"partition {partition} out of range for topic {topic!r} "
                     f"({count} partitions)")
+            group = groups.get(partition)
+            if group is None:
+                group = groups[partition] = ([], [])
+            group[0].append(index)
+            group[1].append((key, value, timestamp_ms))
+        for partition, (indexes, records) in groups.items():
             tp = tps[partition]
             if retry is None:
-                offset = produce(tp, key, value, timestamp_ms)
+                base = produce_batch(tp, records)
             else:
-                offset = retry.call(
-                    lambda tp=tp, key=key, value=value, ts=timestamp_ms:
-                    produce(tp, key, value, ts))
-            results.append((partition, offset))
+                base = retry.call(
+                    lambda tp=tp, records=records: produce_batch(tp, records))
+            for position, index in enumerate(indexes):
+                results[index] = (partition, base + position)
         if rr_cursor is not None:
             self._round_robin[topic] = rr_cursor
         return results

@@ -285,7 +285,16 @@ class RunnerMesh:
                     return -1
             return self.direct_produce(tp, key, value, timestamp_ms)
 
+        def diverting_produce_batch(tp, records):
+            base = None
+            for key, value, timestamp_ms in records:
+                offset = diverting_produce(tp, key, value, timestamp_ms)
+                if base is None:
+                    base = offset
+            return base if base is not None else -1
+
         self.cluster.produce = diverting_produce
+        self.cluster.produce_batch = diverting_produce_batch
 
     def _enqueue_ingress(self, gid: str, tp, key, value, timestamp_ms) -> None:
         link = self.ingress.setdefault(gid, _IngressLink())
@@ -407,6 +416,8 @@ class RunnerMesh:
             return
         if self._hooked:
             self.cluster.produce = self.direct_produce
+            self.cluster.produce_batch = type(
+                self.cluster).produce_batch.__get__(self.cluster)
             self._hooked = False
         shutil.rmtree(self.meshdir, ignore_errors=True)
 

@@ -56,6 +56,13 @@ PEER_CREDIT = b"k"   # JSON {grant, applied: [epoch, seq], mirrored: [epoch, seq
 
 #: Default per-link credit window (bytes in flight before the sender blocks).
 DEFAULT_CREDIT_BYTES = 4 * 1024 * 1024
+#: Adaptive window clamp: a receiver never shrinks a sender's window below
+#: this floor (keeps trickle links from stalling on one oversize frame)...
+MIN_CREDIT_BYTES = 64 * 1024
+#: ...nor grows it beyond this ceiling (bounds receiver queue memory).
+MAX_CREDIT_BYTES = 16 * 1024 * 1024
+#: EWMA smoothing for the per-status-round applied-bytes estimate.
+CREDIT_EWMA_ALPHA = 0.3
 #: Ceiling on a single framed payload, so one frame never eats the window.
 MAX_FRAME_BYTES = 256 * 1024
 
@@ -198,6 +205,16 @@ class PeerLink:
                 if tag != PEER_CREDIT:
                     continue
                 credit = json.loads(payload.decode("utf-8"))
+                window = credit.get("window")
+                if window is not None and window != self.credit_bytes:
+                    # Receiver retuned our window: apply the delta to both
+                    # the ceiling and the available balance, so bytes
+                    # already in flight keep counting against the new
+                    # window (a shrink can leave avail at 0, never < 0).
+                    delta = window - self.credit_bytes
+                    self.credit_bytes = window
+                    self.credit_avail = max(
+                        0, min(window, self.credit_avail + delta))
                 grant = credit.get("grant", 0)
                 if grant:
                     self.credit_avail = min(
@@ -313,6 +330,7 @@ class PeerLink:
         return {
             "sent_bytes": self.sent_bytes,
             "sent_frames": self.sent_frames,
+            "credit_window": self.credit_bytes,
             "inflight_bytes": self.inflight_bytes,
             "max_inflight_bytes": self.max_inflight_bytes,
             "retained_frames": self.retained_frames,
@@ -343,6 +361,13 @@ class PeerEndpoint:
         self._mirrored: dict[str, list] = {
             gid: list(wm) for gid, wm in self.watermarks.items()}
         self._lock = threading.Lock()
+        # Adaptive per-sender credit windows: tune_windows() (called once
+        # per status round) sizes each sender's window from an EWMA of the
+        # bytes applied from it per round.  All three dicts are touched
+        # only from the main/service thread.
+        self._windows: dict[str, int] = {}
+        self._applied_ewma: dict[str, float] = {}
+        self._round_bytes: dict[str, int] = {}
         # Watermarks are per-sender but a CREDIT message does not name the
         # sender — it is only ever valid on that sender's own connection.
         self._conn_gids: dict = {}
@@ -451,6 +476,8 @@ class PeerEndpoint:
                 self.watermarks[sender_gid] = [epoch, seq]
                 self.applied_records += n_records
                 self.applied_bytes += len(frame)
+                self._round_bytes[sender_gid] = (
+                    self._round_bytes.get(sender_gid, 0) + len(frame))
                 applied += n_records
             # Grant the bytes back either way — a deduped or stale-epoch
             # frame consumed window on the sender too.  (A stale-epoch
@@ -460,8 +487,41 @@ class PeerEndpoint:
             self._send_credit(conn, sender_gid, grant=len(frame))
         return applied
 
+    def tune_windows(self) -> None:
+        """Retune each connected sender's credit window from the EWMA of
+        bytes applied from it per status round: 2× the smoothed per-round
+        rate (double-buffering — one round applying while the next is in
+        flight), clamped to [MIN_CREDIT_BYTES, MAX_CREDIT_BYTES].  Changed
+        windows ride a zero-grant CREDIT message; the sender applies the
+        delta to its window and available balance."""
+        with self._lock:
+            targets = list(self._conn_gids.items())
+        changed = set()
+        for sender_gid in {gid for _conn, gid in targets}:
+            observed = self._round_bytes.pop(sender_gid, 0)
+            prev = self._applied_ewma.get(sender_gid)
+            ewma = (float(observed) if prev is None
+                    else CREDIT_EWMA_ALPHA * observed
+                    + (1.0 - CREDIT_EWMA_ALPHA) * prev)
+            self._applied_ewma[sender_gid] = ewma
+            window = max(MIN_CREDIT_BYTES,
+                         min(MAX_CREDIT_BYTES, int(2 * ewma)))
+            if self._windows.get(sender_gid, self.credit_bytes) != window:
+                self._windows[sender_gid] = window
+                changed.add(sender_gid)
+        for conn, gid in targets:
+            if gid in changed:
+                self._send_credit(conn, gid, grant=0)
+
+    def credit_window(self, sender_gid: str) -> int:
+        """The current credit window for one sender (gauge source)."""
+        return self._windows.get(sender_gid, self.credit_bytes)
+
     def _send_credit(self, conn, sender_gid: str, grant: int) -> None:
         credit = {"grant": grant}
+        window = self._windows.get(sender_gid)
+        if window is not None:
+            credit["window"] = window
         wm = self.watermarks.get(sender_gid)
         if wm is not None:
             credit["applied"] = wm
@@ -512,6 +572,7 @@ class PeerEndpoint:
                 "queued_records": self.queued_records,
                 "applied_records": self.applied_records,
                 "applied_bytes": self.applied_bytes,
+                "credit_windows": dict(self._windows),
             }
 
     def close(self) -> None:

@@ -153,6 +153,7 @@ class _WorkerLoop:
         # process's cluster copy routes produces.
         self._original_produce = type(self.cluster).produce.__get__(self.cluster)
         self.cluster.produce = self._route_produce
+        self.cluster.produce_batch = self._route_produce_batch
 
         self.endpoint = PeerEndpoint(
             self.gid, self.epoch, mesh_spec.get("listen_address"),
@@ -189,6 +190,17 @@ class _WorkerLoop:
             return -1
         return self._original_produce(tp, key, value, timestamp_ms)
 
+    def _route_produce_batch(self, tp, records):
+        """Batch produce stays owner-routed: unroll through
+        :meth:`_route_produce` per record so peer/outbox routing decisions
+        apply exactly as on the single-record path."""
+        base = None
+        for key, value, timestamp_ms in records:
+            offset = self._route_produce(tp, key, value, timestamp_ms)
+            if base is None:
+                base = offset
+        return base if base is not None else -1
+
     def _link_for(self, entry) -> PeerLink:
         link = self.links.get(entry.gid)
         if link is None:
@@ -206,6 +218,8 @@ class _WorkerLoop:
                           fn=lambda l=link: l.retained_frames)
             metrics.gauge(group, "credit-waits",
                           fn=lambda l=link: l.credit_waits)
+            metrics.gauge(group, "credit-window",
+                          fn=lambda l=link: l.credit_bytes)
         elif (entry.address, entry.incarnation) != (link.address,
                                                     link.incarnation):
             link.retarget(entry.address, entry.incarnation)
@@ -361,6 +375,9 @@ class _WorkerLoop:
             self.apply_routes(payload)
         elif tag == MSG_STATUS_REQ:
             self.flush()
+            # Status rounds are the adaptive-credit clock: retune each
+            # sender's window from this round's applied-byte EWMA.
+            self.endpoint.tune_windows()
             send_msg(self.data_conn, MSG_STATUS,
                      json.dumps(self._status(), sort_keys=True).encode("utf-8"))
         elif tag == MSG_COMMIT:

@@ -95,6 +95,9 @@ class _Collector(MessageCollector):
     def send_batch(self, envelopes: list[OutgoingMessageEnvelope]) -> None:
         self._container._send_batch(envelopes)
 
+    def send_pre_serialized_batch(self, stream: str, entries: list) -> None:
+        self._container._send_pre_serialized_batch(stream, entries)
+
 
 class SamzaContainer:
     """Hosts task instances and drives their processing loop."""
@@ -128,6 +131,9 @@ class SamzaContainer:
         )
         self._producer = Producer(cluster, retry_policy=self._retry)
         self._collector = _Collector(self)
+        # stream -> {key -> (key_bytes, partition)} for the pre-serialized
+        # output lane; see _send_pre_serialized_batch.
+        self._key_route_memo: dict[str, dict] = {}
         self._coordinator = _Coordinator()
 
         self.tasks: dict[str, TaskInstance] = {}
@@ -234,6 +240,7 @@ class SamzaContainer:
             instance = TaskInstance(
                 model.task_name, model.partition_id, task, set(model.ssps),
                 stores, self._checkpoints, metrics=self.metrics,
+                serdes=self.serdes,
             )
             self.tasks[model.task_name] = instance
             for ssp in model.ssps:
@@ -387,32 +394,42 @@ class SamzaContainer:
     def _send_batch(self, envelopes: list[OutgoingMessageEnvelope]) -> None:
         """Batched output path: per stream, resolve the serdes and the
         partition count once, encode with the serdes' batch forms, and hand
-        the whole batch to ``Producer.send_batch``."""
+        the whole batch to ``Producer.send_batch``.
+
+        Pre-serialized envelopes (the serde-fused fast path) carry bytes
+        already; they skip encoding entirely — when a whole group is
+        pre-serialized no serde is even resolved — while send order within
+        the stream is preserved for mixed groups."""
         by_stream: dict[str, list[OutgoingMessageEnvelope]] = {}
         for envelope in envelopes:
             by_stream.setdefault(envelope.system_stream.stream, []).append(envelope)
         for stream, group in by_stream.items():
-            if any(e.pre_serialized for e in group):
-                for envelope in group:
-                    self._send(envelope)
-                continue
             if not self.cluster.has_topic(stream):
                 partitions = max(
                     (self.cluster.topic(ssp.stream).partition_count
                      for ssp in self._task_by_ssp), default=1)
                 self.cluster.create_topic(stream, partitions=partitions,
                                           if_not_exists=True)
-            if stream not in self._output_serdes:
-                self._output_serdes[stream] = self.serdes.resolve_stream_serdes(
-                    self.config, group[0].system_stream.system, stream)
-            key_serde, msg_serde = self._output_serdes[stream]
-            key_bytes = key_serde.to_bytes_batch([e.key for e in group])
-            value_bytes = msg_serde.to_bytes_batch([e.message for e in group])
+            plain = [e for e in group if not e.pre_serialized]
+            if plain:
+                if stream not in self._output_serdes:
+                    self._output_serdes[stream] = self.serdes.resolve_stream_serdes(
+                        self.config, group[0].system_stream.system, stream)
+                key_serde, msg_serde = self._output_serdes[stream]
+                plain_keys = iter(key_serde.to_bytes_batch([e.key for e in plain]))
+                plain_values = iter(msg_serde.to_bytes_batch(
+                    [e.message for e in plain]))
             count = self.cluster.topic(stream).partition_count
             to_partition_key = _PARTITION_KEY_SERDE.to_bytes
             now_ms = None
             entries = []
-            for envelope, kb, vb in zip(group, key_bytes, value_bytes):
+            for envelope in group:
+                if envelope.pre_serialized:
+                    kb = envelope.key
+                    vb = envelope.message
+                else:
+                    kb = next(plain_keys)
+                    vb = next(plain_values)
                 partition = None
                 if envelope.partition_key is not None:
                     partition = hash_partitioner(
@@ -425,6 +442,50 @@ class SamzaContainer:
                 entries.append((vb, kb, partition, timestamp))
             self._producer.send_batch(stream, entries)
             self._sent.inc(len(entries))
+
+    def _send_pre_serialized_batch(self, stream: str, entries: list) -> None:
+        """Fast lane for serde-fused output: each entry is
+        ``(message_bytes, timestamp_ms, key)`` straight from the sink's
+        buffer, so no :class:`OutgoingMessageEnvelope` is ever built or
+        unpacked.  Keys are string-serde encoded and partitions are chosen
+        by hashing the object-serde encoding of the key — byte-for-byte
+        the routing the envelope path performs.  Both encodings are
+        memoized per key: output keys are grouping/join keys, whose
+        cardinality is far below the record count.
+        """
+        if not self.cluster.has_topic(stream):
+            partitions = max(
+                (self.cluster.topic(ssp.stream).partition_count
+                 for ssp in self._task_by_ssp), default=1)
+            self.cluster.create_topic(stream, partitions=partitions,
+                                      if_not_exists=True)
+        count = self.cluster.topic(stream).partition_count
+        memo = self._key_route_memo.get(stream)
+        if memo is None:
+            memo = self._key_route_memo[stream] = {}
+        to_partition_key = _PARTITION_KEY_SERDE.to_bytes
+        now_ms = None
+        out = []
+        append = out.append
+        for message, timestamp_ms, key in entries:
+            if key is None:
+                kb = partition = None
+            else:
+                route = memo.get(key)
+                if route is None:
+                    if len(memo) >= 65536:  # bound unkeyed-cardinality blowup
+                        memo.clear()
+                    route = memo[key] = (
+                        key.encode("utf-8"),
+                        hash_partitioner(to_partition_key(key), count))
+                kb, partition = route
+            if timestamp_ms is None:
+                if now_ms is None:
+                    now_ms = self.clock.now_ms()
+                timestamp_ms = now_ms
+            append((message, kb, partition, timestamp_ms))
+        self._producer.send_batch(stream, out)
+        self._sent.inc(len(out))
 
     # -- the run loop --------------------------------------------------------------------
 
@@ -506,6 +567,7 @@ class SamzaContainer:
         for tp, records in groups:
             ssp = SystemStreamPartition("kafka", tp.topic, tp.partition)
             instance = self._task_by_ssp[ssp]
+            raw = tp.topic in instance.raw_streams
             key_serde, msg_serde = self._input_serdes[tp.topic]
             start, total = 0, len(records)
             while start < total:
@@ -515,10 +577,17 @@ class SamzaContainer:
                     if until is not None and until < limit:
                         limit = until
                 chunk = records if limit == total else records[start:start + limit]
-                keys = key_serde.from_bytes_batch([r.key for r in chunk])
-                messages = msg_serde.from_bytes_batch([r.value for r in chunk])
-                done = instance.process_batch(
-                    ssp, chunk, keys, messages, self._collector, coordinator)
+                if raw:
+                    # Serde-fused task: the generated plan function decodes
+                    # (only the columns it needs) — skip both batch decodes.
+                    done = instance.process_batch_raw(
+                        ssp, chunk, self._collector, coordinator)
+                else:
+                    keys = key_serde.from_bytes_batch([r.key for r in chunk])
+                    messages = msg_serde.from_bytes_batch(
+                        [r.value for r in chunk])
+                    done = instance.process_batch(
+                        ssp, chunk, keys, messages, self._collector, coordinator)
                 handled += done
                 self._processed.inc(done)
                 self._messages_since_commit += done

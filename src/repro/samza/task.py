@@ -40,11 +40,15 @@ class TaskContext:
     """Per-task runtime context: identity, stores, metrics."""
 
     def __init__(self, task_name: str, partition_id: int, stores: dict[str, "KeyValueStore"],
-                 metrics=None):
+                 metrics=None, serdes=None):
         self.task_name = task_name
         self.partition_id = partition_id
         self._stores = stores
         self.metrics = metrics
+        # The container's SerdeRegistry, when it has one.  Plan-aware
+        # tasks use it to resolve their streams' Avro schemas for the
+        # serde-fusion fast path.
+        self.serdes = serdes
 
     def get_store(self, name: str) -> "KeyValueStore":
         try:

@@ -30,7 +30,7 @@ class TaskInstance:
                  ssps: set[SystemStreamPartition],
                  stores: dict[str, KeyValueStore],
                  checkpoint_manager: CheckpointManager | None,
-                 metrics=None):
+                 metrics=None, serdes=None):
         self.task_name = task_name
         self.partition_id = partition_id
         self.task = task
@@ -40,13 +40,19 @@ class TaskInstance:
         # next offset to process per SSP; filled by the container at startup
         self.offsets: dict[SystemStreamPartition, int] = {}
         self.messages_processed = 0
-        self.context = TaskContext(task_name, partition_id, stores, metrics=metrics)
+        # Streams whose batches the task wants *undecoded* (serde-fused
+        # tasks); published by init() from the task's raw_input_streams.
+        self.raw_streams: frozenset[str] = frozenset()
+        self.context = TaskContext(task_name, partition_id, stores,
+                                   metrics=metrics, serdes=serdes)
 
     # -- lifecycle -------------------------------------------------------------
 
     def init(self, config: Config) -> None:
         if isinstance(self.task, InitableTask):
             self.task.init(config, self.context)
+        self.raw_streams = frozenset(
+            getattr(self.task, "raw_input_streams", ()) or ())
 
     def close(self) -> None:
         if isinstance(self.task, ClosableTask):
@@ -80,6 +86,25 @@ class TaskInstance:
             self.offsets[ssp] = records[-1].offset + 1
             self.messages_processed += done
             return done
+        return self._process_record_loop(ssp, records, keys, messages,
+                                         collector, coordinator)
+
+    def process_batch_raw(self, ssp: SystemStreamPartition, records: list,
+                          collector: MessageCollector,
+                          coordinator: TaskCoordinator) -> int:
+        """Serde-fused path: hand one partition's *undecoded* record batch
+        to the task.  Offset/commit semantics are identical to
+        :meth:`process_batch` — the whole batch completes (or raises), so
+        a checkpoint taken afterwards matches the decoded path's exactly.
+        """
+        self.task.process_batch_raw(ssp, records, collector, coordinator)
+        done = len(records)
+        self.offsets[ssp] = records[-1].offset + 1
+        self.messages_processed += done
+        return done
+
+    def _process_record_loop(self, ssp, records, keys, messages, collector,
+                             coordinator) -> int:
         process = self.task.process
         offsets = self.offsets
         done = 0

@@ -233,14 +233,27 @@ def _compile_namespace() -> dict:
     return namespace
 
 
-def compile_chain(plan: PhysicalPlan) -> CompiledChain:
-    """Fuse the whole stateless chain into one generated function.
+@dataclass(frozen=True)
+class ChainExpressions:
+    """A compilable chain rendered down to expression sources.
 
-    The function takes the decoded message batch (record dicts ``r`` and
-    wire timestamps ``t``) and returns output entries
-    ``(message_dict, timestamp_ms, key)`` — everything between decode and
-    send in a single pass, with zero per-operator dispatch.
+    All expressions are over the record dict ``r`` (``r['name']`` field
+    refs) and the wire timestamp ``t``.  This is the shared analysis both
+    :func:`compile_chain` and the serde-fused codegen in
+    :mod:`repro.samzasql.serde_plan` build their generated functions from.
     """
+
+    stream: str          # the single input stream the chain consumes
+    columns: list        # one expression per output field
+    conditions: list     # filter-stage predicates, in execution order
+    ts_expr: str         # output timestamp (insert rowtime fallback folded in)
+    key_expr: str        # output key expression ("None" when unkeyed)
+    filter_flags: list   # per chain node (leaf->root): is it a filter stage?
+    insert: InsertNode   # the chain's root
+
+
+def chain_expressions(plan: PhysicalPlan) -> ChainExpressions:
+    """Render the stateless chain's nodes into composed expressions."""
     decision = analyze_plan(plan)
     if not decision.supported:
         raise PlannerError(f"plan does not compile: {decision.reason}")
@@ -289,9 +302,6 @@ def compile_chain(plan: PhysicalPlan) -> CompiledChain:
 
     insert = plan.root
     assert isinstance(insert, InsertNode)
-    msg_expr = ("{" + ", ".join(
-        f"{name!r}: {column}"
-        for name, column in zip(insert.field_names, columns)) + "}")
     if insert.rowtime_index is not None:
         rt_col = columns[insert.rowtime_index]
         if rt_col != ts_expr:
@@ -307,6 +317,30 @@ def compile_chain(plan: PhysicalPlan) -> CompiledChain:
         reprs = ", ".join(f"repr({columns[i]})"
                           for i in insert.key_field_indexes)
         key_expr = f'"|".join(({reprs}))'
+
+    return ChainExpressions(stream=stream, columns=columns,
+                            conditions=conditions, ts_expr=ts_expr,
+                            key_expr=key_expr, filter_flags=filter_flags,
+                            insert=insert)
+
+
+def compile_chain(plan: PhysicalPlan) -> CompiledChain:
+    """Fuse the whole stateless chain into one generated function.
+
+    The function takes the decoded message batch (record dicts ``r`` and
+    wire timestamps ``t``) and returns output entries
+    ``(message_dict, timestamp_ms, key)`` — everything between decode and
+    send in a single pass, with zero per-operator dispatch.
+    """
+    exprs = chain_expressions(plan)
+    stream = exprs.stream
+    conditions = exprs.conditions
+    ts_expr = exprs.ts_expr
+    key_expr = exprs.key_expr
+    msg_expr = ("{" + ", ".join(
+        f"{name!r}: {column}"
+        for name, column in zip(exprs.insert.field_names, exprs.columns))
+        + "}")
 
     staged = len(conditions) > 1
     if staged:
@@ -341,7 +375,7 @@ def compile_chain(plan: PhysicalPlan) -> CompiledChain:
     namespace = _compile_namespace()
     exec(compile(source, "<samzasql-plan-compile>", "exec"), namespace)  # noqa: S102 - trusted, self-generated
     return CompiledChain(source=source, fn=namespace["_compiled_plan"],
-                         stream=stream, filter_flags=filter_flags,
+                         stream=stream, filter_flags=exprs.filter_flags,
                          staged=staged)
 
 

@@ -400,7 +400,39 @@ class SamzaSQLShell:
         else:
             status = decision.status
         lines.append(f"tasks: {tasks} × {status}")
+        lines.append("  " + self._serde_status(plan, planned, execution,
+                                               decision))
         return "\n".join(lines)
+
+    def _serde_status(self, plan: PhysicalPlan, planned, execution,
+                      decision) -> str:
+        """The per-task serde line for EXPLAIN: pruned columns plus the
+        decode/encode fast-path status, mirroring the exact decision
+        :class:`~repro.samzasql.task.SamzaSqlTask` makes at init."""
+        from repro.samzasql.serde_plan import SerdePlan, analyze_serde
+
+        if not decision.supported:
+            sp = SerdePlan(False, f"chain not compiled: {decision.reason}")
+        elif not execution.compile:
+            sp = SerdePlan(False, "disabled by execution.compile=false")
+        elif not execution.serde_fusion:
+            sp = SerdePlan(False, "disabled by execution.serde.fusion=false")
+        elif not execution.batch:
+            sp = SerdePlan(False, "requires execution.batch=true")
+        elif (self.metrics_interval_ms > 0
+                and METRICS_STREAM not in plan.input_streams):
+            sp = SerdePlan(False, "metrics sampling needs decoded messages")
+        else:
+            input_schema = (self._schema_for_topic(plan.input_streams[0])
+                            if len(plan.input_streams) == 1 else None)
+            output_schema = sql_row_type_to_avro(
+                "explain_output", planned.plan.row_type)
+            if input_schema is None or output_schema is None:
+                sp = SerdePlan(
+                    False, "input/output streams are not Avro with string keys")
+            else:
+                sp = analyze_serde(plan, input_schema, output_schema)
+        return sp.describe()
 
     @staticmethod
     def _describe_join_strategy(plan: PhysicalPlan) -> list[str]:
@@ -571,8 +603,9 @@ class SamzaSQLShell:
             config[f"stores.{store}.msg.serde"] = "object"
         return serdes, config
 
-    def _register_stream_serde(self, serdes: SerdeRegistry, topic: str) -> str:
-        """Find the Avro schema for a topic (stream or table changelog).
+    def _schema_for_topic(self, topic: str) -> AvroSchema | None:
+        """The Avro schema a topic carries (stream or table changelog), or
+        None when the catalog has no schema for it.
 
         Lookups go by *topic* (plan input streams are topics), matching both
         catalog streams (whose topic may differ from their name — derived
@@ -581,16 +614,17 @@ class SamzaSQLShell:
         for name in self.catalog.object_names():
             stream = self.catalog.stream(name)
             if stream is not None and stream.topic == topic:
-                if stream.avro_schema is not None:
-                    serdes.register(f"avro-{topic}", AvroSerde(stream.avro_schema))
-                    return f"avro-{topic}"
-                return "json"
+                return stream.avro_schema
             table = self.catalog.table(name)
             if table is not None and table.changelog_topic == topic:
-                if table.avro_schema is not None:
-                    serdes.register(f"avro-{topic}", AvroSerde(table.avro_schema))
-                    return f"avro-{topic}"
-                return "json"
+                return table.avro_schema
+        return None
+
+    def _register_stream_serde(self, serdes: SerdeRegistry, topic: str) -> str:
+        schema = self._schema_for_topic(topic)
+        if schema is not None:
+            serdes.register(f"avro-{topic}", AvroSerde(schema))
+            return f"avro-{topic}"
         return "json"
 
     # -- observability -----------------------------------------------------------------------

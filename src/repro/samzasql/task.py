@@ -40,32 +40,47 @@ class _CollectorSink:
         self.collector: MessageCollector | None = None
 
     def send(self, message: dict, timestamp_ms: int, key: str | None = None) -> None:
-        self.collector.send(OutgoingMessageEnvelope(
-            system_stream=self.output_stream,
-            message=message,
-            key=key,
-            partition_key=key,
-            timestamp_ms=timestamp_ms,
-        ))
+        self.collector.send(self._envelope(message, timestamp_ms, key))
 
     def send_batch(self, entries: list) -> None:
         """Send many ``(message, timestamp_ms, key)`` entries in one call,
-        batched through the collector when it supports it."""
-        output_stream = self.output_stream
-        envelopes = [
-            OutgoingMessageEnvelope(
-                system_stream=output_stream, message=message, key=key,
-                partition_key=key, timestamp_ms=timestamp_ms)
-            for message, timestamp_ms, key in entries
-        ]
+        batched through the collector when it supports it.
+
+        When every message is already encoded bytes (serde-fused output)
+        and the collector exposes the pre-serialized lane, the entries go
+        straight through it — no envelope objects are built at all."""
         collector = self.collector
+        raw_batch = getattr(collector, "send_pre_serialized_batch", None)
+        if raw_batch is not None and all(
+                type(message) is bytes for message, _ts, _key in entries):
+            raw_batch(self.output_stream.stream, entries)
+            return
+        envelope = self._envelope
+        envelopes = [envelope(message, timestamp_ms, key)
+                     for message, timestamp_ms, key in entries]
         send_batch = getattr(collector, "send_batch", None)
         if send_batch is not None:
             send_batch(envelopes)
         else:
             send = collector.send
-            for envelope in envelopes:
-                send(envelope)
+            for env in envelopes:
+                send(env)
+
+    def _envelope(self, message, timestamp_ms: int,
+                  key: str | None) -> OutgoingMessageEnvelope:
+        if type(message) is bytes:
+            # Serde-fused entry: the message is already the encoded datum.
+            # The output key serde is the string serde (utf-8), applied
+            # here; the partition key stays the Python string so the
+            # partitioner hashes exactly what it would on the decoded path.
+            return OutgoingMessageEnvelope(
+                system_stream=self.output_stream, message=message,
+                key=None if key is None else key.encode("utf-8"),
+                partition_key=key, timestamp_ms=timestamp_ms,
+                pre_serialized=True)
+        return OutgoingMessageEnvelope(
+            system_stream=self.output_stream, message=message, key=key,
+            partition_key=key, timestamp_ms=timestamp_ms)
 
 
 class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
@@ -82,6 +97,11 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
         self._buffered_sinks = False
         self._executor = None
         self._compile_decision = None
+        self._raw_executor = None
+        self._serde_plan = None
+        #: Streams the container should deliver *undecoded* (the
+        #: serde-fused fast path); empty when the fallback path runs.
+        self.raw_input_streams: frozenset[str] = frozenset()
 
     def init(self, config: Config, context: TaskContext) -> None:
         try:
@@ -112,8 +132,17 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
             self._executor = CompiledExecutor(plan, self._router)
             self._route = self._executor.route
             self._route_batch = self._executor.route_batch
-        if (context.metrics is not None
-                and config.get_int("metrics.reporter.interval.ms", 0) > 0):
+        sampling = (context.metrics is not None
+                    and config.get_int("metrics.reporter.interval.ms", 0) > 0)
+        if (execution.serde_fusion and execution.batch and not sampling
+                and self._executor is not None):
+            # Serde fusion: when the chain compiled, the schemas resolve,
+            # and the analysis proves the fast path byte-identical, ask
+            # the container for raw batches and run decode→chain→encode
+            # as one generated function.  The timing sampler needs decoded
+            # messages, so a metrics-sampled task keeps full decode.
+            self._init_serde_fusion(plan, config, context)
+        if sampling:
             from repro.metrics.instrument import TimingSampler, instrument_operators
 
             instrument_operators(self._router.operators, context.metrics,
@@ -135,6 +164,47 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
                     operator.set_buffering(True)
                     self._buffered_sinks = True
         self._early_emit = config.get_bool("samzasql.window.early.emit", False)
+
+    def _init_serde_fusion(self, plan: PhysicalPlan, config: Config,
+                           context: TaskContext) -> None:
+        from repro.samzasql.serde_plan import SerdeFusedExecutor, SerdePlan, analyze_serde
+        from repro.serde.avro import AvroSerde
+        from repro.serde.base import StringSerde
+
+        registry = getattr(context, "serdes", None)
+        if registry is None or len(plan.input_streams) != 1:
+            self._serde_plan = SerdePlan(False, "no serde registry available")
+            return
+        _in_key, in_msg = registry.resolve_stream_serdes(
+            config, "kafka", plan.input_streams[0])
+        out_key, out_msg = registry.resolve_stream_serdes(
+            config, "kafka", plan.output_stream)
+        if not (isinstance(in_msg, AvroSerde) and isinstance(out_msg, AvroSerde)
+                and isinstance(out_key, StringSerde)):
+            self._serde_plan = SerdePlan(
+                False, "input/output streams are not Avro with string keys")
+            return
+        self._serde_plan = analyze_serde(plan, in_msg.schema, out_msg.schema)
+        if not self._serde_plan.supported:
+            return
+        self._raw_executor = SerdeFusedExecutor(
+            plan, self._router, in_msg.schema, out_msg.schema)
+        self.raw_input_streams = frozenset(plan.input_streams)
+
+    def process_batch_raw(self, ssp, records: list,
+                          collector: MessageCollector,
+                          coordinator: TaskCoordinator) -> None:
+        """Serde-fused path: route one partition's *undecoded* batch.
+
+        The generated function decodes only the columns the plan needs
+        and emits encoded output bytes; flush semantics match
+        :meth:`process_batch` exactly.
+        """
+        self._sink.collector = collector
+        values = [record.value for record in records]
+        timestamps = [record.timestamp_ms for record in records]
+        self._raw_executor.route_raw_batch(ssp.stream, values, timestamps)
+        self._router.flush_sinks()
 
     def process(self, envelope, collector: MessageCollector,
                 coordinator: TaskCoordinator) -> None:
@@ -192,3 +262,20 @@ class SamzaSqlTask(StreamTask, InitableTask, WindowableTask):
     def executor(self):
         """The :class:`~repro.samzasql.compile.CompiledExecutor`, or None."""
         return self._executor
+
+    @property
+    def serde_fused(self) -> bool:
+        """True when this task routes raw batches through the fused path."""
+        return self._raw_executor is not None
+
+    @property
+    def serde_plan(self):
+        """The per-task :class:`~repro.samzasql.serde_plan.SerdePlan`
+        (None when the fusion analysis never ran)."""
+        return self._serde_plan
+
+    @property
+    def raw_executor(self):
+        """The :class:`~repro.samzasql.serde_plan.SerdeFusedExecutor`,
+        or None."""
+        return self._raw_executor

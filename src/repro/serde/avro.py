@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import struct
+import textwrap
 from typing import Any, Callable
 
 from repro.common.errors import SchemaError, SerdeError
@@ -31,6 +32,9 @@ from repro.common.varint import encode_zigzag, read_zigzag
 from repro.serde.base import Serde
 
 PRIMITIVES = ("null", "boolean", "int", "long", "float", "double", "string", "bytes")
+
+#: Primitive kinds the source-generated flat-record codecs can inline.
+FLAT_PRIMITIVES = ("int", "long", "string", "bytes", "boolean", "float", "double")
 
 _FLOAT = struct.Struct("<f")
 _DOUBLE = struct.Struct("<d")
@@ -41,6 +45,184 @@ _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
 Encoder = Callable[[Any, bytearray], None]
 # Decoders take (buf, offset) and return (value, next_offset).
 Decoder = Callable[[bytes, int], tuple[Any, int]]
+
+# -- shared codegen snippets --------------------------------------------------
+#
+# The flat-record codecs below, the pruned decoders, and the whole-plan
+# serde fusion in :mod:`repro.samzasql.serde_plan` all emit the same
+# per-field source fragments.  Each helper returns source *lines* at the
+# requested indent level over a fixed register set: ``buf`` (the datum),
+# ``pos`` (the cursor), ``blen`` (``len(buf)``), and the scratch names
+# ``b`` / ``raw`` / ``n`` / ``end`` / ``shift``.
+
+# One inlined little-endian base-128 varint read; leaves the raw
+# (pre-zigzag) value in ``raw``.
+_READ_VARINT_SRC = """\
+b = buf[pos]; pos += 1
+if b < 0x80:
+    raw = b
+else:
+    raw = b & 0x7F
+    shift = 7
+    while True:
+        b = buf[pos]; pos += 1
+        raw |= (b & 0x7F) << shift
+        if b < 0x80:
+            break
+        shift += 7
+"""
+
+# One inlined varint write of the non-negative value in ``n``.
+_WRITE_VARINT_SRC = """\
+if n < 0x80:
+    out.append(n)
+else:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+"""
+
+
+def flat_record_fields(
+        definition: Any) -> list[tuple[str, str | None, int | None]] | None:
+    """``[(name, kind, null_branch_index)]`` for record schemas.
+
+    ``kind`` is the field's primitive kind when the generated codecs can
+    inline it — a plain primitive or a two-branch ``["null", primitive]``
+    union (either order) — and ``None`` for any other field shape.  Such
+    fields fall back to the compiled closure codecs *per field*, so one
+    exotic column no longer pushes the whole record onto the interpreted
+    path.  ``null_branch_index`` is ``None`` for a bare primitive, else
+    the union index of the ``"null"`` branch (0 or 1).
+
+    Returns ``None`` for non-record schemas (and field-less records),
+    where the flat layout does not apply at all.
+    """
+    if not (isinstance(definition, dict) and definition.get("type") == "record"):
+        return None
+    fields: list[tuple[str, str | None, int | None]] = []
+    for f in definition.get("fields", ()):
+        kind = f.get("type")
+        if isinstance(kind, dict) and kind.get("type") in PRIMITIVES:
+            kind = kind["type"]
+        null_index: int | None = None
+        if isinstance(kind, list) and len(kind) == 2 and "null" in kind:
+            null_index = kind.index("null")
+            kind = kind[1 - null_index]
+            if isinstance(kind, dict) and kind.get("type") in PRIMITIVES:
+                kind = kind["type"]
+        if not isinstance(kind, str) or kind not in FLAT_PRIMITIVES:
+            kind, null_index = None, None
+        fields.append((f["name"], kind, null_index))
+    return fields if fields else None
+
+
+def field_read_src(var: str, kind: str, level: int) -> list[str]:
+    """Source lines reading one ``kind`` primitive into ``var``."""
+    pad = " " * 4 * level
+    read_varint = textwrap.indent(_READ_VARINT_SRC.rstrip(), pad)
+    if kind in ("int", "long"):
+        return [read_varint, f"{pad}{var} = (raw >> 1) ^ -(raw & 1)"]
+    if kind in ("string", "bytes"):
+        tail = (f"{var} = buf[pos:end].decode('utf-8'); pos = end"
+                if kind == "string"
+                else f"{var} = bytes(buf[pos:end]); pos = end")
+        return [
+            read_varint,
+            f"{pad}n = (raw >> 1) ^ -(raw & 1)",
+            f"{pad}end = pos + n",
+            f"{pad}if n < 0 or end > blen:",
+            f"{pad}    raise SerdeError('truncated {kind}')",
+            pad + tail,
+        ]
+    if kind == "boolean":
+        return [f"{pad}{var} = buf[pos] != 0; pos += 1"]
+    packer = "_FLOAT" if kind == "float" else "_DOUBLE"
+    size = 4 if kind == "float" else 8
+    return [f"{pad}{var} = {packer}.unpack_from(buf, pos)[0];"
+            f" pos += {size}"]
+
+
+def field_skip_src(kind: str, level: int) -> list[str]:
+    """Source lines advancing ``pos`` past one ``kind`` primitive without
+    materializing a Python value — the column-pruning skip-scan."""
+    pad = " " * 4 * level
+    if kind in ("int", "long"):
+        return [f"{pad}while buf[pos] >= 0x80:",
+                f"{pad}    pos += 1",
+                f"{pad}pos += 1"]
+    if kind in ("string", "bytes"):
+        read_varint = textwrap.indent(_READ_VARINT_SRC.rstrip(), pad)
+        return [
+            read_varint,
+            f"{pad}n = (raw >> 1) ^ -(raw & 1)",
+            f"{pad}pos += n",
+            f"{pad}if n < 0 or pos > blen:",
+            f"{pad}    raise SerdeError('truncated {kind}')",
+        ]
+    if kind == "boolean":
+        return [f"{pad}pos += 1"]
+    return [f"{pad}pos += {4 if kind == 'float' else 8}"]
+
+
+def field_write_src(var: str, kind: str, level: int,
+                    prefix_byte: int | None) -> list[str]:
+    """Fast-path write of ``var`` onto ``out`` at ``level``.
+
+    The ``if`` type gate it emits is left *open*: the caller closes it
+    with an ``else`` delegating to the per-field closure encoder, which
+    keeps error semantics (and the encoding of unusual-but-valid values
+    like int subclasses) identical to the non-generated path.
+    ``prefix_byte`` is the union branch byte to emit before the value,
+    or ``None`` for a bare primitive.
+    """
+    pad = " " * 4 * level
+    prefix = ([f"{pad}    out.append({prefix_byte})"]
+              if prefix_byte is not None else [])
+    varint = textwrap.indent(_WRITE_VARINT_SRC.rstrip(), pad + "    ")
+    if kind in ("int", "long"):
+        lo, hi = ((_INT32_MIN, _INT32_MAX) if kind == "int"
+                  else (_INT64_MIN, _INT64_MAX))
+        return [
+            f"{pad}if {var}.__class__ is int and {lo} <= {var} <= {hi}:",
+            *prefix,
+            f"{pad}    n = {var} << 1 if {var} >= 0"
+            f" else ((-1 - {var}) << 1) | 1",
+            varint,
+        ]
+    if kind == "string":
+        return [
+            f"{pad}if {var}.__class__ is str:",
+            *prefix,
+            f"{pad}    raw = {var}.encode('utf-8')",
+            f"{pad}    n = len(raw) << 1",
+            varint,
+            f"{pad}    out += raw",
+        ]
+    if kind == "bytes":
+        return [
+            f"{pad}if {var}.__class__ is bytes:",
+            *prefix,
+            f"{pad}    n = len({var}) << 1",
+            varint,
+            f"{pad}    out += {var}",
+        ]
+    if kind == "boolean":
+        return [
+            f"{pad}if {var} is True:",
+            *prefix,
+            f"{pad}    out.append(1)",
+            f"{pad}elif {var} is False:",
+            *prefix,
+            f"{pad}    out.append(0)",
+        ]
+    packer = "_FLOAT" if kind == "float" else "_DOUBLE"
+    return [
+        f"{pad}if {var}.__class__ is float:",
+        *prefix,
+        f"{pad}    out += {packer}.pack({var})",
+    ]
 
 
 class AvroSchema:
@@ -494,98 +676,27 @@ class AvroSchema:
     # to the per-field closure encoder, which raises the canonical
     # SerdeError.
 
-    # One inlined little-endian base-128 varint read; leaves the raw
-    # (pre-zigzag) value in ``raw``.
-    _READ_VARINT_SRC = """\
-b = buf[pos]; pos += 1
-if b < 0x80:
-    raw = b
-else:
-    raw = b & 0x7F
-    shift = 7
-    while True:
-        b = buf[pos]; pos += 1
-        raw |= (b & 0x7F) << shift
-        if b < 0x80:
-            break
-        shift += 7
-"""
-
-    # One inlined varint write of the non-negative value in ``n``.
-    _WRITE_VARINT_SRC = """\
-if n < 0x80:
-    out.append(n)
-else:
-    while n > 0x7F:
-        out.append((n & 0x7F) | 0x80)
-        n >>= 7
-    out.append(n)
-"""
-
-    @staticmethod
-    def _flat_record_fields(
-            definition: Any) -> list[tuple[str, str, int | None]] | None:
-        """``[(name, primitive_kind, null_branch_index)]`` for records whose
-        fields are plain primitives or two-branch ``["null", primitive]``
-        unions (either order); ``None`` for any other shape.
-
-        ``null_branch_index`` is ``None`` for a bare primitive, else the
-        union index of the ``"null"`` branch (0 or 1).
-        """
-        supported = ("int", "long", "string", "bytes", "boolean",
-                     "float", "double")
-        if not (isinstance(definition, dict) and definition.get("type") == "record"):
-            return None
-        fields: list[tuple[str, str, int | None]] = []
-        for f in definition.get("fields", ()):
-            kind = f.get("type")
-            if isinstance(kind, dict) and kind.get("type") in PRIMITIVES:
-                kind = kind["type"]
-            null_index: int | None = None
-            if isinstance(kind, list) and len(kind) == 2 and "null" in kind:
-                null_index = kind.index("null")
-                kind = kind[1 - null_index]
-                if isinstance(kind, dict) and kind.get("type") in PRIMITIVES:
-                    kind = kind["type"]
-            if not isinstance(kind, str) or kind not in supported:
-                return None
-            fields.append((f["name"], kind, null_index))
-        return fields if fields else None
-
     def _generate_flat_decoder(self, definition: Any) -> Decoder | None:
-        fields = self._flat_record_fields(definition)
+        fields = flat_record_fields(definition)
         if fields is None:
             return None
-        import textwrap
 
-        def primitive_read(i: int, kind: str, level: int) -> list[str]:
-            pad = " " * 4 * level
-            read_varint = textwrap.indent(self._READ_VARINT_SRC.rstrip(), pad)
-            if kind in ("int", "long"):
-                return [read_varint, f"{pad}f{i} = (raw >> 1) ^ -(raw & 1)"]
-            if kind in ("string", "bytes"):
-                tail = (f"f{i} = buf[pos:end].decode('utf-8'); pos = end"
-                        if kind == "string"
-                        else f"f{i} = bytes(buf[pos:end]); pos = end")
-                return [
-                    read_varint,
-                    f"{pad}n = (raw >> 1) ^ -(raw & 1)",
-                    f"{pad}end = pos + n",
-                    f"{pad}if n < 0 or end > blen:",
-                    f"{pad}    raise SerdeError('truncated {kind}')",
-                    pad + tail,
-                ]
-            if kind == "boolean":
-                return [f"{pad}f{i} = buf[pos] != 0; pos += 1"]
-            packer = "_FLOAT" if kind == "float" else "_DOUBLE"
-            size = 4 if kind == "float" else 8
-            return [f"{pad}f{i} = {packer}.unpack_from(buf, pos)[0];"
-                    f" pos += {size}"]
-
+        namespace: dict[str, Any] = {
+            "SerdeError": SerdeError, "_FLOAT": _FLOAT,
+            "_DOUBLE": _DOUBLE, "_StructError": struct.error}
         body: list[str] = []
         for i, (_name, kind, null_index) in enumerate(fields):
+            if kind is None:
+                # Field shape the flat layout can't inline (nested record,
+                # array, map, wide union, ...): delegate to its closure
+                # decoder so the rest of the record still takes the
+                # generated path.
+                namespace[f"dec{i}"] = self._compile_decoder(
+                    definition["fields"][i]["type"])
+                body.append(f"        f{i}, pos = dec{i}(buf, pos)")
+                continue
             if null_index is None:
-                body += primitive_read(i, kind, 2)
+                body += field_read_src(f"f{i}", kind, 2)
                 continue
             # Two-branch ["null", prim] union: branch index is a one-byte
             # zigzag varint, 0 for branch 0 and 2 for branch 1.
@@ -596,7 +707,7 @@ else:
                 f"        if b == {null_byte}:",
                 f"            f{i} = None",
                 f"        elif b == {prim_byte}:",
-                *primitive_read(i, kind, 3),
+                *field_read_src(f"f{i}", kind, 3),
                 "        else:",
                 "            raise SerdeError("
                 "'union branch index out of range')",
@@ -612,16 +723,85 @@ else:
             "    except (IndexError, _StructError):",
             "        raise SerdeError('truncated Avro datum') from None",
         ])
-        namespace = {"SerdeError": SerdeError, "_FLOAT": _FLOAT,
-                     "_DOUBLE": _DOUBLE, "_StructError": struct.error}
+        exec(source, namespace)  # noqa: S102 - trusted generated source
+        return namespace["dec"]
+
+    def pruned_decoder(self, required: "set[str] | frozenset[str]"
+                       ) -> Decoder | None:
+        """A generated partial decoder materializing only ``required`` fields.
+
+        Unreferenced primitive fields are skip-scanned — varint/length
+        skips over the encoded bytes, no Python objects built — which is
+        the plan-time column-pruning fast path.  Fields the flat layout
+        cannot inline still go through their closure decoders (and are
+        discarded when not required) so the cursor stays correct for any
+        schema.  Names in ``required`` that the schema lacks are ignored,
+        making plan-level over-collection harmless.
+
+        Returns ``None`` for non-record schemas.  The returned callable
+        has the standard ``(buf, pos) -> (dict, pos)`` decoder shape;
+        like the full generated decoder it does not enforce anything
+        about trailing bytes — callers check ``pos`` as
+        :meth:`decode_batch` does.
+        """
+        fields = flat_record_fields(self.definition)
+        if fields is None:
+            return None
+
+        namespace: dict[str, Any] = {
+            "SerdeError": SerdeError, "_FLOAT": _FLOAT,
+            "_DOUBLE": _DOUBLE, "_StructError": struct.error}
+        body: list[str] = []
+        kept: list[tuple[int, str]] = []
+        for i, (name, kind, null_index) in enumerate(fields):
+            wanted = name in required
+            if wanted:
+                kept.append((i, name))
+            if kind is None:
+                namespace[f"dec{i}"] = self._compile_decoder(
+                    self.definition["fields"][i]["type"])
+                target = f"f{i}" if wanted else "_"
+                body.append(f"        {target}, pos = dec{i}(buf, pos)")
+                continue
+            if null_index is None:
+                body += (field_read_src(f"f{i}", kind, 2) if wanted
+                         else field_skip_src(kind, 2))
+                continue
+            null_byte = 0 if null_index == 0 else 2
+            prim_byte = 2 - null_byte
+            if wanted:
+                inner = [f"            f{i} = None",
+                         f"        elif b == {prim_byte}:",
+                         *field_read_src(f"f{i}", kind, 3)]
+            else:
+                inner = ["            pass",
+                         f"        elif b == {prim_byte}:",
+                         *field_skip_src(kind, 3)]
+            body += [
+                "        b = buf[pos]; pos += 1",
+                f"        if b == {null_byte}:",
+                *inner,
+                "        else:",
+                "            raise SerdeError("
+                "'union branch index out of range')",
+            ]
+        pairs = ", ".join(f"{name!r}: f{i}" for i, name in kept)
+        source = "\n".join([
+            "def dec(buf, pos):",
+            "    try:",
+            "        blen = len(buf)",
+            *body,
+            "        return {" + pairs + "}, pos",
+            "    except (IndexError, _StructError):",
+            "        raise SerdeError('truncated Avro datum') from None",
+        ])
         exec(source, namespace)  # noqa: S102 - trusted generated source
         return namespace["dec"]
 
     def _generate_flat_encoder(self, definition: Any) -> Encoder | None:
-        fields = self._flat_record_fields(definition)
+        fields = flat_record_fields(definition)
         if fields is None:
             return None
-        import textwrap
 
         record_name = definition.get("name", "record")
         # Per-field closure encoders back the slow path: any value that
@@ -632,63 +812,15 @@ else:
         for f in definition["fields"]:
             slow.append(self._compile_encoder(f["type"]))
 
-        def primitive_write(i: int, kind: str, level: int,
-                            prefix_byte: int | None) -> list[str]:
-            """Fast-path write for field i at ``level``; the ``if`` gate it
-            emits leaves an open ``else`` for the caller to close with the
-            slow path."""
-            pad = " " * 4 * level
-            prefix = ([f"{pad}    out.append({prefix_byte})"]
-                      if prefix_byte is not None else [])
-            varint = textwrap.indent(self._WRITE_VARINT_SRC.rstrip(),
-                                     pad + "    ")
-            if kind in ("int", "long"):
-                lo, hi = ((_INT32_MIN, _INT32_MAX) if kind == "int"
-                          else (_INT64_MIN, _INT64_MAX))
-                return [
-                    f"{pad}if v.__class__ is int and {lo} <= v <= {hi}:",
-                    *prefix,
-                    f"{pad}    n = v << 1 if v >= 0 else ((-1 - v) << 1) | 1",
-                    varint,
-                ]
-            if kind == "string":
-                return [
-                    f"{pad}if v.__class__ is str:",
-                    *prefix,
-                    f"{pad}    raw = v.encode('utf-8')",
-                    f"{pad}    n = len(raw) << 1",
-                    varint,
-                    f"{pad}    out += raw",
-                ]
-            if kind == "bytes":
-                return [
-                    f"{pad}if v.__class__ is bytes:",
-                    *prefix,
-                    f"{pad}    n = len(v) << 1",
-                    varint,
-                    f"{pad}    out += v",
-                ]
-            if kind == "boolean":
-                return [
-                    f"{pad}if v is True:",
-                    *prefix,
-                    f"{pad}    out.append(1)",
-                    f"{pad}elif v is False:",
-                    *prefix,
-                    f"{pad}    out.append(0)",
-                ]
-            packer = "_FLOAT" if kind == "float" else "_DOUBLE"
-            return [
-                f"{pad}if v.__class__ is float:",
-                *prefix,
-                f"{pad}    out += {packer}.pack(v)",
-            ]
-
         body: list[str] = []
         for i, (name, kind, null_index) in enumerate(fields):
             body.append(f"        v = datum[{name!r}]")
-            if null_index is None:
-                body += primitive_write(i, kind, 2, None)
+            if kind is None:
+                # No inline fast path for this field shape — always its
+                # closure encoder.
+                body.append(f"        slow{i}(v, out)")
+            elif null_index is None:
+                body += field_write_src("v", kind, 2, None)
                 body += ["        else:", f"            slow{i}(v, out)"]
             else:
                 null_byte = 0 if null_index == 0 else 2
@@ -698,7 +830,7 @@ else:
                     f"            out.append({null_byte})",
                     *(f"        el{line.lstrip()}" if n == 0 else line
                       for n, line in enumerate(
-                          primitive_write(i, kind, 2, prim_byte))),
+                          field_write_src("v", kind, 2, prim_byte))),
                     "        else:",
                     f"            slow{i}(v, out)",
                 ]

@@ -236,7 +236,8 @@ class TestBatchClients:
         groups = consumer.poll_batches()
         assert {tp.partition for tp, _ in groups} == {0, 1, 2, 3}
         for tp, records in groups:
-            assert all(r.partition == tp.partition for r in records)
+            # Batched records are the log's Message objects — coordinates
+            # live on the group's TopicPartition, not on each record.
             assert [r.offset for r in records] == [0, 1, 2, 3, 4]
 
     def test_poll_batches_matches_flat_poll(self, cluster):
@@ -247,11 +248,10 @@ class TestBatchClients:
         grouped_consumer = Consumer(cluster)
         grouped_consumer.assign(cluster.partitions_for("orders"))
         flat = flat_consumer.poll(max_records=12)
-        grouped = [r for _, records in
+        grouped = [(tp.partition, r.offset, r.value) for tp, records in
                    grouped_consumer.poll_batches(max_records=12)
                    for r in records]
-        assert ([(r.partition, r.offset, r.value) for r in flat]
-                == [(r.partition, r.offset, r.value) for r in grouped])
+        assert [(r.partition, r.offset, r.value) for r in flat] == grouped
 
     def test_poll_batches_advances_position(self, cluster):
         self._fill(cluster)
@@ -262,9 +262,10 @@ class TestBatchClients:
             groups = consumer.poll_batches(max_records=7)
             if not groups:
                 break
-            seen.extend(r for _, records in groups for r in records)
+            seen.extend((tp.partition, r.offset)
+                        for tp, records in groups for r in records)
         assert len(seen) == 20
-        assert len({(r.partition, r.offset) for r in seen}) == 20  # no dups
+        assert len(set(seen)) == 20  # no dups
 
     def test_send_batch_matches_sequential_sends(self, cluster):
         cluster.create_topic("mirror", partitions=4)

@@ -26,7 +26,13 @@ from repro.parallel.frames import (
     pack_msgs,
     unpack_msgs,
 )
-from repro.parallel.peer import PeerEndpoint, PeerLink, wait_for
+from repro.parallel.peer import (
+    DEFAULT_CREDIT_BYTES,
+    MIN_CREDIT_BYTES,
+    PeerEndpoint,
+    PeerLink,
+    wait_for,
+)
 
 from tests.samzasql_fixtures import Deployment
 
@@ -384,6 +390,80 @@ class TestPeerLinkProtocol:
 
 
 # -- route table + frame codec additions --------------------------------------
+
+
+class TestAdaptiveCredit:
+    """tune_windows(): per-status-round EWMA sizing of the credit window."""
+
+    def test_window_retunes_from_applied_ewma(self, tmp_path):
+        applied = []
+        endpoint = PeerEndpoint("b:g0", 1, str(tmp_path / "b.1"),
+                                applied.append)
+        link = PeerLink("a:g0", 1, "b:g0", endpoint.address, 1)
+        assert link.credit_bytes == DEFAULT_CREDIT_BYTES
+
+        # One busy round (~100 KiB applied), then a tune: the window
+        # becomes 2× the EWMA — far below the 4 MiB default, above the
+        # 64 KiB floor — and the sender learns it via the CREDIT message.
+        for i in range(50):
+            link.produce("t", i % 4, 4, (0, i, b"key", b"v" * 2048))
+        link.flush(encode_frame)
+        assert wait_for(lambda: endpoint.stats()["applied_records"] == 50,
+                        endpoint.service, timeout_s=10)
+        round_bytes = endpoint.stats()["applied_bytes"]
+        endpoint.tune_windows()
+        link.service_acks()
+        assert link.credit_bytes == 2 * round_bytes
+        assert MIN_CREDIT_BYTES < link.credit_bytes < DEFAULT_CREDIT_BYTES
+        assert endpoint.credit_window("a:g0") == link.credit_bytes
+        assert endpoint.stats()["credit_windows"]["a:g0"] == link.credit_bytes
+
+        # Idle rounds decay the EWMA; the clamp holds at the floor.
+        first_window = link.credit_bytes
+        endpoint.tune_windows()
+        link.service_acks()
+        assert link.credit_bytes < first_window
+        for _ in range(20):
+            endpoint.tune_windows()
+        link.service_acks()
+        assert link.credit_bytes == MIN_CREDIT_BYTES
+        endpoint.close()
+        link.close()
+
+    def test_shrunk_window_still_drains(self, tmp_path):
+        """A retune mid-stream shrinks the window under the bytes already
+        in flight; the sender's balance clamps at zero (never negative)
+        and the link keeps draining on returned grants."""
+        applied = []
+        endpoint = PeerEndpoint("b:g0", 1, str(tmp_path / "b.1"),
+                                applied.append)
+        link = PeerLink("a:g0", 1, "b:g0", endpoint.address, 1)
+        for i in range(200):
+            link.produce("t", i % 4, 4, (0, i, b"key", b"v" * 512))
+        link.flush(encode_frame)   # all in flight under the 4 MiB default
+        assert link.inflight_bytes > MIN_CREDIT_BYTES
+        # Frames queued (not applied) ⇒ the reader thread has registered
+        # the connection, so the tune below can reach this sender.
+        assert wait_for(lambda: endpoint.inbound_records == 200,
+                        lambda: None, timeout_s=10)
+
+        # Receiver has applied nothing yet → EWMA 0 → floor window.
+        endpoint.tune_windows()
+        link.service_acks()
+        assert link.credit_bytes == MIN_CREDIT_BYTES
+        assert link.credit_avail >= 0
+
+        def pump():
+            endpoint.service()
+            endpoint.publish_mirrored()
+            link.service_acks()
+            link.flush(encode_frame)
+
+        assert wait_for(lambda: link.drained, pump, timeout_s=10)
+        assert endpoint.stats()["applied_records"] == 200
+        assert link.credit_avail <= link.credit_bytes
+        endpoint.close()
+        link.close()
 
 
 class TestRouteTable:

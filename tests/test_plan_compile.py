@@ -213,6 +213,7 @@ class TestExecutionConfigMapping:
             "execution.parallel": ("cluster.parallel.execution", False),
             "execution.compile": ("task.compile.execution", True),
             "execution.multiway.join": ("plan.multiway.join", True),
+            "execution.serde.fusion": ("task.serde.fusion", True),
         }
         overrides = ExecutionConfig(batch=False, write_behind=True,
                                     parallel=True, compile=False).to_overrides()
@@ -222,6 +223,7 @@ class TestExecutionConfigMapping:
             "cluster.parallel.execution": "true",
             "task.compile.execution": "false",
             "plan.multiway.join": "true",
+            "task.serde.fusion": "true",
         }
         # round trip: overrides reconstruct the same value
         assert ExecutionConfig.from_config(Config(overrides)) == \
@@ -236,7 +238,7 @@ class TestExecutionConfigMapping:
 
     def test_describe(self):
         assert ExecutionConfig().describe() == \
-            "batch=on write_behind=on parallel=off compile=on multiway_join=on"
+            "batch=on write_behind=on parallel=off compile=on multiway_join=on serde_fusion=on"
 
 
 class TestExplain:

@@ -266,13 +266,31 @@ class TestBatchCodecs:
         assert decoded == [schema.decode(b) for b in blobs]
         assert decoded[3]["price"] == 3.0
 
-    def test_unsupported_schema_falls_back_to_interpreter(self):
-        nested = AvroSchema.record(
-            "Wrapper", [("tags", {"type": "array", "items": "string"})])
-        assert nested._encode_fast is None
-        assert nested._decode_fast is None
-        datums = [{"tags": ["a", "b"]}, {"tags": []}]
-        assert nested.decode_batch(nested.encode_batch(datums)) == datums
+    def test_non_record_schema_falls_back_to_interpreter(self):
+        bare = AvroSchema({"type": "array", "items": "string"})
+        assert bare._encode_fast is None
+        assert bare._decode_fast is None
+        datums = [["a", "b"], []]
+        assert bare.decode_batch(bare.encode_batch(datums)) == datums
+
+    def test_unsupported_field_falls_back_per_field(self):
+        # One exotic column no longer pushes the whole record off the
+        # generated path: supported siblings stay inlined and the record
+        # keeps byte-identical generated codecs.
+        mixed = AvroSchema.record("Wrapper", [
+            ("id", "long"),
+            ("tags", {"type": "array", "items": "string"}),
+            ("name", ["null", "string"]),
+        ])
+        assert mixed._encode_fast is not None
+        assert mixed._decode_fast is not None
+        datums = [
+            {"id": 1, "tags": ["a", "b"], "name": "x"},
+            {"id": -7, "tags": [], "name": None},
+        ]
+        blobs = mixed.encode_batch(datums)
+        assert blobs == [mixed.encode(d) for d in datums]
+        assert mixed.decode_batch(blobs) == datums
 
     @pytest.mark.parametrize("bad,message", [
         ([1, 2], "expected dict"),

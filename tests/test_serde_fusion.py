@@ -1,0 +1,224 @@
+"""Serde fusion: column-pruned decode, re-encode elision, fused chains.
+
+The contract under test is strict observational equivalence: with
+``task.serde.fusion`` on, every byte the job writes — output records,
+their keys, offsets, timestamps, and checkpoint topics — must be
+identical to the full decode/re-encode path, in every execution mode
+and across crash/replay.
+"""
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultSchedule
+from repro.chaos.supervisor import ChaosSupervisor
+from repro.serde import AvroSerde
+
+from tests.samzasql_fixtures import ORDERS_SCHEMA, Deployment
+
+FILTER_SQL = ("SELECT STREAM rowtime, productId, orderId, units "
+              "FROM Orders WHERE units > 50")
+PROJECT_SQL = "SELECT STREAM orderId, units FROM Orders WHERE units > 50"
+SLIDING_WINDOW_SQL = (
+    "SELECT STREAM rowtime, productId, orderId, units, "
+    "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+    "RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes "
+    "FROM Orders WHERE units > 10"
+)
+
+
+def chaos_sql_deployment(schedule, orders=80, partitions=2):
+    dep = Deployment(partitions=partitions)
+    dep.with_orders(count=orders)
+    injector = FaultInjector(schedule, clock=dep.clock)
+    dep.cluster.install_fault_injector(injector)
+    dep.runner.fault_injector = injector
+    return dep, injector
+
+
+def cluster_dump(dep):
+    """Every topic's full contents: (offset, key, value, timestamp)."""
+    dump = {}
+    for topic in sorted(dep.cluster.topics()):
+        for tp in dep.cluster.partitions_for(topic):
+            msgs = dep.cluster.fetch(tp, dep.cluster.earliest_offset(tp), None)
+            dump[str(tp)] = [(m.offset, m.key, m.value, m.timestamp_ms)
+                             for m in msgs]
+    return dump
+
+
+def run_filter(fusion: str, batch: str = "true", compile_flag: str = "true",
+               sql: str = FILTER_SQL):
+    dep = Deployment().with_orders(60)
+    handle = dep.shell.execute(sql, containers=1, config_overrides={
+        "task.batch.execution": batch,
+        "task.compile.execution": compile_flag,
+        "task.serde.fusion": fusion,
+    })
+    dep.runner.run_until_quiescent()
+    return dep, handle
+
+
+def fused_tasks(handle):
+    return [instance.task
+            for container in handle.master.samza_containers.values()
+            for instance in container.tasks.values()]
+
+
+class TestPrunedDecoder:
+    """AvroSerde.pruned_decoder — skip-scan over unreferenced columns."""
+
+    def setup_method(self):
+        self.schema = ORDERS_SCHEMA
+        self.serde = AvroSerde(ORDERS_SCHEMA)
+        self.record = {"rowtime": 1_000_000, "productId": 7,
+                       "orderId": 1234, "units": 55}
+        self.buf = self.serde.to_bytes(self.record)
+
+    def test_materializes_only_required_fields(self):
+        decoder = self.schema.pruned_decoder(frozenset({"units"}))
+        row, pos = decoder(self.buf, 0)
+        assert row["units"] == 55
+        assert pos == len(self.buf)
+        assert "orderId" not in row and "productId" not in row
+
+    def test_required_values_match_full_decode(self):
+        full = self.serde.from_bytes(self.buf)
+        decoder = self.schema.pruned_decoder(frozenset({"rowtime", "orderId"}))
+        row, pos = decoder(self.buf, 0)
+        assert pos == len(self.buf)
+        assert {k: row[k] for k in ("rowtime", "orderId")} == \
+            {k: full[k] for k in ("rowtime", "orderId")}
+
+    def test_unknown_required_names_are_ignored(self):
+        decoder = self.schema.pruned_decoder(frozenset({"units", "nope"}))
+        row, pos = decoder(self.buf, 0)
+        assert row["units"] == 55
+        assert pos == len(self.buf)
+
+    def test_empty_required_still_scans_to_end(self):
+        decoder = self.schema.pruned_decoder(frozenset())
+        row, pos = decoder(self.buf, 0)
+        assert row == {}
+        assert pos == len(self.buf)
+
+    def test_non_record_schema_returns_none(self):
+        from repro.serde import AvroSchema
+
+        assert AvroSchema("long").pruned_decoder(frozenset({"x"})) is None
+
+
+class TestSerdePlanAnalysis:
+    """The per-task analysis decision, observed through the live tasks."""
+
+    def test_filter_query_prunes_and_elides(self):
+        _dep, handle = run_filter("true")
+        tasks = fused_tasks(handle)
+        assert tasks and all(t.serde_fused for t in tasks)
+        plan = tasks[0].serde_plan
+        assert plan.supported
+        assert "units" in plan.required
+        assert plan.elided  # identity projection: raw byte splice out
+        assert plan.describe().startswith("serde: decode pruned")
+
+    def test_fusion_off_runs_decoded_path(self):
+        _dep, handle = run_filter("false")
+        assert all(not t.serde_fused for t in fused_tasks(handle))
+
+    def test_single_message_mode_never_fuses(self):
+        _dep, handle = run_filter("true", batch="false")
+        assert all(not t.serde_fused for t in fused_tasks(handle))
+
+    def test_interpreted_chain_never_fuses(self):
+        _dep, handle = run_filter("true", compile_flag="false")
+        assert all(not t.serde_fused for t in fused_tasks(handle))
+
+
+class TestByteEquivalence:
+    """Fusion on vs off must leave the whole cluster byte-identical."""
+
+    @pytest.mark.parametrize("batch,compile_flag",
+                             [("true", "true"), ("true", "false"),
+                              ("false", "true"), ("false", "false")],
+                             ids=["batched-compiled", "batched-interpreted",
+                                  "single-compiled", "single-interpreted"])
+    def test_filter_all_modes(self, batch, compile_flag):
+        dep_off, _ = run_filter("false", batch, compile_flag)
+        dep_on, handle_on = run_filter("true", batch, compile_flag)
+        assert cluster_dump(dep_off) == cluster_dump(dep_on)
+        if batch == "true" and compile_flag == "true":
+            # equivalence must hold *because* the fused path actually ran
+            assert all(t.serde_fused for t in fused_tasks(handle_on))
+
+    def test_project_query(self):
+        dep_off, _ = run_filter("false", sql=PROJECT_SQL)
+        dep_on, _ = run_filter("true", sql=PROJECT_SQL)
+        assert cluster_dump(dep_off) == cluster_dump(dep_on)
+
+    def test_results_match_decoded(self):
+        _dep, handle_on = run_filter("true")
+        _dep2, handle_off = run_filter("false")
+        key = lambda r: r["orderId"]
+        assert sorted(handle_on.results(), key=key) == \
+            sorted(handle_off.results(), key=key)
+
+
+class TestCrashMidBatchElision:
+    def test_crash_mid_batch_replays_identically(self):
+        """A crash landing inside a poll batch while the elision path is
+        splicing raw bytes must recover exactly like the decoded path:
+        the uncommitted suffix replays through the freshly fused plan on
+        the replacement container and the surviving output set matches."""
+        outputs = {}
+        for mode, flag in (("fused", "true"), ("decoded", "false")):
+            schedule = FaultSchedule.script().add_crash(25)
+            dep, injector = chaos_sql_deployment(schedule)
+            handle = dep.shell.execute(FILTER_SQL, containers=2,
+                                       config_overrides={
+                                           "task.checkpoint.interval.messages": 10,
+                                           "task.poll.batch.size": 8,
+                                           "task.serde.fusion": flag,
+                                       })
+            supervisor = ChaosSupervisor(dep.runner, injector,
+                                         zk=dep.shell.zk)
+            supervisor.run_until_quiescent()
+            assert supervisor.restarts == 1
+            # the replacement container re-ran the fusion analysis and
+            # landed on the same decision the original did
+            for task in fused_tasks(handle):
+                assert task.serde_fused is (mode == "fused")
+            with injector.suspended():
+                outputs[mode] = {r["orderId"] for r in handle.results()}
+
+        expected = {i for i in range(80) if (i * 7) % 100 > 50}
+        assert outputs["fused"] == expected
+        assert outputs["fused"] == outputs["decoded"]
+
+
+class TestExplainSerdeStatus:
+    def test_filter_reports_pruned_and_elided(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(f"EXPLAIN {FILTER_SQL}")
+        assert "serde: decode pruned" in report
+        assert "encode elided (raw byte splice)" in report
+
+    def test_batch_off_reports_fallback(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(
+            f"EXPLAIN {FILTER_SQL}",
+            config_overrides={"task.batch.execution": "false"})
+        assert ("serde: full decode/encode (fallback: requires "
+                "execution.batch=true)" in report)
+
+    def test_fusion_off_reports_fallback(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(
+            f"EXPLAIN {FILTER_SQL}",
+            config_overrides={"task.serde.fusion": "false"})
+        assert ("serde: full decode/encode (fallback: disabled by "
+                "execution.serde.fusion=false)" in report)
+
+    def test_stateful_chain_reports_not_compiled(self):
+        dep = Deployment().with_orders(5)
+        report = dep.shell.execute(f"EXPLAIN {SLIDING_WINDOW_SQL}")
+        assert "serde: full decode/encode (fallback: chain not compiled" \
+            in report
